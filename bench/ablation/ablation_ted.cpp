@@ -1,0 +1,92 @@
+// TED algorithm ablation (google-benchmark): Zhang–Shasha vs the
+// APTED/RTED-style path-strategy variant on random trees, adversarial
+// comb shapes and real corpus trees — the memory/runtime concern the
+// paper's future-work section raises.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "tree/ted.hpp"
+
+using namespace sv;
+using namespace sv::tree;
+
+namespace {
+
+Tree randomTree(u32 seed, usize n) {
+  std::mt19937 rng(seed);
+  static const char *labels[] = {"Fn", "Call", "If", "For", "Decl", "BinOp", "Ref", "Lit"};
+  auto t = Tree::leaf(labels[rng() % 8]);
+  for (usize i = 1; i < n; ++i) t.addChild(static_cast<NodeId>(rng() % t.size()), labels[rng() % 8]);
+  return t;
+}
+
+Tree comb(usize n, bool left) {
+  auto t = Tree::leaf("n");
+  NodeId cur = 0;
+  for (usize i = 0; i < n; ++i) {
+    if (left) {
+      const auto inner = t.addChild(cur, "n");
+      t.addChild(cur, "leaf");
+      cur = inner;
+    } else {
+      t.addChild(cur, "leaf");
+      cur = t.addChild(cur, "n");
+    }
+  }
+  return t;
+}
+
+const Tree &corpusTree(const std::string &model) {
+  static std::map<std::string, Tree> cache;
+  const auto it = cache.find(model);
+  if (it != cache.end()) return it->second;
+  const auto dbv = db::index(corpus::make("tealeaf", model)).db;
+  return cache.emplace(model, dbv.units[1].tsem).first->second;
+}
+
+void BM_TedRandom(benchmark::State &state, TedAlgo algo) {
+  const auto n = static_cast<usize>(state.range(0));
+  const auto a = randomTree(1, n);
+  const auto b = randomTree(2, n);
+  TedOptions opts;
+  opts.algo = algo;
+  for (auto _ : state) benchmark::DoNotOptimize(ted(a, b, opts));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_TedCombs(benchmark::State &state, TedAlgo algo) {
+  const auto n = static_cast<usize>(state.range(0));
+  const auto a = comb(n, true);
+  const auto b = comb(n, false);
+  TedOptions opts;
+  opts.algo = algo;
+  for (auto _ : state) benchmark::DoNotOptimize(ted(a, b, opts));
+}
+
+void BM_TedCorpus(benchmark::State &state, TedAlgo algo) {
+  const auto &a = corpusTree("serial");
+  const auto &b = corpusTree("sycl-acc");
+  TedOptions opts;
+  opts.algo = algo;
+  for (auto _ : state) benchmark::DoNotOptimize(ted(a, b, opts));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_TedRandom, zhang_shasha, TedAlgo::ZhangShasha)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_TedRandom, path_strategy, TedAlgo::PathStrategy)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_TedCombs, zhang_shasha, TedAlgo::ZhangShasha)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_TedCombs, path_strategy, TedAlgo::PathStrategy)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_TedCorpus, zhang_shasha, TedAlgo::ZhangShasha);
+BENCHMARK_CAPTURE(BM_TedCorpus, path_strategy, TedAlgo::PathStrategy);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Text-distance ablation (google-benchmark): the Wu–Manber–Myers–Miller
+// O(NP) diff used for the Source metric, against character Levenshtein, on
+// corpus sources — plus the full end-to-end indexing cost per port.
+#include <benchmark/benchmark.h>
+
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "support/strings.hpp"
+#include "text/text.hpp"
+
+using namespace sv;
+
+namespace {
+
+const std::string &normText(const std::string &model) {
+  static std::map<std::string, std::string> cache;
+  const auto it = cache.find(model);
+  if (it != cache.end()) return it->second;
+  const auto dbv = db::index(corpus::make("babelstream", model)).db;
+  return cache.emplace(model, dbv.units[0].normText).first->second;
+}
+
+void BM_DiffONP(benchmark::State &state) {
+  const auto a = str::splitLines(normText("serial"));
+  const auto b = str::splitLines(normText("sycl-acc"));
+  for (auto _ : state) benchmark::DoNotOptimize(text::diffDistance(a, b));
+}
+
+void BM_Lcs(benchmark::State &state) {
+  const auto a = str::splitLines(normText("serial"));
+  const auto b = str::splitLines(normText("sycl-acc"));
+  for (auto _ : state) benchmark::DoNotOptimize(text::lcsLength(a, b));
+}
+
+void BM_Levenshtein(benchmark::State &state) {
+  const auto &a = normText("serial");
+  const auto &b = normText("omp");
+  for (auto _ : state) benchmark::DoNotOptimize(text::levenshtein(a, b));
+}
+
+void BM_IndexPort(benchmark::State &state, const char *model) {
+  for (auto _ : state) {
+    const auto dbv = db::index(corpus::make("babelstream", model)).db;
+    benchmark::DoNotOptimize(dbv.units.size());
+  }
+}
+
+void BM_Normalise(benchmark::State &state) {
+  const auto cb = corpus::make("babelstream", "serial");
+  const auto &textSrc = cb.sources.file(*cb.sources.idOf("main.cpp")).text;
+  for (auto _ : state) benchmark::DoNotOptimize(text::normalise(textSrc));
+}
+
+} // namespace
+
+BENCHMARK(BM_DiffONP);
+BENCHMARK(BM_Lcs);
+BENCHMARK(BM_Levenshtein);
+BENCHMARK(BM_Normalise);
+BENCHMARK_CAPTURE(BM_IndexPort, serial, "serial");
+BENCHMARK_CAPTURE(BM_IndexPort, sycl_acc, "sycl-acc");
+BENCHMARK_CAPTURE(BM_IndexPort, cuda, "cuda");
+
+BENCHMARK_MAIN();

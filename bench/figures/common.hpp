@@ -1,0 +1,80 @@
+// Shared helpers for the per-figure reproduction binaries. Each binary
+// prints the rows/series of one paper table or figure; EXPERIMENTS.md maps
+// the printed output to the paper's plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "silvervale/silvervale.hpp"
+#include "support/strings.hpp"
+
+namespace svbench {
+
+using namespace sv;
+
+inline void banner(const std::string &title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Cluster a distance matrix and print the dendrogram + Newick form.
+inline void printClustering(const std::string &caption, const analysis::DistanceMatrix &m) {
+  const auto merges = analysis::cluster(m);
+  std::printf("\n--- %s ---\n", caption.c_str());
+  std::printf("%s", analysis::renderDendrogram(merges, m.labels).c_str());
+  std::printf("newick: %s\n", analysis::toNewick(merges, m.labels).c_str());
+}
+
+/// Dendrograms for the six metrics of Fig 5 / Fig 6.
+inline void printSixMetricDendrograms(const silvervale::IndexedApp &app) {
+  printClustering("LLOC (absolute |a-b|)",
+                  silvervale::absoluteDifferenceMatrix(app, metrics::Metric::LLOC));
+  printClustering("SLOC (absolute |a-b|)",
+                  silvervale::absoluteDifferenceMatrix(app, metrics::Metric::SLOC));
+  printClustering("Source (O(NP) diff distance)",
+                  silvervale::divergenceMatrix(app, metrics::Metric::Source));
+  printClustering("Tsrc (TED)", silvervale::divergenceMatrix(app, metrics::Metric::Tsrc));
+  printClustering("Tsem (TED)", silvervale::divergenceMatrix(app, metrics::Metric::Tsem));
+  printClustering("Tir (TED)", silvervale::divergenceMatrix(app, metrics::Metric::Tir));
+}
+
+/// Divergence-from-baseline heatmap over every metric/variant row the
+/// Fig 7/8 plots carry.
+inline void printDivergenceHeatmap(const silvervale::IndexedApp &app,
+                                   const std::string &baseline) {
+  const auto &base = app.model(baseline);
+  std::vector<std::string> rows;
+  std::vector<std::vector<double>> values;
+  using metrics::Metric;
+  using metrics::Variant;
+  struct RowSpec {
+    const char *name;
+    Metric metric;
+    Variant variant;
+  };
+  const RowSpec specs[] = {
+      {"Source", Metric::Source, {}},
+      {"Source+pp", Metric::Source, {true, false}},
+      {"Tsrc", Metric::Tsrc, {}},
+      {"Tsrc+pp", Metric::Tsrc, {true, false}},
+      {"Tsem", Metric::Tsem, {}},
+      {"Tsem+i", Metric::TsemInline, {}},
+      {"Tsem+cov", Metric::Tsem, {false, true}},
+      {"Tir", Metric::Tir, {}},
+      {"Tir+cov", Metric::Tir, {false, true}},
+  };
+  std::vector<std::string> cols;
+  for (const auto &m : app.models) cols.push_back(m.model);
+  for (const auto &spec : specs) {
+    rows.emplace_back(spec.name);
+    std::vector<double> row;
+    for (const auto &m : app.models)
+      row.push_back(metrics::diverge(base, m, spec.metric, spec.variant).normalised());
+    values.push_back(std::move(row));
+  }
+  std::printf("%s", analysis::renderHeatmap(rows, cols, values).c_str());
+}
+
+} // namespace svbench

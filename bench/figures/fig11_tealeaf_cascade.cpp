@@ -1,0 +1,26 @@
+// Fig 11 reproduction: TeaLeaf cascade plot — performance portability on
+// the six Table III platforms (BM5-like deck), rendered as the Φ-vs-
+// platforms-added series of Sewall et al. with the Φ summary column.
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 11: TeaLeaf cascade plot (six platforms, BM5 deck)");
+  const auto app = silvervale::indexApp("tealeaf");
+  const auto kernels = silvervale::paperDeck("tealeaf");
+  std::printf("deck: %zu kernels, iterations per kernel = %llu\n", kernels.size(),
+              static_cast<unsigned long long>(kernels[0].iterations));
+  const auto perfs = perf::simulateAll(silvervale::perfModels(app), kernels);
+  std::printf("%s", perf::renderCascade(perfs).c_str());
+
+  std::printf("per-platform application efficiency:\n%-12s", "model");
+  for (const auto &p : perf::tableIIIPlatforms()) std::printf("%8s", p.abbr.c_str());
+  std::printf("\n");
+  for (const auto &mp : perfs) {
+    std::printf("%-12s", mp.model.c_str());
+    for (const auto e : mp.efficiency) std::printf("%8.3f", e);
+    std::printf("\n");
+  }
+  return 0;
+}

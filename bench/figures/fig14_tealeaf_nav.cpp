@@ -1,0 +1,38 @@
+// Fig 14 reproduction: TeaLeaf navigation chart. The paper notes the
+// per-application patterns differ from CloverLeaf but the model ordering is
+// similar — checked live against the Fig 13 data.
+#include "common.hpp"
+
+#include <algorithm>
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 14: TeaLeaf navigation chart of PHI and TBMD");
+  const auto tealeaf = silvervale::indexApp("tealeaf");
+  const auto points = silvervale::navigationPoints(tealeaf);
+  std::printf("%s", perf::renderNavigationChart(points).c_str());
+
+  // Ordering similarity with CloverLeaf (shared models).
+  const auto clover = silvervale::indexApp("cloverleaf");
+  const auto cloverPoints = silvervale::navigationPoints(clover);
+  std::vector<std::string> shared;
+  for (const auto &p : points)
+    for (const auto &q : cloverPoints)
+      if (p.model == q.model) shared.push_back(p.model);
+  const auto rank = [](std::vector<perf::NavPoint> pts, const std::vector<std::string> &keep) {
+    std::vector<std::pair<double, std::string>> v;
+    for (const auto &p : pts)
+      if (std::find(keep.begin(), keep.end(), p.model) != keep.end())
+        v.emplace_back(p.tsem, p.model);
+    std::sort(v.begin(), v.end());
+    std::vector<std::string> out;
+    for (const auto &[d, m] : v) out.push_back(m);
+    return out;
+  };
+  const auto rTea = rank(points, shared);
+  const auto rClo = rank(cloverPoints, shared);
+  std::printf("\nTsem ordering  tealeaf   : %s\n", sv::str::join(rTea, " < ").c_str());
+  std::printf("Tsem ordering  cloverleaf: %s\n", sv::str::join(rClo, " < ").c_str());
+  return 0;
+}

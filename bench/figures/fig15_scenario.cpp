@@ -1,0 +1,45 @@
+// Fig 15 reproduction: the model-picking scenario. A CUDA-only codebase has
+// Φ = 1 while NVIDIA is the only platform (point 1); adding an AMD GPU
+// drops Φ to 0 (point 2); the navigation chart over past TeaLeaf results
+// then guides the selection of a better-placed model (point 3).
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 15: navigation chart for picking the next model");
+  const auto app = silvervale::indexApp("tealeaf");
+  const auto kernels = silvervale::paperDeck("tealeaf");
+
+  const auto &all = perf::tableIIIPlatforms();
+  const std::vector<perf::Platform> h100Only = {all[3]};
+  const std::vector<perf::Platform> h100Mi250 = {all[3], all[4]};
+
+  const auto models = silvervale::perfModels(app);
+  const auto p1 = perf::simulateAll(models, kernels, h100Only);
+  const auto p2 = perf::simulateAll(models, kernels, h100Mi250);
+
+  const auto phiOf = [](const std::vector<perf::ModelPerformance> &ps, const std::string &m) {
+    for (const auto &mp : ps)
+      if (mp.model == m) return perf::phi(mp.efficiency);
+    return 0.0;
+  };
+
+  std::printf("point 1: CUDA on {H100}           PHI = %.3f (expected 1.0)\n",
+              phiOf(p1, "cuda"));
+  std::printf("point 2: CUDA on {H100, MI250X}   PHI = %.3f (expected 0.0)\n",
+              phiOf(p2, "cuda"));
+
+  std::printf("\npoint 3 candidates on {H100, MI250X}, with TBMD divergence from the CUDA port:\n");
+  std::printf("%-12s %-8s %-10s %-10s\n", "model", "PHI", "Tsem(cuda)", "Tsrc(cuda)");
+  const auto &cuda = app.model("cuda");
+  for (const auto &cand : {"omp-target", "kokkos", "sycl-usm", "sycl-acc", "hip"}) {
+    const auto p = phiOf(p2, cand);
+    const auto tsem = metrics::diverge(cuda, app.model(cand), metrics::Metric::Tsem).normalised();
+    const auto tsrc = metrics::diverge(cuda, app.model(cand), metrics::Metric::Tsrc).normalised();
+    std::printf("%-12s %-8.3f %-10.3f %-10.3f\n", cand, p, tsem, tsrc);
+  }
+  std::printf("\nreading: pick the candidate with high PHI and low divergence from the\n"
+              "existing CUDA codebase — the paper's data point 3.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig 1 reproduction: two small ClangAST-shaped trees with a TED of five —
+// four nodes inserted/deleted plus one relabelled at the top.
+#include "common.hpp"
+
+#include "tree/ted.hpp"
+
+using namespace sv;
+using namespace sv::tree;
+
+int main() {
+  svbench::banner("Fig 1: two ASTs with a TED distance of five");
+  const auto t1 = toTree(
+      build("FunctionDecl", {build("ParmVarDecl", {build("DeclRefExpr"), build("IntegerLiteral")}),
+                             build("CompoundStmt")}));
+  const auto t2 = toTree(build(
+      "FunctionTemplateDecl",
+      {build("ParmVarDecl"), build("CompoundStmt", {build("CallExpr"), build("ReturnStmt")})}));
+
+  std::printf("T1:\n%s\nT2:\n%s\n", t1.pretty().c_str(), t2.pretty().c_str());
+  const auto zs = ted(t1, t2, TedOptions{TedAlgo::ZhangShasha, {}});
+  const auto ps = ted(t1, t2, TedOptions{TedAlgo::PathStrategy, {}});
+  std::printf("d_TED (Zhang-Shasha)  = %llu\n", static_cast<unsigned long long>(zs));
+  std::printf("d_TED (path strategy) = %llu\n", static_cast<unsigned long long>(ps));
+  std::printf("paper value           = 5\n");
+  return zs == 5 && ps == 5 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// Fig 4 reproduction: TeaLeaf model clustering under T_sem — the pairwise
+// normalised divergence matrix over the cartesian product of the ten
+// models, plus the complete-linkage/Euclidean dendrogram drawn around the
+// paper's heatmap.
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 4: TeaLeaf model clustering, using Tsem");
+  const auto app = silvervale::indexApp("tealeaf");
+  const auto m = silvervale::divergenceMatrix(app, metrics::Metric::Tsem);
+
+  std::vector<std::vector<double>> values;
+  for (usize i = 0; i < m.size(); ++i) {
+    std::vector<double> row;
+    for (usize j = 0; j < m.size(); ++j) row.push_back(m.at(i, j));
+    values.push_back(std::move(row));
+  }
+  std::printf("%s\n", analysis::renderHeatmap(m.labels, m.labels, values).c_str());
+  svbench::printClustering("complete linkage, Euclidean distance", m);
+
+  // Expected groupings (paper): SYCL variants together, HIP with CUDA,
+  // serial near the OpenMP variants.
+  const auto merges = analysis::cluster(m);
+  const auto groups = analysis::cutClusters(merges, m.size(), 4);
+  const auto idx = [&](const std::string &l) {
+    for (usize i = 0; i < m.labels.size(); ++i)
+      if (m.labels[i] == l) return i;
+    return usize{0};
+  };
+  std::printf("\nexpected-group checks:\n");
+  std::printf("  sycl-usm with sycl-acc : %s\n",
+              groups[idx("sycl-usm")] == groups[idx("sycl-acc")] ? "YES" : "NO");
+  std::printf("  cuda with hip          : %s\n",
+              groups[idx("cuda")] == groups[idx("hip")] ? "YES" : "NO");
+  std::printf("  serial with omp        : %s\n",
+              groups[idx("serial")] == groups[idx("omp")] ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig 5 reproduction: TeaLeaf clustering dendrograms under LLOC, SLOC,
+// Source, Tsrc, Tsem and Tir. The paper's reading: SLOC/LLOC cluster
+// randomly; Source/Tsrc/Tsem recover the model families; Tir keeps host
+// models together while offload models group by their driver code.
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 5: TeaLeaf model clustering dendrograms, six metrics");
+  const auto app = silvervale::indexApp("tealeaf");
+  svbench::printSixMetricDendrograms(app);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 6 reproduction: BabelStream Fortran clustering dendrograms under the
+// six metrics. Paper reading: SLOC/LLOC are uninformative; under
+// Source/Tsrc/Tsem the OpenACC ports form a distinct group from the rest.
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 6: BabelStream Fortran model clustering dendrograms");
+  const auto app = silvervale::indexApp("babelstream-fortran");
+  svbench::printSixMetricDendrograms(app);
+
+  // Headline checks. (1) Section V-B's GCC QoI finding: under T_ir the acc
+  // port is indistinguishable from sequential — the directives lower to
+  // nothing. (2) Under Tsem, each acc variant sits beside its base-loop
+  // style; in the paper's corpus the two acc ports form their own group —
+  // see EXPERIMENTS.md for the discussion of this partial match.
+  const auto tir = silvervale::divergenceMatrix(app, metrics::Metric::Tir);
+  const auto idxOf = [&](const analysis::DistanceMatrix &m, const std::string &l) {
+    for (usize i = 0; i < m.labels.size(); ++i)
+      if (m.labels[i] == l) return i;
+    return usize{0};
+  };
+  const double accVsSeq = tir.at(idxOf(tir, "acc"), idxOf(tir, "sequential"));
+  std::printf("\nTir(acc, sequential) = %.4f -> GCC OpenACC introduces %s parallel IR\n",
+              accVsSeq, accVsSeq < 0.01 ? "NO (matches Section V-B)" : "some");
+  const auto tsem = silvervale::divergenceMatrix(app, metrics::Metric::Tsem);
+  const auto merges = analysis::cluster(tsem);
+  const auto groups = analysis::cutClusters(merges, tsem.size(), 3);
+  std::printf("acc and acc-array grouped under Tsem: %s\n",
+              groups[idxOf(tsem, "acc")] == groups[idxOf(tsem, "acc-array")] ? "YES" : "NO");
+  return accVsSeq < 0.01 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+// Fig 7 reproduction: miniBUDE models — normalised divergence from the
+// serial port, plotted 0..1 per metric/variant row (Section V-C's
+// metric-model relation study).
+#include "common.hpp"
+
+using namespace sv;
+
+int main() {
+  svbench::banner("Fig 7: miniBUDE divergence from serial (0..1 heatmap)");
+  silvervale::IndexAppOptions opts;
+  opts.coverage = true; // the +coverage rows need VM runs
+  const auto app = silvervale::indexApp("minibude", opts);
+  svbench::printDivergenceHeatmap(app, "serial");
+
+  std::printf("\nself-check: serial column must be all zeros (Section V-C)\n");
+  const auto &serial = app.model("serial");
+  const auto d = metrics::diverge(serial, serial, metrics::Metric::Tsem);
+  std::printf("  d(serial, serial) under Tsem = %llu\n",
+              static_cast<unsigned long long>(d.distance));
+  return d.distance == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Fig 9 + Fig 10 reproduction: the code-migration case study (Section V-D).
+// Divergence of the TeaLeaf offload models measured from the serial port
+// (Fig 9) and from the CUDA port (Fig 10). Expected shape: starting from
+// CUDA costs more than starting from serial, most visibly under Tsem; the
+// OpenMP target model has the lowest divergence from serial.
+#include "common.hpp"
+
+using namespace sv;
+
+namespace {
+void printFrom(const silvervale::IndexedApp &app, const std::string &base,
+               const std::vector<std::string> &targets) {
+  const auto &baseDb = app.model(base);
+  std::printf("\n--- divergence from %s ---\n", base.c_str());
+  std::printf("%-12s %-8s %-8s %-8s %-8s %-8s\n", "model", "Source", "Tsrc", "Tsem", "Tsem+i",
+              "Tir");
+  for (const auto &t : targets) {
+    if (t == base) continue;
+    const auto &other = app.model(t);
+    std::printf("%-12s %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f\n", t.c_str(),
+                metrics::diverge(baseDb, other, metrics::Metric::Source).normalised(),
+                metrics::diverge(baseDb, other, metrics::Metric::Tsrc).normalised(),
+                metrics::diverge(baseDb, other, metrics::Metric::Tsem).normalised(),
+                metrics::diverge(baseDb, other, metrics::Metric::TsemInline).normalised(),
+                metrics::diverge(baseDb, other, metrics::Metric::Tir).normalised());
+  }
+}
+} // namespace
+
+int main() {
+  svbench::banner("Fig 9 / Fig 10: TeaLeaf model migration cost (serial vs CUDA origin)");
+  const auto app = silvervale::indexApp("tealeaf");
+  const std::vector<std::string> offload = {"omp-target", "cuda", "hip",
+                                            "kokkos",     "sycl-usm", "sycl-acc"};
+  printFrom(app, "serial", offload); // Fig 9
+  printFrom(app, "cuda", offload);   // Fig 10
+
+  // Aggregate check: sum of Tsem divergences from CUDA exceeds the sum
+  // from serial over the shared targets.
+  double fromSerial = 0, fromCuda = 0;
+  for (const auto &t : {"omp-target", "kokkos", "sycl-usm", "sycl-acc"}) {
+    fromSerial +=
+        metrics::diverge(app.model("serial"), app.model(t), metrics::Metric::Tsem).normalised();
+    fromCuda +=
+        metrics::diverge(app.model("cuda"), app.model(t), metrics::Metric::Tsem).normalised();
+  }
+  std::printf("\nsum Tsem from serial = %.3f, from cuda = %.3f -> migration from CUDA costs %s\n",
+              fromSerial, fromCuda, fromCuda > fromSerial ? "MORE (matches paper)" : "LESS");
+  return fromCuda > fromSerial ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Using SilverVale on your own multi-file codebase: define a compilation
+// database (the same JSON a real build system emits), register source
+// files, index, serialise the Codebase DB to disk, reload it, and cluster
+// three ports of the same kernel.
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/analysis.hpp"
+#include "db/codebase.hpp"
+#include "metrics/metrics.hpp"
+
+using namespace sv;
+
+namespace {
+
+const char *kHeader = R"(#pragma once
+void stencil(double* out, const double* in, int n);
+)";
+
+db::Codebase makePort(const std::string &model, const std::string &kernelSource,
+                      const std::string &extraFlag) {
+  db::Codebase cb;
+  cb.app = "stencil";
+  cb.model = model;
+  cb.addFile("stencil.h", kHeader);
+  cb.addFile("stencil.cpp", kernelSource);
+  cb.addFile("main.cpp", R"(#include "stencil.h"
+int main() {
+  double* out;
+  double* in;
+  stencil(out, in, 4096);
+  return 0;
+}
+)");
+  // The compile_commands.json a build system would write:
+  std::vector<db::CompileCommand> cmds;
+  for (const auto *f : {"stencil.cpp", "main.cpp"}) {
+    db::CompileCommand c;
+    c.directory = "/build";
+    c.file = f;
+    c.args = {"c++", "-O3", "-c", f};
+    if (!extraFlag.empty()) c.args.insert(c.args.begin() + 1, extraFlag);
+    cmds.push_back(c);
+  }
+  // Round-trip through JSON to demonstrate the ingestion path of Fig 2.
+  const auto jsonText = db::writeCompileCommands(cmds);
+  cb.commands = db::parseCompileCommands(jsonText);
+  return cb;
+}
+
+} // namespace
+
+int main() {
+  const auto serial = makePort("serial", R"(#include "stencil.h"
+void stencil(double* out, const double* in, int n) {
+  for (int i = 1; i < n - 1; i++) {
+    out[i] = 0.25 * in[i - 1] + 0.5 * in[i] + 0.25 * in[i + 1];
+  }
+}
+)",
+                               "");
+  const auto omp = makePort("omp", R"(#include "stencil.h"
+void stencil(double* out, const double* in, int n) {
+  #pragma omp parallel for
+  for (int i = 1; i < n - 1; i++) {
+    out[i] = 0.25 * in[i - 1] + 0.5 * in[i] + 0.25 * in[i + 1];
+  }
+}
+)",
+                            "-fopenmp");
+  const auto cuda = makePort("cuda", R"(#include "stencil.h"
+__global__ void stencil_kernel(double* out, const double* in, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i > 0 && i < n - 1) {
+    out[i] = 0.25 * in[i - 1] + 0.5 * in[i] + 0.25 * in[i + 1];
+  }
+}
+void stencil(double* out, const double* in, int n) {
+  stencil_kernel<<<(n + 255) / 256, 256>>>(out, in, n);
+}
+)",
+                            "");
+
+  // Index, then serialise/reload one DB to show the portable format.
+  std::vector<db::CodebaseDb> dbs;
+  for (const auto *cb : {&serial, &omp, &cuda}) dbs.push_back(db::index(*cb).db);
+
+  const auto bytes = dbs[0].serialise();
+  {
+    std::ofstream out("/tmp/stencil_serial.svdb", std::ios::binary);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  std::printf("wrote /tmp/stencil_serial.svdb (%zu bytes, compressed)\n", bytes.size());
+  const auto reloaded = db::CodebaseDb::deserialise(bytes);
+  std::printf("reloaded DB: %s/%s with %zu units\n\n", reloaded.app.c_str(),
+              reloaded.model.c_str(), reloaded.units.size());
+
+  // Cluster the three ports under Tsem.
+  std::vector<std::string> labels;
+  for (const auto &d : dbs) labels.push_back(d.model);
+  const auto m = analysis::buildMatrix(labels, [&](usize i, usize j) {
+    return metrics::diverge(dbs[i], dbs[j], metrics::Metric::Tsem).normalised();
+  });
+  std::printf("pairwise normalised Tsem divergence:\n");
+  for (usize i = 0; i < m.size(); ++i) {
+    for (usize j = 0; j < m.size(); ++j) std::printf("  %.3f", m.at(i, j));
+    std::printf("   %s\n", labels[i].c_str());
+  }
+  const auto merges = analysis::cluster(m);
+  std::printf("\n%s", analysis::renderDendrogram(merges, labels).c_str());
+  return 0;
+}

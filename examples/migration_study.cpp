@@ -1,0 +1,58 @@
+// Migration study (the Section V-D workflow): given an application with an
+// existing port, rank candidate target models by their divergence from the
+// code you already have — and test the paper's conjecture that a two-hop
+// migration through a low-divergence stepping stone can be cheaper than a
+// direct port.
+#include <cstdio>
+
+#include "silvervale/silvervale.hpp"
+
+using namespace sv;
+
+int main(int argc, char **argv) {
+  const std::string app = argc > 1 ? argv[1] : "tealeaf";
+  const std::string from = argc > 2 ? argv[2] : "cuda";
+  std::printf("migration study: app=%s starting model=%s\n\n", app.c_str(), from.c_str());
+
+  const auto indexed = silvervale::indexApp(app);
+  const auto &origin = indexed.model(from);
+
+  std::printf("%-12s %-10s %-10s\n", "candidate", "Tsem", "Tsrc");
+  struct Row {
+    std::string model;
+    double tsem;
+  };
+  std::vector<Row> rows;
+  for (const auto &m : indexed.models) {
+    if (m.model == from) continue;
+    const auto tsem = metrics::diverge(origin, m, metrics::Metric::Tsem).normalised();
+    const auto tsrc = metrics::diverge(origin, m, metrics::Metric::Tsrc).normalised();
+    std::printf("%-12s %-10.3f %-10.3f\n", m.model.c_str(), tsem, tsrc);
+    rows.push_back({m.model, tsem});
+  }
+
+  // Two-hop conjecture (Section V-D): for each target, is there a stepping
+  // stone S with d(origin,S) + d(S,target) < d(origin,target)? With a
+  // metric obeying the triangle inequality the direct path can never lose,
+  // but *porting effort* compounds differently: the paper conjectures the
+  // declarative stepping stone lowers total effort. We report the best
+  // two-hop decomposition per target for inspection.
+  std::printf("\nbest stepping stone per target (min of d(origin,S) + d(S,target)):\n");
+  for (const auto &target : rows) {
+    const auto &targetDb = indexed.model(target.model);
+    double best = target.tsem;
+    std::string via = "(direct)";
+    for (const auto &s : indexed.models) {
+      if (s.model == from || s.model == target.model) continue;
+      const auto hop1 = metrics::diverge(origin, s, metrics::Metric::Tsem).normalised();
+      const auto hop2 = metrics::diverge(s, targetDb, metrics::Metric::Tsem).normalised();
+      if (hop1 + hop2 < best) {
+        best = hop1 + hop2;
+        via = s.model;
+      }
+    }
+    std::printf("  %-12s direct=%.3f best=%.3f via %s\n", target.model.c_str(), target.tsem,
+                best, via.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Navigation chart (Section VI): combine the TBMD productivity metric with
+// the performance-portability metric Φ for one corpus app and render the
+// chart used to pick a model. Pass the app name as argv[1].
+#include <cstdio>
+
+#include "silvervale/silvervale.hpp"
+
+using namespace sv;
+
+int main(int argc, char **argv) {
+  const std::string app = argc > 1 ? argv[1] : "babelstream";
+  std::printf("navigation chart for %s over the Table III platforms\n\n", app.c_str());
+
+  const auto indexed = silvervale::indexApp(app);
+  const auto kernels = silvervale::paperDeck(app);
+  std::printf("workload: %zu kernels measured from the serial port's IR\n", kernels.size());
+  for (const auto &k : kernels)
+    std::printf("  %-24s bytes/iter=%-5llu flops/iter=%-4llu AI=%.3f\n", k.name.c_str(),
+                static_cast<unsigned long long>(k.mixPerIter.bytes()),
+                static_cast<unsigned long long>(k.mixPerIter.flops),
+                ir::arithmeticIntensity(k.mixPerIter));
+
+  const auto perfs = perf::simulateAll(silvervale::perfModels(indexed), kernels);
+  std::printf("\n%s\n", perf::renderCascade(perfs).c_str());
+
+  const auto points = silvervale::navigationPoints(indexed);
+  std::printf("%s", perf::renderNavigationChart(points).c_str());
+  return 0;
+}

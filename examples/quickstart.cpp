@@ -1,0 +1,93 @@
+// Quickstart: measure the model divergence between two tiny codebases you
+// define inline — the minimal end-to-end use of the SilverVale API.
+//
+//   1. build two Codebases (files + compile commands),
+//   2. index them into Codebase DBs (trees + text-metric inputs),
+//   3. compare them under each TBMD metric.
+#include <cstdio>
+
+#include "db/codebase.hpp"
+#include "metrics/metrics.hpp"
+
+using namespace sv;
+
+namespace {
+
+db::Codebase serialVersion() {
+  db::Codebase cb;
+  cb.app = "saxpy";
+  cb.model = "serial";
+  cb.addFile("main.cpp", R"(// saxpy, serial
+void saxpy(double* y, const double* x, double a, int n) {
+  for (int i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+
+int main() {
+  double* x;
+  double* y;
+  saxpy(y, x, 2.0, 1024);
+  return 0;
+}
+)");
+  cb.commands.push_back(db::CompileCommand{"/build", "main.cpp", {"c++", "-O3", "-c", "main.cpp"}});
+  return cb;
+}
+
+db::Codebase ompVersion() {
+  db::Codebase cb;
+  cb.app = "saxpy";
+  cb.model = "omp";
+  cb.addFile("main.cpp", R"(// saxpy, OpenMP
+void saxpy(double* y, const double* x, double a, int n) {
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+
+int main() {
+  double* x;
+  double* y;
+  saxpy(y, x, 2.0, 1024);
+  return 0;
+}
+)");
+  cb.commands.push_back(
+      db::CompileCommand{"/build", "main.cpp", {"c++", "-fopenmp", "-O3", "-c", "main.cpp"}});
+  return cb;
+}
+
+} // namespace
+
+int main() {
+  // Step 1+2: index both versions.
+  const auto serial = db::index(serialVersion()).db;
+  const auto omp = db::index(ompVersion()).db;
+  std::printf("indexed %s/%s: %zu unit(s), Tsem has %zu nodes\n", serial.app.c_str(),
+              serial.model.c_str(), serial.units.size(), serial.units[0].tsem.size());
+  std::printf("indexed %s/%s: %zu unit(s), Tsem has %zu nodes\n\n", omp.app.c_str(),
+              omp.model.c_str(), omp.units.size(), omp.units[0].tsem.size());
+
+  // Step 3: divergence under every metric of Table I.
+  std::printf("%-8s %-10s %-12s %s\n", "metric", "distance", "dmax(Eq.7)", "normalised");
+  for (const auto metric : {metrics::Metric::Source, metrics::Metric::Tsrc,
+                            metrics::Metric::Tsem, metrics::Metric::TsemInline,
+                            metrics::Metric::Tir}) {
+    const auto d = metrics::diverge(serial, omp, metric);
+    std::printf("%-8s %-10llu %-12llu %.4f\n",
+                std::string(metrics::metricName(metric)).c_str(),
+                static_cast<unsigned long long>(d.distance),
+                static_cast<unsigned long long>(d.dmaxEq7), d.normalised());
+  }
+
+  std::printf("\nabsolute measures: SLOC %zu -> %zu, LLOC %zu -> %zu\n",
+              metrics::absolute(serial, metrics::Metric::SLOC),
+              metrics::absolute(omp, metrics::Metric::SLOC),
+              metrics::absolute(serial, metrics::Metric::LLOC),
+              metrics::absolute(omp, metrics::Metric::LLOC));
+  std::printf("\nnote how SLOC sees one extra line while Tsem sees the directive's\n"
+              "clause and captured-variable semantics — the paper's core point.\n");
+  return 0;
+}

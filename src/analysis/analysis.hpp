@@ -1,0 +1,68 @@
+// Analysis layer: pairwise divergence matrices over the cartesian product
+// of models (Section V-A), agglomerative hierarchical clustering with
+// complete linkage and Euclidean point distance (the configuration Fig 4
+// states), text dendrograms, and the ASCII heatmaps the benches print.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv::analysis {
+
+/// A symmetric labelled distance matrix.
+struct DistanceMatrix {
+  std::vector<std::string> labels;
+  std::vector<double> values; ///< row-major n*n
+
+  [[nodiscard]] usize size() const { return labels.size(); }
+  [[nodiscard]] double at(usize i, usize j) const { return values[i * size() + j]; }
+  void set(usize i, usize j, double v) {
+    values[i * size() + j] = v;
+    values[j * size() + i] = v;
+  }
+};
+
+/// Build a matrix by evaluating `distance(i, j)` for i < j, in parallel
+/// (the diagonal is zero — the self-comparison sanity check of Section V-C
+/// belongs to the caller). `distance` must be thread-safe.
+[[nodiscard]] DistanceMatrix
+buildMatrix(std::vector<std::string> labels,
+            const std::function<double(usize, usize)> &distance);
+
+/// One merge step of the clustering: nodes < n are leaves; others refer to
+/// earlier merges (n + index).
+struct Merge {
+  usize left = 0;
+  usize right = 0;
+  double height = 0;
+};
+
+/// Agglomerative clustering with complete linkage. When the matrix rows are
+/// treated as feature vectors (`euclidean` = true, Fig 4's configuration),
+/// point distance is the Euclidean distance between rows; otherwise the
+/// matrix entries are used as distances directly.
+[[nodiscard]] std::vector<Merge> cluster(const DistanceMatrix &m, bool euclidean = true);
+
+/// Flat clusters: cut the dendrogram into k groups; returns a group id per
+/// leaf.
+[[nodiscard]] std::vector<usize> cutClusters(const std::vector<Merge> &merges, usize leafCount,
+                                             usize k);
+
+/// Render the dendrogram as ASCII art (leaves on the left).
+[[nodiscard]] std::string renderDendrogram(const std::vector<Merge> &merges,
+                                           const std::vector<std::string> &labels);
+
+/// Newick serialisation, convenient for tests and external tooling.
+[[nodiscard]] std::string toNewick(const std::vector<Merge> &merges,
+                                   const std::vector<std::string> &labels);
+
+/// Render a heatmap of `matrix` (or any rectangular table) using unicode
+/// shade blocks; values are expected in [0, 1].
+[[nodiscard]] std::string renderHeatmap(const std::vector<std::string> &rowLabels,
+                                        const std::vector<std::string> &colLabels,
+                                        const std::vector<std::vector<double>> &values);
+
+} // namespace sv::analysis

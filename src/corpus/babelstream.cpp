@@ -1,0 +1,784 @@
+// BabelStream (C++): the McCalpin STREAM kernels (copy/mul/add/triad/dot)
+// ported to ten models [18]. Sources are assembled from a shared driver —
+// identical text contributes zero divergence, exactly as shared boilerplate
+// does in the real ports — plus per-model kernels and data management.
+#include "corpus/corpus.hpp"
+#include "corpus/headers.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+const char *kDefines = R"src(#define N 256
+#define NTIMES 4
+#define START_A 0.1
+#define START_B 0.2
+#define START_C 0.0
+#define SCALAR 0.4
+)src";
+
+// Host-side verification, shared verbatim by every port (runs on host
+// copies of the data). Mirrors BabelStream's built-in check.
+const char *kCheck = R"src(
+int check_solution(const double* a, const double* b, const double* c, double sum, int n) {
+  double gold_a = START_A;
+  double gold_b = START_B;
+  double gold_c = START_C;
+  for (int t = 0; t < NTIMES; t++) {
+    gold_c = gold_a;
+    gold_b = SCALAR * gold_c;
+    gold_c = gold_a + gold_b;
+    gold_a = gold_b + SCALAR * gold_c;
+  }
+  double err_a = 0.0;
+  double err_b = 0.0;
+  double err_c = 0.0;
+  for (int i = 0; i < n; i++) {
+    err_a += fabs(a[i] - gold_a);
+    err_b += fabs(b[i] - gold_b);
+    err_c += fabs(c[i] - gold_c);
+  }
+  double gold_sum = gold_a * gold_b * n;
+  double err_sum = fabs((sum - gold_sum) / gold_sum);
+  double epsi = 1.0e-8;
+  if (err_a / n > epsi) {
+    printf("a mismatch", err_a / n);
+    return 1;
+  }
+  if (err_b / n > epsi) {
+    printf("b mismatch", err_b / n);
+    return 1;
+  }
+  if (err_c / n > epsi) {
+    printf("c mismatch", err_c / n);
+    return 1;
+  }
+  if (err_sum > 1.0e-8) {
+    printf("dot mismatch", err_sum);
+    return 1;
+  }
+  printf("Validation: PASSED");
+  return 0;
+}
+)src";
+
+// ---------------------------------------------------------------- serial --
+const char *kSerial = R"src(// BabelStream serial port
+#include <stdlib.h>
+
+void init_arrays(double* a, double* b, double* c, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c, int n) {
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c, int n) {
+  for (int i = 0; i < n; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c, int n) {
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = (double*) malloc(sizeof(double) * N);
+  double* b = (double*) malloc(sizeof(double) * N);
+  double* c = (double*) malloc(sizeof(double) * N);
+  init_arrays(a, b, c, N);
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c, N);
+    mul(b, c, N);
+    add(a, b, c, N);
+    triad(a, b, c, N);
+    sum = dot(a, b, N);
+  }
+  int failed = check_solution(a, b, c, sum, N);
+  free(a);
+  free(b);
+  free(c);
+  return failed;
+}
+)src";
+
+// ------------------------------------------------------------------- omp --
+const char *kOmp = R"src(// BabelStream OpenMP port
+#include <stdlib.h>
+#include <omp.h>
+
+void init_arrays(double* a, double* b, double* c, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  #pragma omp parallel for reduction(+:sum)
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = (double*) malloc(sizeof(double) * N);
+  double* b = (double*) malloc(sizeof(double) * N);
+  double* c = (double*) malloc(sizeof(double) * N);
+  init_arrays(a, b, c, N);
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c, N);
+    mul(b, c, N);
+    add(a, b, c, N);
+    triad(a, b, c, N);
+    sum = dot(a, b, N);
+  }
+  int failed = check_solution(a, b, c, sum, N);
+  free(a);
+  free(b);
+  free(c);
+  return failed;
+}
+)src";
+
+// ------------------------------------------------------------ omp-target --
+const char *kOmpTarget = R"src(// BabelStream OpenMP target port
+#include <stdlib.h>
+#include <omp.h>
+
+void init_arrays(double* a, double* b, double* c, int n) {
+  #pragma omp target teams distribute parallel for map(tofrom: a, b, c)
+  for (int i = 0; i < n; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c, int n) {
+  #pragma omp target teams distribute parallel for map(to: a) map(from: c)
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c, int n) {
+  #pragma omp target teams distribute parallel for map(to: c) map(from: b)
+  for (int i = 0; i < n; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c, int n) {
+  #pragma omp target teams distribute parallel for map(to: a, b) map(from: c)
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c, int n) {
+  #pragma omp target teams distribute parallel for map(to: b, c) map(from: a)
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for map(to: a, b) map(tofrom: sum) reduction(+:sum)
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = (double*) malloc(sizeof(double) * N);
+  double* b = (double*) malloc(sizeof(double) * N);
+  double* c = (double*) malloc(sizeof(double) * N);
+  #pragma omp target enter data map(alloc: a, b, c)
+  init_arrays(a, b, c, N);
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c, N);
+    mul(b, c, N);
+    add(a, b, c, N);
+    triad(a, b, c, N);
+    sum = dot(a, b, N);
+  }
+  #pragma omp target exit data map(release: a, b, c)
+  int failed = check_solution(a, b, c, sum, N);
+  free(a);
+  free(b);
+  free(c);
+  return failed;
+}
+)src";
+
+// ------------------------------------------------------------------ cuda --
+const char *kCuda = R"src(// BabelStream CUDA port
+#include <stdlib.h>
+#include <cuda_runtime.h>
+
+#define TBSIZE 64
+
+__global__ void init_kernel(double* a, double* b, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+__global__ void copy_kernel(const double* a, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    c[i] = a[i];
+  }
+}
+
+__global__ void mul_kernel(double* b, const double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+__global__ void add_kernel(const double* a, const double* b, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+__global__ void triad_kernel(double* a, const double* b, const double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = a[i] * b[i];
+  }
+}
+
+int main() {
+  double* d_a;
+  double* d_b;
+  double* d_c;
+  double* d_partial;
+  cudaMalloc((void**) &d_a, sizeof(double) * N);
+  cudaMalloc((void**) &d_b, sizeof(double) * N);
+  cudaMalloc((void**) &d_c, sizeof(double) * N);
+  cudaMalloc((void**) &d_partial, sizeof(double) * N);
+  int blocks = (N + TBSIZE - 1) / TBSIZE;
+  init_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c, N);
+  cudaDeviceSynchronize();
+  double sum = 0.0;
+  double* h_partial = (double*) malloc(sizeof(double) * N);
+  for (int t = 0; t < NTIMES; t++) {
+    copy_kernel<<<blocks, TBSIZE>>>(d_a, d_c, N);
+    mul_kernel<<<blocks, TBSIZE>>>(d_b, d_c, N);
+    add_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c, N);
+    triad_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c, N);
+    dot_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_partial, N);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_partial, d_partial, sizeof(double) * N, cudaMemcpyDeviceToHost);
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += h_partial[i];
+    }
+  }
+  double* h_a = (double*) malloc(sizeof(double) * N);
+  double* h_b = (double*) malloc(sizeof(double) * N);
+  double* h_c = (double*) malloc(sizeof(double) * N);
+  cudaMemcpy(h_a, d_a, sizeof(double) * N, cudaMemcpyDeviceToHost);
+  cudaMemcpy(h_b, d_b, sizeof(double) * N, cudaMemcpyDeviceToHost);
+  cudaMemcpy(h_c, d_c, sizeof(double) * N, cudaMemcpyDeviceToHost);
+  int failed = check_solution(h_a, h_b, h_c, sum, N);
+  cudaFree(d_a);
+  cudaFree(d_b);
+  cudaFree(d_c);
+  cudaFree(d_partial);
+  return failed;
+}
+)src";
+
+// ------------------------------------------------------------------- hip --
+const char *kHip = R"src(// BabelStream HIP port
+#include <stdlib.h>
+#include <hip_runtime.h>
+
+#define TBSIZE 64
+
+__global__ void init_kernel(double* a, double* b, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+__global__ void copy_kernel(const double* a, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    c[i] = a[i];
+  }
+}
+
+__global__ void mul_kernel(double* b, const double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+__global__ void add_kernel(const double* a, const double* b, double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+__global__ void triad_kernel(double* a, const double* b, const double* c, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = a[i] * b[i];
+  }
+}
+
+int main() {
+  double* d_a;
+  double* d_b;
+  double* d_c;
+  double* d_partial;
+  hipMalloc((void**) &d_a, sizeof(double) * N);
+  hipMalloc((void**) &d_b, sizeof(double) * N);
+  hipMalloc((void**) &d_c, sizeof(double) * N);
+  hipMalloc((void**) &d_partial, sizeof(double) * N);
+  int blocks = (N + TBSIZE - 1) / TBSIZE;
+  hipLaunchKernelGGL(init_kernel, blocks, TBSIZE, 0, 0, d_a, d_b, d_c, N);
+  hipDeviceSynchronize();
+  double sum = 0.0;
+  double* h_partial = (double*) malloc(sizeof(double) * N);
+  for (int t = 0; t < NTIMES; t++) {
+    hipLaunchKernelGGL(copy_kernel, blocks, TBSIZE, 0, 0, d_a, d_c, N);
+    hipLaunchKernelGGL(mul_kernel, blocks, TBSIZE, 0, 0, d_b, d_c, N);
+    hipLaunchKernelGGL(add_kernel, blocks, TBSIZE, 0, 0, d_a, d_b, d_c, N);
+    hipLaunchKernelGGL(triad_kernel, blocks, TBSIZE, 0, 0, d_a, d_b, d_c, N);
+    hipLaunchKernelGGL(dot_kernel, blocks, TBSIZE, 0, 0, d_a, d_b, d_partial, N);
+    hipDeviceSynchronize();
+    hipMemcpy(h_partial, d_partial, sizeof(double) * N, hipMemcpyDeviceToHost);
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += h_partial[i];
+    }
+  }
+  double* h_a = (double*) malloc(sizeof(double) * N);
+  double* h_b = (double*) malloc(sizeof(double) * N);
+  double* h_c = (double*) malloc(sizeof(double) * N);
+  hipMemcpy(h_a, d_a, sizeof(double) * N, hipMemcpyDeviceToHost);
+  hipMemcpy(h_b, d_b, sizeof(double) * N, hipMemcpyDeviceToHost);
+  hipMemcpy(h_c, d_c, sizeof(double) * N, hipMemcpyDeviceToHost);
+  int failed = check_solution(h_a, h_b, h_c, sum, N);
+  hipFree(d_a);
+  hipFree(d_b);
+  hipFree(d_c);
+  hipFree(d_partial);
+  return failed;
+}
+)src";
+
+// ---------------------------------------------------------------- kokkos --
+const char *kKokkos = R"src(// BabelStream Kokkos port
+#include <stdlib.h>
+#include <kokkos.hpp>
+
+int main() {
+  Kokkos::initialize();
+  Kokkos::View<double*> a("a", N);
+  Kokkos::View<double*> b("b", N);
+  Kokkos::View<double*> c("c", N);
+  Kokkos::parallel_for(N, [=](int i) {
+    a(i) = START_A;
+    b(i) = START_B;
+    c(i) = START_C;
+  });
+  Kokkos::fence();
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    Kokkos::parallel_for(N, [=](int i) {
+      c(i) = a(i);
+    });
+    Kokkos::parallel_for(N, [=](int i) {
+      b(i) = SCALAR * c(i);
+    });
+    Kokkos::parallel_for(N, [=](int i) {
+      c(i) = a(i) + b(i);
+    });
+    Kokkos::parallel_for(N, [=](int i) {
+      a(i) = b(i) + SCALAR * c(i);
+    });
+    sum = 0.0;
+    Kokkos::parallel_reduce(N, [=](int i, double& acc) {
+      acc += a(i) * b(i);
+    }, sum);
+    Kokkos::fence();
+  }
+  double* h_a = (double*) malloc(sizeof(double) * N);
+  double* h_b = (double*) malloc(sizeof(double) * N);
+  double* h_c = (double*) malloc(sizeof(double) * N);
+  Kokkos::deep_copy(h_a, a);
+  Kokkos::deep_copy(h_b, b);
+  Kokkos::deep_copy(h_c, c);
+  int failed = check_solution(h_a, h_b, h_c, sum, N);
+  Kokkos::finalize();
+  return failed;
+}
+)src";
+
+// ------------------------------------------------------------ std-indices --
+const char *kStdPar = R"src(// BabelStream StdPar (std-indices) port
+#include <stdlib.h>
+#include <execution.hpp>
+
+int main() {
+  double* a = (double*) malloc(sizeof(double) * N);
+  double* b = (double*) malloc(sizeof(double) * N);
+  double* c = (double*) malloc(sizeof(double) * N);
+  std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  });
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      c[i] = a[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      b[i] = SCALAR * c[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      c[i] = a[i] + b[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      a[i] = b[i] + SCALAR * c[i];
+    });
+    sum = std::transform_reduce(std::execution::par_unseq, 0, N, 0.0,
+      std::plus<double>(), [=](int i) {
+      return a[i] * b[i];
+    });
+  }
+  int failed = check_solution(a, b, c, sum, N);
+  free(a);
+  free(b);
+  free(c);
+  return failed;
+}
+)src";
+
+// -------------------------------------------------------------------- tbb --
+const char *kTbb = R"src(// BabelStream TBB port
+#include <stdlib.h>
+#include <tbb.hpp>
+
+int main() {
+  double* a = (double*) malloc(sizeof(double) * N);
+  double* b = (double*) malloc(sizeof(double) * N);
+  double* c = (double*) malloc(sizeof(double) * N);
+  tbb::parallel_for(tbb::blocked_range(0, N), [=](tbb::blocked_range r) {
+    for (int i = r.begin(); i < r.end(); i++) {
+      a[i] = START_A;
+      b[i] = START_B;
+      c[i] = START_C;
+    }
+  });
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    tbb::parallel_for(tbb::blocked_range(0, N), [=](tbb::blocked_range r) {
+      for (int i = r.begin(); i < r.end(); i++) {
+        c[i] = a[i];
+      }
+    });
+    tbb::parallel_for(tbb::blocked_range(0, N), [=](tbb::blocked_range r) {
+      for (int i = r.begin(); i < r.end(); i++) {
+        b[i] = SCALAR * c[i];
+      }
+    });
+    tbb::parallel_for(tbb::blocked_range(0, N), [=](tbb::blocked_range r) {
+      for (int i = r.begin(); i < r.end(); i++) {
+        c[i] = a[i] + b[i];
+      }
+    });
+    tbb::parallel_for(tbb::blocked_range(0, N), [=](tbb::blocked_range r) {
+      for (int i = r.begin(); i < r.end(); i++) {
+        a[i] = b[i] + SCALAR * c[i];
+      }
+    });
+    sum = tbb::parallel_reduce(tbb::blocked_range(0, N), 0.0,
+      [=](tbb::blocked_range r, double acc) {
+        for (int i = r.begin(); i < r.end(); i++) {
+          acc += a[i] * b[i];
+        }
+        return acc;
+      }, std::plus<double>());
+  }
+  int failed = check_solution(a, b, c, sum, N);
+  free(a);
+  free(b);
+  free(c);
+  return failed;
+}
+)src";
+
+// --------------------------------------------------------------- sycl-usm --
+const char *kSyclUsm = R"src(// BabelStream SYCL (USM) port
+#include <stdlib.h>
+#include <sycl.hpp>
+
+int main() {
+  sycl::queue q;
+  double* a = sycl::malloc_device<double>(N, q);
+  double* b = sycl::malloc_device<double>(N, q);
+  double* c = sycl::malloc_device<double>(N, q);
+  q.submit([&](handler h) {
+    h.parallel_for<class init_k>(sycl::range(N), [=](int i) {
+      a[i] = START_A;
+      b[i] = START_B;
+      c[i] = START_C;
+    });
+  });
+  q.wait();
+  double sum = 0.0;
+  double* partial = sycl::malloc_shared<double>(N, q);
+  for (int t = 0; t < NTIMES; t++) {
+    q.submit([&](handler h) {
+      h.parallel_for<class copy_k>(sycl::range(N), [=](int i) {
+        c[i] = a[i];
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class mul_k>(sycl::range(N), [=](int i) {
+        b[i] = SCALAR * c[i];
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class add_k>(sycl::range(N), [=](int i) {
+        c[i] = a[i] + b[i];
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class triad_k>(sycl::range(N), [=](int i) {
+        a[i] = b[i] + SCALAR * c[i];
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class dot_k>(sycl::range(N), [=](int i) {
+        partial[i] = a[i] * b[i];
+      });
+    });
+    q.wait();
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += partial[i];
+    }
+  }
+  double* h_a = (double*) malloc(sizeof(double) * N);
+  double* h_b = (double*) malloc(sizeof(double) * N);
+  double* h_c = (double*) malloc(sizeof(double) * N);
+  q.memcpy(h_a, a, sizeof(double) * N);
+  q.memcpy(h_b, b, sizeof(double) * N);
+  q.memcpy(h_c, c, sizeof(double) * N);
+  q.wait();
+  int failed = check_solution(h_a, h_b, h_c, sum, N);
+  sycl::free(a, q);
+  sycl::free(b, q);
+  sycl::free(c, q);
+  sycl::free(partial, q);
+  return failed;
+}
+)src";
+
+// --------------------------------------------------------------- sycl-acc --
+const char *kSyclAcc = R"src(// BabelStream SYCL (accessors) port
+#include <stdlib.h>
+#include <sycl.hpp>
+
+int main() {
+  sycl::queue q;
+  double* h_a = (double*) malloc(sizeof(double) * N);
+  double* h_b = (double*) malloc(sizeof(double) * N);
+  double* h_c = (double*) malloc(sizeof(double) * N);
+  double* h_partial = (double*) malloc(sizeof(double) * N);
+  sycl::buffer<double, 1> d_a(h_a, sycl::range<1>(N));
+  sycl::buffer<double, 1> d_b(h_b, sycl::range<1>(N));
+  sycl::buffer<double, 1> d_c(h_c, sycl::range<1>(N));
+  sycl::buffer<double, 1> d_partial(h_partial, sycl::range<1>(N));
+  q.submit([&](handler h) {
+    auto ka = d_a.get_access<sycl::access::mode::discard_write>(h);
+    auto kb = d_b.get_access<sycl::access::mode::discard_write>(h);
+    auto kc = d_c.get_access<sycl::access::mode::discard_write>(h);
+    h.parallel_for<class init_k>(sycl::range(N), [=](int i) {
+      ka[i] = START_A;
+      kb[i] = START_B;
+      kc[i] = START_C;
+    });
+  });
+  q.wait();
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    q.submit([&](handler h) {
+      auto ka = d_a.get_access<sycl::access::mode::read>(h);
+      auto kc = d_c.get_access<sycl::access::mode::write>(h);
+      h.parallel_for<class copy_k>(sycl::range(N), [=](int i) {
+        kc[i] = ka[i];
+      });
+    });
+    q.submit([&](handler h) {
+      auto kc = d_c.get_access<sycl::access::mode::read>(h);
+      auto kb = d_b.get_access<sycl::access::mode::write>(h);
+      h.parallel_for<class mul_k>(sycl::range(N), [=](int i) {
+        kb[i] = SCALAR * kc[i];
+      });
+    });
+    q.submit([&](handler h) {
+      auto ka = d_a.get_access<sycl::access::mode::read>(h);
+      auto kb = d_b.get_access<sycl::access::mode::read>(h);
+      auto kc = d_c.get_access<sycl::access::mode::write>(h);
+      h.parallel_for<class add_k>(sycl::range(N), [=](int i) {
+        kc[i] = ka[i] + kb[i];
+      });
+    });
+    q.submit([&](handler h) {
+      auto kb = d_b.get_access<sycl::access::mode::read>(h);
+      auto kc = d_c.get_access<sycl::access::mode::read>(h);
+      auto ka = d_a.get_access<sycl::access::mode::write>(h);
+      h.parallel_for<class triad_k>(sycl::range(N), [=](int i) {
+        ka[i] = kb[i] + SCALAR * kc[i];
+      });
+    });
+    q.submit([&](handler h) {
+      auto ka = d_a.get_access<sycl::access::mode::read>(h);
+      auto kb = d_b.get_access<sycl::access::mode::read>(h);
+      auto kp = d_partial.get_access<sycl::access::mode::write>(h);
+      h.parallel_for<class dot_k>(sycl::range(N), [=](int i) {
+        kp[i] = ka[i] * kb[i];
+      });
+    });
+    q.wait();
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += h_partial[i];
+    }
+  }
+  int failed = check_solution(h_a, h_b, h_c, sum, N);
+  free(h_a);
+  free(h_b);
+  free(h_c);
+  free(h_partial);
+  return failed;
+}
+)src";
+
+} // namespace
+
+std::vector<std::string> babelstreamModels() {
+  return {"serial", "omp",   "omp-target", "cuda",     "hip",
+          "kokkos", "tbb",   "std-indices", "sycl-usm", "sycl-acc"};
+}
+
+db::Codebase makeBabelstream(const std::string &model) {
+  const char *body = nullptr;
+  if (model == "serial") body = kSerial;
+  else if (model == "omp") body = kOmp;
+  else if (model == "omp-target") body = kOmpTarget;
+  else if (model == "cuda") body = kCuda;
+  else if (model == "hip") body = kHip;
+  else if (model == "kokkos") body = kKokkos;
+  else if (model == "tbb") body = kTbb;
+  else if (model == "std-indices") body = kStdPar;
+  else if (model == "sycl-usm") body = kSyclUsm;
+  else if (model == "sycl-acc") body = kSyclAcc;
+  else internalError("babelstream: unknown model " + model);
+
+  db::Codebase cb;
+  cb.app = "babelstream";
+  cb.model = model;
+  addModelHeaders(cb);
+  cb.addFile("main.cpp", std::string(kDefines) + body + kCheck);
+  cb.commands.push_back(commandFor("main.cpp", model));
+  return cb;
+}
+
+} // namespace sv::corpus

@@ -1,0 +1,629 @@
+// BabelStream Fortran (Section V-B, [19]): seven ports — Sequential
+// (explicit DO loops), Array (whole-array syntax), DoConcurrent, OpenMP,
+// OpenMP Taskloop, OpenACC, and OpenACC Array. The driver/verification
+// block is shared; the kernels module carries the model idiom.
+#include "corpus/corpus.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+// Shared program: allocation, NTIMES loop calling kernels, verification.
+const char *kDriver = R"src(
+program babelstream
+  implicit none
+  integer :: n, ntimes, t, i, failed
+  real(8) :: scalar, sum, gold_a, gold_b, gold_c
+  real(8) :: err_a, err_b, err_c, err_sum, epsi
+  real(8), allocatable :: a(:), b(:), c(:)
+  n = 256
+  ntimes = 4
+  scalar = 0.4
+  allocate(a(n), b(n), c(n))
+  call init_arrays(a, b, c, n)
+  sum = 0.0
+  do t = 1, ntimes
+    call copy(a, c, n)
+    call mul(b, c, n)
+    call add(a, b, c, n)
+    call triad(a, b, c, n)
+    call dot(a, b, sum, n)
+  end do
+  gold_a = 0.1
+  gold_b = 0.2
+  gold_c = 0.0
+  do t = 1, ntimes
+    gold_c = gold_a
+    gold_b = scalar * gold_c
+    gold_c = gold_a + gold_b
+    gold_a = gold_b + scalar * gold_c
+  end do
+  err_a = 0.0
+  err_b = 0.0
+  err_c = 0.0
+  do i = 1, n
+    err_a = err_a + abs(a(i) - gold_a)
+    err_b = err_b + abs(b(i) - gold_b)
+    err_c = err_c + abs(c(i) - gold_c)
+  end do
+  err_sum = abs((sum - gold_a * gold_b * n) / (gold_a * gold_b * n))
+  epsi = 1.0e-8
+  failed = 0
+  if (err_a / n > epsi) then
+    failed = 1
+  end if
+  if (err_b / n > epsi) then
+    failed = 1
+  end if
+  if (err_c / n > epsi) then
+    failed = 1
+  end if
+  if (err_sum > epsi) then
+    failed = 1
+  end if
+  if (failed == 0) then
+    print *, 'Validation: PASSED'
+  else
+    print *, 'Validation: FAILED'
+  end if
+  deallocate(a, b, c)
+end program babelstream
+)src";
+
+// ------------------------------------------------------------ sequential --
+const char *kSequential = R"src(! BabelStream Fortran: sequential kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  integer :: i
+  do i = 1, n
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+  do i = 1, n
+    c(i) = a(i)
+  end do
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  integer :: i
+  do i = 1, n
+    b(i) = 0.4 * c(i)
+  end do
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  integer :: i
+  do i = 1, n
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  integer :: i
+  sum = 0.0
+  do i = 1, n
+    sum = sum + a(i) * b(i)
+  end do
+end subroutine dot
+
+end module kernels
+)src";
+
+// ----------------------------------------------------------------- array --
+const char *kArray = R"src(! BabelStream Fortran: whole-array syntax kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  a(:) = 0.1
+  b(:) = 0.2
+  c(:) = 0.0
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  c(:) = a(:)
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  b(:) = 0.4 * c(:)
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  c(:) = a(:) + b(:)
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  a(:) = b(:) + 0.4 * c(:)
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  sum = dot_product(a, b)
+end subroutine dot
+
+end module kernels
+)src";
+
+// --------------------------------------------------------- do concurrent --
+const char *kDoConcurrent = R"src(! BabelStream Fortran: DO CONCURRENT kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  integer :: i
+  do concurrent (i = 1:n)
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+  do concurrent (i = 1:n)
+    c(i) = a(i)
+  end do
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  integer :: i
+  do concurrent (i = 1:n)
+    b(i) = 0.4 * c(i)
+  end do
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+  do concurrent (i = 1:n)
+    c(i) = a(i) + b(i)
+  end do
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  integer :: i
+  do concurrent (i = 1:n)
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  integer :: i
+  sum = 0.0
+  do i = 1, n
+    sum = sum + a(i) * b(i)
+  end do
+end subroutine dot
+
+end module kernels
+)src";
+
+// ------------------------------------------------------------------- omp --
+const char *kOmpF = R"src(! BabelStream Fortran: OpenMP kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  integer :: i
+!$omp parallel do
+  do i = 1, n
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+!$omp end parallel do
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$omp parallel do
+  do i = 1, n
+    c(i) = a(i)
+  end do
+!$omp end parallel do
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  integer :: i
+!$omp parallel do
+  do i = 1, n
+    b(i) = 0.4 * c(i)
+  end do
+!$omp end parallel do
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$omp parallel do
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+!$omp end parallel do
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  integer :: i
+!$omp parallel do
+  do i = 1, n
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+!$omp end parallel do
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  integer :: i
+  sum = 0.0
+!$omp parallel do reduction(+:sum)
+  do i = 1, n
+    sum = sum + a(i) * b(i)
+  end do
+!$omp end parallel do
+end subroutine dot
+
+end module kernels
+)src";
+
+// --------------------------------------------------------------- taskloop --
+const char *kTaskloop = R"src(! BabelStream Fortran: OpenMP Taskloop kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  integer :: i
+!$omp parallel
+!$omp single
+!$omp taskloop
+  do i = 1, n
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$omp parallel
+!$omp single
+!$omp taskloop
+  do i = 1, n
+    c(i) = a(i)
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  integer :: i
+!$omp parallel
+!$omp single
+!$omp taskloop
+  do i = 1, n
+    b(i) = 0.4 * c(i)
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$omp parallel
+!$omp single
+!$omp taskloop
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  integer :: i
+!$omp parallel
+!$omp single
+!$omp taskloop
+  do i = 1, n
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  integer :: i
+  sum = 0.0
+!$omp parallel
+!$omp single
+!$omp taskloop reduction(+:sum)
+  do i = 1, n
+    sum = sum + a(i) * b(i)
+  end do
+!$omp end taskloop
+!$omp end single
+!$omp end parallel
+end subroutine dot
+
+end module kernels
+)src";
+
+// ------------------------------------------------------------------- acc --
+const char *kAcc = R"src(! BabelStream Fortran: OpenACC kernels
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+  integer :: i
+!$acc parallel loop copyout(a, b, c)
+  do i = 1, n
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+!$acc end parallel loop
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$acc parallel loop copyin(a) copyout(c)
+  do i = 1, n
+    c(i) = a(i)
+  end do
+!$acc end parallel loop
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+  integer :: i
+!$acc parallel loop copyin(c) copyout(b)
+  do i = 1, n
+    b(i) = 0.4 * c(i)
+  end do
+!$acc end parallel loop
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+  integer :: i
+!$acc parallel loop copyin(a, b) copyout(c)
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+!$acc end parallel loop
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+  integer :: i
+!$acc parallel loop copyin(b, c) copyout(a)
+  do i = 1, n
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+!$acc end parallel loop
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+  integer :: i
+  sum = 0.0
+!$acc parallel loop reduction(+:sum) copyin(a, b)
+  do i = 1, n
+    sum = sum + a(i) * b(i)
+  end do
+!$acc end parallel loop
+end subroutine dot
+
+end module kernels
+)src";
+
+// ------------------------------------------------------------- acc-array --
+const char *kAccArray = R"src(! BabelStream Fortran: OpenACC kernels with array syntax
+module kernels
+contains
+
+subroutine init_arrays(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:), b(:), c(:)
+!$acc kernels copyout(a, b, c)
+  a(:) = 0.1
+  b(:) = 0.2
+  c(:) = 0.0
+!$acc end kernels
+end subroutine init_arrays
+
+subroutine copy(a, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:)
+  real(8), intent(out) :: c(:)
+!$acc kernels copyin(a) copyout(c)
+  c(:) = a(:)
+!$acc end kernels
+end subroutine copy
+
+subroutine mul(b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: b(:)
+  real(8), intent(in) :: c(:)
+!$acc kernels copyin(c) copyout(b)
+  b(:) = 0.4 * c(:)
+!$acc end kernels
+end subroutine mul
+
+subroutine add(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: c(:)
+!$acc kernels copyin(a, b) copyout(c)
+  c(:) = a(:) + b(:)
+!$acc end kernels
+end subroutine add
+
+subroutine triad(a, b, c, n)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: b(:), c(:)
+!$acc kernels copyin(b, c) copyout(a)
+  a(:) = b(:) + 0.4 * c(:)
+!$acc end kernels
+end subroutine triad
+
+subroutine dot(a, b, sum, n)
+  integer, intent(in) :: n
+  real(8), intent(in) :: a(:), b(:)
+  real(8), intent(out) :: sum
+!$acc kernels copyin(a, b)
+  sum = dot_product(a, b)
+!$acc end kernels
+end subroutine dot
+
+end module kernels
+)src";
+
+} // namespace
+
+std::vector<std::string> babelstreamFortranModels() {
+  return {"sequential", "array", "do-concurrent", "omp", "omp-taskloop", "acc", "acc-array"};
+}
+
+db::Codebase makeBabelstreamFortran(const std::string &model) {
+  const char *kernels = nullptr;
+  if (model == "sequential") kernels = kSequential;
+  else if (model == "array") kernels = kArray;
+  else if (model == "do-concurrent") kernels = kDoConcurrent;
+  else if (model == "omp") kernels = kOmpF;
+  else if (model == "omp-taskloop") kernels = kTaskloop;
+  else if (model == "acc") kernels = kAcc;
+  else if (model == "acc-array") kernels = kAccArray;
+  else internalError("babelstream-fortran: unknown model " + model);
+
+  db::Codebase cb;
+  cb.app = "babelstream-fortran";
+  cb.model = model;
+  cb.addFile("main.f90", std::string(kernels) + kDriver);
+
+  db::CompileCommand cmd;
+  cmd.directory = "/build";
+  cmd.file = "main.f90";
+  cmd.args = {"gfortran", "-O3", "-c", "main.f90"};
+  if (model == "omp" || model == "omp-taskloop") cmd.args.insert(cmd.args.begin() + 1, "-fopenmp");
+  if (model == "acc" || model == "acc-array") cmd.args.insert(cmd.args.begin() + 1, "-fopenacc");
+  cb.commands.push_back(cmd);
+  return cb;
+}
+
+} // namespace sv::corpus

@@ -1,0 +1,893 @@
+// CloverLeaf: an explicit compressible-hydrodynamics proxy on a structured
+// grid (ideal_gas EOS, artificial viscosity, acceleration from the pressure
+// gradient, PdV work, field_summary reductions). Two TUs per port: a shared
+// driver (setup + conservation checks + serial cross-check of the model's
+// kinetic-energy reduction) and the per-model hydro.cpp.
+#include "corpus/corpus.hpp"
+#include "corpus/headers.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+const char *kHeader = R"src(#pragma once
+// CloverLeaf public hydro interface: runs `steps` timesteps and returns the
+// model-computed kinetic-energy summary.
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt);
+)src";
+
+const char *kMain = R"src(// CloverLeaf driver: deck setup, simulate, conservation checks
+#include <stdlib.h>
+#include "clover.h"
+
+#define NX 16
+#define NY 16
+#define STEPS 4
+#define DT 0.04
+
+void init_deck(double* density, double* energy, double* xvel, double* yvel, int nx, int ny) {
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      density[idx] = 1.0;
+      energy[idx] = 1.0;
+      if (i < nx / 4 && j < ny / 4) {
+        energy[idx] = 3.0;
+      }
+      xvel[idx] = 0.0;
+      yvel[idx] = 0.0;
+    }
+  }
+}
+
+void summary(const double* density, const double* energy, const double* xvel,
+             const double* yvel, double* out, int n) {
+  double mass = 0.0;
+  double ie = 0.0;
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    mass += density[i];
+    ie += density[i] * energy[i];
+    ke += 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+  out[0] = mass;
+  out[1] = ie;
+  out[2] = ke;
+}
+
+int main() {
+  int n = NX * NY;
+  double* density = (double*) malloc(sizeof(double) * n);
+  double* energy = (double*) malloc(sizeof(double) * n);
+  double* xvel = (double*) malloc(sizeof(double) * n);
+  double* yvel = (double*) malloc(sizeof(double) * n);
+  double* before = (double*) malloc(sizeof(double) * 3);
+  double* after = (double*) malloc(sizeof(double) * 3);
+  init_deck(density, energy, xvel, yvel, NX, NY);
+  summary(density, energy, xvel, yvel, before, n);
+  double model_ke = simulate(density, energy, xvel, yvel, NX, NY, STEPS, DT);
+  summary(density, energy, xvel, yvel, after, n);
+  printf("mass", after[0]);
+  printf("internal energy", after[1]);
+  printf("kinetic energy", after[2]);
+  int failed = 0;
+  if (fabs(after[0] - before[0]) > 1.0e-9) {
+    printf("mass not conserved");
+    failed = 1;
+  }
+  if (after[2] <= 0.0) {
+    printf("no kinetic energy generated");
+    failed = 1;
+  }
+  double total0 = before[1] + before[2];
+  double total1 = after[1] + after[2];
+  if (fabs(total1 - total0) / total0 > 0.05) {
+    printf("energy drift too large");
+    failed = 1;
+  }
+  if (fabs(model_ke - after[2]) > 1.0e-9) {
+    printf("model summary mismatch", model_ke, after[2]);
+    failed = 1;
+  }
+  free(density);
+  free(energy);
+  free(xvel);
+  free(yvel);
+  free(before);
+  free(after);
+  if (failed == 0) {
+    printf("Validation: PASSED");
+    return 0;
+  }
+  printf("Validation: FAILED");
+  return 1;
+}
+)src";
+
+// The hydro kernels, written once per model. The serial text is the
+// reference shape; each port re-expresses the same loops.
+const char *kHydroSerial = R"src(// CloverLeaf hydro: serial port
+#include <stdlib.h>
+#include "clover.h"
+
+void ideal_gas(double* pressure, const double* density, const double* energy, int n) {
+  for (int i = 0; i < n; i++) {
+    pressure[i] = 0.4 * density[i] * energy[i];
+  }
+}
+
+void viscosity_kernel(double* q, const double* xvel, const double* density, int nx, int ny) {
+  int n = nx * ny;
+  for (int idx = 0; idx < n; idx++) {
+    int i = idx % nx;
+    q[idx] = 0.0;
+    if (i < nx - 1) {
+      double dv = xvel[idx + 1] - xvel[idx];
+      q[idx] = 0.1 * dv * dv * density[idx];
+    }
+  }
+}
+
+void accelerate_kernel(double* xvel, double* yvel, const double* pressure,
+                       const double* density, double dt, int nx, int ny) {
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+      yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+    }
+  }
+}
+
+void pdv_kernel(double* energy, const double* pressure, const double* q, const double* xvel,
+                const double* yvel, const double* density, double dt, int nx, int ny) {
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+      energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+    }
+  }
+}
+
+double field_summary_ke(const double* density, const double* xvel, const double* yvel, int n) {
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    ke += 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+  return ke;
+}
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  double* pressure = (double*) malloc(sizeof(double) * n);
+  double* q = (double*) malloc(sizeof(double) * n);
+  for (int step = 0; step < steps; step++) {
+    ideal_gas(pressure, density, energy, n);
+    viscosity_kernel(q, xvel, density, nx, ny);
+    accelerate_kernel(xvel, yvel, pressure, density, dt, nx, ny);
+    pdv_kernel(energy, pressure, q, xvel, yvel, density, dt, nx, ny);
+  }
+  double ke = field_summary_ke(density, xvel, yvel, n);
+  free(pressure);
+  free(q);
+  return ke;
+}
+)src";
+
+const char *kHydroOmp = R"src(// CloverLeaf hydro: OpenMP port
+#include <stdlib.h>
+#include <omp.h>
+#include "clover.h"
+
+void ideal_gas(double* pressure, const double* density, const double* energy, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    pressure[i] = 0.4 * density[i] * energy[i];
+  }
+}
+
+void viscosity_kernel(double* q, const double* xvel, const double* density, int nx, int ny) {
+  int n = nx * ny;
+  #pragma omp parallel for
+  for (int idx = 0; idx < n; idx++) {
+    int i = idx % nx;
+    q[idx] = 0.0;
+    if (i < nx - 1) {
+      double dv = xvel[idx + 1] - xvel[idx];
+      q[idx] = 0.1 * dv * dv * density[idx];
+    }
+  }
+}
+
+void accelerate_kernel(double* xvel, double* yvel, const double* pressure,
+                       const double* density, double dt, int nx, int ny) {
+  #pragma omp parallel for collapse(2)
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+      yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+    }
+  }
+}
+
+void pdv_kernel(double* energy, const double* pressure, const double* q, const double* xvel,
+                const double* yvel, const double* density, double dt, int nx, int ny) {
+  #pragma omp parallel for collapse(2)
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+      energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+    }
+  }
+}
+
+double field_summary_ke(const double* density, const double* xvel, const double* yvel, int n) {
+  double ke = 0.0;
+  #pragma omp parallel for reduction(+:ke)
+  for (int i = 0; i < n; i++) {
+    ke += 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+  return ke;
+}
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  double* pressure = (double*) malloc(sizeof(double) * n);
+  double* q = (double*) malloc(sizeof(double) * n);
+  for (int step = 0; step < steps; step++) {
+    ideal_gas(pressure, density, energy, n);
+    viscosity_kernel(q, xvel, density, nx, ny);
+    accelerate_kernel(xvel, yvel, pressure, density, dt, nx, ny);
+    pdv_kernel(energy, pressure, q, xvel, yvel, density, dt, nx, ny);
+  }
+  double ke = field_summary_ke(density, xvel, yvel, n);
+  free(pressure);
+  free(q);
+  return ke;
+}
+)src";
+
+const char *kHydroOmpTarget = R"src(// CloverLeaf hydro: OpenMP target port
+#include <stdlib.h>
+#include <omp.h>
+#include "clover.h"
+
+void ideal_gas(double* pressure, const double* density, const double* energy, int n) {
+  #pragma omp target teams distribute parallel for map(to: density, energy) map(from: pressure)
+  for (int i = 0; i < n; i++) {
+    pressure[i] = 0.4 * density[i] * energy[i];
+  }
+}
+
+void viscosity_kernel(double* q, const double* xvel, const double* density, int nx, int ny) {
+  int n = nx * ny;
+  #pragma omp target teams distribute parallel for map(to: xvel, density) map(from: q)
+  for (int idx = 0; idx < n; idx++) {
+    int i = idx % nx;
+    q[idx] = 0.0;
+    if (i < nx - 1) {
+      double dv = xvel[idx + 1] - xvel[idx];
+      q[idx] = 0.1 * dv * dv * density[idx];
+    }
+  }
+}
+
+void accelerate_kernel(double* xvel, double* yvel, const double* pressure,
+                       const double* density, double dt, int nx, int ny) {
+  #pragma omp target teams distribute parallel for collapse(2) map(to: pressure, density) map(tofrom: xvel, yvel)
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+      yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+    }
+  }
+}
+
+void pdv_kernel(double* energy, const double* pressure, const double* q, const double* xvel,
+                const double* yvel, const double* density, double dt, int nx, int ny) {
+  #pragma omp target teams distribute parallel for collapse(2) map(to: pressure, q, xvel, yvel, density) map(tofrom: energy)
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = j * nx + i;
+      double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+      energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+    }
+  }
+}
+
+double field_summary_ke(const double* density, const double* xvel, const double* yvel, int n) {
+  double ke = 0.0;
+  #pragma omp target teams distribute parallel for map(to: density, xvel, yvel) map(tofrom: ke) reduction(+:ke)
+  for (int i = 0; i < n; i++) {
+    ke += 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+  return ke;
+}
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  double* pressure = (double*) malloc(sizeof(double) * n);
+  double* q = (double*) malloc(sizeof(double) * n);
+  #pragma omp target enter data map(to: density, energy, xvel, yvel) map(alloc: pressure, q)
+  for (int step = 0; step < steps; step++) {
+    ideal_gas(pressure, density, energy, n);
+    viscosity_kernel(q, xvel, density, nx, ny);
+    accelerate_kernel(xvel, yvel, pressure, density, dt, nx, ny);
+    pdv_kernel(energy, pressure, q, xvel, yvel, density, dt, nx, ny);
+  }
+  double ke = field_summary_ke(density, xvel, yvel, n);
+  #pragma omp target exit data map(from: density, energy, xvel, yvel) map(release: pressure, q)
+  free(pressure);
+  free(q);
+  return ke;
+}
+)src";
+
+const char *kHydroCuda = R"src(// CloverLeaf hydro: CUDA port
+#include <stdlib.h>
+#include <cuda_runtime.h>
+#include "clover.h"
+
+#define TBSIZE 64
+
+__global__ void ideal_gas_kernel(double* pressure, const double* density, const double* energy,
+                                 int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    pressure[i] = 0.4 * density[i] * energy[i];
+  }
+}
+
+__global__ void viscosity_k(double* q, const double* xvel, const double* density, int nx, int n) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  if (idx < n) {
+    int i = idx % nx;
+    q[idx] = 0.0;
+    if (i < nx - 1) {
+      double dv = xvel[idx + 1] - xvel[idx];
+      q[idx] = 0.1 * dv * dv * density[idx];
+    }
+  }
+}
+
+__global__ void accelerate_k(double* xvel, double* yvel, const double* pressure,
+                             const double* density, double dt, int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+      yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+    }
+  }
+}
+
+__global__ void pdv_k(double* energy, const double* pressure, const double* q,
+                      const double* xvel, const double* yvel, const double* density, double dt,
+                      int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+      energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+    }
+  }
+}
+
+__global__ void ke_partial_k(const double* density, const double* xvel, const double* yvel,
+                             double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+}
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  int blocks = (n + TBSIZE - 1) / TBSIZE;
+  double* d_density;
+  double* d_energy;
+  double* d_xvel;
+  double* d_yvel;
+  double* d_pressure;
+  double* d_q;
+  double* d_partial;
+  cudaMalloc((void**) &d_density, sizeof(double) * n);
+  cudaMalloc((void**) &d_energy, sizeof(double) * n);
+  cudaMalloc((void**) &d_xvel, sizeof(double) * n);
+  cudaMalloc((void**) &d_yvel, sizeof(double) * n);
+  cudaMalloc((void**) &d_pressure, sizeof(double) * n);
+  cudaMalloc((void**) &d_q, sizeof(double) * n);
+  cudaMalloc((void**) &d_partial, sizeof(double) * n);
+  cudaMemcpy(d_density, density, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_energy, energy, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_xvel, xvel, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_yvel, yvel, sizeof(double) * n, cudaMemcpyHostToDevice);
+  for (int step = 0; step < steps; step++) {
+    ideal_gas_kernel<<<blocks, TBSIZE>>>(d_pressure, d_density, d_energy, n);
+    viscosity_k<<<blocks, TBSIZE>>>(d_q, d_xvel, d_density, nx, n);
+    accelerate_k<<<blocks, TBSIZE>>>(d_xvel, d_yvel, d_pressure, d_density, dt, nx, ny);
+    pdv_k<<<blocks, TBSIZE>>>(d_energy, d_pressure, d_q, d_xvel, d_yvel, d_density, dt, nx, ny);
+    cudaDeviceSynchronize();
+  }
+  ke_partial_k<<<blocks, TBSIZE>>>(d_density, d_xvel, d_yvel, d_partial, n);
+  cudaDeviceSynchronize();
+  double* h_partial = (double*) malloc(sizeof(double) * n);
+  cudaMemcpy(h_partial, d_partial, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    ke += h_partial[i];
+  }
+  cudaMemcpy(density, d_density, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  cudaMemcpy(energy, d_energy, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  cudaMemcpy(xvel, d_xvel, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  cudaMemcpy(yvel, d_yvel, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  cudaFree(d_density);
+  cudaFree(d_energy);
+  cudaFree(d_xvel);
+  cudaFree(d_yvel);
+  cudaFree(d_pressure);
+  cudaFree(d_q);
+  cudaFree(d_partial);
+  free(h_partial);
+  return ke;
+}
+)src";
+
+const char *kHydroHip = R"src(// CloverLeaf hydro: HIP port
+#include <stdlib.h>
+#include <hip_runtime.h>
+#include "clover.h"
+
+#define TBSIZE 64
+
+__global__ void ideal_gas_kernel(double* pressure, const double* density, const double* energy,
+                                 int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    pressure[i] = 0.4 * density[i] * energy[i];
+  }
+}
+
+__global__ void viscosity_k(double* q, const double* xvel, const double* density, int nx, int n) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  if (idx < n) {
+    int i = idx % nx;
+    q[idx] = 0.0;
+    if (i < nx - 1) {
+      double dv = xvel[idx + 1] - xvel[idx];
+      q[idx] = 0.1 * dv * dv * density[idx];
+    }
+  }
+}
+
+__global__ void accelerate_k(double* xvel, double* yvel, const double* pressure,
+                             const double* density, double dt, int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+      yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+    }
+  }
+}
+
+__global__ void pdv_k(double* energy, const double* pressure, const double* q,
+                      const double* xvel, const double* yvel, const double* density, double dt,
+                      int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+      energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+    }
+  }
+}
+
+__global__ void ke_partial_k(const double* density, const double* xvel, const double* yvel,
+                             double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  }
+}
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  int blocks = (n + TBSIZE - 1) / TBSIZE;
+  double* d_density;
+  double* d_energy;
+  double* d_xvel;
+  double* d_yvel;
+  double* d_pressure;
+  double* d_q;
+  double* d_partial;
+  hipMalloc((void**) &d_density, sizeof(double) * n);
+  hipMalloc((void**) &d_energy, sizeof(double) * n);
+  hipMalloc((void**) &d_xvel, sizeof(double) * n);
+  hipMalloc((void**) &d_yvel, sizeof(double) * n);
+  hipMalloc((void**) &d_pressure, sizeof(double) * n);
+  hipMalloc((void**) &d_q, sizeof(double) * n);
+  hipMalloc((void**) &d_partial, sizeof(double) * n);
+  hipMemcpy(d_density, density, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_energy, energy, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_xvel, xvel, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_yvel, yvel, sizeof(double) * n, hipMemcpyHostToDevice);
+  for (int step = 0; step < steps; step++) {
+    hipLaunchKernelGGL(ideal_gas_kernel, blocks, TBSIZE, 0, 0, d_pressure, d_density, d_energy, n);
+    hipLaunchKernelGGL(viscosity_k, blocks, TBSIZE, 0, 0, d_q, d_xvel, d_density, nx, n);
+    hipLaunchKernelGGL(accelerate_k, blocks, TBSIZE, 0, 0, d_xvel, d_yvel, d_pressure, d_density,
+                       dt, nx, ny);
+    hipLaunchKernelGGL(pdv_k, blocks, TBSIZE, 0, 0, d_energy, d_pressure, d_q, d_xvel, d_yvel,
+                       d_density, dt, nx, ny);
+    hipDeviceSynchronize();
+  }
+  hipLaunchKernelGGL(ke_partial_k, blocks, TBSIZE, 0, 0, d_density, d_xvel, d_yvel, d_partial, n);
+  hipDeviceSynchronize();
+  double* h_partial = (double*) malloc(sizeof(double) * n);
+  hipMemcpy(h_partial, d_partial, sizeof(double) * n, hipMemcpyDeviceToHost);
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    ke += h_partial[i];
+  }
+  hipMemcpy(density, d_density, sizeof(double) * n, hipMemcpyDeviceToHost);
+  hipMemcpy(energy, d_energy, sizeof(double) * n, hipMemcpyDeviceToHost);
+  hipMemcpy(xvel, d_xvel, sizeof(double) * n, hipMemcpyDeviceToHost);
+  hipMemcpy(yvel, d_yvel, sizeof(double) * n, hipMemcpyDeviceToHost);
+  hipFree(d_density);
+  hipFree(d_energy);
+  hipFree(d_xvel);
+  hipFree(d_yvel);
+  hipFree(d_pressure);
+  hipFree(d_q);
+  hipFree(d_partial);
+  free(h_partial);
+  return ke;
+}
+)src";
+
+const char *kHydroKokkos = R"src(// CloverLeaf hydro: Kokkos port
+#include <stdlib.h>
+#include <kokkos.hpp>
+#include "clover.h"
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  Kokkos::View<double*> kdensity("density", n);
+  Kokkos::View<double*> kenergy("energy", n);
+  Kokkos::View<double*> kxvel("xvel", n);
+  Kokkos::View<double*> kyvel("yvel", n);
+  Kokkos::View<double*> kpressure("pressure", n);
+  Kokkos::View<double*> kq("q", n);
+  Kokkos::deep_copy(kdensity, density);
+  Kokkos::deep_copy(kenergy, energy);
+  Kokkos::deep_copy(kxvel, xvel);
+  Kokkos::deep_copy(kyvel, yvel);
+  for (int step = 0; step < steps; step++) {
+    Kokkos::parallel_for(n, [=](int i) {
+      kpressure(i) = 0.4 * kdensity(i) * kenergy(i);
+    });
+    Kokkos::parallel_for(n, [=](int idx) {
+      int i = idx % nx;
+      kq(idx) = 0.0;
+      if (i < nx - 1) {
+        double dv = kxvel(idx + 1) - kxvel(idx);
+        kq(idx) = 0.1 * dv * dv * kdensity(idx);
+      }
+    });
+    Kokkos::parallel_for(n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        kxvel(idx) += dt * (kpressure(idx - 1) - kpressure(idx + 1)) / (2.0 * kdensity(idx));
+        kyvel(idx) += dt * (kpressure(idx - nx) - kpressure(idx + nx)) / (2.0 * kdensity(idx));
+      }
+    });
+    Kokkos::parallel_for(n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        double div = 0.5 * (kxvel(idx + 1) - kxvel(idx - 1))
+                   + 0.5 * (kyvel(idx + nx) - kyvel(idx - nx));
+        kenergy(idx) -= dt * (kpressure(idx) + kq(idx)) * div / kdensity(idx);
+      }
+    });
+    Kokkos::fence();
+  }
+  double ke = 0.0;
+  Kokkos::parallel_reduce(n, [=](int i, double& acc) {
+    acc += 0.5 * kdensity(i) * (kxvel(i) * kxvel(i) + kyvel(i) * kyvel(i));
+  }, ke);
+  Kokkos::deep_copy(density, kdensity);
+  Kokkos::deep_copy(energy, kenergy);
+  Kokkos::deep_copy(xvel, kxvel);
+  Kokkos::deep_copy(yvel, kyvel);
+  return ke;
+}
+)src";
+
+const char *kHydroStdPar = R"src(// CloverLeaf hydro: StdPar (std-indices) port
+#include <stdlib.h>
+#include <execution.hpp>
+#include "clover.h"
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  double* pressure = (double*) malloc(sizeof(double) * n);
+  double* q = (double*) malloc(sizeof(double) * n);
+  for (int step = 0; step < steps; step++) {
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int i) {
+      pressure[i] = 0.4 * density[i] * energy[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int idx) {
+      int i = idx % nx;
+      q[idx] = 0.0;
+      if (i < nx - 1) {
+        double dv = xvel[idx + 1] - xvel[idx];
+        q[idx] = 0.1 * dv * dv * density[idx];
+      }
+    });
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        xvel[idx] += dt * (pressure[idx - 1] - pressure[idx + 1]) / (2.0 * density[idx]);
+        yvel[idx] += dt * (pressure[idx - nx] - pressure[idx + nx]) / (2.0 * density[idx]);
+      }
+    });
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        double div = 0.5 * (xvel[idx + 1] - xvel[idx - 1]) + 0.5 * (yvel[idx + nx] - yvel[idx - nx]);
+        energy[idx] -= dt * (pressure[idx] + q[idx]) * div / density[idx];
+      }
+    });
+  }
+  double ke = std::transform_reduce(std::execution::par_unseq, 0, n, 0.0,
+    std::plus<double>(), [=](int i) {
+    return 0.5 * density[i] * (xvel[i] * xvel[i] + yvel[i] * yvel[i]);
+  });
+  free(pressure);
+  free(q);
+  return ke;
+}
+)src";
+
+const char *kHydroSyclUsm = R"src(// CloverLeaf hydro: SYCL (USM) port
+#include <stdlib.h>
+#include <sycl.hpp>
+#include "clover.h"
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  sycl::queue qu;
+  double* ddensity = sycl::malloc_device<double>(n, qu);
+  double* denergy = sycl::malloc_device<double>(n, qu);
+  double* dxvel = sycl::malloc_device<double>(n, qu);
+  double* dyvel = sycl::malloc_device<double>(n, qu);
+  double* dpressure = sycl::malloc_device<double>(n, qu);
+  double* dq = sycl::malloc_device<double>(n, qu);
+  double* partial = sycl::malloc_shared<double>(n, qu);
+  qu.memcpy(ddensity, density, sizeof(double) * n);
+  qu.memcpy(denergy, energy, sizeof(double) * n);
+  qu.memcpy(dxvel, xvel, sizeof(double) * n);
+  qu.memcpy(dyvel, yvel, sizeof(double) * n);
+  qu.wait();
+  for (int step = 0; step < steps; step++) {
+    qu.submit([&](handler h) {
+      h.parallel_for<class ideal_gas_k>(sycl::range(n), [=](int i) {
+        dpressure[i] = 0.4 * ddensity[i] * denergy[i];
+      });
+    });
+    qu.submit([&](handler h) {
+      h.parallel_for<class viscosity_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        dq[idx] = 0.0;
+        if (i < nx - 1) {
+          double dv = dxvel[idx + 1] - dxvel[idx];
+          dq[idx] = 0.1 * dv * dv * ddensity[idx];
+        }
+      });
+    });
+    qu.submit([&](handler h) {
+      h.parallel_for<class accelerate_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          dxvel[idx] += dt * (dpressure[idx - 1] - dpressure[idx + 1]) / (2.0 * ddensity[idx]);
+          dyvel[idx] += dt * (dpressure[idx - nx] - dpressure[idx + nx]) / (2.0 * ddensity[idx]);
+        }
+      });
+    });
+    qu.submit([&](handler h) {
+      h.parallel_for<class pdv_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          double div = 0.5 * (dxvel[idx + 1] - dxvel[idx - 1])
+                     + 0.5 * (dyvel[idx + nx] - dyvel[idx - nx]);
+          denergy[idx] -= dt * (dpressure[idx] + dq[idx]) * div / ddensity[idx];
+        }
+      });
+    });
+    qu.wait();
+  }
+  qu.submit([&](handler h) {
+    h.parallel_for<class ke_partial>(sycl::range(n), [=](int i) {
+      partial[i] = 0.5 * ddensity[i] * (dxvel[i] * dxvel[i] + dyvel[i] * dyvel[i]);
+    });
+  });
+  qu.wait();
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    ke += partial[i];
+  }
+  qu.memcpy(density, ddensity, sizeof(double) * n);
+  qu.memcpy(energy, denergy, sizeof(double) * n);
+  qu.memcpy(xvel, dxvel, sizeof(double) * n);
+  qu.memcpy(yvel, dyvel, sizeof(double) * n);
+  qu.wait();
+  sycl::free(ddensity, qu);
+  sycl::free(denergy, qu);
+  sycl::free(dxvel, qu);
+  sycl::free(dyvel, qu);
+  sycl::free(dpressure, qu);
+  sycl::free(dq, qu);
+  sycl::free(partial, qu);
+  return ke;
+}
+)src";
+
+const char *kHydroSyclAcc = R"src(// CloverLeaf hydro: SYCL (accessors) port
+#include <stdlib.h>
+#include <sycl.hpp>
+#include "clover.h"
+
+double simulate(double* density, double* energy, double* xvel, double* yvel,
+                int nx, int ny, int steps, double dt) {
+  int n = nx * ny;
+  sycl::queue qu;
+  double* hpressure = (double*) malloc(sizeof(double) * n);
+  double* hq = (double*) malloc(sizeof(double) * n);
+  double* hpartial = (double*) malloc(sizeof(double) * n);
+  sycl::buffer<double, 1> bdensity(density, sycl::range<1>(n));
+  sycl::buffer<double, 1> benergy(energy, sycl::range<1>(n));
+  sycl::buffer<double, 1> bxvel(xvel, sycl::range<1>(n));
+  sycl::buffer<double, 1> byvel(yvel, sycl::range<1>(n));
+  sycl::buffer<double, 1> bpressure(hpressure, sycl::range<1>(n));
+  sycl::buffer<double, 1> bq(hq, sycl::range<1>(n));
+  sycl::buffer<double, 1> bpartial(hpartial, sycl::range<1>(n));
+  for (int step = 0; step < steps; step++) {
+    qu.submit([&](handler h) {
+      auto adensity = bdensity.get_access<sycl::access::mode::read>(h);
+      auto aenergy = benergy.get_access<sycl::access::mode::read>(h);
+      auto apressure = bpressure.get_access<sycl::access::mode::discard_write>(h);
+      h.parallel_for<class ideal_gas_k>(sycl::range(n), [=](int i) {
+        apressure[i] = 0.4 * adensity[i] * aenergy[i];
+      });
+    });
+    qu.submit([&](handler h) {
+      auto axvel = bxvel.get_access<sycl::access::mode::read>(h);
+      auto adensity = bdensity.get_access<sycl::access::mode::read>(h);
+      auto aq = bq.get_access<sycl::access::mode::discard_write>(h);
+      h.parallel_for<class viscosity_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        aq[idx] = 0.0;
+        if (i < nx - 1) {
+          double dv = axvel[idx + 1] - axvel[idx];
+          aq[idx] = 0.1 * dv * dv * adensity[idx];
+        }
+      });
+    });
+    qu.submit([&](handler h) {
+      auto apressure = bpressure.get_access<sycl::access::mode::read>(h);
+      auto adensity = bdensity.get_access<sycl::access::mode::read>(h);
+      auto axvel = bxvel.get_access<sycl::access::mode::read_write>(h);
+      auto ayvel = byvel.get_access<sycl::access::mode::read_write>(h);
+      h.parallel_for<class accelerate_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          axvel[idx] += dt * (apressure[idx - 1] - apressure[idx + 1]) / (2.0 * adensity[idx]);
+          ayvel[idx] += dt * (apressure[idx - nx] - apressure[idx + nx]) / (2.0 * adensity[idx]);
+        }
+      });
+    });
+    qu.submit([&](handler h) {
+      auto apressure = bpressure.get_access<sycl::access::mode::read>(h);
+      auto aq = bq.get_access<sycl::access::mode::read>(h);
+      auto axvel = bxvel.get_access<sycl::access::mode::read>(h);
+      auto ayvel = byvel.get_access<sycl::access::mode::read>(h);
+      auto adensity = bdensity.get_access<sycl::access::mode::read>(h);
+      auto aenergy = benergy.get_access<sycl::access::mode::read_write>(h);
+      h.parallel_for<class pdv_k>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          double div = 0.5 * (axvel[idx + 1] - axvel[idx - 1])
+                     + 0.5 * (ayvel[idx + nx] - ayvel[idx - nx]);
+          aenergy[idx] -= dt * (apressure[idx] + aq[idx]) * div / adensity[idx];
+        }
+      });
+    });
+    qu.wait();
+  }
+  qu.submit([&](handler h) {
+    auto adensity = bdensity.get_access<sycl::access::mode::read>(h);
+    auto axvel = bxvel.get_access<sycl::access::mode::read>(h);
+    auto ayvel = byvel.get_access<sycl::access::mode::read>(h);
+    auto apart = bpartial.get_access<sycl::access::mode::discard_write>(h);
+    h.parallel_for<class ke_partial>(sycl::range(n), [=](int i) {
+      apart[i] = 0.5 * adensity[i] * (axvel[i] * axvel[i] + ayvel[i] * ayvel[i]);
+    });
+  });
+  qu.wait();
+  double ke = 0.0;
+  for (int i = 0; i < n; i++) {
+    ke += hpartial[i];
+  }
+  free(hpressure);
+  free(hq);
+  free(hpartial);
+  return ke;
+}
+)src";
+
+} // namespace
+
+std::vector<std::string> cloverleafModels() {
+  return {"serial", "omp",         "omp-target", "cuda",     "hip",
+          "kokkos", "std-indices", "sycl-usm",   "sycl-acc"};
+}
+
+db::Codebase makeCloverleaf(const std::string &model) {
+  const char *hydro = nullptr;
+  if (model == "serial") hydro = kHydroSerial;
+  else if (model == "omp") hydro = kHydroOmp;
+  else if (model == "omp-target") hydro = kHydroOmpTarget;
+  else if (model == "cuda") hydro = kHydroCuda;
+  else if (model == "hip") hydro = kHydroHip;
+  else if (model == "kokkos") hydro = kHydroKokkos;
+  else if (model == "std-indices") hydro = kHydroStdPar;
+  else if (model == "sycl-usm") hydro = kHydroSyclUsm;
+  else if (model == "sycl-acc") hydro = kHydroSyclAcc;
+  else internalError("cloverleaf: unknown model " + model);
+
+  db::Codebase cb;
+  cb.app = "cloverleaf";
+  cb.model = model;
+  addModelHeaders(cb);
+  cb.addFile("clover.h", kHeader);
+  cb.addFile("main.cpp", kMain);
+  cb.addFile("hydro.cpp", hydro);
+  cb.commands.push_back(commandFor("main.cpp", model));
+  cb.commands.push_back(commandFor("hydro.cpp", model));
+  return cb;
+}
+
+} // namespace sv::corpus

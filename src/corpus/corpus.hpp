@@ -1,0 +1,45 @@
+// The embedded miniapp corpus (Table II): BabelStream (C++ and Fortran),
+// miniBUDE, TeaLeaf and CloverLeaf, each ported idiomatically to the
+// programming models the paper evaluates. Sources are written in the MiniC
+// / MiniF dialects, compile through the full SilverVale pipeline, and run
+// under the VM with built-in verification (the artefact-evaluation
+// property: "each mini-app contains built-in verification for
+// correctness").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/codebase.hpp"
+
+namespace sv::corpus {
+
+/// Registered miniapps: "babelstream", "babelstream-fortran", "minibude",
+/// "tealeaf", "cloverleaf".
+[[nodiscard]] std::vector<std::string> appNames();
+
+/// Model ports available for an app (display names, e.g. "sycl-usm").
+/// Throws InternalError for unknown apps.
+[[nodiscard]] std::vector<std::string> modelsOf(const std::string &app);
+
+/// Build the codebase (virtual files + compile commands) for one port.
+/// Throws InternalError for unknown app/model combinations.
+[[nodiscard]] db::Codebase make(const std::string &app, const std::string &model);
+
+// Per-app entry points (used by make()):
+[[nodiscard]] std::vector<std::string> babelstreamModels();
+[[nodiscard]] db::Codebase makeBabelstream(const std::string &model);
+[[nodiscard]] std::vector<std::string> babelstreamFortranModels();
+[[nodiscard]] db::Codebase makeBabelstreamFortran(const std::string &model);
+[[nodiscard]] std::vector<std::string> minibudeModels();
+[[nodiscard]] db::Codebase makeMinibude(const std::string &model);
+[[nodiscard]] std::vector<std::string> tealeafModels();
+[[nodiscard]] db::Codebase makeTealeaf(const std::string &model);
+[[nodiscard]] std::vector<std::string> cloverleafModels();
+[[nodiscard]] db::Codebase makeCloverleaf(const std::string &model);
+
+/// Compile command for a C++ TU of the given model (flags as a real
+/// Compilation DB would record them).
+[[nodiscard]] db::CompileCommand commandFor(const std::string &file, const std::string &model);
+
+} // namespace sv::corpus

@@ -1,0 +1,261 @@
+#include "corpus/headers.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+const char *kCudaRuntime = R"hdr(#pragma once
+// cuda_runtime.h (corpus model header)
+struct cudaError_t { int code; };
+struct cudaStream_t { int id; };
+struct dim3 { int x; int y; int z; };
+int cudaMalloc(void** ptr, size_t bytes);
+int cudaFree(void* ptr);
+int cudaMemcpy(void* dst, void* src, size_t bytes, int kind);
+int cudaMemset(void* dst, int value, size_t bytes);
+int cudaDeviceSynchronize();
+int cudaSetDevice(int device);
+int cudaGetDeviceCount(int* count);
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+int cudaMemcpyDeviceToDevice = 3;
+)hdr";
+
+const char *kHipRuntime = R"hdr(#pragma once
+// hip/hip_runtime.h (corpus model header)
+struct hipError_t { int code; };
+struct hipStream_t { int id; };
+struct dim3 { int x; int y; int z; };
+int hipMalloc(void** ptr, size_t bytes);
+int hipFree(void* ptr);
+int hipMemcpy(void* dst, void* src, size_t bytes, int kind);
+int hipMemset(void* dst, int value, size_t bytes);
+int hipDeviceSynchronize();
+int hipSetDevice(int device);
+int hipMemcpyHostToDevice = 1;
+int hipMemcpyDeviceToHost = 2;
+)hdr";
+
+const char *kOmp = R"hdr(#pragma once
+// omp.h (corpus model header)
+double omp_get_wtime();
+int omp_get_max_threads();
+int omp_get_num_threads();
+int omp_get_thread_num();
+void omp_set_num_threads(int n);
+)hdr";
+
+// The SYCL surface: queue/handler/buffer/accessor/range/item/device plus
+// the USM allocation templates. Far larger than the other headers, by
+// design (see headers.hpp).
+const char *kSycl = R"hdr(#pragma once
+// CL/sycl.hpp (corpus model header; stands in for the DPC++ megaheader)
+namespace sycl {
+
+struct device { int id; int vendor; };
+struct platform { int id; };
+struct context { int id; };
+struct event { int id; };
+struct exception { int code; };
+struct property_list { int flags; };
+struct default_selector { int rank; };
+struct gpu_selector { int rank; };
+struct cpu_selector { int rank; };
+struct host_selector { int rank; };
+
+struct id { long value; };
+struct item { long index; long range_size; long offset; };
+struct nd_item { long global; long local; long group; };
+struct group { long index; long range_size; };
+struct sub_group { long index; long size; };
+
+struct range { long size0; long size1; long size2; };
+struct nd_range { long global0; long local0; };
+
+struct queue { int device_id; int in_order; int enable_profiling; };
+struct handler { int cgid; };
+
+struct buffer { double* host_ptr; long count; int context_bound; int write_back; };
+struct accessor { double* data; long count; int mode; int target; int placeholder; };
+struct local_accessor { double* data; long count; };
+struct host_accessor { double* data; long count; };
+
+struct usm_alloc { int kind; };
+struct usm_device { int tag; };
+struct usm_shared { int tag; };
+struct usm_host { int tag; };
+
+namespace access {
+struct mode { int read; int write; int read_write; int discard_write; };
+struct target { int global_buffer; int local; int host_buffer; };
+struct placeholder { int false_t; int true_t; };
+}
+namespace property {
+struct no_init { int tag; };
+namespace queue { struct in_order { int tag; }; }
+}
+namespace info {
+struct device_name { int tag; };
+struct max_compute_units { int tag; };
+struct global_mem_size { int tag; };
+struct local_mem_size { int tag; };
+}
+
+template <typename T> T* malloc_device(long count, queue q);
+template <typename T> T* malloc_shared(long count, queue q);
+template <typename T> T* malloc_host(long count, queue q);
+void free(void* ptr, queue q);
+
+template <typename T> T min(T a, T b);
+template <typename T> T max(T a, T b);
+template <typename T> T sqrt(T x);
+template <typename T> T fabs(T x);
+template <typename T> T fma(T a, T b, T c);
+template <typename T> T exp(T x);
+template <typename T> T log(T x);
+template <typename T> T sin(T x);
+template <typename T> T cos(T x);
+template <typename T> T pow(T x, T y);
+template <typename T> T rsqrt(T x);
+
+struct plus { int tag; };
+struct minimum { int tag; };
+struct maximum { int tag; };
+struct multiplies { int tag; };
+template <typename T> T reduce_over_group(group g, T value, plus op);
+template <typename T> T group_broadcast(group g, T value, long index);
+void group_barrier(group g);
+
+struct kernel { int id; };
+struct kernel_bundle { int id; };
+struct specialization_id { int id; };
+struct backend { int opencl; int level_zero; int cuda_be; int hip_be; };
+struct aspect { int fp64; int usm_device_allocations; int gpu; int cpu; };
+
+struct vec2 { double x; double y; };
+struct vec3 { double x; double y; double z; };
+struct vec4 { double x; double y; double z; double w; };
+struct half { float value; };
+
+struct stream { int width; int precision; };
+struct sampler { int filtering; };
+struct image { int channels; long width; long height; };
+
+struct queue_profiling_tag { int tag; };
+struct command_group { int id; };
+struct access_mode_decorator { int mode; };
+struct buffer_allocator { int tag; };
+struct usm_allocator { int kind; int alignment; };
+
+struct interop_handle { int native; };
+struct host_task_tag { int tag; };
+struct discard_events_tag { int tag; };
+struct priority_hint { int level; };
+
+struct device_selector_base { int score; };
+struct async_handler { int tag; };
+struct exception_list { int count; };
+
+struct device_image { int id; };
+struct bundle_state { int input; int object; int executable; };
+struct work_group_size_hint { int x; };
+struct reqd_work_group_size { int x; };
+struct vec_alignment { int bytes; };
+
+struct marray2 { double v0; double v1; };
+struct marray4 { double v0; double v1; double v2; double v3; };
+struct bfloat16 { float value; };
+struct atomic_ref { double* target; int order; int scope; };
+struct memory_order { int relaxed; int acquire; int release; };
+struct memory_scope { int work_item; int work_group; int device_scope; };
+
+struct ext_oneapi_graph { int id; };
+struct ext_intel_pipe { int id; };
+struct ext_codeplay_host_ptr { int tag; };
+
+}
+)hdr";
+
+const char *kKokkos = R"hdr(#pragma once
+// Kokkos_Core.hpp (corpus model header)
+namespace Kokkos {
+struct InitArguments { int num_threads; int device_id; };
+struct DefaultExecutionSpace { int concurrency; };
+struct DefaultHostExecutionSpace { int concurrency; };
+struct LayoutLeft { int tag; };
+struct LayoutRight { int tag; };
+struct MemoryTraits { int flags; };
+struct HostSpace { int tag; };
+struct SharedSpace { int tag; };
+void initialize();
+void finalize();
+void fence();
+template <typename T> void deep_copy(T dst, T src);
+struct RangePolicy { long begin_i; long end_i; };
+struct TeamPolicy { long leagues; long team_size; };
+struct View { double* data_ptr; long extent0; };
+template <typename F> void parallel_for(long n, F f);
+template <typename F, typename R> void parallel_reduce(long n, F f, R result);
+}
+)hdr";
+
+const char *kTbb = R"hdr(#pragma once
+// tbb/tbb.h (corpus model header)
+namespace tbb {
+struct blocked_range { long lo; long hi; long grainsize; };
+struct auto_partitioner { int tag; };
+struct static_partitioner { int tag; };
+struct global_control { int kind; int value; };
+template <typename F> void parallel_for(blocked_range r, F f);
+template <typename V, typename F, typename J> V parallel_reduce(blocked_range r, V identity, F body, J join);
+}
+)hdr";
+
+const char *kExecution = R"hdr(#pragma once
+// <execution> + <algorithm> surface used by StdPar ports (corpus header)
+namespace std {
+namespace execution {
+struct sequenced_policy { int tag; };
+struct parallel_policy { int tag; };
+struct parallel_unsequenced_policy { int tag; };
+int seq = 0;
+int par = 1;
+int par_unseq = 2;
+}
+struct plus_tag { int tag; };
+template <typename P, typename I, typename F> void for_each(P policy, I first, I last, F f);
+template <typename P, typename I, typename F> void for_each_n(P policy, I first, long n, F f);
+template <typename P, typename I, typename T, typename R, typename M> T transform_reduce(P policy, I first, I last, T init, R reduce, M transform);
+}
+)hdr";
+
+const char *kStdlib = R"hdr(#pragma once
+// minimal C/C++ stdlib surface the corpus uses (corpus header)
+void* malloc(size_t bytes);
+void free(void* ptr);
+int printf(const char* fmt);
+double sqrt(double x);
+double fabs(double x);
+double fmin(double a, double b);
+double fmax(double a, double b);
+double pow(double x, double y);
+double exp(double x);
+double sin(double x);
+double cos(double x);
+void exit(int code);
+)hdr";
+
+} // namespace
+
+void addModelHeaders(db::Codebase &cb) {
+  cb.addFile("include/cuda_runtime.h", kCudaRuntime);
+  cb.addFile("include/hip_runtime.h", kHipRuntime);
+  cb.addFile("include/omp.h", kOmp);
+  cb.addFile("include/sycl.hpp", kSycl);
+  cb.addFile("include/kokkos.hpp", kKokkos);
+  cb.addFile("include/tbb.hpp", kTbb);
+  cb.addFile("include/execution.hpp", kExecution);
+  cb.addFile("include/stdlib.h", kStdlib);
+}
+
+} // namespace sv::corpus

@@ -1,0 +1,19 @@
+// Shared model runtime headers for the corpus codebases. These play the
+// role of system headers: they are registered under include/ (the system
+// prefix), spliced by the preprocessor so the +pp variants see them, and
+// masked out of the tree metrics exactly as the paper masks system headers.
+//
+// sycl.hpp is deliberately an order of magnitude larger than the others —
+// the paper traces SYCL's extreme Source+pp divergence to the ~20 MB
+// header DPC++'s two-pass compilation pulls in (Section V-C); the ratio,
+// not the absolute size, is what our reproduction preserves.
+#pragma once
+
+#include "db/codebase.hpp"
+
+namespace sv::corpus {
+
+/// Register every model runtime header into `cb` under include/.
+void addModelHeaders(db::Codebase &cb);
+
+} // namespace sv::corpus

@@ -1,0 +1,301 @@
+// miniBUDE [20]: a compute-bound molecular-docking proxy. Each pose of a
+// ligand is scored against a protein; the fasten kernel is parallelised
+// over poses. Initialisation and verification (a serial reference scoring
+// recomputed in-place) are shared verbatim across ports.
+#include "corpus/corpus.hpp"
+#include "corpus/headers.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+const char *kDefines = R"src(#define NPOSES 16
+#define NATLIG 8
+#define NATPRO 16
+)src";
+
+// Deterministic input deck + serial reference + comparison; shared by all.
+const char *kShared = R"src(
+void init_deck(double* pro_x, double* pro_y, double* pro_z, double* pro_q,
+               double* lig_x, double* lig_y, double* lig_z, double* lig_q,
+               double* pose_dx, double* pose_dy, double* pose_dz) {
+  for (int i = 0; i < NATPRO; i++) {
+    pro_x[i] = 0.1 * (i % 5);
+    pro_y[i] = 0.2 * (i % 3);
+    pro_z[i] = 0.3 * (i % 7);
+    pro_q[i] = 0.5 + 0.1 * (i % 4);
+  }
+  for (int i = 0; i < NATLIG; i++) {
+    lig_x[i] = 1.0 + 0.1 * (i % 4);
+    lig_y[i] = 1.0 + 0.2 * (i % 2);
+    lig_z[i] = 1.0 + 0.3 * (i % 5);
+    lig_q[i] = 0.4 + 0.1 * (i % 3);
+  }
+  for (int p = 0; p < NPOSES; p++) {
+    pose_dx[p] = 0.05 * p;
+    pose_dy[p] = 0.04 * (p % 6);
+    pose_dz[p] = 0.03 * (p % 4);
+  }
+}
+
+double score_pose(const double* pro_x, const double* pro_y, const double* pro_z,
+                  const double* pro_q, const double* lig_x, const double* lig_y,
+                  const double* lig_z, const double* lig_q, double dx, double dy, double dz) {
+  double total = 0.0;
+  for (int l = 0; l < NATLIG; l++) {
+    double lx = lig_x[l] + dx;
+    double ly = lig_y[l] + dy;
+    double lz = lig_z[l] + dz;
+    for (int a = 0; a < NATPRO; a++) {
+      double rx = lx - pro_x[a];
+      double ry = ly - pro_y[a];
+      double rz = lz - pro_z[a];
+      double r = sqrt(rx * rx + ry * ry + rz * rz);
+      total += lig_q[l] * pro_q[a] / (r + 1.0);
+    }
+  }
+  return total * 0.5;
+}
+
+int check_energies(const double* energies, const double* pro_x, const double* pro_y,
+                   const double* pro_z, const double* pro_q, const double* lig_x,
+                   const double* lig_y, const double* lig_z, const double* lig_q,
+                   const double* pose_dx, const double* pose_dy, const double* pose_dz) {
+  double maxdiff = 0.0;
+  for (int p = 0; p < NPOSES; p++) {
+    double ref = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                            pose_dx[p], pose_dy[p], pose_dz[p]);
+    double diff = fabs(energies[p] - ref);
+    if (ref != 0.0) {
+      diff = diff / fabs(ref);
+    }
+    maxdiff = fmax(maxdiff, diff);
+  }
+  if (maxdiff > 1.0e-9) {
+    printf("Largest difference was", maxdiff);
+    return 1;
+  }
+  printf("Validation: PASSED");
+  return 0;
+}
+)src";
+
+const char *kAlloc = R"src(
+int main() {
+  double* pro_x = (double*) malloc(sizeof(double) * NATPRO);
+  double* pro_y = (double*) malloc(sizeof(double) * NATPRO);
+  double* pro_z = (double*) malloc(sizeof(double) * NATPRO);
+  double* pro_q = (double*) malloc(sizeof(double) * NATPRO);
+  double* lig_x = (double*) malloc(sizeof(double) * NATLIG);
+  double* lig_y = (double*) malloc(sizeof(double) * NATLIG);
+  double* lig_z = (double*) malloc(sizeof(double) * NATLIG);
+  double* lig_q = (double*) malloc(sizeof(double) * NATLIG);
+  double* pose_dx = (double*) malloc(sizeof(double) * NPOSES);
+  double* pose_dy = (double*) malloc(sizeof(double) * NPOSES);
+  double* pose_dz = (double*) malloc(sizeof(double) * NPOSES);
+  double* energies = (double*) malloc(sizeof(double) * NPOSES);
+  init_deck(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q, pose_dx, pose_dy, pose_dz);
+)src";
+
+const char *kCheckCall = R"src(
+  int failed = check_energies(energies, pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z,
+                              lig_q, pose_dx, pose_dy, pose_dz);
+  return failed;
+}
+)src";
+
+// Per-model fasten dispatch. Each gets the same inner math, expressed in
+// the model's idiom.
+const char *kSerialRun = R"src(
+  for (int p = 0; p < NPOSES; p++) {
+    energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx[p], pose_dy[p], pose_dz[p]);
+  }
+)src";
+
+const char *kOmpRun = R"src(
+  #pragma omp parallel for schedule(static)
+  for (int p = 0; p < NPOSES; p++) {
+    energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx[p], pose_dy[p], pose_dz[p]);
+  }
+)src";
+
+const char *kOmpTargetRun = R"src(
+  #pragma omp target teams distribute parallel for map(to: pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q, pose_dx, pose_dy, pose_dz) map(from: energies)
+  for (int p = 0; p < NPOSES; p++) {
+    energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx[p], pose_dy[p], pose_dz[p]);
+  }
+)src";
+
+const char *kKokkosRun = R"src(
+  Kokkos::initialize();
+  Kokkos::parallel_for(NPOSES, [=](int p) {
+    energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx[p], pose_dy[p], pose_dz[p]);
+  });
+  Kokkos::fence();
+  Kokkos::finalize();
+)src";
+
+const char *kTbbRun = R"src(
+  tbb::parallel_for(tbb::blocked_range(0, NPOSES), [=](tbb::blocked_range r) {
+    for (int p = r.begin(); p < r.end(); p++) {
+      energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                               pose_dx[p], pose_dy[p], pose_dz[p]);
+    }
+  });
+)src";
+
+const char *kStdParRun = R"src(
+  std::for_each_n(std::execution::par_unseq, 0, NPOSES, [=](int p) {
+    energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx[p], pose_dy[p], pose_dz[p]);
+  });
+)src";
+
+const char *kSyclAccRun = R"src(
+  sycl::queue q;
+  double* h_energies = (double*) malloc(sizeof(double) * NPOSES);
+  sycl::buffer<double, 1> d_energies(h_energies, sycl::range<1>(NPOSES));
+  q.submit([&](handler h) {
+    auto acc = d_energies.get_access<sycl::access::mode::discard_write>(h);
+    h.parallel_for<class fasten_main>(sycl::range(NPOSES), [=](int p) {
+      acc[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                          pose_dx[p], pose_dy[p], pose_dz[p]);
+    });
+  });
+  q.wait();
+  for (int p = 0; p < NPOSES; p++) {
+    energies[p] = h_energies[p];
+  }
+  free(h_energies);
+)src";
+
+const char *kSyclUsmRun = R"src(
+  sycl::queue q;
+  double* d_energies = sycl::malloc_shared<double>(NPOSES, q);
+  q.submit([&](handler h) {
+    h.parallel_for<class fasten_main>(sycl::range(NPOSES), [=](int p) {
+      d_energies[p] = score_pose(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                                 pose_dx[p], pose_dy[p], pose_dz[p]);
+    });
+  });
+  q.wait();
+  for (int p = 0; p < NPOSES; p++) {
+    energies[p] = d_energies[p];
+  }
+  sycl::free(d_energies, q);
+)src";
+
+// CUDA/HIP need a __global__ fasten kernel (score_pose becomes __device__).
+const char *kCudaKernel = R"src(
+__device__ double score_pose_dev(const double* pro_x, const double* pro_y, const double* pro_z,
+                                 const double* pro_q, const double* lig_x, const double* lig_y,
+                                 const double* lig_z, const double* lig_q, double dx, double dy,
+                                 double dz) {
+  double total = 0.0;
+  for (int l = 0; l < NATLIG; l++) {
+    double lx = lig_x[l] + dx;
+    double ly = lig_y[l] + dy;
+    double lz = lig_z[l] + dz;
+    for (int a = 0; a < NATPRO; a++) {
+      double rx = lx - pro_x[a];
+      double ry = ly - pro_y[a];
+      double rz = lz - pro_z[a];
+      double r = sqrt(rx * rx + ry * ry + rz * rz);
+      total += lig_q[l] * pro_q[a] / (r + 1.0);
+    }
+  }
+  return total * 0.5;
+}
+
+__global__ void fasten_main(const double* pro_x, const double* pro_y, const double* pro_z,
+                            const double* pro_q, const double* lig_x, const double* lig_y,
+                            const double* lig_z, const double* lig_q, const double* pose_dx,
+                            const double* pose_dy, const double* pose_dz, double* energies) {
+  int p = threadIdx.x + blockIdx.x * blockDim.x;
+  if (p < NPOSES) {
+    energies[p] = score_pose_dev(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                                 pose_dx[p], pose_dy[p], pose_dz[p]);
+  }
+}
+)src";
+
+const char *kCudaRun = R"src(
+  double* d_energies;
+  cudaMalloc((void**) &d_energies, sizeof(double) * NPOSES);
+  fasten_main<<<1, NPOSES>>>(pro_x, pro_y, pro_z, pro_q, lig_x, lig_y, lig_z, lig_q,
+                             pose_dx, pose_dy, pose_dz, d_energies);
+  cudaDeviceSynchronize();
+  cudaMemcpy(energies, d_energies, sizeof(double) * NPOSES, cudaMemcpyDeviceToHost);
+  cudaFree(d_energies);
+)src";
+
+const char *kHipRun = R"src(
+  double* d_energies;
+  hipMalloc((void**) &d_energies, sizeof(double) * NPOSES);
+  hipLaunchKernelGGL(fasten_main, 1, NPOSES, 0, 0, pro_x, pro_y, pro_z, pro_q, lig_x,
+                     lig_y, lig_z, lig_q, pose_dx, pose_dy, pose_dz, d_energies);
+  hipDeviceSynchronize();
+  hipMemcpy(energies, d_energies, sizeof(double) * NPOSES, hipMemcpyDeviceToHost);
+  hipFree(d_energies);
+)src";
+
+} // namespace
+
+std::vector<std::string> minibudeModels() {
+  return {"serial", "omp",      "omp-target", "cuda",     "hip",      "kokkos",
+          "tbb",    "std-indices", "sycl-usm",  "sycl-acc"};
+}
+
+db::Codebase makeMinibude(const std::string &model) {
+  std::string includes = "#include <stdlib.h>\n";
+  std::string kernels;
+  const char *run = nullptr;
+  if (model == "serial") run = kSerialRun;
+  else if (model == "omp") {
+    includes += "#include <omp.h>\n";
+    run = kOmpRun;
+  } else if (model == "omp-target") {
+    includes += "#include <omp.h>\n";
+    run = kOmpTargetRun;
+  } else if (model == "cuda") {
+    includes += "#include <cuda_runtime.h>\n";
+    kernels = kCudaKernel;
+    run = kCudaRun;
+  } else if (model == "hip") {
+    includes += "#include <hip_runtime.h>\n";
+    kernels = kCudaKernel;
+    run = kHipRun;
+  } else if (model == "kokkos") {
+    includes += "#include <kokkos.hpp>\n";
+    run = kKokkosRun;
+  } else if (model == "tbb") {
+    includes += "#include <tbb.hpp>\n";
+    run = kTbbRun;
+  } else if (model == "std-indices") {
+    includes += "#include <execution.hpp>\n";
+    run = kStdParRun;
+  } else if (model == "sycl-usm") {
+    includes += "#include <sycl.hpp>\n";
+    run = kSyclUsmRun;
+  } else if (model == "sycl-acc") {
+    includes += "#include <sycl.hpp>\n";
+    run = kSyclAccRun;
+  } else {
+    internalError("minibude: unknown model " + model);
+  }
+
+  db::Codebase cb;
+  cb.app = "minibude";
+  cb.model = model;
+  addModelHeaders(cb);
+  cb.addFile("main.cpp", "// miniBUDE " + model + " port\n" + includes + kDefines + kShared +
+                             kernels + kAlloc + run + kCheckCall);
+  cb.commands.push_back(commandFor("main.cpp", model));
+  return cb;
+}
+
+} // namespace sv::corpus

@@ -1,0 +1,1057 @@
+// TeaLeaf: a heat-conduction proxy solving the implicit diffusion system
+// with a Conjugate Gradient solver (the paper's primary clustering subject,
+// Section V-A). Two translation units per port — main.cpp (problem setup +
+// verification, shared verbatim) and cg.cpp (the CG solver in the model's
+// idiom) — exercising the unit-matching path of Eq. 6.
+#include "corpus/corpus.hpp"
+#include "corpus/headers.hpp"
+
+namespace sv::corpus {
+
+namespace {
+
+const char *kHeader = R"src(#pragma once
+// TeaLeaf public solver interface
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps);
+)src";
+
+const char *kMain = R"src(// TeaLeaf driver: setup, solve, verify
+#include <stdlib.h>
+#include "tealeaf.h"
+
+#define NX 16
+#define NY 16
+#define MAX_ITERS 80
+#define EPS 1.0e-12
+
+void init_fields(double* u, double* b, double* kx, double* ky, int nx, int ny) {
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      double density = 1.0;
+      if (i < nx / 2) {
+        density = 0.2;
+      }
+      double energy = 1.0;
+      if (j < ny / 2) {
+        energy = 2.0;
+      }
+      u[idx] = density * energy;
+      b[idx] = u[idx];
+      kx[idx] = 0.1;
+      ky[idx] = 0.1;
+    }
+  }
+}
+
+double residual_norm(const double* u, const double* b, const double* kx, const double* ky,
+                     int nx, int ny) {
+  double total = 0.0;
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      double au = u[idx];
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        au = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * u[idx]
+           - kx[idx] * (u[idx - 1] + u[idx + 1])
+           - ky[idx] * (u[idx - nx] + u[idx + nx]);
+      }
+      double r = b[idx] - au;
+      total += r * r;
+    }
+  }
+  return sqrt(total);
+}
+
+int main() {
+  int n = NX * NY;
+  double* u = (double*) malloc(sizeof(double) * n);
+  double* b = (double*) malloc(sizeof(double) * n);
+  double* kx = (double*) malloc(sizeof(double) * n);
+  double* ky = (double*) malloc(sizeof(double) * n);
+  init_fields(u, b, kx, ky, NX, NY);
+  double rro = solve(u, b, kx, ky, NX, NY, MAX_ITERS, EPS);
+  double res = residual_norm(u, b, kx, ky, NX, NY);
+  printf("final rro", rro);
+  printf("residual", res);
+  free(u);
+  free(b);
+  free(kx);
+  free(ky);
+  if (res < 1.0e-6) {
+    printf("Validation: PASSED");
+    return 0;
+  }
+  printf("Validation: FAILED");
+  return 1;
+}
+)src";
+
+// ------------------------------------------------------------------ serial --
+const char *kCgSerial = R"src(// TeaLeaf CG solver: serial port
+#include <stdlib.h>
+#include "tealeaf.h"
+
+void matvec(double* w, const double* p, const double* kx, const double* ky, int nx, int ny) {
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+               - kx[idx] * (p[idx - 1] + p[idx + 1])
+               - ky[idx] * (p[idx - nx] + p[idx + nx]);
+      } else {
+        w[idx] = p[idx];
+      }
+    }
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  double* r = (double*) malloc(sizeof(double) * n);
+  double* p = (double*) malloc(sizeof(double) * n);
+  double* w = (double*) malloc(sizeof(double) * n);
+  matvec(w, u, kx, ky, nx, ny);
+  for (int i = 0; i < n; i++) {
+    r[i] = b[i] - w[i];
+    p[i] = r[i];
+  }
+  double rro = dot(r, r, n);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    matvec(w, p, kx, ky, nx, ny);
+    double pw = dot(p, w, n);
+    double alpha = rro / pw;
+    for (int i = 0; i < n; i++) {
+      u[i] += alpha * p[i];
+      r[i] -= alpha * w[i];
+    }
+    double rrn = dot(r, r, n);
+    double beta = rrn / rro;
+    for (int i = 0; i < n; i++) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rro = rrn;
+  }
+  free(r);
+  free(p);
+  free(w);
+  return rro;
+}
+)src";
+
+// -------------------------------------------------------------------- omp --
+const char *kCgOmp = R"src(// TeaLeaf CG solver: OpenMP port
+#include <stdlib.h>
+#include <omp.h>
+#include "tealeaf.h"
+
+void matvec(double* w, const double* p, const double* kx, const double* ky, int nx, int ny) {
+  #pragma omp parallel for collapse(2)
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+               - kx[idx] * (p[idx - 1] + p[idx + 1])
+               - ky[idx] * (p[idx - nx] + p[idx + nx]);
+      } else {
+        w[idx] = p[idx];
+      }
+    }
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  #pragma omp parallel for reduction(+:sum)
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  double* r = (double*) malloc(sizeof(double) * n);
+  double* p = (double*) malloc(sizeof(double) * n);
+  double* w = (double*) malloc(sizeof(double) * n);
+  matvec(w, u, kx, ky, nx, ny);
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    r[i] = b[i] - w[i];
+    p[i] = r[i];
+  }
+  double rro = dot(r, r, n);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    matvec(w, p, kx, ky, nx, ny);
+    double pw = dot(p, w, n);
+    double alpha = rro / pw;
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+      u[i] += alpha * p[i];
+      r[i] -= alpha * w[i];
+    }
+    double rrn = dot(r, r, n);
+    double beta = rrn / rro;
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rro = rrn;
+  }
+  free(r);
+  free(p);
+  free(w);
+  return rro;
+}
+)src";
+
+// ------------------------------------------------------------- omp-target --
+const char *kCgOmpTarget = R"src(// TeaLeaf CG solver: OpenMP target port
+#include <stdlib.h>
+#include <omp.h>
+#include "tealeaf.h"
+
+void matvec(double* w, const double* p, const double* kx, const double* ky, int nx, int ny) {
+  #pragma omp target teams distribute parallel for collapse(2) map(to: p, kx, ky) map(from: w)
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = j * nx + i;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+               - kx[idx] * (p[idx - 1] + p[idx + 1])
+               - ky[idx] * (p[idx - nx] + p[idx + nx]);
+      } else {
+        w[idx] = p[idx];
+      }
+    }
+  }
+}
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for map(to: a, b) map(tofrom: sum) reduction(+:sum)
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  double* r = (double*) malloc(sizeof(double) * n);
+  double* p = (double*) malloc(sizeof(double) * n);
+  double* w = (double*) malloc(sizeof(double) * n);
+  #pragma omp target enter data map(to: u, kx, ky) map(alloc: r, p, w)
+  matvec(w, u, kx, ky, nx, ny);
+  #pragma omp target teams distribute parallel for map(to: b, w) map(from: r, p)
+  for (int i = 0; i < n; i++) {
+    r[i] = b[i] - w[i];
+    p[i] = r[i];
+  }
+  double rro = dot(r, r, n);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    matvec(w, p, kx, ky, nx, ny);
+    double pw = dot(p, w, n);
+    double alpha = rro / pw;
+    #pragma omp target teams distribute parallel for map(tofrom: u, r) map(to: p, w)
+    for (int i = 0; i < n; i++) {
+      u[i] += alpha * p[i];
+      r[i] -= alpha * w[i];
+    }
+    double rrn = dot(r, r, n);
+    double beta = rrn / rro;
+    #pragma omp target teams distribute parallel for map(tofrom: p) map(to: r)
+    for (int i = 0; i < n; i++) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rro = rrn;
+  }
+  #pragma omp target exit data map(from: u) map(release: r, p, w)
+  free(r);
+  free(p);
+  free(w);
+  return rro;
+}
+)src";
+
+// ------------------------------------------------------------------- cuda --
+const char *kCgCuda = R"src(// TeaLeaf CG solver: CUDA port
+#include <stdlib.h>
+#include <cuda_runtime.h>
+#include "tealeaf.h"
+
+#define TBSIZE 64
+
+__global__ void matvec_kernel(double* w, const double* p, const double* kx, const double* ky,
+                              int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+             - kx[idx] * (p[idx - 1] + p[idx + 1])
+             - ky[idx] * (p[idx - nx] + p[idx + nx]);
+    } else {
+      w[idx] = p[idx];
+    }
+  }
+}
+
+__global__ void cg_init_kernel(double* r, double* p, const double* b, const double* w, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    r[i] = b[i] - w[i];
+    p[i] = r[i];
+  }
+}
+
+__global__ void cg_update_kernel(double* u, double* r, const double* p, const double* w,
+                                 double alpha, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    u[i] += alpha * p[i];
+    r[i] -= alpha * w[i];
+  }
+}
+
+__global__ void cg_p_kernel(double* p, const double* r, double beta, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    p[i] = r[i] + beta * p[i];
+  }
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = a[i] * b[i];
+  }
+}
+
+double device_dot(const double* d_a, const double* d_b, double* d_partial, double* h_partial,
+                  int n, int blocks) {
+  dot_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_partial, n);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_partial, d_partial, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += h_partial[i];
+  }
+  return sum;
+}
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  int blocks = (n + TBSIZE - 1) / TBSIZE;
+  double* d_u;
+  double* d_b;
+  double* d_kx;
+  double* d_ky;
+  double* d_r;
+  double* d_p;
+  double* d_w;
+  double* d_partial;
+  cudaMalloc((void**) &d_u, sizeof(double) * n);
+  cudaMalloc((void**) &d_b, sizeof(double) * n);
+  cudaMalloc((void**) &d_kx, sizeof(double) * n);
+  cudaMalloc((void**) &d_ky, sizeof(double) * n);
+  cudaMalloc((void**) &d_r, sizeof(double) * n);
+  cudaMalloc((void**) &d_p, sizeof(double) * n);
+  cudaMalloc((void**) &d_w, sizeof(double) * n);
+  cudaMalloc((void**) &d_partial, sizeof(double) * n);
+  cudaMemcpy(d_u, u, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_b, b, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_kx, kx, sizeof(double) * n, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_ky, ky, sizeof(double) * n, cudaMemcpyHostToDevice);
+  double* h_partial = (double*) malloc(sizeof(double) * n);
+  matvec_kernel<<<blocks, TBSIZE>>>(d_w, d_u, d_kx, d_ky, nx, ny);
+  cg_init_kernel<<<blocks, TBSIZE>>>(d_r, d_p, d_b, d_w, n);
+  cudaDeviceSynchronize();
+  double rro = device_dot(d_r, d_r, d_partial, h_partial, n, blocks);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    matvec_kernel<<<blocks, TBSIZE>>>(d_w, d_p, d_kx, d_ky, nx, ny);
+    double pw = device_dot(d_p, d_w, d_partial, h_partial, n, blocks);
+    double alpha = rro / pw;
+    cg_update_kernel<<<blocks, TBSIZE>>>(d_u, d_r, d_p, d_w, alpha, n);
+    double rrn = device_dot(d_r, d_r, d_partial, h_partial, n, blocks);
+    double beta = rrn / rro;
+    cg_p_kernel<<<blocks, TBSIZE>>>(d_p, d_r, beta, n);
+    rro = rrn;
+  }
+  cudaMemcpy(u, d_u, sizeof(double) * n, cudaMemcpyDeviceToHost);
+  cudaFree(d_u);
+  cudaFree(d_b);
+  cudaFree(d_kx);
+  cudaFree(d_ky);
+  cudaFree(d_r);
+  cudaFree(d_p);
+  cudaFree(d_w);
+  cudaFree(d_partial);
+  free(h_partial);
+  return rro;
+}
+)src";
+
+// -------------------------------------------------------------------- hip --
+const char *kCgHip = R"src(// TeaLeaf CG solver: HIP port
+#include <stdlib.h>
+#include <hip_runtime.h>
+#include "tealeaf.h"
+
+#define TBSIZE 64
+
+__global__ void matvec_kernel(double* w, const double* p, const double* kx, const double* ky,
+                              int nx, int ny) {
+  int idx = threadIdx.x + blockIdx.x * blockDim.x;
+  int n = nx * ny;
+  if (idx < n) {
+    int i = idx % nx;
+    int j = idx / nx;
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+             - kx[idx] * (p[idx - 1] + p[idx + 1])
+             - ky[idx] * (p[idx - nx] + p[idx + nx]);
+    } else {
+      w[idx] = p[idx];
+    }
+  }
+}
+
+__global__ void cg_init_kernel(double* r, double* p, const double* b, const double* w, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    r[i] = b[i] - w[i];
+    p[i] = r[i];
+  }
+}
+
+__global__ void cg_update_kernel(double* u, double* r, const double* p, const double* w,
+                                 double alpha, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    u[i] += alpha * p[i];
+    r[i] -= alpha * w[i];
+  }
+}
+
+__global__ void cg_p_kernel(double* p, const double* r, double beta, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    p[i] = r[i] + beta * p[i];
+  }
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < n) {
+    partial[i] = a[i] * b[i];
+  }
+}
+
+double device_dot(const double* d_a, const double* d_b, double* d_partial, double* h_partial,
+                  int n, int blocks) {
+  hipLaunchKernelGGL(dot_kernel, blocks, TBSIZE, 0, 0, d_a, d_b, d_partial, n);
+  hipDeviceSynchronize();
+  hipMemcpy(h_partial, d_partial, sizeof(double) * n, hipMemcpyDeviceToHost);
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += h_partial[i];
+  }
+  return sum;
+}
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  int blocks = (n + TBSIZE - 1) / TBSIZE;
+  double* d_u;
+  double* d_b;
+  double* d_kx;
+  double* d_ky;
+  double* d_r;
+  double* d_p;
+  double* d_w;
+  double* d_partial;
+  hipMalloc((void**) &d_u, sizeof(double) * n);
+  hipMalloc((void**) &d_b, sizeof(double) * n);
+  hipMalloc((void**) &d_kx, sizeof(double) * n);
+  hipMalloc((void**) &d_ky, sizeof(double) * n);
+  hipMalloc((void**) &d_r, sizeof(double) * n);
+  hipMalloc((void**) &d_p, sizeof(double) * n);
+  hipMalloc((void**) &d_w, sizeof(double) * n);
+  hipMalloc((void**) &d_partial, sizeof(double) * n);
+  hipMemcpy(d_u, u, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_b, b, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_kx, kx, sizeof(double) * n, hipMemcpyHostToDevice);
+  hipMemcpy(d_ky, ky, sizeof(double) * n, hipMemcpyHostToDevice);
+  double* h_partial = (double*) malloc(sizeof(double) * n);
+  hipLaunchKernelGGL(matvec_kernel, blocks, TBSIZE, 0, 0, d_w, d_u, d_kx, d_ky, nx, ny);
+  hipLaunchKernelGGL(cg_init_kernel, blocks, TBSIZE, 0, 0, d_r, d_p, d_b, d_w, n);
+  hipDeviceSynchronize();
+  double rro = device_dot(d_r, d_r, d_partial, h_partial, n, blocks);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    hipLaunchKernelGGL(matvec_kernel, blocks, TBSIZE, 0, 0, d_w, d_p, d_kx, d_ky, nx, ny);
+    double pw = device_dot(d_p, d_w, d_partial, h_partial, n, blocks);
+    double alpha = rro / pw;
+    hipLaunchKernelGGL(cg_update_kernel, blocks, TBSIZE, 0, 0, d_u, d_r, d_p, d_w, alpha, n);
+    double rrn = device_dot(d_r, d_r, d_partial, h_partial, n, blocks);
+    double beta = rrn / rro;
+    hipLaunchKernelGGL(cg_p_kernel, blocks, TBSIZE, 0, 0, d_p, d_r, beta, n);
+    rro = rrn;
+  }
+  hipMemcpy(u, d_u, sizeof(double) * n, hipMemcpyDeviceToHost);
+  hipFree(d_u);
+  hipFree(d_b);
+  hipFree(d_kx);
+  hipFree(d_ky);
+  hipFree(d_r);
+  hipFree(d_p);
+  hipFree(d_w);
+  hipFree(d_partial);
+  free(h_partial);
+  return rro;
+}
+)src";
+
+// ------------------------------------------------------------------ kokkos --
+const char *kCgKokkos = R"src(// TeaLeaf CG solver: Kokkos port
+#include <stdlib.h>
+#include <kokkos.hpp>
+#include "tealeaf.h"
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  Kokkos::View<double*> ku("u", n);
+  Kokkos::View<double*> kb("b", n);
+  Kokkos::View<double*> kkx("kx", n);
+  Kokkos::View<double*> kky("ky", n);
+  Kokkos::View<double*> r("r", n);
+  Kokkos::View<double*> p("p", n);
+  Kokkos::View<double*> w("w", n);
+  Kokkos::deep_copy(ku, u);
+  Kokkos::deep_copy(kb, b);
+  Kokkos::deep_copy(kkx, kx);
+  Kokkos::deep_copy(kky, ky);
+  Kokkos::parallel_for(n, [=](int idx) {
+    int i = idx % nx;
+    int j = idx / nx;
+    double au = ku(idx);
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      au = (1.0 + 2.0 * kkx(idx) + 2.0 * kky(idx)) * ku(idx)
+         - kkx(idx) * (ku(idx - 1) + ku(idx + 1))
+         - kky(idx) * (ku(idx - nx) + ku(idx + nx));
+    }
+    r(idx) = kb(idx) - au;
+    p(idx) = r(idx);
+  });
+  Kokkos::fence();
+  double rro = 0.0;
+  Kokkos::parallel_reduce(n, [=](int i, double& acc) {
+    acc += r(i) * r(i);
+  }, rro);
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    Kokkos::parallel_for(n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        w(idx) = (1.0 + 2.0 * kkx(idx) + 2.0 * kky(idx)) * p(idx)
+               - kkx(idx) * (p(idx - 1) + p(idx + 1))
+               - kky(idx) * (p(idx - nx) + p(idx + nx));
+      } else {
+        w(idx) = p(idx);
+      }
+    });
+    double pw = 0.0;
+    Kokkos::parallel_reduce(n, [=](int i, double& acc) {
+      acc += p(i) * w(i);
+    }, pw);
+    double alpha = rro / pw;
+    Kokkos::parallel_for(n, [=](int i) {
+      ku(i) += alpha * p(i);
+      r(i) -= alpha * w(i);
+    });
+    double rrn = 0.0;
+    Kokkos::parallel_reduce(n, [=](int i, double& acc) {
+      acc += r(i) * r(i);
+    }, rrn);
+    double beta = rrn / rro;
+    Kokkos::parallel_for(n, [=](int i) {
+      p(i) = r(i) + beta * p(i);
+    });
+    Kokkos::fence();
+    rro = rrn;
+  }
+  Kokkos::deep_copy(u, ku);
+  return rro;
+}
+)src";
+
+// --------------------------------------------------------------------- tbb --
+const char *kCgTbb = R"src(// TeaLeaf CG solver: TBB port
+#include <stdlib.h>
+#include <tbb.hpp>
+#include "tealeaf.h"
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  double* r = (double*) malloc(sizeof(double) * n);
+  double* p = (double*) malloc(sizeof(double) * n);
+  double* w = (double*) malloc(sizeof(double) * n);
+  tbb::parallel_for(tbb::blocked_range(0, n), [=](tbb::blocked_range range) {
+    for (int idx = range.begin(); idx < range.end(); idx++) {
+      int i = idx % nx;
+      int j = idx / nx;
+      double au = u[idx];
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        au = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * u[idx]
+           - kx[idx] * (u[idx - 1] + u[idx + 1])
+           - ky[idx] * (u[idx - nx] + u[idx + nx]);
+      }
+      r[idx] = b[idx] - au;
+      p[idx] = r[idx];
+    }
+  });
+  double rro = tbb::parallel_reduce(tbb::blocked_range(0, n), 0.0,
+    [=](tbb::blocked_range range, double acc) {
+      for (int i = range.begin(); i < range.end(); i++) {
+        acc += r[i] * r[i];
+      }
+      return acc;
+    }, std::plus<double>());
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    tbb::parallel_for(tbb::blocked_range(0, n), [=](tbb::blocked_range range) {
+      for (int idx = range.begin(); idx < range.end(); idx++) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+                 - kx[idx] * (p[idx - 1] + p[idx + 1])
+                 - ky[idx] * (p[idx - nx] + p[idx + nx]);
+        } else {
+          w[idx] = p[idx];
+        }
+      }
+    });
+    double pw = tbb::parallel_reduce(tbb::blocked_range(0, n), 0.0,
+      [=](tbb::blocked_range range, double acc) {
+        for (int i = range.begin(); i < range.end(); i++) {
+          acc += p[i] * w[i];
+        }
+        return acc;
+      }, std::plus<double>());
+    double alpha = rro / pw;
+    tbb::parallel_for(tbb::blocked_range(0, n), [=](tbb::blocked_range range) {
+      for (int i = range.begin(); i < range.end(); i++) {
+        u[i] += alpha * p[i];
+        r[i] -= alpha * w[i];
+      }
+    });
+    double rrn = tbb::parallel_reduce(tbb::blocked_range(0, n), 0.0,
+      [=](tbb::blocked_range range, double acc) {
+        for (int i = range.begin(); i < range.end(); i++) {
+          acc += r[i] * r[i];
+        }
+        return acc;
+      }, std::plus<double>());
+    double beta = rrn / rro;
+    tbb::parallel_for(tbb::blocked_range(0, n), [=](tbb::blocked_range range) {
+      for (int i = range.begin(); i < range.end(); i++) {
+        p[i] = r[i] + beta * p[i];
+      }
+    });
+    rro = rrn;
+  }
+  free(r);
+  free(p);
+  free(w);
+  return rro;
+}
+)src";
+
+// ------------------------------------------------------------- std-indices --
+const char *kCgStdPar = R"src(// TeaLeaf CG solver: StdPar (std-indices) port
+#include <stdlib.h>
+#include <execution.hpp>
+#include "tealeaf.h"
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  double* r = (double*) malloc(sizeof(double) * n);
+  double* p = (double*) malloc(sizeof(double) * n);
+  double* w = (double*) malloc(sizeof(double) * n);
+  std::for_each_n(std::execution::par_unseq, 0, n, [=](int idx) {
+    int i = idx % nx;
+    int j = idx / nx;
+    double au = u[idx];
+    if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+      au = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * u[idx]
+         - kx[idx] * (u[idx - 1] + u[idx + 1])
+         - ky[idx] * (u[idx - nx] + u[idx + nx]);
+    }
+    r[idx] = b[idx] - au;
+    p[idx] = r[idx];
+  });
+  double rro = std::transform_reduce(std::execution::par_unseq, 0, n, 0.0,
+    std::plus<double>(), [=](int i) {
+    return r[i] * r[i];
+  });
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        w[idx] = (1.0 + 2.0 * kx[idx] + 2.0 * ky[idx]) * p[idx]
+               - kx[idx] * (p[idx - 1] + p[idx + 1])
+               - ky[idx] * (p[idx - nx] + p[idx + nx]);
+      } else {
+        w[idx] = p[idx];
+      }
+    });
+    double pw = std::transform_reduce(std::execution::par_unseq, 0, n, 0.0,
+      std::plus<double>(), [=](int i) {
+      return p[i] * w[i];
+    });
+    double alpha = rro / pw;
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int i) {
+      u[i] += alpha * p[i];
+      r[i] -= alpha * w[i];
+    });
+    double rrn = std::transform_reduce(std::execution::par_unseq, 0, n, 0.0,
+      std::plus<double>(), [=](int i) {
+      return r[i] * r[i];
+    });
+    double beta = rrn / rro;
+    std::for_each_n(std::execution::par_unseq, 0, n, [=](int i) {
+      p[i] = r[i] + beta * p[i];
+    });
+    rro = rrn;
+  }
+  free(r);
+  free(p);
+  free(w);
+  return rro;
+}
+)src";
+
+// ---------------------------------------------------------------- sycl-usm --
+const char *kCgSyclUsm = R"src(// TeaLeaf CG solver: SYCL (USM) port
+#include <stdlib.h>
+#include <sycl.hpp>
+#include "tealeaf.h"
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  sycl::queue q;
+  double* du = sycl::malloc_device<double>(n, q);
+  double* db = sycl::malloc_device<double>(n, q);
+  double* dkx = sycl::malloc_device<double>(n, q);
+  double* dky = sycl::malloc_device<double>(n, q);
+  double* r = sycl::malloc_device<double>(n, q);
+  double* p = sycl::malloc_device<double>(n, q);
+  double* w = sycl::malloc_device<double>(n, q);
+  double* partial = sycl::malloc_shared<double>(n, q);
+  q.memcpy(du, u, sizeof(double) * n);
+  q.memcpy(db, b, sizeof(double) * n);
+  q.memcpy(dkx, kx, sizeof(double) * n);
+  q.memcpy(dky, ky, sizeof(double) * n);
+  q.wait();
+  q.submit([&](handler h) {
+    h.parallel_for<class cg_init>(sycl::range(n), [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      double au = du[idx];
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        au = (1.0 + 2.0 * dkx[idx] + 2.0 * dky[idx]) * du[idx]
+           - dkx[idx] * (du[idx - 1] + du[idx + 1])
+           - dky[idx] * (du[idx - nx] + du[idx + nx]);
+      }
+      r[idx] = db[idx] - au;
+      p[idx] = r[idx];
+    });
+  });
+  q.submit([&](handler h) {
+    h.parallel_for<class dot_rr0>(sycl::range(n), [=](int i) {
+      partial[i] = r[i] * r[i];
+    });
+  });
+  q.wait();
+  double rro = 0.0;
+  for (int i = 0; i < n; i++) {
+    rro += partial[i];
+  }
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    q.submit([&](handler h) {
+      h.parallel_for<class cg_w>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          w[idx] = (1.0 + 2.0 * dkx[idx] + 2.0 * dky[idx]) * p[idx]
+                 - dkx[idx] * (p[idx - 1] + p[idx + 1])
+                 - dky[idx] * (p[idx - nx] + p[idx + nx]);
+        } else {
+          w[idx] = p[idx];
+        }
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class dot_pw>(sycl::range(n), [=](int i) {
+        partial[i] = p[i] * w[i];
+      });
+    });
+    q.wait();
+    double pw = 0.0;
+    for (int i = 0; i < n; i++) {
+      pw += partial[i];
+    }
+    double alpha = rro / pw;
+    q.submit([&](handler h) {
+      h.parallel_for<class cg_ur>(sycl::range(n), [=](int i) {
+        du[i] += alpha * p[i];
+        r[i] -= alpha * w[i];
+      });
+    });
+    q.submit([&](handler h) {
+      h.parallel_for<class dot_rr>(sycl::range(n), [=](int i) {
+        partial[i] = r[i] * r[i];
+      });
+    });
+    q.wait();
+    double rrn = 0.0;
+    for (int i = 0; i < n; i++) {
+      rrn += partial[i];
+    }
+    double beta = rrn / rro;
+    q.submit([&](handler h) {
+      h.parallel_for<class cg_p>(sycl::range(n), [=](int i) {
+        p[i] = r[i] + beta * p[i];
+      });
+    });
+    q.wait();
+    rro = rrn;
+  }
+  q.memcpy(u, du, sizeof(double) * n);
+  q.wait();
+  sycl::free(du, q);
+  sycl::free(db, q);
+  sycl::free(dkx, q);
+  sycl::free(dky, q);
+  sycl::free(r, q);
+  sycl::free(p, q);
+  sycl::free(w, q);
+  sycl::free(partial, q);
+  return rro;
+}
+)src";
+
+// ---------------------------------------------------------------- sycl-acc --
+const char *kCgSyclAcc = R"src(// TeaLeaf CG solver: SYCL (accessors) port
+#include <stdlib.h>
+#include <sycl.hpp>
+#include "tealeaf.h"
+
+double solve(double* u, const double* b, const double* kx, const double* ky,
+             int nx, int ny, int max_iters, double eps) {
+  int n = nx * ny;
+  sycl::queue q;
+  double* hr = (double*) malloc(sizeof(double) * n);
+  double* hp = (double*) malloc(sizeof(double) * n);
+  double* hw = (double*) malloc(sizeof(double) * n);
+  double* hpartial = (double*) malloc(sizeof(double) * n);
+  sycl::buffer<double, 1> bu(u, sycl::range<1>(n));
+  sycl::buffer<double, 1> bb(b, sycl::range<1>(n));
+  sycl::buffer<double, 1> bkx(kx, sycl::range<1>(n));
+  sycl::buffer<double, 1> bky(ky, sycl::range<1>(n));
+  sycl::buffer<double, 1> br(hr, sycl::range<1>(n));
+  sycl::buffer<double, 1> bp(hp, sycl::range<1>(n));
+  sycl::buffer<double, 1> bw(hw, sycl::range<1>(n));
+  sycl::buffer<double, 1> bpartial(hpartial, sycl::range<1>(n));
+  q.submit([&](handler h) {
+    auto au = bu.get_access<sycl::access::mode::read>(h);
+    auto ab = bb.get_access<sycl::access::mode::read>(h);
+    auto akx = bkx.get_access<sycl::access::mode::read>(h);
+    auto aky = bky.get_access<sycl::access::mode::read>(h);
+    auto ar = br.get_access<sycl::access::mode::discard_write>(h);
+    auto ap = bp.get_access<sycl::access::mode::discard_write>(h);
+    h.parallel_for<class cg_init>(sycl::range(n), [=](int idx) {
+      int i = idx % nx;
+      int j = idx / nx;
+      double av = au[idx];
+      if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+        av = (1.0 + 2.0 * akx[idx] + 2.0 * aky[idx]) * au[idx]
+           - akx[idx] * (au[idx - 1] + au[idx + 1])
+           - aky[idx] * (au[idx - nx] + au[idx + nx]);
+      }
+      ar[idx] = ab[idx] - av;
+      ap[idx] = ar[idx];
+    });
+  });
+  q.submit([&](handler h) {
+    auto ar = br.get_access<sycl::access::mode::read>(h);
+    auto apart = bpartial.get_access<sycl::access::mode::discard_write>(h);
+    h.parallel_for<class dot_rr0>(sycl::range(n), [=](int i) {
+      apart[i] = ar[i] * ar[i];
+    });
+  });
+  q.wait();
+  double rro = 0.0;
+  for (int i = 0; i < n; i++) {
+    rro += hpartial[i];
+  }
+  for (int it = 0; it < max_iters; it++) {
+    if (rro < eps) {
+      break;
+    }
+    q.submit([&](handler h) {
+      auto ap = bp.get_access<sycl::access::mode::read>(h);
+      auto akx = bkx.get_access<sycl::access::mode::read>(h);
+      auto aky = bky.get_access<sycl::access::mode::read>(h);
+      auto aw = bw.get_access<sycl::access::mode::discard_write>(h);
+      h.parallel_for<class cg_w>(sycl::range(n), [=](int idx) {
+        int i = idx % nx;
+        int j = idx / nx;
+        if (i > 0 && j > 0 && i < nx - 1 && j < ny - 1) {
+          aw[idx] = (1.0 + 2.0 * akx[idx] + 2.0 * aky[idx]) * ap[idx]
+                 - akx[idx] * (ap[idx - 1] + ap[idx + 1])
+                 - aky[idx] * (ap[idx - nx] + ap[idx + nx]);
+        } else {
+          aw[idx] = ap[idx];
+        }
+      });
+    });
+    q.submit([&](handler h) {
+      auto ap = bp.get_access<sycl::access::mode::read>(h);
+      auto aw = bw.get_access<sycl::access::mode::read>(h);
+      auto apart = bpartial.get_access<sycl::access::mode::discard_write>(h);
+      h.parallel_for<class dot_pw>(sycl::range(n), [=](int i) {
+        apart[i] = ap[i] * aw[i];
+      });
+    });
+    q.wait();
+    double pw = 0.0;
+    for (int i = 0; i < n; i++) {
+      pw += hpartial[i];
+    }
+    double alpha = rro / pw;
+    q.submit([&](handler h) {
+      auto ap = bp.get_access<sycl::access::mode::read>(h);
+      auto aw = bw.get_access<sycl::access::mode::read>(h);
+      auto au = bu.get_access<sycl::access::mode::read_write>(h);
+      auto ar = br.get_access<sycl::access::mode::read_write>(h);
+      h.parallel_for<class cg_ur>(sycl::range(n), [=](int i) {
+        au[i] += alpha * ap[i];
+        ar[i] -= alpha * aw[i];
+      });
+    });
+    q.submit([&](handler h) {
+      auto ar = br.get_access<sycl::access::mode::read>(h);
+      auto apart = bpartial.get_access<sycl::access::mode::discard_write>(h);
+      h.parallel_for<class dot_rr>(sycl::range(n), [=](int i) {
+        apart[i] = ar[i] * ar[i];
+      });
+    });
+    q.wait();
+    double rrn = 0.0;
+    for (int i = 0; i < n; i++) {
+      rrn += hpartial[i];
+    }
+    double beta = rrn / rro;
+    q.submit([&](handler h) {
+      auto ar = br.get_access<sycl::access::mode::read>(h);
+      auto ap = bp.get_access<sycl::access::mode::read_write>(h);
+      h.parallel_for<class cg_p>(sycl::range(n), [=](int i) {
+        ap[i] = ar[i] + beta * ap[i];
+      });
+    });
+    q.wait();
+    rro = rrn;
+  }
+  free(hr);
+  free(hp);
+  free(hw);
+  free(hpartial);
+  return rro;
+}
+)src";
+
+} // namespace
+
+std::vector<std::string> tealeafModels() {
+  return {"serial", "omp",   "omp-target",  "cuda",     "hip",
+          "kokkos", "tbb",   "std-indices", "sycl-usm", "sycl-acc"};
+}
+
+db::Codebase makeTealeaf(const std::string &model) {
+  const char *cg = nullptr;
+  if (model == "serial") cg = kCgSerial;
+  else if (model == "omp") cg = kCgOmp;
+  else if (model == "omp-target") cg = kCgOmpTarget;
+  else if (model == "cuda") cg = kCgCuda;
+  else if (model == "hip") cg = kCgHip;
+  else if (model == "kokkos") cg = kCgKokkos;
+  else if (model == "tbb") cg = kCgTbb;
+  else if (model == "std-indices") cg = kCgStdPar;
+  else if (model == "sycl-usm") cg = kCgSyclUsm;
+  else if (model == "sycl-acc") cg = kCgSyclAcc;
+  else internalError("tealeaf: unknown model " + model);
+
+  db::Codebase cb;
+  cb.app = "tealeaf";
+  cb.model = model;
+  addModelHeaders(cb);
+  cb.addFile("tealeaf.h", kHeader);
+  cb.addFile("main.cpp", kMain);
+  cb.addFile("cg.cpp", cg);
+  cb.commands.push_back(commandFor("main.cpp", model));
+  cb.commands.push_back(commandFor("cg.cpp", model));
+  return cb;
+}
+
+} // namespace sv::corpus

@@ -1,0 +1,354 @@
+#include "db/codebase.hpp"
+
+#include <set>
+
+#include "ir/irtree.hpp"
+#include "minic/inliner.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/preprocessor.hpp"
+#include "minic/sema.hpp"
+#include "minic/semtree.hpp"
+#include "minic/srctree.hpp"
+#include "minif/fparser.hpp"
+#include "minif/ftrees.hpp"
+#include "support/compress.hpp"
+#include "support/strings.hpp"
+#include "text/text.hpp"
+
+namespace sv::db {
+
+namespace {
+
+std::string fileStem(const std::string &path) {
+  auto slash = path.rfind('/');
+  const auto base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// The unit's own files: the TU plus its non-system resolved includes.
+std::vector<i32> unitFiles(const Codebase &cb, i32 mainFile,
+                           const minic::PreprocessResult &pp) {
+  std::vector<i32> out{mainFile};
+  for (const auto &inc : pp.includes) {
+    // Mirror the preprocessor's resolution order: includer-relative, exact,
+    // then the include/ system prefix.
+    i32 resolved = -1;
+    if (inc.loc.file >= 0) {
+      const auto &includer = cb.sources.file(inc.loc.file).name;
+      if (const auto slash = includer.rfind('/'); slash != std::string::npos)
+        if (const auto id = cb.sources.idOf(includer.substr(0, slash + 1) + inc.path))
+          resolved = *id;
+    }
+    if (resolved < 0)
+      if (const auto id = cb.sources.idOf(inc.path)) resolved = *id;
+    if (resolved < 0)
+      if (const auto id = cb.sources.idOf("include/" + inc.path)) resolved = *id;
+    if (resolved < 0) continue;
+    if (pp.systemFiles.count(resolved)) continue;
+    if (std::find(out.begin(), out.end(), resolved) == out.end()) out.push_back(resolved);
+  }
+  return out;
+}
+
+UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd) {
+  const auto fileId = cb.sources.idOf(cmd.file);
+  SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
+
+  minic::PreprocessOptions ppOpts;
+  ppOpts.defines = definesFromCommand(cmd);
+  const auto pp = minic::preprocess(cb.sources, *fileId, ppOpts);
+
+  UnitEntry unit;
+  unit.file = cmd.file;
+  unit.role = fileStem(cmd.file);
+
+  // ---- perceived metric inputs -----------------------------------------
+  const auto files = unitFiles(cb, *fileId, pp);
+  for (usize i = 1; i < files.size(); ++i)
+    unit.deps.push_back(cb.sources.file(files[i]).name);
+  for (const i32 f : files) {
+    const auto &text = cb.sources.file(f).text;
+    unit.normText += text::normalise(text, minic::commentRanges(text));
+  }
+  unit.sloc = text::sloc(unit.normText);
+  unit.lloc = text::lloc(unit.normText);
+
+  // +pp: preprocessed text with system-origin lines removed.
+  {
+    const auto lines = str::splitLines(pp.text);
+    std::string kept;
+    for (usize i = 0; i < lines.size(); ++i) {
+      const auto origin = i < pp.lineOrigins.size() ? pp.lineOrigins[i]
+                                                    : lang::Location{};
+      if (origin.file >= 0 && pp.systemFiles.count(origin.file)) continue;
+      kept += lines[i];
+      kept += '\n';
+    }
+    unit.normTextPp = text::normalise(kept);
+    unit.slocPp = text::sloc(unit.normTextPp);
+    unit.llocPp = text::lloc(unit.normTextPp);
+  }
+
+  // ---- T_src ----------------------------------------------------------
+  {
+    // Per-file token trees grafted under a unit root.
+    unit.tsrc = tree::Tree::leaf("unit");
+    for (const i32 f : files) {
+      const auto toks = minic::lex(cb.sources.file(f).text, f, nullptr, /*allowDirectives=*/true);
+      unit.tsrc.graft(0, minic::buildSrcTree(toks));
+    }
+    const auto ppToks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+    // Preprocessed tree keeps system tokens out via pruning on file origin.
+    auto full = minic::buildSrcTree(ppToks);
+    unit.tsrcPp = full.pruneWhere([&](const tree::Node &n) {
+      return n.file < 0 || pp.systemFiles.count(n.file) == 0;
+    });
+  }
+
+  // ---- frontend + backend ------------------------------------------------
+  const auto ppToks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+  auto tu = minic::parseTranslationUnit(ppToks, cmd.file, cb.sources);
+  tu.includes = pp.includes;
+  minic::analyse(tu);
+
+  minic::SemTreeOptions semOpts;
+  for (const i32 f : pp.systemFiles) semOpts.maskedFiles.insert(f);
+  unit.tsem = minic::buildSemTree(tu, semOpts);
+
+  {
+    // TranslationUnit holds unique_ptrs; clone explicitly for the inliner.
+    lang::ast::TranslationUnit clone;
+    clone.fileName = tu.fileName;
+    clone.includes = tu.includes;
+    clone.programName = tu.programName;
+    for (const auto &s : tu.structs) {
+      lang::ast::StructDecl sc;
+      sc.name = s.name;
+      sc.loc = s.loc;
+      for (const auto &f : s.fields) sc.fields.push_back(lang::ast::cloneParam(f));
+      clone.structs.push_back(std::move(sc));
+    }
+    for (const auto &g : tu.globals) {
+      lang::ast::GlobalVarDecl gg;
+      gg.var = lang::ast::cloneVarDecl(g.var);
+      gg.attributes = g.attributes;
+      gg.loc = g.loc;
+      clone.globals.push_back(std::move(gg));
+    }
+    for (const auto &f : tu.functions) clone.functions.push_back(lang::ast::cloneFunction(f));
+    minic::InlineOptions inlOpts;
+    inlOpts.systemFiles = {pp.systemFiles.begin(), pp.systemFiles.end()};
+    minic::inlineUnit(clone, inlOpts);
+    unit.tsemI = minic::buildSemTree(clone, semOpts);
+  }
+
+  ir::LowerOptions lowOpts;
+  lowOpts.model = modelFromCommand(cmd);
+  const auto module = ir::lower(tu, lowOpts);
+  auto irTree = ir::buildIrTree(module);
+  // Mask functions/globals defined in system headers out of T_ir.
+  unit.tir = irTree.pruneWhere([&](const tree::Node &n) {
+    const bool isTopLevel = str::startsWith(n.label, "Function:");
+    if (!isTopLevel) return true;
+    return n.file < 0 || pp.systemFiles.count(n.file) == 0;
+  });
+  return unit;
+}
+
+UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd) {
+  const auto fileId = cb.sources.idOf(cmd.file);
+  SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
+  const auto &text = cb.sources.file(*fileId).text;
+
+  UnitEntry unit;
+  unit.file = cmd.file;
+  unit.role = fileStem(cmd.file);
+  unit.fortran = true;
+
+  unit.normText = text::normalise(text, minif::fortranCommentRanges(text));
+  unit.sloc = text::sloc(unit.normText);
+  unit.lloc = text::lloc(unit.normText, /*fortran=*/true);
+  // Fortran has no preprocessing phase here; +pp variants alias the base.
+  unit.normTextPp = unit.normText;
+  unit.slocPp = unit.sloc;
+  unit.llocPp = unit.lloc;
+
+  const auto toks = minif::lexFortran(text, *fileId);
+  unit.tsrc = minif::buildFortranSrcTree(toks);
+  unit.tsrcPp = unit.tsrc;
+
+  auto tu = minif::parseFortran(toks, cmd.file, cb.sources);
+  unit.tsem = minif::buildFortranSemTree(tu);
+  unit.tsemI = unit.tsem; // inlining is not implemented for GFortran (IV-B)
+
+  ir::LowerOptions lowOpts;
+  lowOpts.model = modelFromCommand(cmd);
+  unit.tir = ir::buildIrTree(ir::lower(tu, lowOpts));
+  return unit;
+}
+
+} // namespace
+
+lang::ast::TranslationUnit linkForExecution(const Codebase &codebase) {
+  lang::ast::TranslationUnit merged;
+  merged.fileName = codebase.app + "/" + codebase.model;
+  for (const auto &cmd : codebase.commands) {
+    const auto fileId = codebase.sources.idOf(cmd.file);
+    SV_CHECK(fileId.has_value(), "link: unknown file " + cmd.file);
+    if (isFortranFile(cmd.file)) {
+      auto tu = minif::parseFortran(
+          minif::lexFortran(codebase.sources.file(*fileId).text, *fileId), cmd.file,
+          codebase.sources);
+      for (auto &f : tu.functions) merged.functions.push_back(std::move(f));
+      for (auto &g : tu.globals) merged.globals.push_back(std::move(g));
+      for (auto &s : tu.structs) merged.structs.push_back(std::move(s));
+      if (!tu.programName.empty()) merged.programName = tu.programName;
+    } else {
+      minic::PreprocessOptions ppOpts;
+      ppOpts.defines = definesFromCommand(cmd);
+      const auto pp = minic::preprocess(codebase.sources, *fileId, ppOpts);
+      const auto toks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+      auto tu = minic::parseTranslationUnit(toks, cmd.file, codebase.sources);
+      minic::analyse(tu);
+      for (auto &f : tu.functions) {
+        // Only definitions matter to the VM; headers spliced into several
+        // TUs would otherwise duplicate them — keep the first definition.
+        if (!f.body) continue;
+        const bool dup = std::any_of(merged.functions.begin(), merged.functions.end(),
+                                     [&](const auto &existing) { return existing.name == f.name; });
+        if (!dup) merged.functions.push_back(std::move(f));
+      }
+      for (auto &g : tu.globals) {
+        const bool dup = std::any_of(merged.globals.begin(), merged.globals.end(),
+                                     [&](const auto &e) { return e.var.name == g.var.name; });
+        if (!dup) merged.globals.push_back(std::move(g));
+      }
+      for (auto &s : tu.structs) merged.structs.push_back(std::move(s));
+    }
+  }
+  return merged;
+}
+
+IndexResult index(const Codebase &codebase, const IndexOptions &options) {
+  IndexResult result;
+  auto &out = result.db;
+  out.app = codebase.app;
+  out.model = codebase.model;
+  out.fortran = !codebase.commands.empty() && isFortranFile(codebase.commands[0].file);
+  out.modelKind =
+      codebase.commands.empty() ? ir::Model::Serial : modelFromCommand(codebase.commands[0]);
+  for (const auto &f : codebase.sources.files()) out.fileNames.push_back(f.name);
+
+  for (const auto &cmd : codebase.commands) {
+    out.units.push_back(isFortranFile(cmd.file) ? indexFortranUnit(codebase, cmd)
+                                                : indexCxxUnit(codebase, cmd));
+  }
+
+  if (options.runCoverage) {
+    const auto merged = linkForExecution(codebase);
+    auto vmOpts = options.vmOptions;
+    vmOpts.fortran = out.fortran;
+    auto runResult = vm::run(merged, vmOpts);
+    out.coverage = runResult.coverage;
+    out.hasCoverage = true;
+    result.coverageRun = std::move(runResult);
+  }
+  return result;
+}
+
+// ------------------------------------------------------------ serialise --
+
+namespace {
+
+msgpack::Value treeToMsg(const tree::Tree &t) { return t.toMsgpack(); }
+
+msgpack::Value unitToMsg(const UnitEntry &u) {
+  msgpack::Map m;
+  m.emplace("file", u.file);
+  m.emplace("role", u.role);
+  m.emplace("fortran", u.fortran);
+  msgpack::Array deps;
+  for (const auto &d : u.deps) deps.emplace_back(d);
+  m.emplace("deps", std::move(deps));
+  m.emplace("normText", u.normText);
+  m.emplace("normTextPp", u.normTextPp);
+  m.emplace("sloc", u.sloc);
+  m.emplace("lloc", u.lloc);
+  m.emplace("slocPp", u.slocPp);
+  m.emplace("llocPp", u.llocPp);
+  m.emplace("tsrc", treeToMsg(u.tsrc));
+  m.emplace("tsrcPp", treeToMsg(u.tsrcPp));
+  m.emplace("tsem", treeToMsg(u.tsem));
+  m.emplace("tsemI", treeToMsg(u.tsemI));
+  m.emplace("tir", treeToMsg(u.tir));
+  return msgpack::Value(std::move(m));
+}
+
+UnitEntry unitFromMsg(const msgpack::Value &v) {
+  UnitEntry u;
+  u.file = v.at("file").asString();
+  u.role = v.at("role").asString();
+  u.fortran = v.at("fortran").asBool();
+  for (const auto &d : v.at("deps").asArray()) u.deps.push_back(d.asString());
+  u.normText = v.at("normText").asString();
+  u.normTextPp = v.at("normTextPp").asString();
+  u.sloc = static_cast<usize>(v.at("sloc").asInt());
+  u.lloc = static_cast<usize>(v.at("lloc").asInt());
+  u.slocPp = static_cast<usize>(v.at("slocPp").asInt());
+  u.llocPp = static_cast<usize>(v.at("llocPp").asInt());
+  u.tsrc = tree::Tree::fromMsgpack(v.at("tsrc"));
+  u.tsrcPp = tree::Tree::fromMsgpack(v.at("tsrcPp"));
+  u.tsem = tree::Tree::fromMsgpack(v.at("tsem"));
+  u.tsemI = tree::Tree::fromMsgpack(v.at("tsemI"));
+  u.tir = tree::Tree::fromMsgpack(v.at("tir"));
+  return u;
+}
+
+} // namespace
+
+std::vector<u8> CodebaseDb::serialise() const {
+  msgpack::Map m;
+  m.emplace("app", app);
+  m.emplace("model", model);
+  m.emplace("modelKind", static_cast<i64>(modelKind));
+  m.emplace("fortran", fortran);
+  msgpack::Array names;
+  for (const auto &n : fileNames) names.emplace_back(n);
+  m.emplace("fileNames", std::move(names));
+  msgpack::Array us;
+  for (const auto &u : units) us.push_back(unitToMsg(u));
+  m.emplace("units", std::move(us));
+  m.emplace("hasCoverage", hasCoverage);
+  msgpack::Array cov;
+  for (const auto &[key, count] : coverage.lineHits) {
+    msgpack::Array row;
+    row.emplace_back(static_cast<i64>(key.first));
+    row.emplace_back(static_cast<i64>(key.second));
+    row.emplace_back(static_cast<i64>(count));
+    cov.emplace_back(std::move(row));
+  }
+  m.emplace("coverage", std::move(cov));
+  return svz::compress(msgpack::encode(msgpack::Value(std::move(m))));
+}
+
+CodebaseDb CodebaseDb::deserialise(const std::vector<u8> &bytes) {
+  const auto v = msgpack::decode(svz::decompress(bytes));
+  CodebaseDb db;
+  db.app = v.at("app").asString();
+  db.model = v.at("model").asString();
+  db.modelKind = static_cast<ir::Model>(v.at("modelKind").asInt());
+  db.fortran = v.at("fortran").asBool();
+  for (const auto &n : v.at("fileNames").asArray()) db.fileNames.push_back(n.asString());
+  for (const auto &u : v.at("units").asArray()) db.units.push_back(unitFromMsg(u));
+  db.hasCoverage = v.at("hasCoverage").asBool();
+  for (const auto &row : v.at("coverage").asArray()) {
+    const auto &r = row.asArray();
+    db.coverage.lineHits[{static_cast<i32>(r[0].asInt()), static_cast<i32>(r[1].asInt())}] =
+        static_cast<u64>(r[2].asInt());
+  }
+  return db;
+}
+
+} // namespace sv::db

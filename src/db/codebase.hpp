@@ -1,0 +1,91 @@
+// The Codebase DB (Fig 2): SilverVale ingests a codebase (an in-memory file
+// set + its Compilation DB), runs the full frontend/backend pipeline per
+// translation unit, and produces a portable, serialisable set of
+// semantic-bearing trees and text-metric inputs. Optionally the program is
+// executed in the VM first so runtime coverage can be stored alongside
+// (Section IV-D).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/compiledb.hpp"
+#include "lang/source.hpp"
+#include "tree/tree.hpp"
+#include "vm/vm.hpp"
+
+namespace sv::db {
+
+/// A codebase under analysis: one miniapp in one programming model.
+struct Codebase {
+  std::string app;    ///< e.g. "tealeaf"
+  std::string model;  ///< display name, e.g. "cuda", "sycl-acc"
+  lang::SourceManager sources;
+  std::vector<CompileCommand> commands;
+
+  /// Register a file and return its id.
+  i32 addFile(std::string name, std::string text) {
+    return sources.add(std::move(name), std::move(text));
+  }
+};
+
+/// Everything extracted from one translation unit (= one unit_C(x), Eq. 1:
+/// the source file plus its non-system dependencies).
+struct UnitEntry {
+  std::string file;     ///< TU main file
+  std::string role;     ///< match() key: the file stem, stable across models
+  bool fortran = false;
+  /// Non-system files this unit depends on (its own headers) — the
+  /// dependency information unit_C(x) = dep(x) ∪ x carries (Eq. 1), used by
+  /// the module-coupling secondary metric (Section III-A).
+  std::vector<std::string> deps;
+
+  // Perceived-metric inputs (system files excluded).
+  std::string normText;   ///< normalised raw text of the unit's own files
+  std::string normTextPp; ///< normalised preprocessed text (+pp variant)
+  usize sloc = 0, lloc = 0, slocPp = 0, llocPp = 0;
+
+  // Semantic-bearing trees.
+  tree::Tree tsrc;    ///< token view of the unit's own files
+  tree::Tree tsrcPp;  ///< token view after preprocessing
+  tree::Tree tsem;    ///< frontend semantic tree
+  tree::Tree tsemI;   ///< T_sem with same-codebase calls inlined
+  tree::Tree tir;     ///< backend IR tree
+};
+
+struct CodebaseDb {
+  std::string app;
+  std::string model;
+  ir::Model modelKind = ir::Model::Serial;
+  bool fortran = false;
+  std::vector<std::string> fileNames; ///< id -> name (coverage back-references)
+  std::vector<UnitEntry> units;
+  bool hasCoverage = false;
+  vm::Coverage coverage;
+
+  [[nodiscard]] std::vector<u8> serialise() const;       ///< MessagePack + svz
+  static CodebaseDb deserialise(const std::vector<u8> &bytes);
+};
+
+struct IndexOptions {
+  /// Execute the program in the VM and record line coverage. The entry
+  /// point is "main" (or the Fortran program unit); all TUs are linked.
+  bool runCoverage = false;
+  vm::RunOptions vmOptions;
+};
+
+struct IndexResult {
+  CodebaseDb db;
+  std::optional<vm::RunResult> coverageRun; ///< present when runCoverage
+};
+
+/// Run the full indexing pipeline over every compile command.
+/// Throws FrontendError / VmError on malformed corpus input.
+[[nodiscard]] IndexResult index(const Codebase &codebase, const IndexOptions &options = {});
+
+/// Link all TUs of a codebase into one unit for execution (the VM's view of
+/// the final binary).
+[[nodiscard]] lang::ast::TranslationUnit linkForExecution(const Codebase &codebase);
+
+} // namespace sv::db

@@ -1,0 +1,63 @@
+#include "db/diskload.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace sv::db {
+
+namespace {
+namespace fs = std::filesystem;
+
+std::string readFile(const fs::path &p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw ParseError("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+} // namespace
+
+Codebase loadFromDisk(const std::string &root, const DiskLoadOptions &options) {
+  const fs::path rootPath(root);
+  const fs::path dbPath = rootPath / options.compileDbName;
+  if (!fs::exists(dbPath))
+    throw ParseError("no " + options.compileDbName + " under " + root);
+
+  Codebase cb;
+  cb.app = options.app;
+  cb.model = options.model;
+  cb.commands = parseCompileCommands(readFile(dbPath));
+
+  // Register every source file, path-relative to the root so include
+  // resolution and the include/-prefix system classification behave
+  // exactly like the embedded corpus.
+  for (const auto &entry : fs::recursive_directory_iterator(rootPath)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    bool wanted = false;
+    for (const auto &e : options.extensions)
+      if (ext == e) wanted = true;
+    if (!wanted) continue;
+    const auto rel = fs::relative(entry.path(), rootPath).generic_string();
+    cb.addFile(rel, readFile(entry.path()));
+  }
+
+  // Compile commands may reference files by absolute path; normalise to
+  // root-relative so they resolve in the virtual file system.
+  for (auto &cmd : cb.commands) {
+    const fs::path f(cmd.file);
+    if (f.is_absolute()) {
+      std::error_code ec;
+      const auto rel = fs::relative(f, rootPath, ec);
+      if (!ec) cmd.file = rel.generic_string();
+    }
+    if (!cb.sources.idOf(cmd.file))
+      throw ParseError("compile command references missing file: " + cmd.file);
+  }
+  return cb;
+}
+
+} // namespace sv::db

@@ -1,0 +1,82 @@
+#include "ir/cost.hpp"
+#include <set>
+
+namespace sv::ir {
+
+InstrMix &InstrMix::operator+=(const InstrMix &o) {
+  loads += o.loads;
+  stores += o.stores;
+  loadBytes += o.loadBytes;
+  storeBytes += o.storeBytes;
+  flops += o.flops;
+  intOps += o.intOps;
+  calls += o.calls;
+  branches += o.branches;
+  return *this;
+}
+
+u64 typeBytes(const std::string &irType) {
+  if (irType == "double" || irType == "i64" || irType == "ptr") return 8;
+  if (irType == "float" || irType == "i32") return 4;
+  if (irType == "i1" || irType == "i8") return 1;
+  return 8;
+}
+
+InstrMix functionMix(const Function &f) {
+  InstrMix mix;
+  // mem2reg modelling: loads/stores whose address is a *scalar* stack slot
+  // (an alloca with no size operands) would be promoted to registers by
+  // any optimising backend and must not count as memory traffic. Stack
+  // arrays and getelementptr/global/argument addresses are real memory.
+  std::set<std::string> scalarSlots;
+  for (const auto &b : f.blocks)
+    for (const auto &in : b.instrs)
+      if (in.op == "alloca" && in.operands.empty() && !in.result.empty())
+        scalarSlots.insert(in.result);
+  const auto isScalarSlot = [&](const std::string &addr) {
+    return scalarSlots.count(addr) != 0;
+  };
+  for (const auto &b : f.blocks) {
+    for (const auto &in : b.instrs) {
+      const auto &op = in.op;
+      if (op == "load") {
+        if (!in.operands.empty() && isScalarSlot(in.operands[0])) continue;
+        ++mix.loads;
+        mix.loadBytes += typeBytes(in.type);
+      } else if (op == "store") {
+        if (in.operands.size() > 1 && isScalarSlot(in.operands[1])) continue;
+        ++mix.stores;
+        mix.storeBytes += typeBytes(in.type);
+      } else if (op == "fadd" || op == "fsub" || op == "fmul" || op == "fdiv" || op == "fneg" ||
+                 op == "frem" || op == "fcmp") {
+        ++mix.flops;
+      } else if (op == "add" || op == "sub" || op == "mul" || op == "sdiv" || op == "srem" ||
+                 op == "and" || op == "or" || op == "xor" || op == "shl" || op == "ashr" ||
+                 op == "icmp" || op == "neg" || op == "select" || op == "getelementptr") {
+        ++mix.intOps;
+      } else if (op == "call") {
+        ++mix.calls;
+      } else if (op == "br" || op == "condbr") {
+        ++mix.branches;
+      }
+    }
+  }
+  return mix;
+}
+
+InstrMix moduleMix(const Module &m) {
+  InstrMix mix;
+  for (const auto &f : m.functions) {
+    if (f.role == FunctionRole::Runtime) continue;
+    mix += functionMix(f);
+  }
+  return mix;
+}
+
+double arithmeticIntensity(const InstrMix &mix) {
+  const u64 b = mix.bytes();
+  if (b == 0) return 0.0;
+  return static_cast<double>(mix.flops) / static_cast<double>(b);
+}
+
+} // namespace sv::ir

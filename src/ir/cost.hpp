@@ -1,0 +1,39 @@
+// IR instruction-mix analysis: the bridge between the compiled kernels and
+// the roofline performance simulator (our stand-in for the paper's hardware
+// benchmarks, see DESIGN.md). Counts memory traffic and arithmetic per
+// *innermost-loop iteration* of a function, so the simulator can scale by
+// the workload's trip counts.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace sv::ir {
+
+struct InstrMix {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 loadBytes = 0;   ///< 8 per double/i64/ptr, 4 per float/i32, 1 per i1/i8
+  u64 storeBytes = 0;
+  u64 flops = 0;       ///< fadd/fsub/fmul/fdiv/fneg/frem/fcmp
+  u64 intOps = 0;
+  u64 calls = 0;
+  u64 branches = 0;
+
+  [[nodiscard]] u64 bytes() const { return loadBytes + storeBytes; }
+  InstrMix &operator+=(const InstrMix &o);
+};
+
+/// Bytes moved by one access of the given IR type.
+[[nodiscard]] u64 typeBytes(const std::string &irType);
+
+/// Instruction mix of a single function (all blocks, each counted once —
+/// i.e. per loop iteration for a loop-shaped kernel body).
+[[nodiscard]] InstrMix functionMix(const Function &f);
+
+/// Aggregate mix of every non-runtime function in a module.
+[[nodiscard]] InstrMix moduleMix(const Module &m);
+
+/// Arithmetic intensity in flops/byte; 0 when no memory traffic.
+[[nodiscard]] double arithmeticIntensity(const InstrMix &mix);
+
+} // namespace sv::ir

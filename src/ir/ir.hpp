@@ -1,0 +1,79 @@
+// The platform-independent IR the backend tree T_ir is extracted from
+// (Section III-A / IV-A): an LLVM-flavoured module of functions, basic
+// blocks and typed instructions. Exactly like the paper's pipeline, symbol
+// names are discarded when the tree is generated, but instruction opcodes,
+// function/block/global structure — and the *offload driver boilerplate*
+// each model's compilation emits — are retained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/source.hpp"
+#include "support/common.hpp"
+
+namespace sv::ir {
+
+/// One instruction. Operands are symbolic strings:
+///   "%12" (local value), "@name" (global), "const:<v>" (immediate),
+///   "arg:<i>" (function argument), "label:<name>" (branch target).
+struct Instr {
+  std::string op;    ///< "load", "store", "fadd", "icmp", "call", "br", ...
+  std::string type;  ///< result/operand type: "double", "i32", "i1", "ptr", "void"
+  std::string result; ///< "%N" or empty for void instructions
+  std::vector<std::string> operands;
+  i32 file = -1;
+  i32 line = -1;
+};
+
+struct Block {
+  std::string name; ///< "entry", "for.cond", "if.then", ...
+  std::vector<Instr> instrs;
+};
+
+/// Why a function exists — drives T_ir structure and the cost model.
+enum class FunctionRole {
+  User,        ///< lowered from user source
+  Outlined,    ///< outlined parallel/target region or lambda body
+  DeviceStub,  ///< host-side kernel launch stub
+  Runtime,     ///< module-level driver/registration boilerplate
+};
+
+struct Function {
+  std::string name;
+  std::string returnType;
+  usize argCount = 0;
+  FunctionRole role = FunctionRole::User;
+  std::vector<Block> blocks;
+  i32 file = -1;
+  i32 line = -1;
+
+  [[nodiscard]] usize instrCount() const {
+    usize n = 0;
+    for (const auto &b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+struct Global {
+  std::string name;
+  std::string type;
+  bool runtime = false; ///< emitted by offload bundling, not by user code
+};
+
+struct Module {
+  std::string sourceFile;
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  [[nodiscard]] usize instrCount() const {
+    usize n = 0;
+    for (const auto &f : functions) n += f.instrCount();
+    return n;
+  }
+};
+
+/// Render the module as LLVM-ish text (debugging, goldens, examples).
+[[nodiscard]] std::string print(const Module &m);
+
+} // namespace sv::ir

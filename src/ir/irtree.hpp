@@ -1,0 +1,23 @@
+// T_ir generator (Section III-A / IV-A): IR module -> semantic tree.
+// "Like the frontend tree, we discard all symbol names but retain
+// instruction names, functions, basic blocks, and globals." Operand
+// identities are reduced to their kind (value / constant / argument /
+// global / label) so register numbering never contributes distance.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "tree/tree.hpp"
+
+namespace sv::ir {
+
+struct IrTreeOptions {
+  /// Include runtime/driver functions and globals (the offload boilerplate).
+  /// The paper's T_ir keeps them — that is precisely why offload models
+  /// "misbehave" — so this defaults to true; the coverage variant prunes
+  /// them instead.
+  bool includeRuntime = true;
+};
+
+[[nodiscard]] tree::Tree buildIrTree(const Module &m, const IrTreeOptions &options = {});
+
+} // namespace sv::ir

@@ -1,0 +1,211 @@
+// The typed AST shared by the MiniC (C++-like) and MiniF (Fortran-like)
+// frontends, the tree-walking VM, the IR lowering, and the T_sem tree
+// generators. It plays the role ClangAST / GIMPLE play in the paper's
+// pipeline (Fig 3): the semantic representation that the compiler — and
+// therefore the T_sem metric — actually sees.
+//
+// Design: one Expr struct and one Stmt struct, each discriminated by a kind
+// enum, with children held in vectors of unique_ptr. This keeps the VM and
+// the lowering pass compact while still letting the tree generators emit
+// Clang-flavoured (or GFortran-flavoured) node labels.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/source.hpp"
+
+namespace sv::lang::ast {
+
+// ---------------------------------------------------------------- types --
+
+/// A (possibly qualified, possibly template-applied) type reference, e.g.
+/// `double`, `double *`, `sycl::buffer<double, 1>`, `std::vector<double> &`.
+struct Type {
+  std::string name;        ///< qualified name, "::"-joined
+  std::vector<Type> args;  ///< template arguments (types only; ints become names)
+  int pointer = 0;         ///< levels of '*'
+  bool reference = false;  ///< trailing '&'
+  bool isConst = false;
+
+  [[nodiscard]] bool operator==(const Type &) const = default;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] static Type simple(std::string n) { return Type{std::move(n), {}, 0, false, false}; }
+};
+
+// ----------------------------------------------------------- directives --
+
+/// A parallelism directive (OpenMP `#pragma omp ...`, OpenACC `!$acc ...`,
+/// OpenMP-in-Fortran `!$omp ...`). Directives carry semantics beyond the
+/// base language — the paper's key observation about OpenMP AST tokens
+/// (Section V-C) — so they are first-class here.
+struct DirectiveClause {
+  std::string name;                    ///< e.g. "reduction", "map", "schedule"
+  std::vector<std::string> arguments;  ///< raw argument tokens, e.g. "+", "sum"
+};
+
+struct Directive {
+  std::string family;  ///< "omp" or "acc"
+  std::vector<std::string> kind; ///< e.g. {"target","teams","distribute","parallel","for"}
+  std::vector<DirectiveClause> clauses;
+  Location loc;
+};
+
+// -------------------------------------------------------------- exprs --
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,
+  BoolLit,
+  Ident,         ///< text = name (possibly "::"-qualified)
+  Binary,        ///< text = operator; args = {lhs, rhs}
+  Unary,         ///< text = operator; args = {operand}
+  Assign,        ///< text = "=", "+=", ...; args = {lhs, rhs}
+  Conditional,   ///< args = {cond, then, else}
+  Call,          ///< args[0] = callee, rest = arguments; typeArgs = explicit template args
+  KernelLaunch,  ///< CUDA/HIP <<<grid, block>>>: args[0] = callee, args[1] = grid,
+                 ///< args[2] = block, rest = kernel arguments
+  Index,         ///< args = {base, index...} (MiniF arrays use multi-index)
+  Member,        ///< text = member name; args = {base}; `arrow` via text prefix not needed
+  Lambda,        ///< params/body populated; text = capture spec ("=", "&", ...)
+  Cast,          ///< explicit cast; castType populated; args = {operand}
+  ImplicitCast,  ///< inserted by sema; castType populated; args = {operand}
+  InitList,      ///< braced initialiser {a, b, c}
+  Range,         ///< MiniF a:b section or range expression; args = {lo, hi}
+};
+
+struct Stmt;
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Param {
+  Type type;
+  std::string name;
+  ExprPtr defaultValue; ///< rarely used; null otherwise
+};
+
+struct Expr {
+  ExprKind kind{};
+  Location loc;
+  std::string text;          ///< operator / identifier / literal spelling / member name
+  std::vector<ExprPtr> args; ///< operands, see per-kind contract above
+  std::vector<Type> typeArgs;///< explicit template arguments on calls
+  Type valueType;            ///< computed by sema; empty name when unknown
+  /// Populated by sema for calls into a known model-API surface: the number
+  /// of template arguments the API materialises beyond what is written
+  /// (defaulted template params, deduced kernel-name types, ...) and the
+  /// number of implicit conversions/constructions of arguments into API
+  /// types. These become TemplateArgument / CXXConstructExpr nodes in
+  /// T_sem — the "non-visible but semantic-bearing elements" of Section V-A.
+  u32 apiHiddenTemplates = 0;
+  u32 apiImplicitConversions = 0;
+  // Lambda payload:
+  std::vector<Param> params;
+  StmtPtr body;
+
+  [[nodiscard]] static ExprPtr make(ExprKind k, Location loc, std::string text = "");
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+// -------------------------------------------------------------- stmts --
+
+enum class StmtKind {
+  Compound,   ///< children = statements
+  If,         ///< cond; children[0] = then, children[1] = else (optional)
+  For,        ///< init (stmt), cond, step (exprs); children[0] = body
+  ForRange,   ///< MiniF DO / DO CONCURRENT: loopVar, cond=lo, step=hi; children[0]=body
+  While,      ///< cond; children[0] = body
+  DoWhile,    ///< cond; children[0] = body
+  Return,     ///< cond = value (optional)
+  Break,
+  Continue,
+  ExprStmt,   ///< cond = expression
+  DeclStmt,   ///< decl populated
+  Directive,  ///< directive populated; children[0] = the statement it governs (optional)
+  ArrayAssign,///< MiniF whole-array assignment a(:) = expr; cond = lhs, step = rhs
+  Empty,
+};
+
+struct VarDecl {
+  Type type;
+  std::string name;
+  ExprPtr init;              ///< may be null
+  std::vector<ExprPtr> arrayDims; ///< non-empty for array declarations
+};
+
+struct Stmt {
+  StmtKind kind{};
+  Location loc;
+  std::vector<StmtPtr> children;
+  ExprPtr cond;   ///< see per-kind contract
+  StmtPtr init;   ///< For: init statement
+  ExprPtr step;   ///< For: increment; ForRange: upper bound; ArrayAssign: rhs
+  std::vector<VarDecl> decls; ///< DeclStmt (may declare several names)
+  std::optional<Directive> directive;
+  std::string loopVar;        ///< ForRange induction variable
+
+  [[nodiscard]] static StmtPtr make(StmtKind k, Location loc);
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+// -------------------------------------------------------------- decls --
+
+struct FunctionDecl {
+  std::string name;
+  Type returnType;
+  std::vector<Param> params;
+  StmtPtr body;                        ///< null for pure declarations
+  std::vector<std::string> attributes; ///< "__global__", "__device__", "static", ...
+  std::vector<std::string> templateParams; ///< names of template type params
+  Location loc;
+
+  [[nodiscard]] bool isKernel() const; ///< carries __global__ (CUDA/HIP device entry)
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<Param> fields;
+  Location loc;
+};
+
+struct GlobalVarDecl {
+  VarDecl var;
+  std::vector<std::string> attributes; ///< e.g. "__device__", "const"
+  Location loc;
+};
+
+struct IncludeDecl {
+  std::string path;
+  bool system = false; ///< <...> vs "..."
+  Location loc;
+};
+
+/// One parsed translation unit (a source file after preprocessing), plus
+/// the list of includes it pulled in — the dependency info unit_C(x) needs
+/// (Eq. 1).
+struct TranslationUnit {
+  std::string fileName;
+  std::vector<IncludeDecl> includes;
+  std::vector<StructDecl> structs;
+  std::vector<GlobalVarDecl> globals;
+  std::vector<FunctionDecl> functions;
+  /// Fortran: name of the top-level program unit, empty for C-family.
+  std::string programName;
+};
+
+// ------------------------------------------------------------- helpers --
+
+[[nodiscard]] VarDecl cloneVarDecl(const VarDecl &d);
+[[nodiscard]] Param cloneParam(const Param &p);
+[[nodiscard]] FunctionDecl cloneFunction(const FunctionDecl &f);
+
+/// Deep structural equality used by tests (ignores locations).
+[[nodiscard]] bool structurallyEqual(const Expr &a, const Expr &b);
+[[nodiscard]] bool structurallyEqual(const Stmt &a, const Stmt &b);
+
+} // namespace sv::lang::ast

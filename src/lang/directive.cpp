@@ -1,0 +1,150 @@
+#include "lang/directive.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace sv::lang {
+
+namespace {
+
+/// Tokenise a directive body: identifiers/keywords, parenthesised argument
+/// blobs and the punctuation inside them.
+struct DirectiveLexer {
+  std::string_view text;
+  usize pos = 0;
+
+  void skipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+
+  [[nodiscard]] bool done() {
+    skipWs();
+    return pos >= text.size();
+  }
+
+  [[nodiscard]] std::string word() {
+    skipWs();
+    const usize start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_'))
+      ++pos;
+    return std::string(text.substr(start, pos - start));
+  }
+
+  [[nodiscard]] bool peekParen() {
+    skipWs();
+    return pos < text.size() && text[pos] == '(';
+  }
+
+  /// Consume a balanced "(...)" and return the inside.
+  [[nodiscard]] std::string parenBody() {
+    skipWs();
+    SV_CHECK(pos < text.size() && text[pos] == '(', "directive: expected '('");
+    ++pos;
+    int depth = 1;
+    const usize start = pos;
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '(') ++depth;
+      else if (text[pos] == ')') --depth;
+      if (depth > 0) ++pos;
+    }
+    const std::string body(text.substr(start, pos - start));
+    if (pos < text.size()) ++pos; // closing ')'
+    return body;
+  }
+};
+
+/// Clause arguments: split "tofrom: a[0:n], b" into {"tofrom", "a[0:n]", "b"}.
+std::vector<std::string> splitClauseArgs(std::string_view body) {
+  std::vector<std::string> out;
+  usize start = 0;
+  int depth = 0;
+  for (usize i = 0; i <= body.size(); ++i) {
+    const char c = i < body.size() ? body[i] : ',';
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    const bool separator = depth == 0 && (c == ',' || c == ':');
+    if (separator || i == body.size()) {
+      const auto piece = str::trim(body.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+// Directive-kind keywords (multi-word directive names are sequences of
+// these). Anything else that is a bare word also extends the kind, but
+// these are the common OpenMP/OpenACC spellings.
+bool looksLikeKindWord(const std::string &w) {
+  static const char *kKinds[] = {
+      "parallel", "for",     "do",       "simd",     "target", "teams",  "distribute",
+      "taskloop", "task",    "sections", "section",  "single", "master", "critical",
+      "atomic",   "barrier", "loop",     "kernels",  "data",   "enter",  "exit",
+      "update",   "declare", "routine",  "concurrent"};
+  for (const auto *k : kKinds)
+    if (w == k) return true;
+  return false;
+}
+
+} // namespace
+
+ast::Directive parseDirective(std::string_view text, Location loc) {
+  ast::Directive d;
+  d.loc = loc;
+  DirectiveLexer lex{text, 0};
+  d.family = lex.word();
+  // Leading kind keywords; the first word with a '(' (or any later word)
+  // starts the clause list.
+  bool inClauses = false;
+  while (!lex.done()) {
+    const std::string w = lex.word();
+    if (w.empty()) {
+      // Stray punctuation (e.g. a comma between clauses); skip one char.
+      lex.pos++;
+      continue;
+    }
+    if (lex.peekParen()) {
+      // kind-with-paren like `num_threads(4)` or a clause like `map(...)`.
+      // `if` is also spelled like a clause. Everything with parens is a
+      // clause for our purposes.
+      ast::DirectiveClause clause;
+      clause.name = w;
+      clause.arguments = splitClauseArgs(lex.parenBody());
+      d.clauses.push_back(std::move(clause));
+      inClauses = true;
+    } else if (!inClauses && looksLikeKindWord(w)) {
+      d.kind.push_back(w);
+    } else {
+      // Bare clause with no arguments, e.g. `nowait`, `untied`, `defaultmap`.
+      d.clauses.push_back(ast::DirectiveClause{w, {}});
+      inClauses = true;
+    }
+  }
+  return d;
+}
+
+std::string directiveToString(const ast::Directive &d) {
+  std::string out = d.family;
+  for (const auto &k : d.kind) {
+    out += " ";
+    out += k;
+  }
+  for (const auto &c : d.clauses) {
+    out += " " + c.name;
+    if (!c.arguments.empty()) out += "(" + str::join(c.arguments, ",") + ")";
+  }
+  return out;
+}
+
+bool isDataClause(std::string_view clauseName) {
+  static const char *kData[] = {"map",     "copy",   "copyin", "copyout", "create",
+                                "present", "to",     "from",   "tofrom",  "device",
+                                "shared",  "private", "firstprivate", "reduction"};
+  for (const auto *k : kData)
+    if (clauseName == k) return true;
+  return false;
+}
+
+} // namespace sv::lang

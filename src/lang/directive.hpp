@@ -1,0 +1,27 @@
+// Parsing of parallelism directives shared by both frontends:
+//   C-family:  #pragma omp target teams distribute parallel for map(tofrom: a)
+//   Fortran:   !$omp parallel do reduction(+:sum)   /   !$acc parallel loop
+// The directive text after the sentinel is identical in spirit, so one
+// parser serves both. Directive *kinds* (the leading keywords) are kept as
+// an ordered list; everything of the form name(args) becomes a clause.
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace sv::lang {
+
+/// Parse the body of a directive, i.e. the text after "#pragma " or "!$".
+/// `family` is the first token ("omp", "acc"); the rest is split into the
+/// kind keywords and clauses. Unknown directives parse structurally (no
+/// keyword whitelist) so model-specific extensions survive.
+[[nodiscard]] ast::Directive parseDirective(std::string_view text, Location loc);
+
+/// Render a directive back to a canonical single-line form (used by tree
+/// labels and tests).
+[[nodiscard]] std::string directiveToString(const ast::Directive &d);
+
+/// The set of clause keywords that bind data-movement semantics; used by
+/// the T_sem tree generator to weight offload directives (map/copy/...).
+[[nodiscard]] bool isDataClause(std::string_view clauseName);
+
+} // namespace sv::lang

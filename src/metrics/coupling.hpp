@@ -1,0 +1,48 @@
+// Secondary metrics enabled by the source back-references (Section III-A):
+// "this information is necessary for reconstructing the dependency tree
+// between all source units. This process enables the calculation of
+// secondary metrics such as module coupling [9] and overall tree
+// complexity."
+//
+// Coupling follows the spirit of Offutt, Harrold & Kolte's module-coupling
+// levels, measured from the unit dependency graph (fan-out: headers a unit
+// pulls in; fan-in: units sharing those headers -> common/stamp coupling).
+// Tree complexity summarises the shape of a semantic-bearing tree.
+#pragma once
+
+#include "db/codebase.hpp"
+#include "tree/tree.hpp"
+
+namespace sv::metrics {
+
+struct UnitCoupling {
+  std::string unit;    ///< TU file name
+  usize fanOut = 0;    ///< non-system dependencies of this unit
+  usize fanIn = 0;     ///< other units that share at least one dependency
+  /// Offutt-style pairwise coupling strength with each other unit:
+  /// |shared deps| / |union of deps| (Jaccard over the dependency sets).
+  std::vector<std::pair<std::string, double>> coupledWith;
+};
+
+struct CouplingReport {
+  std::vector<UnitCoupling> units;
+  double averageFanOut = 0;
+  /// Fraction of unit pairs with any shared dependency — the codebase's
+  /// overall common-coupling density in [0, 1].
+  double couplingDensity = 0;
+};
+
+[[nodiscard]] CouplingReport coupling(const db::CodebaseDb &c);
+
+/// Shape summary of a semantic-bearing tree ("overall tree complexity").
+struct TreeComplexity {
+  usize nodes = 0;
+  usize depth = 0;
+  usize leaves = 0;
+  double averageBranching = 0; ///< mean children per interior node
+  usize maxBranching = 0;
+};
+
+[[nodiscard]] TreeComplexity treeComplexity(const tree::Tree &t);
+
+} // namespace sv::metrics

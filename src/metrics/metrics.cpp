@@ -1,0 +1,153 @@
+#include "metrics/metrics.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+#include "text/text.hpp"
+
+namespace sv::metrics {
+
+namespace {
+
+const db::UnitEntry *findUnit(const db::CodebaseDb &c, const std::string &role,
+                              const MatchOptions &match) {
+  for (const auto &u : c.units) {
+    const std::string r = match.roleOf ? match.roleOf(u) : u.role;
+    if (r == role) return &u;
+  }
+  return nullptr;
+}
+
+const tree::Tree &selectTree(const db::UnitEntry &u, Metric metric, const Variant &variant) {
+  switch (metric) {
+  case Metric::Tsrc: return variant.preprocessed ? u.tsrcPp : u.tsrc;
+  case Metric::Tsem: return u.tsem;
+  case Metric::TsemInline: return u.tsemI;
+  case Metric::Tir: return u.tir;
+  default: internalError("selectTree: not a tree metric");
+  }
+}
+
+const std::string &selectText(const db::UnitEntry &u, const Variant &variant) {
+  return variant.preprocessed ? u.normTextPp : u.normText;
+}
+
+/// Coverage masking for text: keep the lines of covered files... textual
+/// masking is not line-mapped after normalisation, so the +coverage variant
+/// applies to tree metrics only; text falls back to the unmasked form.
+} // namespace
+
+std::string_view metricName(Metric m) {
+  switch (m) {
+  case Metric::SLOC: return "SLOC";
+  case Metric::LLOC: return "LLOC";
+  case Metric::Source: return "Source";
+  case Metric::Tsrc: return "Tsrc";
+  case Metric::Tsem: return "Tsem";
+  case Metric::TsemInline: return "Tsem+i";
+  case Metric::Tir: return "Tir";
+  }
+  return "?";
+}
+
+bool isTreeMetric(Metric m) {
+  return m == Metric::Tsrc || m == Metric::Tsem || m == Metric::TsemInline || m == Metric::Tir;
+}
+
+bool isAbsolute(Metric m) { return m == Metric::SLOC || m == Metric::LLOC; }
+
+usize absolute(const db::CodebaseDb &c, Metric metric, Variant variant) {
+  if (!isAbsolute(metric)) internalError("absolute() requires SLOC or LLOC");
+  usize total = 0;
+  for (const auto &u : c.units) {
+    if (metric == Metric::SLOC) total += variant.preprocessed ? u.slocPp : u.sloc;
+    else total += variant.preprocessed ? u.llocPp : u.lloc;
+  }
+  return total;
+}
+
+tree::Tree applyCoverage(const tree::Tree &t, const vm::Coverage &coverage) {
+  return t.pruneWhere([&](const tree::Node &n) {
+    if (n.file < 0 || n.line < 1) return true; // synthetic nodes stay
+    return coverage.covered(n.file, n.line);
+  });
+}
+
+Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric metric,
+                   Variant variant, const tree::TedOptions &tedOptions,
+                   const MatchOptions &match) {
+  if (isAbsolute(metric)) internalError("diverge() requires a relative metric");
+  Divergence out;
+
+  const auto maskedTree = [&](const db::CodebaseDb &c, const db::UnitEntry &u) {
+    const tree::Tree &base = selectTree(u, metric, variant);
+    if (variant.coverage && c.hasCoverage) return applyCoverage(base, c.coverage);
+    return base; // copy
+  };
+
+  std::map<std::string, bool> seenRoles;
+  for (const auto &u1 : c1.units) {
+    const std::string role = match.roleOf ? match.roleOf(u1) : u1.role;
+    seenRoles[role] = true;
+    const auto *u2 = findUnit(c2, role, match);
+    if (metric == Metric::Source) {
+      const auto lines1 = str::splitLines(selectText(u1, variant));
+      if (!u2) {
+        out.distance += lines1.size();
+        out.dmaxSym += lines1.size();
+        ++out.unmatchedUnits;
+        continue;
+      }
+      const auto lines2 = str::splitLines(selectText(*u2, variant));
+      out.distance += text::diffDistance(lines1, lines2);
+      out.dmaxEq7 += lines2.size();
+      out.dmaxSym += lines1.size() + lines2.size();
+      ++out.matchedUnits;
+      continue;
+    }
+    const auto t1 = maskedTree(c1, u1);
+    if (!u2) {
+      out.distance += t1.size();
+      out.dmaxSym += t1.size();
+      ++out.unmatchedUnits;
+      continue;
+    }
+    const auto t2 = maskedTree(c2, *u2);
+    out.distance += tree::ted(t1, t2, tedOptions);
+    out.dmaxEq7 += t2.size();
+    out.dmaxSym += t1.size() + t2.size();
+    ++out.matchedUnits;
+  }
+  // Units present only in c2 must be introduced wholesale.
+  for (const auto &u2 : c2.units) {
+    const std::string role = match.roleOf ? match.roleOf(u2) : u2.role;
+    if (seenRoles.count(role)) continue;
+    if (metric == Metric::Source) {
+      const auto lines2 = str::splitLines(selectText(u2, variant));
+      out.distance += lines2.size();
+      out.dmaxEq7 += lines2.size();
+      out.dmaxSym += lines2.size();
+    } else {
+      const auto t2 = maskedTree(c2, u2);
+      out.distance += t2.size();
+      out.dmaxEq7 += t2.size();
+      out.dmaxSym += t2.size();
+    }
+    ++out.unmatchedUnits;
+  }
+  return out;
+}
+
+DivergenceRow divergenceRow(const db::CodebaseDb &base, const db::CodebaseDb &other,
+                            Variant variant) {
+  DivergenceRow row;
+  row.model = other.model;
+  row.source = diverge(base, other, Metric::Source, variant).normalised();
+  row.tsrc = diverge(base, other, Metric::Tsrc, variant).normalised();
+  row.tsem = diverge(base, other, Metric::Tsem, variant).normalised();
+  row.tsemI = diverge(base, other, Metric::TsemInline, variant).normalised();
+  row.tir = diverge(base, other, Metric::Tir, variant).normalised();
+  return row;
+}
+
+} // namespace sv::metrics

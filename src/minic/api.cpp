@@ -1,0 +1,91 @@
+#include "minic/api.hpp"
+
+#include <map>
+#include <string>
+
+namespace sv::minic {
+
+namespace {
+
+// Counts follow the declarations cited in api.hpp. They are the per-call
+// semantic surcharge each API imposes at a call site in ClangAST terms.
+const std::map<std::string, ApiInfo, std::less<>> kFreeFunctions = {
+    // --- SYCL free functions -------------------------------------------
+    {"sycl::malloc_device", {2, 1}}, // <T>(count, queue) + usm::alloc default, context conv
+    {"sycl::malloc_shared", {2, 1}},
+    {"sycl::malloc_host", {2, 1}},
+    {"sycl::free", {0, 1}},
+    {"sycl::range", {1, 0}},
+    {"sycl::buffer", {2, 1}}, // AllocatorT + dims defaults, range conversion
+    // --- Kokkos ---------------------------------------------------------
+    {"Kokkos::parallel_for", {3, 1}},    // ExecSpace, Schedule, IndexType defaults
+    {"Kokkos::parallel_reduce", {4, 2}}, // + ReducerType, join/init materialisation
+    {"Kokkos::fence", {0, 0}},
+    {"Kokkos::initialize", {0, 0}},
+    {"Kokkos::finalize", {0, 0}},
+    {"Kokkos::deep_copy", {2, 1}},
+    {"Kokkos::RangePolicy", {3, 0}},
+    {"Kokkos::View", {3, 1}}, // Layout, MemSpace, MemTraits defaults
+    {"Kokkos::create_mirror_view", {2, 1}},
+    // --- TBB --------------------------------------------------------------
+    {"tbb::parallel_for", {2, 1}},    // Index type deduction + partitioner default
+    {"tbb::parallel_reduce", {3, 2}}, // + Value deduction, identity materialisation
+    {"tbb::blocked_range", {1, 0}},
+    // --- StdPar (ISO C++ parallel algorithms): every template parameter of
+    // the declaration is deduced at the call site and materialises in the
+    // AST ------------------------------------------------------------------
+    {"std::for_each", {3, 0}},         // ExecutionPolicy, ForwardIt, UnaryFn
+    {"std::for_each_n", {4, 0}},       // + Size
+    {"std::transform", {4, 0}},        // policy, It1, OutIt, UnaryOp
+    {"std::transform_reduce", {6, 1}}, // policy, It1, It2, T, BinaryOp, UnaryOp
+    {"std::reduce", {4, 1}},           // policy, It, T, BinaryOp
+    {"std::fill", {2, 0}},
+    {"std::copy", {3, 0}},
+    // --- CUDA runtime -----------------------------------------------------
+    {"cudaMalloc", {0, 1}}, // void** conversion
+    {"cudaFree", {0, 0}},
+    {"cudaMemcpy", {0, 1}},
+    {"cudaMemset", {0, 0}},
+    {"cudaDeviceSynchronize", {0, 0}},
+    {"cudaGetDeviceCount", {0, 0}},
+    {"cudaSetDevice", {0, 0}},
+    // --- HIP runtime ------------------------------------------------------
+    {"hipMalloc", {0, 1}},
+    {"hipFree", {0, 0}},
+    {"hipMemcpy", {0, 1}},
+    {"hipMemset", {0, 0}},
+    {"hipDeviceSynchronize", {0, 0}},
+    {"hipLaunchKernelGGL", {1, 2}}, // kernel type param + dim3 conversions
+};
+
+const std::map<std::string, ApiInfo, std::less<>> kMemberFunctions = {
+    // --- SYCL members -----------------------------------------------------
+    {"submit", {1, 1}},        // CGF type param; handler materialisation
+    {"parallel_for", {2, 2}},  // KernelName + kernel type deduction; range/item conv
+    {"single_task", {1, 1}},
+    {"get_access", {2, 1}},    // target + placeholder defaults (mode is written)
+    {"copy", {1, 1}},
+    {"memcpy", {0, 1}},
+    {"wait", {0, 0}},
+    {"get_range", {1, 0}},
+    {"get_id", {1, 0}},
+    // --- TBB blocked_range members ---------------------------------------
+    {"begin", {0, 0}},
+    {"end", {0, 0}},
+};
+
+} // namespace
+
+std::optional<ApiInfo> lookupApi(std::string_view qualifiedName) {
+  const auto it = kFreeFunctions.find(qualifiedName);
+  if (it == kFreeFunctions.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ApiInfo> lookupMemberApi(std::string_view memberName) {
+  const auto it = kMemberFunctions.find(memberName);
+  if (it == kMemberFunctions.end()) return std::nullopt;
+  return it->second;
+}
+
+} // namespace sv::minic

@@ -1,0 +1,45 @@
+// Registry of known programming-model API surfaces and their *hidden*
+// semantic weight. When sema resolves a call to one of these symbols it
+// annotates the call with the number of template arguments the API
+// materialises beyond the written source (defaulted template parameters,
+// deduced kernel-name types, accessor mode/placeholder parameters, ...)
+// and the number of implicit conversions of user arguments into API types.
+//
+// The counts are derived from the real API declarations:
+//  * SYCL 2020: `buffer<T, dims = 1, AllocatorT = buffer_allocator<T>>`,
+//    `accessor<T, dims, mode, target, isPlaceholder>` (3 defaulted),
+//    `handler::parallel_for<KernelName = __unnamed>(range, Reducers..., fn)`,
+//    `queue::submit(CGF)` materialising a `handler` — the heavily-templated
+//    surface Section V-A singles out.
+//  * Kokkos: `parallel_for(label, ExecPolicy<...defaults...>, Functor)` with
+//    execution/memory-space defaults, `View<T*, LayoutRight, MemSpace>`.
+//  * TBB: `parallel_for(blocked_range<T>, Body, Partitioner = auto)`.
+//  * StdPar: `for_each(ExecutionPolicy&&, It, It, Fn)` — one policy template
+//    parameter, iterator category deduction.
+//  * CUDA/HIP runtime calls (`cudaMalloc`, `hipMemcpy`, ...): plain C
+//    symbols, no hidden templates, but `void**` conversions count as one
+//    implicit conversion.
+// OpenMP needs no entry: its semantics enter the AST as directive nodes.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "support/common.hpp"
+
+namespace sv::minic {
+
+struct ApiInfo {
+  u32 hiddenTemplates = 0;      ///< defaulted/deduced template arguments
+  u32 implicitConversions = 0;  ///< implicit constructions of user args
+};
+
+/// Look up a plain or qualified callee name (e.g. "sycl::malloc_device",
+/// "Kokkos::parallel_for", "cudaMemcpy").
+[[nodiscard]] std::optional<ApiInfo> lookupApi(std::string_view qualifiedName);
+
+/// Look up a member call by member name alone (e.g. "submit",
+/// "parallel_for", "get_access") — member calls on model runtime objects.
+[[nodiscard]] std::optional<ApiInfo> lookupMemberApi(std::string_view memberName);
+
+} // namespace sv::minic

@@ -1,0 +1,280 @@
+#include "minic/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace sv::minic {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "void",      "int",     "long",     "unsigned", "float",   "double",  "bool",
+    "char",      "auto",    "if",       "else",     "for",     "while",   "do",
+    "return",    "break",   "continue", "struct",   "class",   "namespace",
+    "using",     "template","typename", "const",    "static",  "constexpr",
+    "true",      "false",   "nullptr",  "public",   "private", "inline",  "extern",
+    "operator",  "new",     "delete",   "sizeof",   "switch",  "case",    "default",
+};
+
+// Longest-match punctuation, ordered by length.
+constexpr std::array kPunct3Plus = {"<<<", ">>>", "...", "->*", "<=>"};
+constexpr std::array kPunct2 = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+                                "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+
+struct Cursor {
+  std::string_view text;
+  usize pos = 0;
+  i32 line = 1; ///< physical line in `text` (1-based)
+  i32 col = 1;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek(usize ahead = 0) const {
+    return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+  }
+  char advance() {
+    const char c = text[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+};
+
+} // namespace
+
+bool isKeyword(std::string_view word) {
+  for (const auto *k : kKeywords)
+    if (word == k) return true;
+  return false;
+}
+
+std::vector<Token> lex(std::string_view text, i32 fileId,
+                       const std::vector<lang::Location> *lineOrigins, bool allowDirectives) {
+  std::vector<Token> out;
+  Cursor c{text, 0, 1, 1};
+
+  const auto location = [&](i32 physLine, i32 col) {
+    if (lineOrigins && physLine >= 1 &&
+        static_cast<usize>(physLine - 1) < lineOrigins->size()) {
+      const auto origin = (*lineOrigins)[static_cast<usize>(physLine - 1)];
+      return lang::Location{origin.file, origin.line, col};
+    }
+    return lang::Location{fileId, physLine, col};
+  };
+  const auto fail = [&](const std::string &what) -> void {
+    throw lang::FrontendError(what, "file#" + std::to_string(fileId) + ":" +
+                                        std::to_string(c.line));
+  };
+
+  bool lineHasContent = false; // tracks whether a token already appeared on this line
+  while (!c.done()) {
+    const char ch = c.peek();
+    // Whitespace.
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      if (ch == '\n') lineHasContent = false;
+      c.advance();
+      continue;
+    }
+    const i32 startLine = c.line;
+    const i32 startCol = c.col;
+    const bool freshLine = !lineHasContent;
+    lineHasContent = true;
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!(c.peek() == '*' && c.peek(1) == '/')) {
+        if (c.done()) fail("unterminated block comment");
+        c.advance();
+      }
+      c.advance();
+      c.advance();
+      continue;
+    }
+    // Preprocessor remnants: after preprocessing only #pragma lines remain.
+    if (ch == '#' && freshLine) {
+      std::string lineText;
+      while (!c.done() && c.peek() != '\n') lineText.push_back(c.advance());
+      std::string_view rest(lineText);
+      rest.remove_prefix(1); // '#'
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+        rest.remove_prefix(1);
+      if (rest.substr(0, 6) == "pragma") {
+        rest.remove_prefix(6);
+        while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+          rest.remove_prefix(1);
+        out.push_back(Token{TokKind::Pragma, std::string(rest), location(startLine, startCol)});
+      } else if (allowDirectives) {
+        out.push_back(
+            Token{TokKind::PpDirective, std::string(rest), location(startLine, startCol)});
+      } else {
+        fail("unexpected preprocessor directive reached the lexer: #" + std::string(rest));
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) || c.peek() == '_')
+        word.push_back(c.advance());
+      const TokKind kind = isKeyword(word) ? TokKind::Keyword : TokKind::Ident;
+      out.push_back(Token{kind, std::move(word), location(startLine, startCol)});
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string num;
+      bool isFloat = false;
+      while (std::isdigit(static_cast<unsigned char>(c.peek()))) num.push_back(c.advance());
+      if (c.peek() == '.') {
+        // A '.' directly after digits always continues the number ("1.5",
+        // "2.", "5.f"); member access cannot follow an integer literal.
+        isFloat = true;
+        num.push_back(c.advance());
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) num.push_back(c.advance());
+      }
+      if (c.peek() == 'e' || c.peek() == 'E') {
+        isFloat = true;
+        num.push_back(c.advance());
+        if (c.peek() == '+' || c.peek() == '-') num.push_back(c.advance());
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) num.push_back(c.advance());
+      }
+      // Suffixes (f, u, l, ul, ...) are consumed but not recorded.
+      while (std::isalpha(static_cast<unsigned char>(c.peek()))) {
+        if (c.peek() == 'f' || c.peek() == 'F') isFloat = true;
+        c.advance();
+      }
+      out.push_back(Token{isFloat ? TokKind::FloatLit : TokKind::IntLit, std::move(num),
+                          location(startLine, startCol)});
+      continue;
+    }
+    // Strings.
+    if (ch == '"') {
+      c.advance();
+      std::string s;
+      while (c.peek() != '"') {
+        if (c.done() || c.peek() == '\n') fail("unterminated string literal");
+        char x = c.advance();
+        if (x == '\\' && !c.done()) {
+          const char esc = c.advance();
+          switch (esc) {
+          case 'n': x = '\n'; break;
+          case 't': x = '\t'; break;
+          case '\\': x = '\\'; break;
+          case '"': x = '"'; break;
+          case '0': x = '\0'; break;
+          default: x = esc; break;
+          }
+        }
+        s.push_back(x);
+      }
+      c.advance();
+      out.push_back(Token{TokKind::StringLit, std::move(s), location(startLine, startCol)});
+      continue;
+    }
+    // Chars.
+    if (ch == '\'') {
+      c.advance();
+      std::string s;
+      while (c.peek() != '\'') {
+        if (c.done() || c.peek() == '\n') fail("unterminated char literal");
+        char x = c.advance();
+        if (x == '\\' && !c.done()) x = c.advance();
+        s.push_back(x);
+      }
+      c.advance();
+      out.push_back(Token{TokKind::CharLit, std::move(s), location(startLine, startCol)});
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const auto *p : kPunct3Plus) {
+      const std::string_view sv(p);
+      if (c.text.substr(c.pos, sv.size()) == sv) {
+        for (usize i = 0; i < sv.size(); ++i) c.advance();
+        out.push_back(Token{TokKind::Punct, std::string(sv), location(startLine, startCol)});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const auto *p : kPunct2) {
+      const std::string_view sv(p);
+      if (c.text.substr(c.pos, 2) == sv) {
+        c.advance();
+        c.advance();
+        out.push_back(Token{TokKind::Punct, std::string(sv), location(startLine, startCol)});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string_view kSingle = "+-*/%<>=!&|^~?:;,.(){}[]";
+    if (kSingle.find(ch) != std::string_view::npos) {
+      c.advance();
+      out.push_back(Token{TokKind::Punct, std::string(1, ch), location(startLine, startCol)});
+      continue;
+    }
+    fail(std::string("unexpected character '") + ch + "'");
+  }
+  out.push_back(Token{TokKind::Eof, "", lang::Location{fileId, c.line, c.col}});
+  return out;
+}
+
+std::vector<text::CommentRange> commentRanges(std::string_view text) {
+  std::vector<text::CommentRange> out;
+  usize i = 0;
+  bool inString = false;
+  bool inChar = false;
+  while (i < text.size()) {
+    const char ch = text[i];
+    if (inString) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') inString = false;
+      ++i;
+      continue;
+    }
+    if (inChar) {
+      if (ch == '\\') ++i;
+      else if (ch == '\'') inChar = false;
+      ++i;
+      continue;
+    }
+    if (ch == '"') {
+      inString = true;
+      ++i;
+      continue;
+    }
+    if (ch == '\'') {
+      inChar = true;
+      ++i;
+      continue;
+    }
+    if (ch == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      const usize begin = i;
+      while (i < text.size() && text[i] != '\n') ++i;
+      out.push_back({begin, i});
+      continue;
+    }
+    if (ch == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const usize begin = i;
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      i = std::min(i + 2, text.size());
+      out.push_back({begin, i});
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+} // namespace sv::minic

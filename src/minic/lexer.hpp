@@ -1,0 +1,63 @@
+// MiniC lexer: tokenises the C++-like dialect the corpus miniapps are
+// written in, including the model-specific surface syntax TBMD must see —
+// `#pragma` lines (kept as first-class tokens, per the paper's "special
+// provisions" for semantic-bearing information in unusual places),
+// CUDA/HIP kernel-launch chevrons `<<<` / `>>>`, attributes like
+// `__global__`, and `::`-qualified names.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/source.hpp"
+#include "text/text.hpp"
+
+namespace sv::minic {
+
+enum class TokKind {
+  Ident,
+  Keyword,
+  IntLit,
+  FloatLit,
+  StringLit,
+  CharLit,
+  Punct,
+  Pragma, ///< a whole `#pragma ...` line; text excludes "#pragma "
+  PpDirective, ///< raw mode only: any other `#...` line; text excludes '#'
+  Eof,
+};
+
+struct Token {
+  TokKind kind{};
+  std::string text;
+  lang::Location loc;
+
+  [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+  [[nodiscard]] bool is(TokKind k, std::string_view t) const { return kind == k && text == t; }
+  [[nodiscard]] bool isPunct(std::string_view t) const { return is(TokKind::Punct, t); }
+  [[nodiscard]] bool isKeyword(std::string_view t) const { return is(TokKind::Keyword, t); }
+};
+
+/// True for MiniC keywords (see lexer.cpp for the list).
+[[nodiscard]] bool isKeyword(std::string_view word);
+
+/// Tokenise `text`, attributing locations to `fileId`. `lineOrigins`, when
+/// non-null, maps each physical line index of `text` (0-based) to the
+/// original {file, line} it came from — used after preprocessing so tokens
+/// of spliced includes keep back-references into their own files. Comments
+/// never become tokens. Throws FrontendError on unterminated
+/// strings/comments.
+/// `allowDirectives` enables raw mode: un-preprocessed files may contain
+/// #include/#define/#if lines, which become PpDirective tokens (the token
+/// view tree-sitter would produce). Without it such lines are an error
+/// because they should have been consumed by the preprocessor.
+[[nodiscard]] std::vector<Token> lex(std::string_view text, i32 fileId,
+                                     const std::vector<lang::Location> *lineOrigins = nullptr,
+                                     bool allowDirectives = false);
+
+/// Byte ranges of all comments in raw file text — feeds the normalisation
+/// step of the perceived metrics (Section III-C).
+[[nodiscard]] std::vector<text::CommentRange> commentRanges(std::string_view text);
+
+} // namespace sv::minic

@@ -1,0 +1,21 @@
+// MiniC recursive-descent parser: tokens -> typed AST (lang::ast). Parses
+// the C++-like dialect the corpus is written in, including the surface
+// forms whose semantics the metrics track: #pragma directives bound to the
+// statement they govern, CUDA/HIP kernel launches `f<<<g, b>>>(args)`,
+// explicit template arguments on calls and member calls (the SYCL API
+// surface), lambdas, and qualified names.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "minic/lexer.hpp"
+
+namespace sv::minic {
+
+/// Parse a whole translation unit from a (preprocessed) token stream.
+/// `fileName` is recorded in the result for unit matching. Throws
+/// FrontendError with a source location on any syntax error.
+[[nodiscard]] lang::ast::TranslationUnit parseTranslationUnit(const std::vector<Token> &tokens,
+                                                              std::string fileName,
+                                                              const lang::SourceManager &sm);
+
+} // namespace sv::minic

@@ -1,0 +1,321 @@
+#include "minic/sema.hpp"
+
+#include <map>
+
+#include "minic/api.hpp"
+
+namespace sv::minic {
+
+namespace {
+
+using namespace lang::ast;
+
+/// Rank of arithmetic types for the usual conversions; -1 for
+/// non-arithmetic.
+int arithmeticRank(const Type &t) {
+  if (t.pointer > 0 || !t.args.empty()) return -1;
+  if (t.name == "bool") return 0;
+  if (t.name == "char") return 1;
+  if (t.name == "int" || t.name == "unsigned" || t.name == "unsigned int") return 2;
+  if (t.name == "long" || t.name == "long long" || t.name == "unsigned long") return 3;
+  if (t.name == "float") return 4;
+  if (t.name == "double") return 5;
+  return -1;
+}
+
+class Sema {
+public:
+  explicit Sema(TranslationUnit &unit) : unit_(unit) {}
+
+  SemaStats run() {
+    for (const auto &s : unit_.structs) structs_[s.name] = &s;
+    for (const auto &f : unit_.functions) functions_[f.name] = &f;
+    for (auto &g : unit_.globals) {
+      if (g.var.init) visitExpr(*g.var.init);
+      globalTypes_[g.var.name] = g.var.type;
+    }
+    for (auto &f : unit_.functions) analyseFunction(f);
+    return stats_;
+  }
+
+private:
+  TranslationUnit &unit_;
+  SemaStats stats_;
+  std::map<std::string, const StructDecl *> structs_;
+  std::map<std::string, const FunctionDecl *> functions_;
+  std::map<std::string, Type> globalTypes_;
+  std::vector<std::map<std::string, Type>> scopes_;
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  void declare(const std::string &name, const Type &t) {
+    if (!scopes_.empty()) scopes_.back()[name] = t;
+  }
+
+  [[nodiscard]] std::optional<Type> lookup(const std::string &name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    const auto g = globalTypes_.find(name);
+    if (g != globalTypes_.end()) return g->second;
+    return std::nullopt;
+  }
+
+  void analyseFunction(FunctionDecl &f) {
+    pushScope();
+    for (const auto &p : f.params) declare(p.name, p.type);
+    // CUDA/HIP built-in index variables are in scope inside kernels.
+    if (f.isKernel() || contains(f.attributes, "__device__")) {
+      for (const auto *v : {"threadIdx", "blockIdx", "blockDim", "gridDim"})
+        declare(v, Type::simple("dim3"));
+    }
+    if (f.body) visitStmt(*f.body);
+    popScope();
+  }
+
+  static bool contains(const std::vector<std::string> &v, std::string_view s) {
+    for (const auto &x : v)
+      if (x == s) return true;
+    return false;
+  }
+
+  void visitStmt(Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::Compound:
+      pushScope();
+      for (auto &c : s.children) visitStmt(*c);
+      popScope();
+      break;
+    case StmtKind::If:
+      visitExpr(*s.cond);
+      for (auto &c : s.children) visitStmt(*c);
+      break;
+    case StmtKind::For:
+      pushScope();
+      if (s.init) visitStmt(*s.init);
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      for (auto &c : s.children) visitStmt(*c);
+      popScope();
+      break;
+    case StmtKind::ForRange:
+      pushScope();
+      declare(s.loopVar, Type::simple("int"));
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      for (auto &c : s.children) visitStmt(*c);
+      popScope();
+      break;
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+      visitExpr(*s.cond);
+      for (auto &c : s.children) visitStmt(*c);
+      break;
+    case StmtKind::Return:
+      if (s.cond) visitExpr(*s.cond);
+      break;
+    case StmtKind::ExprStmt:
+      visitExpr(*s.cond);
+      break;
+    case StmtKind::DeclStmt:
+      for (auto &d : s.decls) {
+        for (auto &dim : d.arrayDims)
+          if (dim) visitExpr(*dim);
+        if (d.init) {
+          visitExpr(*d.init);
+          maybeInsertCast(d.init, d.type);
+        }
+        declare(d.name, d.type);
+      }
+      break;
+    case StmtKind::Directive:
+      for (auto &c : s.children) visitStmt(*c);
+      break;
+    case StmtKind::ArrayAssign:
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+      break;
+    }
+  }
+
+  /// Wrap `e` in an ImplicitCast to `target` when both sides are arithmetic
+  /// and the types differ.
+  void maybeInsertCast(ExprPtr &e, const Type &target) {
+    if (!e) return;
+    const int fromRank = arithmeticRank(e->valueType);
+    const int toRank = arithmeticRank(target);
+    if (fromRank < 0 || toRank < 0 || e->valueType == target) return;
+    auto cast = Expr::make(ExprKind::ImplicitCast, e->loc, target.str());
+    cast->valueType = target;
+    cast->args.push_back(std::move(e));
+    e = std::move(cast);
+    ++stats_.implicitCasts;
+  }
+
+  void visitExpr(Expr &e) {
+    switch (e.kind) {
+    case ExprKind::IntLit: e.valueType = Type::simple("int"); break;
+    case ExprKind::FloatLit: e.valueType = Type::simple("double"); break;
+    case ExprKind::BoolLit: e.valueType = Type::simple("bool"); break;
+    case ExprKind::StringLit: {
+      Type t = Type::simple("char");
+      t.pointer = 1;
+      e.valueType = t;
+      break;
+    }
+    case ExprKind::Ident: {
+      if (const auto t = lookup(e.text)) {
+        e.valueType = *t;
+      } else if (functions_.count(e.text)) {
+        e.valueType = Type::simple("<function>");
+      } else {
+        ++stats_.unresolvedNames; // external/runtime symbol
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      visitExpr(*e.args[0]);
+      visitExpr(*e.args[1]);
+      const int r0 = arithmeticRank(e.args[0]->valueType);
+      const int r1 = arithmeticRank(e.args[1]->valueType);
+      const bool comparison = e.text == "==" || e.text == "!=" || e.text == "<" ||
+                              e.text == ">" || e.text == "<=" || e.text == ">=" ||
+                              e.text == "&&" || e.text == "||";
+      if (r0 >= 0 && r1 >= 0 && r0 != r1) {
+        // Usual arithmetic conversions: promote the lower-ranked operand.
+        const Type &wider = r0 > r1 ? e.args[0]->valueType : e.args[1]->valueType;
+        maybeInsertCast(e.args[r0 > r1 ? 1 : 0], wider);
+      }
+      if (comparison) {
+        e.valueType = Type::simple("bool");
+      } else if (r0 >= 0 || r1 >= 0) {
+        e.valueType = r0 >= r1 ? e.args[0]->valueType : e.args[1]->valueType;
+      } else if (e.args[0]->valueType.pointer > 0) {
+        e.valueType = e.args[0]->valueType; // pointer arithmetic
+      }
+      break;
+    }
+    case ExprKind::Unary: {
+      visitExpr(*e.args[0]);
+      if (e.text == "!") {
+        e.valueType = Type::simple("bool");
+      } else if (e.text == "*") {
+        Type t = e.args[0]->valueType;
+        if (t.pointer > 0) {
+          --t.pointer;
+          e.valueType = t;
+        }
+      } else if (e.text == "&") {
+        Type t = e.args[0]->valueType;
+        ++t.pointer;
+        e.valueType = t;
+      } else {
+        e.valueType = e.args[0]->valueType;
+      }
+      break;
+    }
+    case ExprKind::Assign: {
+      visitExpr(*e.args[0]);
+      visitExpr(*e.args[1]);
+      maybeInsertCast(e.args[1], e.args[0]->valueType);
+      e.valueType = e.args[0]->valueType;
+      break;
+    }
+    case ExprKind::Conditional:
+      for (auto &a : e.args) visitExpr(*a);
+      e.valueType = e.args[1]->valueType;
+      break;
+    case ExprKind::Call: {
+      for (auto &a : e.args) visitExpr(*a);
+      annotateCall(e);
+      break;
+    }
+    case ExprKind::KernelLaunch:
+      for (auto &a : e.args) visitExpr(*a);
+      e.valueType = Type::simple("void");
+      break;
+    case ExprKind::Index: {
+      for (auto &a : e.args) visitExpr(*a);
+      Type t = e.args[0]->valueType;
+      if (t.pointer > 0) {
+        --t.pointer;
+        e.valueType = t;
+      } else if (t.name == "std::vector" && !t.args.empty()) {
+        e.valueType = t.args[0];
+      }
+      break;
+    }
+    case ExprKind::Member: {
+      visitExpr(*e.args[0]);
+      const auto &baseType = e.args[0]->valueType;
+      if (baseType.name == "dim3") {
+        e.valueType = Type::simple("int");
+      } else if (const auto it = structs_.find(baseType.name); it != structs_.end()) {
+        for (const auto &fld : it->second->fields)
+          if (fld.name == e.text) e.valueType = fld.type;
+      }
+      break;
+    }
+    case ExprKind::Lambda:
+      pushScope();
+      for (const auto &p : e.params) declare(p.name, p.type);
+      if (e.body) visitStmt(*e.body);
+      popScope();
+      e.valueType = Type::simple("<lambda>");
+      break;
+    case ExprKind::Cast:
+    case ExprKind::ImplicitCast:
+      visitExpr(*e.args[0]);
+      break;
+    case ExprKind::InitList:
+      for (auto &a : e.args) visitExpr(*a);
+      break;
+    case ExprKind::Range:
+      for (auto &a : e.args)
+        if (a) visitExpr(*a);
+      break;
+    }
+  }
+
+  /// Attach API annotations and the callee's return/param info when known.
+  void annotateCall(Expr &call) {
+    SV_CHECK(!call.args.empty(), "call without callee");
+    Expr &callee = *call.args[0];
+    std::optional<ApiInfo> api;
+    if (callee.kind == ExprKind::Ident) {
+      api = lookupApi(callee.text);
+      // Template args written on the callee (`f<double>(...)`) belong to
+      // the call in ClangAST terms.
+      if (!callee.typeArgs.empty() && call.typeArgs.empty()) call.typeArgs = callee.typeArgs;
+      if (const auto it = functions_.find(callee.text); it != functions_.end()) {
+        const FunctionDecl &fn = *it->second;
+        call.valueType = fn.returnType;
+        // Insert implicit casts from argument types to parameter types.
+        for (usize i = 0; i + 1 < call.args.size() && i < fn.params.size(); ++i)
+          maybeInsertCast(call.args[i + 1], fn.params[i].type);
+      }
+    } else if (callee.kind == ExprKind::Member) {
+      api = lookupMemberApi(callee.text);
+      // Member template args written at the call live on the Member node.
+      if (!callee.typeArgs.empty() && call.typeArgs.empty())
+        call.typeArgs = callee.typeArgs;
+    }
+    if (api) {
+      call.apiHiddenTemplates = api->hiddenTemplates;
+      call.apiImplicitConversions = api->implicitConversions;
+      ++stats_.apiCalls;
+      stats_.hiddenTemplateArgs += api->hiddenTemplates;
+    }
+  }
+};
+
+} // namespace
+
+SemaStats analyse(lang::ast::TranslationUnit &unit) { return Sema(unit).run(); }
+
+} // namespace sv::minic

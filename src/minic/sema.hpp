@@ -1,0 +1,29 @@
+// MiniC semantic analysis: the stage that turns the parsed AST into the
+// compiler's view of the program — what T_sem measures. Sema
+//  * resolves names against nested scopes, function/struct tables and the
+//    model-API registry,
+//  * computes expression value types with the usual arithmetic conversions,
+//  * inserts ImplicitCast nodes where conversions happen (the "prevalent"
+//    non-semantic nodes of Section IV-A; kept in the AST, filtered later by
+//    the T_sem generator),
+//  * annotates calls into known model APIs with their hidden template
+//    arguments and implicit conversions (Section V-A's SYCL effect).
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace sv::minic {
+
+struct SemaStats {
+  usize implicitCasts = 0;
+  usize apiCalls = 0;
+  usize hiddenTemplateArgs = 0;
+  usize unresolvedNames = 0; ///< identifiers treated as external symbols
+};
+
+/// Analyse `unit` in place. Never throws on unresolved names (external
+/// runtime symbols are expected); throws InternalError only on malformed
+/// AST. Returns statistics used by tests and diagnostics.
+SemaStats analyse(lang::ast::TranslationUnit &unit);
+
+} // namespace sv::minic

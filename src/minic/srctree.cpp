@@ -1,0 +1,84 @@
+#include "minic/srctree.hpp"
+
+#include "support/strings.hpp"
+
+namespace sv::minic {
+
+tree::Tree buildSrcTree(const std::vector<Token> &tokens) {
+  auto t = tree::Tree::leaf("source");
+  std::vector<tree::NodeId> stack{0};
+  // Tracks the opener expected for each group so mismatched closers are
+  // tolerated rather than corrupting the structure.
+  std::vector<char> openers;
+
+  const auto top = [&] { return stack.back(); };
+
+  for (const auto &tok : tokens) {
+    const i32 file = tok.loc.file;
+    const i32 line = tok.loc.line;
+    switch (tok.kind) {
+    case TokKind::Eof: break;
+    case TokKind::Ident:
+      t.addChild(top(), "id", file, line);
+      break;
+    case TokKind::Keyword:
+      t.addChild(top(), tok.text, file, line);
+      break;
+    case TokKind::IntLit:
+      t.addChild(top(), "int:" + tok.text, file, line);
+      break;
+    case TokKind::FloatLit:
+      t.addChild(top(), "float:" + tok.text, file, line);
+      break;
+    case TokKind::StringLit:
+      t.addChild(top(), "str", file, line);
+      break;
+    case TokKind::CharLit:
+      t.addChild(top(), "char", file, line);
+      break;
+    case TokKind::PpDirective: {
+      // Raw token view of an unexpanded preprocessor line.
+      const auto node = t.addChild(top(), "pp-directive", file, line);
+      for (const auto &word : str::split(tok.text, ' ')) {
+        if (word.empty()) continue;
+        t.addChild(node, word, file, line);
+      }
+      break;
+    }
+    case TokKind::Pragma: {
+      // `#pragma omp parallel for ...` — keep every word: this is exactly
+      // the semantic-bearing-comment provision of Section III-C.
+      const auto node = t.addChild(top(), "pragma", file, line);
+      for (const auto &word : str::split(tok.text, ' ')) {
+        if (word.empty()) continue;
+        t.addChild(node, word, file, line);
+      }
+      break;
+    }
+    case TokKind::Punct: {
+      const std::string &p = tok.text;
+      if (p == "(" || p == "{" || p == "[" || p == "<<<") {
+        const char *label = p == "(" ? "parens" : p == "{" ? "braces"
+                                              : p == "["   ? "brackets"
+                                                           : "launch-config";
+        const auto node = t.addChild(top(), label, file, line);
+        stack.push_back(node);
+        openers.push_back(p == "<<<" ? '<' : p[0]);
+      } else if (p == ")" || p == "}" || p == "]" || p == ">>>") {
+        if (stack.size() > 1) {
+          stack.pop_back();
+          openers.pop_back();
+        }
+      } else if (p == ";" || p == ",") {
+        // Pure delimiters: anonymous tokens, dropped (tree-sitter filter).
+      } else {
+        t.addChild(top(), p, file, line); // operators stay visible
+      }
+      break;
+    }
+    }
+  }
+  return t;
+}
+
+} // namespace sv::minic

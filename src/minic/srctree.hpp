@@ -1,0 +1,22 @@
+// T_src generator (Section III-A / IV-C): the perceived, syntax-highlighter
+// level view of a unit. Built from the token stream the way tree-sitter
+// parse trees are used in the paper — anonymous delimiter tokens are
+// dropped (their information lives on as the nesting structure of
+// bracket-group nodes), identifiers are normalised to their token type, and
+// `#pragma` lines become structured nodes so directive tokens survive
+// normalisation.
+#pragma once
+
+#include "minic/lexer.hpp"
+#include "tree/tree.hpp"
+
+namespace sv::minic {
+
+/// Build the T_src tree for a token stream (one file, or a preprocessed
+/// unit for the +pp variant). Structure: a root "source" node; `{}`/`()`/
+/// `[]` groups become interior nodes; all other tokens become leaves with
+/// normalised labels (identifiers -> "id", literals keep their value,
+/// keywords and operators keep their spelling).
+[[nodiscard]] tree::Tree buildSrcTree(const std::vector<Token> &tokens);
+
+} // namespace sv::minic

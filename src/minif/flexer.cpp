@@ -1,0 +1,202 @@
+#include "minif/flexer.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace sv::minif {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "program",    "end",      "subroutine", "function", "module",   "contains", "use",
+    "implicit",   "none",     "integer",    "real",     "logical",  "character","parameter",
+    "allocatable","dimension","intent",     "in",       "out",      "inout",    "do",
+    "concurrent", "while",    "if",         "then",     "else",     "elseif",   "endif",
+    "enddo",      "call",     "return",     "result",   "allocate", "deallocate",
+    "print",      "write",    "read",       "stop",     "exit",     "cycle",    "kind",
+    "true",       "false",    "and",        "or",       "not",      "eqv",      "select",
+    "case",       "type",     "pure",       "elemental"};
+
+std::string toLower(std::string s) {
+  for (auto &c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+} // namespace
+
+bool isFortranKeyword(std::string_view lowerWord) {
+  for (const auto *k : kKeywords)
+    if (lowerWord == k) return true;
+  return false;
+}
+
+std::vector<FToken> lexFortran(std::string_view text, i32 fileId) {
+  std::vector<FToken> out;
+  const auto lines = str::splitLines(text);
+  bool continuing = false;
+
+  for (usize li = 0; li < lines.size(); ++li) {
+    const i32 lineNo = static_cast<i32>(li + 1);
+    std::string_view line = lines[li];
+
+    // Leading continuation marker on the follow-on line.
+    {
+      const auto t = str::trim(line);
+      if (continuing && !t.empty() && t.front() == '&')
+        line = line.substr(line.find('&') + 1);
+    }
+
+    // Directive sentinel or comment?
+    const auto trimmed = str::trim(line);
+    if (str::startsWith(trimmed, "!$")) {
+      out.push_back(FToken{FTokKind::Directive, toLower(std::string(trimmed.substr(2))),
+                           lang::Location{fileId, lineNo, 1}});
+      out.push_back(FToken{FTokKind::Newline, "", lang::Location{fileId, lineNo, 1}});
+      continuing = false;
+      continue;
+    }
+
+    usize i = 0;
+    bool lineContinues = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      const i32 col = static_cast<i32>(i + 1);
+      const lang::Location loc{fileId, lineNo, col};
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++i;
+        continue;
+      }
+      if (c == '!') break; // comment to end of line
+      if (c == '&') {
+        // Trailing continuation: suppress the Newline for this line.
+        lineContinues = true;
+        ++i;
+        continue;
+      }
+      if (c == ';') {
+        out.push_back(FToken{FTokKind::Newline, "", loc});
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (i < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[i])) || line[i] == '_'))
+          word.push_back(line[i++]);
+        word = toLower(word);
+        const FTokKind kind = isFortranKeyword(word) ? FTokKind::Keyword : FTokKind::Ident;
+        out.push_back(FToken{kind, std::move(word), loc});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+        std::string num;
+        bool isReal = false;
+        while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])))
+          num.push_back(line[i++]);
+        // '.' only continues the number when followed by a digit, exponent
+        // or kind suffix — `1.and.` style operators do not occur in MiniF,
+        // but `1.0_8` and `1.e0` do.
+        if (i < line.size() && line[i] == '.') {
+          isReal = true;
+          num.push_back(line[i++]);
+          while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])))
+            num.push_back(line[i++]);
+        }
+        if (i < line.size() && (line[i] == 'e' || line[i] == 'E' || line[i] == 'd' ||
+                                line[i] == 'D')) {
+          isReal = true;
+          num.push_back('e');
+          ++i;
+          if (i < line.size() && (line[i] == '+' || line[i] == '-')) num.push_back(line[i++]);
+          while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])))
+            num.push_back(line[i++]);
+        }
+        if (i < line.size() && line[i] == '_') { // kind suffix: 1.0_8
+          ++i;
+          while (i < line.size() && std::isalnum(static_cast<unsigned char>(line[i]))) ++i;
+          isReal = true;
+        }
+        out.push_back(FToken{isReal ? FTokKind::RealLit : FTokKind::IntLit, std::move(num), loc});
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        std::string s;
+        while (i < line.size() && line[i] != quote) s.push_back(line[i++]);
+        if (i < line.size()) ++i;
+        out.push_back(FToken{FTokKind::StringLit, std::move(s), loc});
+        continue;
+      }
+      // Multi-char punctuation.
+      static const std::array<std::string_view, 8> kPunct2 = {"::", "==", "/=", "<=",
+                                                              ">=", "=>", "**", "//"};
+      bool matched = false;
+      for (const auto p : kPunct2) {
+        if (line.substr(i, 2) == p) {
+          out.push_back(FToken{FTokKind::Punct, std::string(p), loc});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string_view kSingle = "+-*/<>=(),:%.";
+      if (kSingle.find(c) != std::string_view::npos) {
+        out.push_back(FToken{FTokKind::Punct, std::string(1, c), loc});
+        ++i;
+        continue;
+      }
+      throw lang::FrontendError(std::string("unexpected character '") + c + "'",
+                                "file#" + std::to_string(fileId) + ":" + std::to_string(lineNo));
+    }
+    if (!lineContinues) {
+      if (!out.empty() && !out.back().is(FTokKind::Newline))
+        out.push_back(FToken{FTokKind::Newline, "", lang::Location{fileId, lineNo, 1}});
+      continuing = false;
+    } else {
+      continuing = true;
+    }
+  }
+  out.push_back(FToken{FTokKind::Eof, "",
+                       lang::Location{fileId, static_cast<i32>(lines.size() + 1), 1}});
+  return out;
+}
+
+std::vector<text::CommentRange> fortranCommentRanges(std::string_view text) {
+  std::vector<text::CommentRange> out;
+  usize lineStart = 0;
+  while (lineStart <= text.size()) {
+    const usize lineEnd = std::min(text.find('\n', lineStart), text.size());
+    const std::string_view line = text.substr(lineStart, lineEnd - lineStart);
+    bool inString = false;
+    char quote = '\0';
+    for (usize i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (inString) {
+        if (c == quote) inString = false;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        inString = true;
+        quote = c;
+        continue;
+      }
+      if (c == '!') {
+        // Directive sentinels are not comments.
+        if (line.substr(i, 2) == "!$") break;
+        out.push_back({lineStart + i, lineEnd});
+        break;
+      }
+    }
+    if (lineEnd >= text.size()) break;
+    lineStart = lineEnd + 1;
+  }
+  return out;
+}
+
+} // namespace sv::minif

@@ -1,0 +1,50 @@
+// MiniF lexer: free-form Fortran-like dialect for the BabelStream Fortran
+// corpus (Section V-B). Case-insensitive keywords (normalised to lower
+// case), `!` comments, `!$omp` / `!$acc` directive sentinels kept as
+// first-class tokens (the paper's provision for "languages that use special
+// comment tokens for directives"), `&` continuations merged, and `::`,
+// array-section `:` and comparison operators tokenised.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/source.hpp"
+#include "text/text.hpp"
+
+namespace sv::minif {
+
+enum class FTokKind {
+  Ident,    ///< identifiers, lower-cased
+  Keyword,  ///< program/subroutine/do/end/if/... lower-cased
+  IntLit,
+  RealLit,
+  StringLit,
+  Punct,
+  Directive, ///< "!$omp ..." / "!$acc ..." line; text excludes "!$"
+  Newline,   ///< statement separator (also emitted for ';')
+  Eof,
+};
+
+struct FToken {
+  FTokKind kind{};
+  std::string text;
+  lang::Location loc;
+
+  [[nodiscard]] bool is(FTokKind k) const { return kind == k; }
+  [[nodiscard]] bool is(FTokKind k, std::string_view t) const { return kind == k && text == t; }
+  [[nodiscard]] bool isKeyword(std::string_view t) const { return is(FTokKind::Keyword, t); }
+  [[nodiscard]] bool isPunct(std::string_view t) const { return is(FTokKind::Punct, t); }
+};
+
+[[nodiscard]] bool isFortranKeyword(std::string_view lowerWord);
+
+/// Tokenise Fortran-like source. Line continuations (`&` at end of line,
+/// optionally `&` at start of the next) splice statements; comments vanish;
+/// directive sentinels survive.
+[[nodiscard]] std::vector<FToken> lexFortran(std::string_view text, i32 fileId);
+
+/// Comment byte ranges (excluding directive sentinels) for normalisation.
+[[nodiscard]] std::vector<text::CommentRange> fortranCommentRanges(std::string_view text);
+
+} // namespace sv::minif

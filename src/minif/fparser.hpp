@@ -1,0 +1,19 @@
+// MiniF parser: Fortran-like source -> the shared lang::ast representation.
+// Covers the constructs the BabelStream Fortran corpus uses (Section V-B):
+// program units, subroutines/functions, typed declarations with
+// allocatable arrays, DO / DO CONCURRENT / WHILE loops, IF/THEN/ELSE,
+// whole-array assignments `a(:) = b(:) + scalar * c(:)`, `!$omp` / `!$acc`
+// directives bound to the construct they govern, allocate/deallocate and
+// intrinsic calls.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "minif/flexer.hpp"
+
+namespace sv::minif {
+
+[[nodiscard]] lang::ast::TranslationUnit parseFortran(const std::vector<FToken> &tokens,
+                                                      std::string fileName,
+                                                      const lang::SourceManager &sm);
+
+} // namespace sv::minif

@@ -1,0 +1,236 @@
+#include "minif/ftrees.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace sv::minif {
+
+namespace {
+using namespace lang::ast;
+using tree::NodeId;
+using tree::Tree;
+} // namespace
+
+tree::Tree buildFortranSrcTree(const std::vector<FToken> &tokens) {
+  auto t = Tree::leaf("source");
+  std::vector<NodeId> stack{0};
+  const auto top = [&] { return stack.back(); };
+
+  for (const auto &tok : tokens) {
+    const i32 file = tok.loc.file;
+    const i32 line = tok.loc.line;
+    switch (tok.kind) {
+    case FTokKind::Eof:
+    case FTokKind::Newline:
+      break;
+    case FTokKind::Ident:
+      t.addChild(top(), "id", file, line);
+      break;
+    case FTokKind::Keyword:
+      t.addChild(top(), tok.text, file, line);
+      break;
+    case FTokKind::IntLit:
+      t.addChild(top(), "int:" + tok.text, file, line);
+      break;
+    case FTokKind::RealLit:
+      t.addChild(top(), "real:" + tok.text, file, line);
+      break;
+    case FTokKind::StringLit:
+      t.addChild(top(), "str", file, line);
+      break;
+    case FTokKind::Directive: {
+      const auto node = t.addChild(top(), "directive", file, line);
+      for (const auto &word : str::split(tok.text, ' ')) {
+        if (word.empty()) continue;
+        t.addChild(node, word, file, line);
+      }
+      break;
+    }
+    case FTokKind::Punct:
+      if (tok.text == "(") {
+        stack.push_back(t.addChild(top(), "parens", file, line));
+      } else if (tok.text == ")") {
+        if (stack.size() > 1) stack.pop_back();
+      } else if (tok.text == ",") {
+        // delimiter: dropped
+      } else {
+        t.addChild(top(), tok.text, file, line);
+      }
+      break;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+class FSemBuilder {
+public:
+  explicit FSemBuilder(const TranslationUnit &unit)
+      : unit_(unit), tree_(Tree::leaf("translation_unit_decl")) {}
+
+  Tree build() {
+    for (const auto &f : unit_.functions) {
+      const auto fn = tree_.addChild(0, "function_decl", f.loc.file, f.loc.line);
+      for (const auto &p : f.params) {
+        (void)p;
+        tree_.addChild(fn, "parm_decl", f.loc.file, f.loc.line);
+      }
+      const auto bind = tree_.addChild(fn, "gimple_bind", f.loc.file, f.loc.line);
+      if (f.body) visitStmt(bind, *f.body);
+    }
+    return std::move(tree_);
+  }
+
+private:
+  const TranslationUnit &unit_;
+  Tree tree_;
+
+  NodeId add(NodeId parent, std::string label, const lang::Location &loc) {
+    return tree_.addChild(parent, std::move(label), loc.file, loc.line);
+  }
+
+  void visitStmt(NodeId parent, const Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::Compound:
+      for (const auto &c : s.children) visitStmt(parent, *c);
+      break;
+    case StmtKind::DeclStmt: {
+      for (const auto &d : s.decls) {
+        const auto v = add(parent, d.arrayDims.empty() ? "var_decl" : "var_decl:array", s.loc);
+        for (const auto &dim : d.arrayDims)
+          if (dim) visitExpr(v, *dim);
+        if (d.init) visitExpr(v, *d.init);
+      }
+      break;
+    }
+    case StmtKind::ForRange: {
+      const auto n = add(parent, "gimple_for", s.loc); // DO lowers to a counted loop
+      if (s.cond) visitExpr(n, *s.cond);
+      if (s.step) visitExpr(n, *s.step);
+      for (const auto &c : s.children) visitStmt(n, *c);
+      break;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile: {
+      const auto n = add(parent, "gimple_while", s.loc);
+      if (s.cond) visitExpr(n, *s.cond);
+      for (const auto &c : s.children) visitStmt(n, *c);
+      break;
+    }
+    case StmtKind::If: {
+      const auto n = add(parent, "gimple_cond", s.loc);
+      visitExpr(n, *s.cond);
+      for (const auto &c : s.children) visitStmt(n, *c);
+      break;
+    }
+    case StmtKind::Return: {
+      add(parent, "gimple_return", s.loc);
+      break;
+    }
+    case StmtKind::Break: add(parent, "gimple_goto:exit", s.loc); break;
+    case StmtKind::Continue: add(parent, "gimple_goto:cycle", s.loc); break;
+    case StmtKind::ExprStmt: visitExpr(parent, *s.cond); break;
+    case StmtKind::ArrayAssign: {
+      // Whole-array assignment: GFortran scalarises into an implicit loop.
+      const auto n = add(parent, "gimple_array_assign", s.loc);
+      const auto loop = add(n, "scalarized_loop", s.loc);
+      if (s.cond) visitExpr(loop, *s.cond);
+      if (s.step) visitExpr(loop, *s.step);
+      break;
+    }
+    case StmtKind::Directive: {
+      const auto &d = *s.directive;
+      std::string label;
+      if (d.family == "omp") label = "gimple_omp";
+      else if (d.family == "acc") label = "gimple_oacc";
+      else label = "gimple_" + d.family; // fortran do-concurrent marker
+      for (const auto &k : d.kind) label += "_" + k;
+      const auto n = add(parent, label, s.loc);
+      for (const auto &c : d.clauses) {
+        const auto cn = add(n, "omp_clause:" + c.name, s.loc);
+        for (const auto &a : c.arguments) {
+          (void)a;
+          add(cn, "var_ref", s.loc);
+        }
+      }
+      for (const auto &c : s.children) visitStmt(n, *c);
+      break;
+    }
+    case StmtKind::For:
+    case StmtKind::Empty:
+      for (const auto &c : s.children) visitStmt(parent, *c);
+      break;
+    }
+  }
+
+  void visitExpr(NodeId parent, const Expr &e) {
+    switch (e.kind) {
+    case ExprKind::IntLit: add(parent, "integer_cst:" + e.text, e.loc); break;
+    case ExprKind::FloatLit: add(parent, "real_cst:" + e.text, e.loc); break;
+    case ExprKind::StringLit: add(parent, "string_cst", e.loc); break;
+    case ExprKind::BoolLit: add(parent, "logical_cst:" + e.text, e.loc); break;
+    case ExprKind::Ident: add(parent, "var_ref", e.loc); break;
+    case ExprKind::Binary: {
+      static const std::map<std::string, std::string> kOps = {
+          {"+", "plus_expr"},   {"-", "minus_expr"}, {"*", "mult_expr"},
+          {"/", "rdiv_expr"},   {"**", "pow_expr"},  {"==", "eq_expr"},
+          {"!=", "ne_expr"},    {"<", "lt_expr"},    {">", "gt_expr"},
+          {"<=", "le_expr"},    {">=", "ge_expr"},   {"&&", "truth_and_expr"},
+          {"||", "truth_or_expr"}};
+      const auto it = kOps.find(e.text);
+      const auto n = add(parent, it != kOps.end() ? it->second : "binary_expr", e.loc);
+      for (const auto &a : e.args) visitExpr(n, *a);
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto n = add(parent, e.text == "-" ? "negate_expr" : "unary_expr", e.loc);
+      for (const auto &a : e.args) visitExpr(n, *a);
+      break;
+    }
+    case ExprKind::Assign: {
+      const auto n = add(parent, "gimple_assign", e.loc);
+      for (const auto &a : e.args) visitExpr(n, *a);
+      break;
+    }
+    case ExprKind::Call: {
+      const auto n = add(parent, "gimple_call", e.loc);
+      for (usize i = 1; i < e.args.size(); ++i) visitExpr(n, *e.args[i]);
+      break;
+    }
+    case ExprKind::Index: {
+      const auto n = add(parent, "array_ref", e.loc);
+      for (usize i = 1; i < e.args.size(); ++i)
+        if (e.args[i]) visitExpr(n, *e.args[i]);
+      break;
+    }
+    case ExprKind::Range: {
+      const auto n = add(parent, "array_section", e.loc);
+      for (const auto &a : e.args)
+        if (a) visitExpr(n, *a);
+      break;
+    }
+    case ExprKind::Conditional: {
+      const auto n = add(parent, "cond_expr", e.loc);
+      for (const auto &a : e.args) visitExpr(n, *a);
+      break;
+    }
+    default: {
+      const auto n = add(parent, "expr", e.loc);
+      for (const auto &a : e.args)
+        if (a) visitExpr(n, *a);
+      break;
+    }
+    }
+  }
+};
+
+} // namespace
+
+tree::Tree buildFortranSemTree(const lang::ast::TranslationUnit &unit) {
+  return FSemBuilder(unit).build();
+}
+
+} // namespace sv::minif

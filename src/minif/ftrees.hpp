@@ -1,0 +1,23 @@
+// Fortran tree generators. T_src mirrors the MiniC builder (token view with
+// paren nesting and structured directive nodes). T_sem uses GIMPLE/GENERIC-
+// flavoured labels — deliberately a different label vocabulary from the
+// ClangAST-flavoured MiniC T_sem, mirroring the paper's Section IV-B note
+// that GIMPLE "is not comparable to ClangAST in any meaningful way":
+// Fortran models are only ever compared with Fortran models.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "minif/flexer.hpp"
+#include "tree/tree.hpp"
+
+namespace sv::minif {
+
+/// T_src from a Fortran token stream.
+[[nodiscard]] tree::Tree buildFortranSrcTree(const std::vector<FToken> &tokens);
+
+/// T_sem (High-GIMPLE-flavoured) from a parsed unit. GCC keeps OpenMP *and*
+/// OpenACC statements as first-class GIMPLE_OMP_* / OACC_* tokens — the
+/// paper confirmed the OpenMP ones experimentally (Section V-C).
+[[nodiscard]] tree::Tree buildFortranSemTree(const lang::ast::TranslationUnit &unit);
+
+} // namespace sv::minif

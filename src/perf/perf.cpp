@@ -1,0 +1,199 @@
+#include "perf/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace sv::perf {
+
+const std::vector<Platform> &tableIIIPlatforms() {
+  // Peak figures: vendor-published STREAM-attainable bandwidth and FP64
+  // peaks for the Table III parts (per device / per socket-pair node).
+  static const std::vector<Platform> kPlatforms = {
+      {"Intel", "Xeon Platinum 8468", "SPR", 520, 5300, false},
+      {"AMD", "EPYC 7713", "Milan", 380, 4100, false},
+      {"AWS", "Graviton 3e", "G3e", 300, 3300, false},
+      {"NVIDIA", "Tesla H100 (SXM 80GB)", "H100", 3350, 33500, true},
+      {"AMD", "Instinct MI250X", "MI250X", 3200, 47900, true},
+      {"Intel", "Data Center GPU Max 1550", "PVC", 3270, 52000, true},
+  };
+  return kPlatforms;
+}
+
+bool supports(ir::Model model, const Platform &p) {
+  using M = ir::Model;
+  switch (model) {
+  case M::Serial:
+  case M::OpenMP:
+  case M::Tbb:
+    return !p.gpu; // host models
+  case M::Cuda: return p.abbr == "H100";
+  case M::Hip: return p.abbr == "MI250X";
+  case M::Sycl:
+    // oneAPI: native on Intel CPU/GPU, plugins for NVIDIA/AMD GPUs, and an
+    // OpenCL CPU path (POCL) on aarch64 — slower but present, so SYCL
+    // appears with a non-zero Φ in the navigation charts as in Fig 13/14.
+    return true;
+  case M::Kokkos: return true; // backends for every Table III platform
+  case M::OpenMPTarget: return true; // host fallback + GPU offload
+  case M::StdPar:
+    // nvc++ -stdpar on NVIDIA GPUs; TBB-backed PSTL on x86/arm CPUs.
+    return !p.gpu || p.abbr == "H100";
+  case M::OpenAcc:
+    // GCC OpenACC: compiles everywhere GCC runs, but offload QoI is the
+    // paper's Section V-B finding: host-only in practice.
+    return !p.gpu;
+  }
+  return false;
+}
+
+double efficiencyFactor(ir::Model model, const Platform &p) {
+  using M = ir::Model;
+  switch (model) {
+  case M::Serial: return p.gpu ? 0.0 : 0.08; // one core of a 64..128-core node
+  case M::OpenMP: return 0.95;
+  case M::OpenMPTarget: return p.gpu ? 0.85 : 0.72; // offload overhead / host fallback
+  case M::Cuda: return 1.0;
+  case M::Hip: return 1.0;
+  case M::Sycl:
+    if (p.abbr == "G3e") return 0.55; // OpenCL CPU path: works, not tuned
+    return p.vendor == "Intel" ? 0.95 : 0.85;
+  case M::Kokkos: return p.gpu ? 0.92 : 0.88;
+  case M::Tbb: return 0.9;
+  case M::StdPar: return p.gpu ? 0.9 : 0.78;
+  case M::OpenAcc: return 0.1; // single-threaded in practice (Section V-B)
+  }
+  return 0.0;
+}
+
+std::optional<double> simulateRuntime(const std::vector<KernelWork> &kernels, ir::Model model,
+                                      const Platform &p) {
+  if (!supports(model, p)) return std::nullopt;
+  const double factor = efficiencyFactor(model, p);
+  if (factor <= 0) return std::nullopt;
+  double seconds = 0;
+  for (const auto &k : kernels) {
+    const double bytes = static_cast<double>(k.mixPerIter.bytes()) *
+                         static_cast<double>(k.iterations);
+    const double flops = static_cast<double>(k.mixPerIter.flops) *
+                         static_cast<double>(k.iterations);
+    const double memTime = bytes / (p.peakGBs * 1e9);
+    const double cmpTime = flops / (p.peakGflops * 1e9);
+    seconds += std::max(memTime, cmpTime) / factor;
+    // Offload models pay a per-kernel-launch latency; host models a
+    // fork/join cost. Negligible for large kernels, visible for tiny ones.
+    seconds += p.gpu ? 10e-6 : 2e-6;
+  }
+  return seconds;
+}
+
+std::vector<ModelPerformance>
+simulateAll(const std::vector<std::pair<std::string, ir::Model>> &models,
+            const std::vector<KernelWork> &kernels, const std::vector<Platform> &platforms) {
+  std::vector<ModelPerformance> out;
+  for (const auto &[name, kind] : models) {
+    ModelPerformance mp;
+    mp.model = name;
+    mp.kind = kind;
+    for (const auto &p : platforms) {
+      const auto t = simulateRuntime(kernels, kind, p);
+      mp.time.push_back(t ? *t : -1.0);
+    }
+    out.push_back(std::move(mp));
+  }
+  // Application efficiency: best time on each platform across models.
+  for (usize pi = 0; pi < platforms.size(); ++pi) {
+    double best = -1;
+    for (const auto &mp : out)
+      if (mp.time[pi] > 0 && (best < 0 || mp.time[pi] < best)) best = mp.time[pi];
+    for (auto &mp : out)
+      mp.efficiency.push_back(mp.time[pi] > 0 && best > 0 ? best / mp.time[pi] : 0.0);
+  }
+  return out;
+}
+
+double phi(const std::vector<double> &efficiencies) {
+  if (efficiencies.empty()) return 0;
+  double invSum = 0;
+  for (const double e : efficiencies) {
+    if (e <= 0) return 0; // unsupported anywhere in H -> 0 (Pennycook)
+    invSum += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / invSum;
+}
+
+CascadeSeries cascade(const ModelPerformance &perf, const std::vector<Platform> &platforms) {
+  CascadeSeries s;
+  s.model = perf.model;
+  std::vector<usize> order;
+  for (usize i = 0; i < platforms.size(); ++i) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](usize a, usize b) {
+    return perf.efficiency[a] > perf.efficiency[b];
+  });
+  std::vector<double> prefix;
+  for (const usize i : order) {
+    s.platformOrder.push_back(platforms[i].abbr);
+    s.efficiencyOrder.push_back(perf.efficiency[i]);
+    prefix.push_back(perf.efficiency[i]);
+    s.phiAfterK.push_back(phi(prefix));
+  }
+  return s;
+}
+
+std::string renderCascade(const std::vector<ModelPerformance> &perfs,
+                          const std::vector<Platform> &platforms) {
+  std::string out;
+  out += "cascade (efficiency as platforms are added, best-first)\n";
+  out += str::padRight("model", 14);
+  for (usize k = 1; k <= platforms.size(); ++k) out += str::padLeft("+" + std::to_string(k), 7);
+  out += str::padLeft("PHI(all)", 10) + "  platform order\n";
+  for (const auto &mp : perfs) {
+    const auto s = cascade(mp, platforms);
+    out += str::padRight(mp.model, 14);
+    for (const double v : s.phiAfterK) out += str::padLeft(str::fmtDouble(v, 3), 7);
+    out += str::padLeft(str::fmtDouble(phi(mp.efficiency), 3), 10);
+    out += "  ";
+    out += str::join(s.platformOrder, " ");
+    out += "\n";
+  }
+  return out;
+}
+
+std::string renderNavigationChart(const std::vector<NavPoint> &points) {
+  // Grid: x in [0,1] where 1 = identical to serial (right edge), y = Φ.
+  constexpr usize W = 64;
+  constexpr usize H = 18;
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  const auto put = [&](double x, double y, char c) {
+    const usize col = static_cast<usize>(std::clamp(x, 0.0, 1.0) * (W - 1));
+    const usize row =
+        H - 1 - static_cast<usize>(std::clamp(y, 0.0, 1.0) * (H - 1));
+    grid[row][col] = c;
+  };
+  std::string legend;
+  char tag = 'a';
+  for (const auto &p : points) {
+    const double xSem = 1.0 - std::clamp(p.tsem, 0.0, 1.0);
+    const double xSrc = 1.0 - std::clamp(p.tsrc, 0.0, 1.0);
+    put(xSem, p.phiValue, '*');
+    put(xSrc, p.phiValue, 'o');
+    // label marker at the sem position
+    const usize col = static_cast<usize>(std::clamp(xSem, 0.0, 1.0) * (W - 1));
+    const usize row = H - 1 - static_cast<usize>(std::clamp(p.phiValue, 0.0, 1.0) * (H - 1));
+    if (col + 1 < W && grid[row][col + 1] == ' ') grid[row][col + 1] = tag;
+    legend += std::string(1, tag) + "=" + p.model + " (PHI=" + str::fmtDouble(p.phiValue, 2) +
+              ", Tsem=" + str::fmtDouble(p.tsem, 2) + ", Tsrc=" + str::fmtDouble(p.tsrc, 2) +
+              ")\n";
+    ++tag;
+  }
+  std::string out;
+  out += "PHI ^   (* = Tsem, o = Tsrc; right edge = resembles serial)\n";
+  for (const auto &line : grid) out += "    |" + line + "\n";
+  out += "    +" + std::string(W, '-') + ">\n";
+  out += "     towards no resemblance of serial code <--            serial-like\n";
+  out += legend;
+  return out;
+}
+
+} // namespace sv::perf

@@ -1,0 +1,101 @@
+// Performance-portability substrate (Section VI). The paper benchmarks the
+// miniapps on the six platforms of Table III; this module substitutes a
+// roofline performance simulator (see DESIGN.md): per-iteration instruction
+// mixes measured from the compiled IR, scaled by workload trip counts,
+// against each platform's peak bandwidth/compute, with a model×platform
+// support matrix and efficiency factors encoding compiler availability and
+// quality of implementation. Φ is Pennycook's application-efficiency
+// harmonic mean [1]; cascade plots follow Sewall et al. [24].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/cost.hpp"
+#include "ir/lower.hpp"
+
+namespace sv::perf {
+
+struct Platform {
+  std::string vendor;
+  std::string name;
+  std::string abbr;        ///< SPR / Milan / G3e / H100 / MI250X / PVC
+  double peakGBs = 0;      ///< attainable memory bandwidth, GB/s (per node)
+  double peakGflops = 0;   ///< FP64 peak, GFLOP/s
+  bool gpu = false;
+};
+
+/// The six platforms of Table III with public peak figures.
+[[nodiscard]] const std::vector<Platform> &tableIIIPlatforms();
+
+/// Compiler/runtime availability of a model on a platform (the "all
+/// available compilers" rule of Section VI).
+[[nodiscard]] bool supports(ir::Model model, const Platform &platform);
+
+/// Quality-of-implementation factor in (0, 1]: the fraction of roofline
+/// performance the best compiler for this model reaches on this platform.
+[[nodiscard]] double efficiencyFactor(ir::Model model, const Platform &platform);
+
+/// One kernel's workload: its per-iteration mix and how many iterations the
+/// benchmark deck executes in total (elements x timesteps).
+struct KernelWork {
+  std::string name;
+  ir::InstrMix mixPerIter;
+  u64 iterations = 0;
+};
+
+/// Simulated wall time (seconds) of a full run; nullopt when unsupported.
+[[nodiscard]] std::optional<double> simulateRuntime(const std::vector<KernelWork> &kernels,
+                                                    ir::Model model, const Platform &platform);
+
+/// Application efficiency per platform: best model time / this model time
+/// (in [0,1]; 0 for unsupported).
+struct ModelPerformance {
+  std::string model;
+  ir::Model kind = ir::Model::Serial;
+  std::vector<double> time;       ///< per platform; <0 when unsupported
+  std::vector<double> efficiency; ///< per platform; 0 when unsupported
+};
+
+/// Run the simulator for every model over every platform and convert to
+/// application efficiencies.
+[[nodiscard]] std::vector<ModelPerformance>
+simulateAll(const std::vector<std::pair<std::string, ir::Model>> &models,
+            const std::vector<KernelWork> &kernels,
+            const std::vector<Platform> &platforms = tableIIIPlatforms());
+
+/// Pennycook's performance portability: harmonic mean of efficiencies over
+/// H; zero if any platform in H is unsupported.
+[[nodiscard]] double phi(const std::vector<double> &efficiencies);
+
+/// Cascade plot series (Sewall et al.): platforms sorted by efficiency
+/// (descending), Φ recomputed as each platform is added.
+struct CascadeSeries {
+  std::string model;
+  std::vector<std::string> platformOrder;
+  std::vector<double> phiAfterK; ///< Φ over the first k platforms (k = 1..)
+  std::vector<double> efficiencyOrder;
+};
+[[nodiscard]] CascadeSeries cascade(const ModelPerformance &perf,
+                                    const std::vector<Platform> &platforms = tableIIIPlatforms());
+
+/// Render a full cascade figure (one line per model + the Φ bar list).
+[[nodiscard]] std::string renderCascade(const std::vector<ModelPerformance> &perfs,
+                                        const std::vector<Platform> &platforms = tableIIIPlatforms());
+
+/// Navigation chart point (Fig 13/14): Φ against the TBMD divergences from
+/// the serial model.
+struct NavPoint {
+  std::string model;
+  double phiValue = 0;
+  double tsem = 0; ///< normalised T_sem divergence from serial
+  double tsrc = 0; ///< normalised T_src divergence from serial
+};
+
+/// ASCII scatter: x = 1 - divergence ("towards no resemblance" on the
+/// left, serial-like on the right), y = Φ. T_sem is drawn '*', T_src 'o',
+/// connected points share a label.
+[[nodiscard]] std::string renderNavigationChart(const std::vector<NavPoint> &points);
+
+} // namespace sv::perf

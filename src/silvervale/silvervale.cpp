@@ -1,0 +1,137 @@
+#include "silvervale/silvervale.hpp"
+
+#include <algorithm>
+
+#include "ir/cost.hpp"
+#include "support/parallel.hpp"
+
+namespace sv::silvervale {
+
+const db::CodebaseDb &IndexedApp::model(const std::string &name) const {
+  for (const auto &m : models)
+    if (m.model == name) return m;
+  internalError("indexed app " + app + " has no model '" + name + "'");
+}
+
+std::vector<std::string> IndexedApp::modelNames() const {
+  std::vector<std::string> out;
+  for (const auto &m : models) out.push_back(m.model);
+  return out;
+}
+
+IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {
+  IndexedApp out;
+  out.app = app;
+  const auto names = options.models.empty() ? corpus::modelsOf(app) : options.models;
+  out.models.resize(names.size());
+  // Indexing a port is independent of every other port.
+  parallelFor(names.size(), [&](usize i) {
+    const auto cb = corpus::make(app, names[i]);
+    db::IndexOptions idx;
+    idx.runCoverage = options.coverage;
+    out.models[i] = db::index(cb, idx).db;
+  });
+  return out;
+}
+
+analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app, metrics::Metric metric,
+                                          metrics::Variant variant) {
+  return analysis::buildMatrix(app.modelNames(), [&](usize i, usize j) {
+    const auto dij = metrics::diverge(app.models[i], app.models[j], metric, variant);
+    const auto dji = metrics::diverge(app.models[j], app.models[i], metric, variant);
+    return std::max(dij.normalised(), dji.normalised());
+  });
+}
+
+analysis::DistanceMatrix absoluteDifferenceMatrix(const IndexedApp &app, metrics::Metric metric,
+                                                  metrics::Variant variant) {
+  std::vector<double> values;
+  for (const auto &m : app.models)
+    values.push_back(static_cast<double>(metrics::absolute(m, metric, variant)));
+  return analysis::buildMatrix(app.modelNames(), [&](usize i, usize j) {
+    return std::abs(values[i] - values[j]);
+  });
+}
+
+std::vector<perf::KernelWork> paperDeck(const std::string &app) {
+  // Measure per-kernel mixes from the serial port's IR.
+  const auto serialName = app == "babelstream-fortran" ? "sequential" : "serial";
+  const auto cb = corpus::make(app, serialName);
+
+  std::vector<perf::KernelWork> kernels;
+  for (const auto &cmd : cb.commands) {
+    const auto fileId = cb.sources.idOf(cmd.file);
+    SV_CHECK(fileId.has_value(), "paperDeck: missing file");
+    // Reuse the DB pipeline's lowering through a fresh index of one unit.
+  }
+  // Lower via linkForExecution (whole program) and pick loop-bearing user
+  // functions as kernels.
+  const auto merged = db::linkForExecution(cb);
+  const auto module = ir::lower(merged, {});
+
+  u64 iterations = 0;
+  if (app == "babelstream" || app == "babelstream-fortran") {
+    iterations = u64{1} << 25;              // 2^25 elements (the default deck)
+    iterations *= 100;                      // 100 timesteps
+  } else if (app == "tealeaf") {
+    iterations = u64{4000} * 4000;          // BM5 grid
+    iterations *= 4 * 30;                   // 4 steps x ~30 CG iterations
+  } else if (app == "cloverleaf") {
+    iterations = u64{3840} * 3840;          // BM64 grid
+    iterations *= 300;                      // 300 iterations (Section VI)
+  } else if (app == "minibude") {
+    iterations = u64{65536} * 8 * 16;       // poses x ligand x protein atoms
+  } else {
+    internalError("paperDeck: unknown app " + app);
+  }
+
+  const auto isHostOnly = [](const std::string &name) {
+    // Setup and validation routines run on the host outside the timed
+    // region of every real miniapp; they are not kernels.
+    for (const auto *tag : {"main", "check", "init", "summary", "residual", "deck"})
+      if (name.find(tag) != std::string::npos) return true;
+    return false;
+  };
+  for (const auto &f : module.functions) {
+    if (f.role != ir::FunctionRole::User) continue;
+    const auto mix = ir::functionMix(f);
+    // Kernels: functions that loop over data (branches) and touch memory.
+    if (mix.branches == 0 || mix.bytes() == 0) continue;
+    if (isHostOnly(f.name)) continue;
+    perf::KernelWork k;
+    k.name = f.name;
+    k.mixPerIter = mix;
+    k.iterations = iterations;
+    kernels.push_back(std::move(k));
+  }
+  SV_CHECK(!kernels.empty(), "paperDeck: no kernels found for " + app);
+  return kernels;
+}
+
+std::vector<std::pair<std::string, ir::Model>> perfModels(const IndexedApp &app) {
+  std::vector<std::pair<std::string, ir::Model>> out;
+  for (const auto &m : app.models) out.emplace_back(m.model, m.modelKind);
+  return out;
+}
+
+std::vector<perf::NavPoint> navigationPoints(const IndexedApp &app) {
+  const auto serialName = app.app == "babelstream-fortran" ? "sequential" : "serial";
+  const auto &serial = app.model(serialName);
+  const auto kernels = paperDeck(app.app);
+  const auto perfs = perf::simulateAll(perfModels(app), kernels);
+
+  std::vector<perf::NavPoint> points;
+  for (usize i = 0; i < app.models.size(); ++i) {
+    const auto &m = app.models[i];
+    if (m.model == serialName) continue;
+    perf::NavPoint p;
+    p.model = m.model;
+    p.phiValue = perf::phi(perfs[i].efficiency);
+    p.tsem = metrics::diverge(serial, m, metrics::Metric::Tsem).normalised();
+    p.tsrc = metrics::diverge(serial, m, metrics::Metric::Tsrc).normalised();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+} // namespace sv::silvervale

@@ -1,0 +1,66 @@
+// SilverVale top-level API: the end-to-end workflow of Fig 2. A miniapp is
+// indexed across all of its model ports (in parallel — the TED pairs
+// dominate runtime), divergence matrices are computed over the cartesian
+// product of models, and the perf simulator supplies the Φ side of the
+// navigation charts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "metrics/metrics.hpp"
+#include "perf/perf.hpp"
+
+namespace sv::silvervale {
+
+/// A miniapp indexed across all its model ports.
+struct IndexedApp {
+  std::string app;
+  std::vector<db::CodebaseDb> models;
+
+  [[nodiscard]] const db::CodebaseDb &model(const std::string &name) const;
+  [[nodiscard]] std::vector<std::string> modelNames() const;
+};
+
+struct IndexAppOptions {
+  /// Run every port in the VM and store line coverage in its DB.
+  bool coverage = false;
+  /// Restrict to these models (empty = all registered ports).
+  std::vector<std::string> models;
+};
+
+/// Index one corpus app across its ports. Throws on corpus errors (which
+/// are bugs: the corpus must always compile and verify).
+[[nodiscard]] IndexedApp indexApp(const std::string &app, const IndexAppOptions &options = {});
+
+/// Pairwise normalised divergence matrix over all models of `app` under
+/// `metric` — the input to the Fig 4/5/6 clusterings. Symmetrised as
+/// max(d(a,b), d(b,a)) normalised.
+[[nodiscard]] analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app,
+                                                        metrics::Metric metric,
+                                                        metrics::Variant variant = {});
+
+/// For the SLOC/LLOC pseudo-clustering of Fig 5/6: absolute values per
+/// model turned into |a - b| distances.
+[[nodiscard]] analysis::DistanceMatrix absoluteDifferenceMatrix(const IndexedApp &app,
+                                                                metrics::Metric metric,
+                                                                metrics::Variant variant = {});
+
+/// The benchmark decks of Section VI, as kernel workloads for the perf
+/// simulator. Instruction mixes are measured from the *serial* port's IR;
+/// trip counts follow the paper's decks (BabelStream 2^25 x 100, TeaLeaf
+/// BM5, CloverLeaf BM64 at 300 iterations, miniBUDE 64k poses).
+[[nodiscard]] std::vector<perf::KernelWork> paperDeck(const std::string &app);
+
+/// Model list of an app as (displayName, ir::Model) pairs for simulateAll.
+[[nodiscard]] std::vector<std::pair<std::string, ir::Model>>
+perfModels(const IndexedApp &app);
+
+/// Navigation-chart points (Fig 13/14): Φ over the Table III platforms
+/// against normalised T_sem / T_src divergence from the serial port.
+[[nodiscard]] std::vector<perf::NavPoint> navigationPoints(const IndexedApp &app);
+
+} // namespace sv::silvervale

@@ -1,0 +1,188 @@
+// A small functional combinator library in the spirit of Aspartame (the
+// header-only library the paper's implementation uses, Section IV-E). It
+// offers a richer vocabulary than <ranges> for the collection-shuffling that
+// dominates metric plumbing: map/filter/flatMap, groupBy, sortBy, distinct,
+// zip, sum, and friends. Everything is eager and returns std::vector /
+// std::map so results are directly usable by the analysis code.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv {
+
+/// map: apply `f` to every element, collecting the results.
+template <typename T, typename F> [[nodiscard]] auto map(const std::vector<T> &xs, F &&f) {
+  using R = std::invoke_result_t<F, const T &>;
+  std::vector<R> out;
+  out.reserve(xs.size());
+  for (const auto &x : xs) out.push_back(f(x));
+  return out;
+}
+
+/// mapIndexed: like map but `f` also receives the element index.
+template <typename T, typename F> [[nodiscard]] auto mapIndexed(const std::vector<T> &xs, F &&f) {
+  using R = std::invoke_result_t<F, const T &, usize>;
+  std::vector<R> out;
+  out.reserve(xs.size());
+  for (usize i = 0; i < xs.size(); ++i) out.push_back(f(xs[i], i));
+  return out;
+}
+
+/// filter: keep elements satisfying `p`.
+template <typename T, typename P>
+[[nodiscard]] std::vector<T> filter(const std::vector<T> &xs, P &&p) {
+  std::vector<T> out;
+  for (const auto &x : xs)
+    if (p(x)) out.push_back(x);
+  return out;
+}
+
+/// flatMap: map to vectors and concatenate.
+template <typename T, typename F> [[nodiscard]] auto flatMap(const std::vector<T> &xs, F &&f) {
+  using V = std::invoke_result_t<F, const T &>;
+  using R = typename V::value_type;
+  std::vector<R> out;
+  for (const auto &x : xs) {
+    auto v = f(x);
+    out.insert(out.end(), std::make_move_iterator(v.begin()), std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+/// concat two vectors.
+template <typename T>
+[[nodiscard]] std::vector<T> concat(std::vector<T> a, const std::vector<T> &b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+/// groupBy: bucket elements by the key `f` produces, preserving insertion
+/// order within each bucket.
+template <typename T, typename F> [[nodiscard]] auto groupBy(const std::vector<T> &xs, F &&f) {
+  using K = std::invoke_result_t<F, const T &>;
+  std::map<K, std::vector<T>> out;
+  for (const auto &x : xs) out[f(x)].push_back(x);
+  return out;
+}
+
+/// sortBy: stable sort by the key `f` produces (ascending).
+template <typename T, typename F>
+[[nodiscard]] std::vector<T> sortBy(std::vector<T> xs, F &&f) {
+  std::stable_sort(xs.begin(), xs.end(),
+                   [&](const T &a, const T &b) { return f(a) < f(b); });
+  return xs;
+}
+
+/// distinct: remove duplicates, keeping first occurrences.
+template <typename T> [[nodiscard]] std::vector<T> distinct(const std::vector<T> &xs) {
+  std::set<T> seen;
+  std::vector<T> out;
+  for (const auto &x : xs)
+    if (seen.insert(x).second) out.push_back(x);
+  return out;
+}
+
+/// zip: pair elements; the result has the length of the shorter input.
+template <typename A, typename B>
+[[nodiscard]] std::vector<std::pair<A, B>> zip(const std::vector<A> &as, const std::vector<B> &bs) {
+  std::vector<std::pair<A, B>> out;
+  const usize n = std::min(as.size(), bs.size());
+  out.reserve(n);
+  for (usize i = 0; i < n; ++i) out.emplace_back(as[i], bs[i]);
+  return out;
+}
+
+/// sum over a projection.
+template <typename T, typename F> [[nodiscard]] auto sumBy(const std::vector<T> &xs, F &&f) {
+  using R = std::invoke_result_t<F, const T &>;
+  R acc{};
+  for (const auto &x : xs) acc += f(x);
+  return acc;
+}
+
+template <typename T> [[nodiscard]] T sum(const std::vector<T> &xs) {
+  return std::accumulate(xs.begin(), xs.end(), T{});
+}
+
+/// find the first element satisfying `p`.
+template <typename T, typename P>
+[[nodiscard]] std::optional<T> findFirst(const std::vector<T> &xs, P &&p) {
+  for (const auto &x : xs)
+    if (p(x)) return x;
+  return std::nullopt;
+}
+
+/// index of the first element satisfying `p`, or nullopt.
+template <typename T, typename P>
+[[nodiscard]] std::optional<usize> indexWhere(const std::vector<T> &xs, P &&p) {
+  for (usize i = 0; i < xs.size(); ++i)
+    if (p(xs[i])) return i;
+  return std::nullopt;
+}
+
+template <typename T, typename P> [[nodiscard]] bool anyOf(const std::vector<T> &xs, P &&p) {
+  return std::any_of(xs.begin(), xs.end(), std::forward<P>(p));
+}
+
+template <typename T, typename P> [[nodiscard]] bool allOf(const std::vector<T> &xs, P &&p) {
+  return std::all_of(xs.begin(), xs.end(), std::forward<P>(p));
+}
+
+template <typename T> [[nodiscard]] bool contains(const std::vector<T> &xs, const T &v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+/// cartesian product of two vectors.
+template <typename A, typename B>
+[[nodiscard]] std::vector<std::pair<A, B>> cartesian(const std::vector<A> &as,
+                                                     const std::vector<B> &bs) {
+  std::vector<std::pair<A, B>> out;
+  out.reserve(as.size() * bs.size());
+  for (const auto &a : as)
+    for (const auto &b : bs) out.emplace_back(a, b);
+  return out;
+}
+
+/// range [0, n) as a vector of indices; convenient with map/filter.
+[[nodiscard]] inline std::vector<usize> indices(usize n) {
+  std::vector<usize> out(n);
+  std::iota(out.begin(), out.end(), usize{0});
+  return out;
+}
+
+/// fold left.
+template <typename T, typename Acc, typename F>
+[[nodiscard]] Acc foldLeft(const std::vector<T> &xs, Acc init, F &&f) {
+  for (const auto &x : xs) init = f(std::move(init), x);
+  return init;
+}
+
+/// minBy / maxBy over a projection; nullopt on empty input.
+template <typename T, typename F>
+[[nodiscard]] std::optional<T> minBy(const std::vector<T> &xs, F &&f) {
+  if (xs.empty()) return std::nullopt;
+  const T *best = &xs[0];
+  for (const auto &x : xs)
+    if (f(x) < f(*best)) best = &x;
+  return *best;
+}
+
+template <typename T, typename F>
+[[nodiscard]] std::optional<T> maxBy(const std::vector<T> &xs, F &&f) {
+  if (xs.empty()) return std::nullopt;
+  const T *best = &xs[0];
+  for (const auto &x : xs)
+    if (f(*best) < f(x)) best = &x;
+  return *best;
+}
+
+} // namespace sv

@@ -1,0 +1,45 @@
+// Common aliases, assertions and small helpers shared by every SilverVale
+// module. This header is intentionally tiny; anything substantial lives in a
+// dedicated header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sv {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Error thrown for malformed external input (JSON, MessagePack, source
+/// code handed to the frontends, ...). Distinct from logic errors so that
+/// callers can catch input problems without masking bugs.
+class ParseError : public std::runtime_error {
+public:
+  explicit ParseError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// Error thrown when an internal invariant is violated; indicates a bug in
+/// SilverVale itself rather than bad input.
+class InternalError : public std::logic_error {
+public:
+  explicit InternalError(const std::string &what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void internalError(const std::string &what) { throw InternalError(what); }
+
+#define SV_CHECK(cond, msg)                                                                        \
+  do {                                                                                             \
+    if (!(cond)) ::sv::internalError(std::string("SV_CHECK failed: ") + (msg));                    \
+  } while (false)
+
+} // namespace sv

@@ -1,0 +1,31 @@
+// `svz`: a from-scratch LZ77-family block compressor standing in for Zstd in
+// the Codebase DB container (Section IV: "Zstd compressed MessagePack
+// format"). The format is deliberately simple:
+//
+//   magic "SVZ1" | u32 rawSize | token stream
+//
+// Token stream: a control byte whose bits select literal (0) or match (1)
+// for the next 8 tokens. A literal is one raw byte; a match is a 2-byte
+// little-endian (offset:12, length-4:4) pair referencing up to 4 KiB back,
+// lengths 4..19. Greedy matching over a chained hash table gives
+// competitive ratios on the highly repetitive tree dumps the DB stores.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv::svz {
+
+/// Compress `raw`. Output always round-trips through decompress().
+[[nodiscard]] std::vector<u8> compress(const std::vector<u8> &raw);
+
+/// Decompress a buffer produced by compress(); throws ParseError on
+/// malformed input (bad magic, truncated stream, out-of-range match).
+[[nodiscard]] std::vector<u8> decompress(const std::vector<u8> &compressed);
+
+/// True if `bytes` begins with the SVZ1 magic.
+[[nodiscard]] bool looksCompressed(const std::vector<u8> &bytes);
+
+} // namespace sv::svz

@@ -1,0 +1,26 @@
+// FNV-1a hashing and hash combination. Used to hash normalised source lines
+// for the O(NP) diff and to fingerprint trees in the codebase DB.
+#pragma once
+
+#include <string_view>
+
+#include "support/common.hpp"
+
+namespace sv {
+
+/// 64-bit FNV-1a over a byte range.
+[[nodiscard]] constexpr u64 fnv1a(std::string_view data, u64 seed = 0xcbf29ce484222325ULL) {
+  u64 h = seed;
+  for (const char c : data) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combine two hashes (boost-style golden-ratio mix).
+[[nodiscard]] constexpr u64 hashCombine(u64 a, u64 b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+} // namespace sv

@@ -1,0 +1,98 @@
+#include "support/parallel.hpp"
+
+namespace sv {
+
+ThreadPool::ThreadPool(usize threads) {
+  usize n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (usize i = 0; i < n; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto &w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+  if (firstError_) {
+    const auto err = firstError_;
+    firstError_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskReady_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard lock(mutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+    {
+      const std::lock_guard lock(mutex_);
+      --pending_;
+      if (pending_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallelFor(usize n, const std::function<void(usize)> &body, usize threads) {
+  if (n == 0) return;
+  usize workerCount = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workerCount == 0) workerCount = 1;
+  if (workerCount == 1 || n < 2) {
+    for (usize i = 0; i < n; ++i) body(i);
+    return;
+  }
+  workerCount = std::min(workerCount, n);
+
+  std::atomic<usize> nextIndex{0};
+  std::exception_ptr firstError;
+  std::mutex errMutex;
+
+  std::vector<std::thread> workers;
+  workers.reserve(workerCount);
+  for (usize w = 0; w < workerCount; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const usize i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard lock(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto &w : workers) w.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+} // namespace sv

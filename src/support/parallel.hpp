@@ -1,0 +1,68 @@
+// A work-stealing-free but cache-friendly thread pool plus parallel_for /
+// parallel_map helpers. The pairwise TED computations over the cartesian
+// product of models (Section V-A) are embarrassingly parallel and dominated
+// by a few large pairs, so we use dynamic chunking (atomic fetch-add over
+// blocks) rather than static partitioning.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv {
+
+/// Fixed-size thread pool. Tasks are void() closures; exceptions thrown by a
+/// task are captured and rethrown from wait().
+class ThreadPool {
+public:
+  /// `threads` == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(usize threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue a task; safe from any thread.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished; rethrows the first task
+  /// exception, if any.
+  void wait();
+
+  [[nodiscard]] usize threadCount() const { return workers_.size(); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable idle_;
+  usize pending_ = 0; // queued + running
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+};
+
+/// Run `body(i)` for i in [0, n) on a private pool with dynamic chunking.
+/// Falls back to a serial loop when n is small or `threads` == 1.
+void parallelFor(usize n, const std::function<void(usize)> &body, usize threads = 0);
+
+/// Parallel map over an index range producing a vector of results. `f` must
+/// be safe to call concurrently; results land at their own index, so no
+/// synchronisation of the output is required.
+template <typename F> [[nodiscard]] auto parallelMap(usize n, F &&f, usize threads = 0) {
+  using R = std::invoke_result_t<F, usize>;
+  std::vector<R> out(n);
+  parallelFor(
+      n, [&](usize i) { out[i] = f(i); }, threads);
+  return out;
+}
+
+} // namespace sv

@@ -1,0 +1,116 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sv::str {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  usize start = 0;
+  for (usize i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> splitLines(std::string_view s) {
+  std::vector<std::string> out;
+  usize start = 0;
+  for (usize i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      usize end = i;
+      if (end > start && s[end - 1] == '\r') --end; // tolerate CRLF
+      out.emplace_back(s.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < s.size()) out.emplace_back(s.substr(start));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  usize b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string> &parts, std::string_view sep) {
+  std::string out;
+  for (usize i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string replaceAll(std::string_view s, std::string_view from, std::string_view to) {
+  SV_CHECK(!from.empty(), "replaceAll: empty needle");
+  std::string out;
+  usize pos = 0;
+  while (pos < s.size()) {
+    const usize hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string collapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool inRun = false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!inRun) out.push_back(' ');
+      inRun = true;
+    } else {
+      out.push_back(c);
+      inRun = false;
+    }
+  }
+  return out;
+}
+
+bool isBlank(std::string_view s) {
+  for (const char c : s)
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+std::string padLeft(std::string_view s, usize width) {
+  std::string out(s);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string padRight(std::string_view s, usize width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string fmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+} // namespace sv::str

@@ -1,0 +1,50 @@
+// String manipulation helpers used across the frontends and the text
+// metrics. All functions are pure and allocate only when a new string is
+// produced.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv::str {
+
+/// Split `s` on the single character `sep`. Empty fields are preserved, so
+/// `split("a,,b", ',')` yields {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` into lines on '\n'; a trailing newline does not produce a final
+/// empty line (matching how SLOC counting treats files).
+[[nodiscard]] std::vector<std::string> splitLines(std::string_view s);
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Join `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string> &parts, std::string_view sep);
+
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Replace every occurrence of `from` (must be non-empty) with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// Collapse runs of spaces and tabs into a single space; used by the
+/// whitespace-normalisation step of the perceived metrics (Section III-C).
+[[nodiscard]] std::string collapseWhitespace(std::string_view s);
+
+/// True if `s` consists only of ASCII whitespace (or is empty).
+[[nodiscard]] bool isBlank(std::string_view s);
+
+/// Left-pad / right-pad with spaces to a minimum width.
+[[nodiscard]] std::string padLeft(std::string_view s, usize width);
+[[nodiscard]] std::string padRight(std::string_view s, usize width);
+
+/// Render a double with fixed precision (e.g. "0.125"); `precision` digits
+/// after the decimal point.
+[[nodiscard]] std::string fmtDouble(double v, int precision = 3);
+
+} // namespace sv::str

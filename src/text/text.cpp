@@ -1,0 +1,192 @@
+#include "text/text.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace sv::text {
+
+std::string normalise(std::string_view source, const std::vector<CommentRange> &comments) {
+  // 1. Blank out comment ranges, preserving newlines so subsequent line
+  //    numbering still reflects the original layout.
+  std::string blanked(source);
+  for (const auto &r : comments) {
+    const usize end = std::min(r.end, blanked.size());
+    for (usize i = r.begin; i < end; ++i)
+      if (blanked[i] != '\n') blanked[i] = ' ';
+  }
+  // 2. Per line: collapse internal whitespace, trim, drop blanks.
+  std::string out;
+  for (const auto &line : str::splitLines(blanked)) {
+    const auto collapsed = str::collapseWhitespace(line);
+    const auto trimmed = str::trim(collapsed);
+    if (trimmed.empty()) continue;
+    out.append(trimmed);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+usize sloc(std::string_view normalisedSource) {
+  usize count = 0;
+  for (const auto &line : str::splitLines(normalisedSource))
+    if (!str::isBlank(line)) ++count;
+  return count;
+}
+
+namespace {
+
+usize llocCFamily(std::string_view src) {
+  // Nguyen-style logical lines for C-family text: a statement terminator
+  // ';' at parenthesis depth zero, or a block opener '{' (covering control
+  // headers and definitions), each count once. A for-header's internal
+  // semicolons sit at depth > 0 and are not counted, so a multi-line
+  // for-header contributes exactly one logical line. Directive lines
+  // (#pragma / #include / #define) count one each.
+  usize count = 0;
+  int parenDepth = 0;
+  bool inString = false;
+  bool inChar = false;
+  bool lineIsDirective = false;
+  bool atLineStart = true;
+  for (usize i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\n') {
+      if (lineIsDirective) ++count;
+      lineIsDirective = false;
+      atLineStart = true;
+      continue;
+    }
+    if (atLineStart && c == '#') lineIsDirective = true;
+    if (!str::isBlank(std::string_view(&c, 1))) atLineStart = false;
+    if (lineIsDirective) continue;
+    if (inString) {
+      if (c == '\\') ++i;
+      else if (c == '"') inString = false;
+      continue;
+    }
+    if (inChar) {
+      if (c == '\\') ++i;
+      else if (c == '\'') inChar = false;
+      continue;
+    }
+    switch (c) {
+    case '"': inString = true; break;
+    case '\'': inChar = true; break;
+    case '(': ++parenDepth; break;
+    case ')':
+      if (parenDepth > 0) --parenDepth;
+      break;
+    case ';':
+      if (parenDepth == 0) ++count;
+      break;
+    case '{': ++count; break;
+    default: break;
+    }
+  }
+  if (lineIsDirective) ++count;
+  return count;
+}
+
+usize llocFortran(std::string_view src) {
+  // Fortran logical lines: each statement counts once. A line continued
+  // with a trailing '&' merges with the next; ';' separates multiple
+  // statements on a line. Directive sentinels (!$omp / !$acc) count one.
+  usize count = 0;
+  bool continuing = false;
+  for (const auto &raw : str::splitLines(src)) {
+    const auto line = str::trim(raw);
+    if (line.empty()) continue;
+    const bool isDirective = str::startsWith(line, "!$");
+    if (str::startsWith(line, "!") && !isDirective) continue; // full-line comment
+    if (!continuing) ++count;
+    // extra statements introduced by ';'
+    if (!isDirective)
+      count += static_cast<usize>(std::count(line.begin(), line.end(), ';'));
+    continuing = str::endsWith(line, "&");
+  }
+  return count;
+}
+
+std::vector<u64> hashLines(const std::vector<std::string> &lines) {
+  std::vector<u64> out;
+  out.reserve(lines.size());
+  for (const auto &l : lines) out.push_back(fnv1a(l));
+  return out;
+}
+
+/// Wu–Manber–Myers–Miller O(NP): edit distance (ins+del) between `a` and
+/// `b` where |a| <= |b| must hold (callers swap).
+usize onpDistance(const std::vector<u64> &a, const std::vector<u64> &b) {
+  const auto m = static_cast<i64>(a.size());
+  const auto n = static_cast<i64>(b.size());
+  SV_CHECK(m <= n, "onpDistance requires |a| <= |b|");
+  const i64 delta = n - m;
+  // fp is indexed by diagonal k in [-(m+1), n+1]; store with offset.
+  const i64 offset = m + 1;
+  std::vector<i64> fp(static_cast<usize>(m + n + 3), -1);
+
+  const auto snake = [&](i64 k, i64 y) -> i64 {
+    i64 x = y - k;
+    while (x < m && y < n && a[static_cast<usize>(x)] == b[static_cast<usize>(y)]) {
+      ++x;
+      ++y;
+    }
+    return y;
+  };
+
+  i64 p = -1;
+  do {
+    ++p;
+    for (i64 k = -p; k <= delta - 1; ++k)
+      fp[static_cast<usize>(k + offset)] =
+          snake(k, std::max(fp[static_cast<usize>(k - 1 + offset)] + 1,
+                            fp[static_cast<usize>(k + 1 + offset)]));
+    for (i64 k = delta + p; k >= delta + 1; --k)
+      fp[static_cast<usize>(k + offset)] =
+          snake(k, std::max(fp[static_cast<usize>(k - 1 + offset)] + 1,
+                            fp[static_cast<usize>(k + 1 + offset)]));
+    fp[static_cast<usize>(delta + offset)] =
+        snake(delta, std::max(fp[static_cast<usize>(delta - 1 + offset)] + 1,
+                              fp[static_cast<usize>(delta + 1 + offset)]));
+  } while (fp[static_cast<usize>(delta + offset)] != n);
+
+  return static_cast<usize>(delta + 2 * p);
+}
+
+} // namespace
+
+usize lloc(std::string_view normalisedSource, bool fortran) {
+  return fortran ? llocFortran(normalisedSource) : llocCFamily(normalisedSource);
+}
+
+usize lcsLength(const std::vector<std::string> &a, const std::vector<std::string> &b) {
+  // Derived from the O(NP) distance: d = |a| + |b| - 2*lcs.
+  const usize d = diffDistance(a, b);
+  return (a.size() + b.size() - d) / 2;
+}
+
+usize diffDistance(const std::vector<std::string> &a, const std::vector<std::string> &b) {
+  const auto ha = hashLines(a);
+  const auto hb = hashLines(b);
+  if (ha.size() <= hb.size()) return onpDistance(ha, hb);
+  return onpDistance(hb, ha);
+}
+
+usize levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<usize> prev(a.size() + 1), cur(a.size() + 1);
+  for (usize i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (usize j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (usize i = 1; i <= a.size(); ++i) {
+      const usize sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+} // namespace sv::text

@@ -1,0 +1,56 @@
+// Perceived (language-agnostic) codebase summarisation metrics from
+// Table I: SLOC and LLOC (Nguyen et al. counting standard), plus the
+// relative textual measures — longest common subsequence and the
+// Wu–Manber–Myers–Miller O(NP) edit distance that the dtl library (and GNU
+// diff) use. All operate on *normalised* text: comments stripped,
+// whitespace collapsed, blank lines dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv::text {
+
+/// A comment span to strip during normalisation, expressed in byte offsets
+/// of the original text. Produced by the frontends' CSTs (Section III-C:
+/// "comments are removed using ranges marked by a CST").
+struct CommentRange {
+  usize begin = 0; ///< inclusive byte offset
+  usize end = 0;   ///< exclusive byte offset
+};
+
+/// Normalisation per Section III-C: remove the given comment ranges, then
+/// collapse runs of spaces/tabs, trim lines, and drop blank lines.
+/// Directive lines (e.g. "#pragma omp ...", "!$omp ...") survive because
+/// they are not comments in the CST — the "special provisions" the paper
+/// makes for semantic-bearing tokens in unusual places.
+[[nodiscard]] std::string normalise(std::string_view source,
+                                    const std::vector<CommentRange> &comments = {});
+
+/// Source Lines of Code: number of non-blank lines after normalisation.
+[[nodiscard]] usize sloc(std::string_view normalisedSource);
+
+/// Logical Lines of Code per Nguyen et al.: counts statement terminators
+/// and block/control headers rather than physical lines, so a for-header
+/// split over three lines counts once. Works on normalised C-family or
+/// Fortran-family text; `fortran` toggles the line-oriented Fortran rules.
+[[nodiscard]] usize lloc(std::string_view normalisedSource, bool fortran = false);
+
+/// Length of the longest common subsequence of the two line sequences.
+[[nodiscard]] usize lcsLength(const std::vector<std::string> &a, const std::vector<std::string> &b);
+
+/// Line-based edit distance (insertions + deletions, i.e. diff distance)
+/// via the Wu–Manber–Myers–Miller O(NP) algorithm [16]. Equals
+/// |a| + |b| - 2 * lcsLength(a, b); the identity is exercised in tests.
+[[nodiscard]] usize diffDistance(const std::vector<std::string> &a,
+                                 const std::vector<std::string> &b);
+
+/// Character-level Levenshtein distance (insert/delete/substitute, unit
+/// costs). Provided for the "slightly more involved" baseline the paper
+/// mentions (Section III).
+[[nodiscard]] usize levenshtein(std::string_view a, std::string_view b);
+
+} // namespace sv::text

@@ -1,0 +1,178 @@
+#include "tree/ted.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sv::tree {
+
+namespace {
+
+/// Post-order view of a tree with everything Zhang–Shasha needs:
+/// 1-based post-order positions, interned labels, leftmost-leaf indices and
+/// keyroots. Built once per tree per comparison.
+struct PostView {
+  usize n = 0;
+  std::vector<u32> label;     ///< [1..n] interned label id
+  std::vector<usize> lml;     ///< [1..n] post-order index of leftmost leaf descendant
+  std::vector<usize> keyroots; ///< ascending
+};
+
+/// Interns labels of both trees into one id space so the DP inner loop
+/// compares u32s, not strings.
+class PairInterner {
+public:
+  u32 intern(const std::string &s) {
+    const auto [it, inserted] = ids_.emplace(s, static_cast<u32>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+private:
+  std::unordered_map<std::string, u32> ids_;
+};
+
+PostView makeView(const Tree &t, bool mirrored, PairInterner &interner) {
+  PostView v;
+  v.n = t.size();
+  v.label.assign(v.n + 1, 0);
+  v.lml.assign(v.n + 1, 0);
+  if (v.n == 0) return v;
+
+  // Post-order traversal, honouring mirroring by flipping child order.
+  std::vector<NodeId> order;
+  order.reserve(v.n);
+  std::vector<std::pair<NodeId, usize>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto &[id, cursor] = stack.back();
+    const auto &ch = t.node(id).children;
+    if (cursor < ch.size()) {
+      const NodeId next = mirrored ? ch[ch.size() - 1 - cursor] : ch[cursor];
+      ++cursor;
+      stack.emplace_back(next, 0);
+    } else {
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+
+  // Map node id -> post-order position (1-based).
+  std::vector<usize> pos(v.n, 0);
+  for (usize i = 0; i < order.size(); ++i) pos[order[i]] = i + 1;
+
+  for (usize i = 1; i <= v.n; ++i) {
+    const NodeId id = order[i - 1];
+    v.label[i] = interner.intern(t.node(id).label);
+    const auto &ch = t.node(id).children;
+    if (ch.empty()) {
+      v.lml[i] = i;
+    } else {
+      const NodeId first = mirrored ? ch.back() : ch.front();
+      v.lml[i] = v.lml[pos[first]];
+    }
+  }
+
+  // Keyroots: i is a keyroot iff no j > i has lml(j) == lml(i).
+  std::vector<bool> seen(v.n + 2, false);
+  for (usize i = v.n; i >= 1; --i) {
+    if (!seen[v.lml[i]]) {
+      v.keyroots.push_back(i);
+      seen[v.lml[i]] = true;
+    }
+    if (i == 1) break;
+  }
+  std::sort(v.keyroots.begin(), v.keyroots.end());
+  return v;
+}
+
+/// Full Zhang–Shasha on two post-order views.
+u64 zhangShasha(const PostView &a, const PostView &b, const TedCosts &costs) {
+  if (a.n == 0) return static_cast<u64>(b.n) * costs.ins;
+  if (b.n == 0) return static_cast<u64>(a.n) * costs.del;
+
+  // treedist[i][j], 1-based.
+  std::vector<u64> td((a.n + 1) * (b.n + 1), 0);
+  const auto TD = [&](usize i, usize j) -> u64 & { return td[i * (b.n + 1) + j]; };
+
+  // Forest-distance scratch; sized for the largest keyroot subproblem.
+  std::vector<u64> fd((a.n + 2) * (b.n + 2), 0);
+
+  for (const usize i : a.keyroots) {
+    const usize li = a.lml[i];
+    const usize rows = i - li + 2; // forest prefixes 0..(i-li+1)
+    for (const usize j : b.keyroots) {
+      const usize lj = b.lml[j];
+      const usize cols = j - lj + 2;
+      const auto FD = [&](usize x, usize y) -> u64 & { return fd[x * cols + y]; };
+
+      FD(0, 0) = 0;
+      for (usize x = 1; x < rows; ++x) FD(x, 0) = FD(x - 1, 0) + costs.del;
+      for (usize y = 1; y < cols; ++y) FD(0, y) = FD(0, y - 1) + costs.ins;
+
+      for (usize x = 1; x < rows; ++x) {
+        const usize di = li + x - 1; // node in a
+        for (usize y = 1; y < cols; ++y) {
+          const usize dj = lj + y - 1; // node in b
+          const u64 delCost = FD(x - 1, y) + costs.del;
+          const u64 insCost = FD(x, y - 1) + costs.ins;
+          if (a.lml[di] == li && b.lml[dj] == lj) {
+            const u64 ren = a.label[di] == b.label[dj] ? 0 : costs.rename;
+            const u64 sub = FD(x - 1, y - 1) + ren;
+            const u64 best = std::min({delCost, insCost, sub});
+            FD(x, y) = best;
+            TD(di, dj) = best;
+          } else {
+            // Jump over the complete subtrees rooted at di, dj.
+            const usize px = a.lml[di] - li;     // forest prefix before subtree(di)
+            const usize py = b.lml[dj] - lj;
+            const u64 sub = FD(px, py) + TD(di, dj);
+            FD(x, y) = std::min({delCost, insCost, sub});
+          }
+        }
+      }
+    }
+  }
+  return TD(a.n, b.n);
+}
+
+u64 subproblems(const PostView &v) {
+  // Sum over keyroots of the keyroot's relevant-forest size; the standard
+  // RTED cost estimate for a fixed decomposition strategy.
+  u64 total = 0;
+  for (const usize k : v.keyroots) total += static_cast<u64>(k - v.lml[k] + 1);
+  return total;
+}
+
+} // namespace
+
+u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options) {
+  PairInterner interner;
+  if (options.algo == TedAlgo::ZhangShasha) {
+    const PostView a = makeView(t1, false, interner);
+    const PostView b = makeView(t2, false, interner);
+    return zhangShasha(a, b, options.costs);
+  }
+  // PathStrategy: estimate both decompositions, then run the cheaper one.
+  // Mirroring both trees preserves the edit distance because the edit
+  // mapping constraints are symmetric under a simultaneous reversal of
+  // sibling order.
+  const PostView aL = makeView(t1, false, interner);
+  const PostView bL = makeView(t2, false, interner);
+  const PostView aR = makeView(t1, true, interner);
+  const PostView bR = makeView(t2, true, interner);
+  const u64 costLeft = subproblems(aL) * subproblems(bL);
+  const u64 costRight = subproblems(aR) * subproblems(bR);
+  if (costRight < costLeft) return zhangShasha(aR, bR, options.costs);
+  return zhangShasha(aL, bL, options.costs);
+}
+
+u64 tedSubproblemsLeft(const Tree &t) {
+  PairInterner interner;
+  return subproblems(makeView(t, false, interner));
+}
+
+u64 tedSubproblemsRight(const Tree &t) {
+  PairInterner interner;
+  return subproblems(makeView(t, true, interner));
+}
+
+} // namespace sv::tree

@@ -1,0 +1,48 @@
+// Tree Edit Distance (Section III-B). Two interchangeable algorithms:
+//
+//  * ZhangShasha — the classic left-path keyroot algorithm [Zhang & Shasha
+//    1989]; O(n1*n2*min(depth,leaves)^2) time, O(n1*n2) space.
+//  * PathStrategy — in the spirit of APTED/RTED [Pawlik & Augsten 2016]: the
+//    relevant-subproblem count of the left-path and right-path
+//    decompositions is computed first and the cheaper strategy is executed
+//    (the right-path run operates on mirrored trees, which leaves the
+//    distance invariant). On the skewed ASTs real code produces this avoids
+//    the classic worst case the paper cites (Section IV-E).
+//
+// Costs default to the paper's unit weight for delete/insert/relabel, but a
+// TedCosts struct allows per-operation weights — the future-work knob the
+// paper mentions ("adding new code may have a different productivity impact
+// than removing existing code").
+#pragma once
+
+#include "tree/tree.hpp"
+
+namespace sv::tree {
+
+struct TedCosts {
+  u32 del = 1;    ///< cost of deleting a node of T1
+  u32 ins = 1;    ///< cost of inserting a node of T2
+  u32 rename = 1; ///< cost of relabelling when labels differ (equal labels cost 0)
+};
+
+enum class TedAlgo {
+  ZhangShasha,  ///< always left-path decomposition
+  PathStrategy, ///< choose left/right decomposition by estimated subproblem count
+};
+
+struct TedOptions {
+  TedAlgo algo = TedAlgo::PathStrategy;
+  TedCosts costs{};
+};
+
+/// d_TED(t1, t2): minimal total cost of node deletions, insertions and
+/// relabellings transforming t1 into t2. Both algorithms return identical
+/// values; see tests/tree/ted_test.cpp for the cross-check property suite.
+[[nodiscard]] u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options = {});
+
+/// Number of relevant subproblems the left-path (keyroot) decomposition
+/// would solve; the PathStrategy estimator. Exposed for the ablation bench.
+[[nodiscard]] u64 tedSubproblemsLeft(const Tree &t);
+[[nodiscard]] u64 tedSubproblemsRight(const Tree &t);
+
+} // namespace sv::tree

@@ -1,0 +1,1102 @@
+#include "vm/vm.hpp"
+#include <algorithm>
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace sv::vm {
+
+namespace {
+
+using namespace lang::ast;
+
+[[noreturn]] void fail(const std::string &what) { throw VmError(what); }
+
+} // namespace
+
+double Value::asDouble() const {
+  if (const auto *d = std::get_if<double>(&v)) return *d;
+  if (const auto *i = std::get_if<i64>(&v)) return static_cast<double>(*i);
+  if (const auto *b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  if (const auto *r = std::get_if<Value *>(&v)) return (*r)->asDouble();
+  fail("value is not numeric");
+}
+
+i64 Value::asInt() const {
+  if (const auto *i = std::get_if<i64>(&v)) return *i;
+  if (const auto *d = std::get_if<double>(&v)) return static_cast<i64>(*d);
+  if (const auto *b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+  if (const auto *r = std::get_if<Value *>(&v)) return (*r)->asInt();
+  fail("value is not an integer");
+}
+
+bool Value::asBool() const {
+  if (const auto *b = std::get_if<bool>(&v)) return *b;
+  if (const auto *i = std::get_if<i64>(&v)) return *i != 0;
+  if (const auto *d = std::get_if<double>(&v)) return *d != 0.0;
+  if (const auto *r = std::get_if<Value *>(&v)) return (*r)->asBool();
+  fail("value is not a boolean");
+}
+
+const BufferPtr &Value::asBuffer() const {
+  if (const auto *b = std::get_if<BufferPtr>(&v)) return *b;
+  if (const auto *r = std::get_if<Value *>(&v)) return (*r)->asBuffer();
+  if (const auto *o = std::get_if<std::shared_ptr<Object>>(&v)) {
+    const auto it = (*o)->fields.find("data");
+    if (it != (*o)->fields.end()) return it->second.asBuffer();
+  }
+  fail("value is not a buffer");
+}
+
+namespace {
+
+/// Transparently follow references.
+Value deref(const Value &val) {
+  if (const auto *r = std::get_if<Value *>(&val.v)) return deref(**r);
+  return val;
+}
+
+enum class FlowKind { Normal, Break, Continue, Return };
+struct Flow {
+  FlowKind kind = FlowKind::Normal;
+  Value value;
+};
+
+class Interp {
+public:
+  Interp(const TranslationUnit &unit, const RunOptions &options)
+      : unit_(unit), options_(options) {
+    for (const auto &f : unit.functions)
+      if (f.body) functions_[f.name] = &f;
+  }
+
+  RunResult run() {
+    scopes_.emplace_back(); // globals
+    frameBase_.push_back(0);
+    for (const auto &g : unit_.globals) {
+      Value init;
+      if (g.var.init) init = deref(eval(*g.var.init));
+      scopes_[0][g.var.name] = init;
+    }
+    std::string entry = options_.entry;
+    if (entry.empty()) entry = unit_.programName.empty() ? "main" : unit_.programName;
+    const auto it = functions_.find(entry);
+    if (it == functions_.end()) fail("entry function '" + entry + "' not found");
+    RunResult result;
+    try {
+      result.returnValue = callFunction(*it->second, options_.args);
+    } catch (const ExitSignal &e) {
+      result.returnValue = Value(e.code);
+    }
+    result.output = std::move(out_);
+    result.coverage = std::move(cov_);
+    result.steps = steps_;
+    return result;
+  }
+
+private:
+  struct ExitSignal {
+    i64 code;
+  };
+
+  const TranslationUnit &unit_;
+  const RunOptions &options_;
+  std::map<std::string, const FunctionDecl *> functions_;
+  std::vector<std::map<std::string, Value>> scopes_;
+  std::vector<usize> frameBase_;
+  Coverage cov_;
+  std::string out_;
+  u64 steps_ = 0;
+
+  void hit(const lang::Location &loc) {
+    if (loc.file >= 0 && loc.line >= 1) ++cov_.lineHits[{loc.file, loc.line}];
+    if (++steps_ > options_.maxSteps) fail("step limit exceeded");
+  }
+
+  // -------------------------------------------------------- environment --
+  Value *lookup(const std::string &name) {
+    for (usize i = scopes_.size(); i > frameBase_.back();) {
+      --i;
+      const auto it = scopes_[i].find(name);
+      if (it != scopes_[i].end()) return &it->second;
+    }
+    const auto g = scopes_[0].find(name);
+    if (g != scopes_[0].end()) return &g->second;
+    return nullptr;
+  }
+
+  Value &declare(const std::string &name, Value v) {
+    return scopes_.back()[name] = std::move(v);
+  }
+
+  struct ScopeGuard {
+    Interp &interp;
+    explicit ScopeGuard(Interp &i) : interp(i) { interp.scopes_.emplace_back(); }
+    ~ScopeGuard() { interp.scopes_.pop_back(); }
+  };
+
+  // ----------------------------------------------------------- function --
+  Value callFunction(const FunctionDecl &f, const std::vector<Value> &args) {
+    scopes_.emplace_back();
+    frameBase_.push_back(scopes_.size() - 1);
+    for (usize i = 0; i < f.params.size(); ++i) {
+      Value v = i < args.size() ? args[i] : Value();
+      // By-reference parameters keep their Value* so writes propagate.
+      if (!f.params[i].type.reference) v = deref(v);
+      scopes_.back()[f.params[i].name] = std::move(v);
+    }
+    Flow flow = exec(*f.body);
+    scopes_.pop_back();
+    frameBase_.pop_back();
+    return flow.kind == FlowKind::Return ? flow.value : Value();
+  }
+
+  Value callClosure(const Closure &cl, const std::vector<Value> &args) {
+    scopes_.emplace_back();
+    frameBase_.push_back(scopes_.size() - 1);
+    // Captured environment first, parameters shadow it.
+    if (cl.captured)
+      for (const auto &[k, v] : *cl.captured) scopes_.back()[k] = v;
+    const auto &params = cl.lambda->params;
+    for (usize i = 0; i < params.size(); ++i) {
+      Value v = i < args.size() ? args[i] : Value();
+      if (!params[i].type.reference) v = deref(v);
+      scopes_.back()[params[i].name] = std::move(v);
+    }
+    Flow flow = cl.lambda->body ? exec(*cl.lambda->body) : Flow{};
+    scopes_.pop_back();
+    frameBase_.pop_back();
+    return flow.kind == FlowKind::Return ? flow.value : Value();
+  }
+
+  std::shared_ptr<Closure> makeClosure(const Expr &lambda) {
+    auto cl = std::make_shared<Closure>();
+    cl->lambda = &lambda;
+    cl->captured = std::make_shared<std::map<std::string, Value>>();
+    // Flatten the visible environment (globals + current frame). Buffers
+    // are shared pointers, so array mutation stays visible; scalars are
+    // captured by value, matching the corpus' [=] usage.
+    for (const auto &[k, v] : scopes_[0]) (*cl->captured)[k] = v;
+    for (usize i = frameBase_.back(); i < scopes_.size(); ++i)
+      for (const auto &[k, v] : scopes_[i]) (*cl->captured)[k] = deref(v);
+    return cl;
+  }
+
+  // ------------------------------------------------------------- stmts --
+  Flow exec(const Stmt &s) {
+    hit(s.loc);
+    switch (s.kind) {
+    case StmtKind::Compound: {
+      ScopeGuard guard(*this);
+      for (const auto &c : s.children) {
+        Flow f = exec(*c);
+        if (f.kind != FlowKind::Normal) return f;
+      }
+      return {};
+    }
+    case StmtKind::DeclStmt: {
+      for (const auto &d : s.decls) {
+        if (!d.arrayDims.empty()) {
+          usize n = 0;
+          if (d.arrayDims[0]) n = static_cast<usize>(deref(eval(*d.arrayDims[0])).asInt());
+          declare(d.name, Value(std::make_shared<std::vector<double>>(n, 0.0)));
+          continue;
+        }
+        Value v;
+        if (d.init) v = deref(eval(*d.init));
+        else if (d.type.name == "double" || d.type.name == "float") v = Value(0.0);
+        else if (d.type.name == "bool") v = Value(false);
+        else v = Value(i64{0});
+        declare(d.name, std::move(v));
+      }
+      return {};
+    }
+    case StmtKind::ExprStmt: (void)eval(*s.cond); return {};
+    case StmtKind::Return:
+      return Flow{FlowKind::Return, s.cond ? deref(eval(*s.cond)) : Value()};
+    case StmtKind::Break: return Flow{FlowKind::Break, {}};
+    case StmtKind::Continue: return Flow{FlowKind::Continue, {}};
+    case StmtKind::Empty: return {};
+    case StmtKind::If: {
+      if (deref(eval(*s.cond)).asBool()) return exec(*s.children[0]);
+      if (s.children.size() > 1) return exec(*s.children[1]);
+      return {};
+    }
+    case StmtKind::While: {
+      while (deref(eval(*s.cond)).asBool()) {
+        Flow f = exec(*s.children[0]);
+        if (f.kind == FlowKind::Break) break;
+        if (f.kind == FlowKind::Return) return f;
+      }
+      return {};
+    }
+    case StmtKind::DoWhile: {
+      do {
+        Flow f = exec(*s.children[0]);
+        if (f.kind == FlowKind::Break) break;
+        if (f.kind == FlowKind::Return) return f;
+      } while (deref(eval(*s.cond)).asBool());
+      return {};
+    }
+    case StmtKind::For: {
+      ScopeGuard guard(*this);
+      if (s.init) (void)exec(*s.init);
+      while (!s.cond || deref(eval(*s.cond)).asBool()) {
+        Flow f = exec(*s.children[0]);
+        if (f.kind == FlowKind::Break) break;
+        if (f.kind == FlowKind::Return) return f;
+        if (s.step) (void)eval(*s.step);
+      }
+      return {};
+    }
+    case StmtKind::ForRange: {
+      ScopeGuard guard(*this);
+      const i64 lo = deref(eval(*s.cond)).asInt();
+      const i64 hi = deref(eval(*s.step)).asInt();
+      Value &iv = declare(s.loopVar, Value(lo));
+      for (i64 i = lo; i <= hi; ++i) {
+        iv = Value(i);
+        Flow f = exec(*s.children[0]);
+        if (f.kind == FlowKind::Break) break;
+        if (f.kind == FlowKind::Return) return f;
+      }
+      return {};
+    }
+    case StmtKind::Directive: {
+      // Directives execute their structured block; parallelism is a
+      // performance property, not a semantic one, for coverage purposes.
+      for (const auto &c : s.children) {
+        Flow f = exec(*c);
+        if (f.kind != FlowKind::Normal) return f;
+      }
+      return {};
+    }
+    case StmtKind::ArrayAssign: return execArrayAssign(s);
+    }
+    return {};
+  }
+
+  /// Fortran whole-array assignment `a(:) = b(:) + s * c(:)`.
+  Flow execArrayAssign(const Stmt &s) {
+    const Expr &lhs = *s.cond;
+    SV_CHECK(lhs.kind == ExprKind::Index, "array assignment lhs must be a section");
+    const auto lbuf = deref(eval(*lhs.args[0])).asBuffer();
+    // Section bounds (1-based, inclusive); default full array.
+    i64 lo = 1, hi = static_cast<i64>(lbuf->size());
+    if (lhs.args.size() > 1 && lhs.args[1] && lhs.args[1]->kind == ExprKind::Range) {
+      const auto &r = *lhs.args[1];
+      if (r.args[0]) lo = deref(eval(*r.args[0])).asInt();
+      if (r.args[1]) hi = deref(eval(*r.args[1])).asInt();
+    }
+    for (i64 k = 0; k <= hi - lo; ++k) {
+      const double v = evalElementwise(*s.step, k);
+      const usize at = static_cast<usize>(lo - 1 + k);
+      if (at >= lbuf->size()) fail("array assignment out of bounds");
+      (*lbuf)[at] = v;
+    }
+    return {};
+  }
+
+  /// Evaluate an expression elementwise at offset k (array sections and
+  /// whole arrays index at their own base + k).
+  double evalElementwise(const Expr &e, i64 k) {
+    switch (e.kind) {
+    case ExprKind::Binary: {
+      const double a = evalElementwise(*e.args[0], k);
+      const double b = evalElementwise(*e.args[1], k);
+      if (e.text == "+") return a + b;
+      if (e.text == "-") return a - b;
+      if (e.text == "*") return a * b;
+      if (e.text == "/") return a / b;
+      if (e.text == "**") return std::pow(a, b);
+      fail("unsupported elementwise operator " + e.text);
+    }
+    case ExprKind::Unary: {
+      const double a = evalElementwise(*e.args[0], k);
+      return e.text == "-" ? -a : a;
+    }
+    case ExprKind::Index: {
+      const auto buf = deref(eval(*e.args[0])).asBuffer();
+      i64 lo = 1;
+      if (e.args.size() > 1 && e.args[1]) {
+        if (e.args[1]->kind == ExprKind::Range) {
+          if (e.args[1]->args[0]) lo = deref(eval(*e.args[1]->args[0])).asInt();
+        } else {
+          // scalar element reference inside elementwise context
+          const i64 idx = deref(eval(*e.args[1])).asInt();
+          return (*buf)[static_cast<usize>(idx - 1)];
+        }
+      }
+      const usize at = static_cast<usize>(lo - 1 + k);
+      if (at >= buf->size()) fail("array section out of bounds");
+      return (*buf)[at];
+    }
+    case ExprKind::Ident: {
+      Value *slot = lookup(e.text);
+      if (slot && deref(*slot).isBuffer()) {
+        const auto buf = deref(*slot).asBuffer();
+        const usize at = static_cast<usize>(k);
+        if (at >= buf->size()) fail("array out of bounds");
+        return (*buf)[at];
+      }
+      return deref(eval(e)).asDouble();
+    }
+    default: return deref(eval(e)).asDouble();
+    }
+  }
+
+  // ------------------------------------------------------------- exprs --
+  Value eval(const Expr &e) {
+    switch (e.kind) {
+    case ExprKind::IntLit: return Value(static_cast<i64>(std::stoll(e.text)));
+    case ExprKind::FloatLit: return Value(std::stod(e.text));
+    case ExprKind::BoolLit: return Value(e.text == "true");
+    case ExprKind::StringLit: return Value(e.text);
+    case ExprKind::Ident: {
+      if (Value *slot = lookup(e.text)) return *slot;
+      // Unknown identifiers: model tags and enums evaluate to their name.
+      return Value(e.text);
+    }
+    case ExprKind::Lambda: {
+      Value v;
+      v.v = makeClosure(e);
+      return v;
+    }
+    case ExprKind::Binary: return evalBinary(e);
+    case ExprKind::Unary: return evalUnary(e);
+    case ExprKind::Assign: return evalAssign(e);
+    case ExprKind::Conditional:
+      return deref(eval(*e.args[0])).asBool() ? deref(eval(*e.args[1]))
+                                              : deref(eval(*e.args[2]));
+    case ExprKind::Cast:
+    case ExprKind::ImplicitCast: {
+      Value v = deref(eval(*e.args[0]));
+      const auto &ty = e.valueType;
+      if (ty.pointer > 0) return v;
+      if (ty.name == "double" || ty.name == "float") return Value(v.asDouble());
+      if (ty.name == "bool") return Value(v.asBool());
+      if (!ty.name.empty() && ty.name != "void") return Value(v.asInt());
+      return v;
+    }
+    case ExprKind::Index: {
+      const Value base = deref(eval(*e.args[0]));
+      const auto buf = base.asBuffer();
+      i64 idx = deref(eval(*e.args[1])).asInt();
+      if (options_.fortran) idx -= 1;
+      if (idx < 0 || static_cast<usize>(idx) >= buf->size())
+        fail("index " + std::to_string(idx) + " out of bounds (size " +
+             std::to_string(buf->size()) + ")");
+      return Value((*buf)[static_cast<usize>(idx)]);
+    }
+    case ExprKind::Member: return evalMember(e);
+    case ExprKind::Call: return evalCall(e);
+    case ExprKind::KernelLaunch: return evalKernelLaunch(e);
+    case ExprKind::InitList: {
+      // dim3-style init list: keep the first element (1-D corpus).
+      if (!e.args.empty()) return deref(eval(*e.args[0]));
+      return Value(i64{0});
+    }
+    case ExprKind::Range: {
+      auto obj = std::make_shared<Object>();
+      obj->type = "range";
+      if (!e.args.empty() && e.args[0]) obj->fields["lo"] = deref(eval(*e.args[0]));
+      if (e.args.size() > 1 && e.args[1]) obj->fields["hi"] = deref(eval(*e.args[1]));
+      Value v;
+      v.v = std::move(obj);
+      return v;
+    }
+    }
+    fail("unhandled expression kind");
+  }
+
+  Value evalBinary(const Expr &e) {
+    const Value lv = deref(eval(*e.args[0]));
+    // Short-circuit logic.
+    if (e.text == "&&") return Value(lv.asBool() && deref(eval(*e.args[1])).asBool());
+    if (e.text == "||") return Value(lv.asBool() || deref(eval(*e.args[1])).asBool());
+    const Value rv = deref(eval(*e.args[1]));
+    const bool useDouble = std::holds_alternative<double>(lv.v) ||
+                           std::holds_alternative<double>(rv.v);
+    if (e.text == "==" || e.text == "!=" || e.text == "<" || e.text == ">" || e.text == "<=" ||
+        e.text == ">=") {
+      const double a = lv.asDouble();
+      const double b = rv.asDouble();
+      bool r = false;
+      if (e.text == "==") r = a == b;
+      else if (e.text == "!=") r = a != b;
+      else if (e.text == "<") r = a < b;
+      else if (e.text == ">") r = a > b;
+      else if (e.text == "<=") r = a <= b;
+      else r = a >= b;
+      return Value(r);
+    }
+    if (useDouble) {
+      const double a = lv.asDouble();
+      const double b = rv.asDouble();
+      if (e.text == "+") return Value(a + b);
+      if (e.text == "-") return Value(a - b);
+      if (e.text == "*") return Value(a * b);
+      if (e.text == "/") return Value(a / b);
+      if (e.text == "%") return Value(std::fmod(a, b));
+      if (e.text == "**") return Value(std::pow(a, b));
+    } else {
+      const i64 a = lv.asInt();
+      const i64 b = rv.asInt();
+      if (e.text == "+") return Value(a + b);
+      if (e.text == "-") return Value(a - b);
+      if (e.text == "*") return Value(a * b);
+      if (e.text == "/") {
+        if (b == 0) fail("integer division by zero");
+        return Value(a / b);
+      }
+      if (e.text == "%") {
+        if (b == 0) fail("integer modulo by zero");
+        return Value(a % b);
+      }
+      if (e.text == "**") return Value(static_cast<i64>(std::llround(std::pow(
+                                static_cast<double>(a), static_cast<double>(b)))));
+      if (e.text == "&") return Value(a & b);
+      if (e.text == "|") return Value(a | b);
+      if (e.text == "^") return Value(a ^ b);
+      if (e.text == "<<") return Value(a << b);
+      if (e.text == ">>") return Value(a >> b);
+    }
+    fail("unsupported binary operator " + e.text);
+  }
+
+  Value evalUnary(const Expr &e) {
+    if (e.text == "&") {
+      Value *slot = address(*e.args[0]);
+      Value v;
+      v.v = slot;
+      return v;
+    }
+    if (e.text == "*") {
+      const Value p = deref(eval(*e.args[0]));
+      if (p.isBuffer()) return Value((*p.asBuffer())[0]);
+      fail("cannot dereference non-pointer");
+    }
+    if (e.text == "++" || e.text == "--" || e.text == "post++" || e.text == "post--") {
+      Value *slot = address(*e.args[0]);
+      const Value old = deref(*slot);
+      const i64 delta = e.text.find("++") != std::string::npos ? 1 : -1;
+      Value neu = std::holds_alternative<double>(deref(*slot).v)
+                      ? Value(old.asDouble() + static_cast<double>(delta))
+                      : Value(old.asInt() + delta);
+      assignThrough(slot, neu);
+      return e.text[0] == 'p' ? old : neu;
+    }
+    const Value v = deref(eval(*e.args[0]));
+    if (e.text == "-") {
+      if (std::holds_alternative<double>(v.v)) return Value(-v.asDouble());
+      return Value(-v.asInt());
+    }
+    if (e.text == "!") return Value(!v.asBool());
+    if (e.text == "~") return Value(~v.asInt());
+    return v; // unary +
+  }
+
+  /// Address of an lvalue (environment slot). Index/element addresses are
+  /// handled directly in evalAssign.
+  Value *address(const Expr &e) {
+    if (e.kind == ExprKind::Ident) {
+      Value *slot = lookup(e.text);
+      if (!slot) return &declare(e.text, Value());
+      // Follow reference chains so writes land in the referenced slot.
+      while (auto *r = std::get_if<Value *>(&slot->v)) slot = *r;
+      return slot;
+    }
+    if (e.kind == ExprKind::Member) {
+      const Value base = deref(eval(*e.args[0]));
+      if (const auto *obj = std::get_if<std::shared_ptr<Object>>(&base.v))
+        return &(*obj)->fields[e.text];
+      fail("member assignment on non-object");
+    }
+    fail("expression is not addressable");
+  }
+
+  static void assignThrough(Value *slot, const Value &v) { *slot = v; }
+
+  Value evalAssign(const Expr &e) {
+    const Expr &lhs = *e.args[0];
+    // Element stores.
+    if (lhs.kind == ExprKind::Index ||
+        (lhs.kind == ExprKind::Call && isBufferCall(lhs))) {
+      const Value base = deref(eval(*lhs.args[0]));
+      const auto buf = base.asBuffer();
+      i64 idx = deref(eval(*lhs.args[1])).asInt();
+      if (options_.fortran || lhs.kind == ExprKind::Call) {
+        // Fortran arrays and Kokkos::View operator() — 1-based only for
+        // Fortran; Views are 0-based.
+        if (options_.fortran) idx -= 1;
+      }
+      if (idx < 0 || static_cast<usize>(idx) >= buf->size()) fail("store out of bounds");
+      double nv;
+      if (e.text == "=") {
+        nv = deref(eval(*e.args[1])).asDouble();
+      } else {
+        const double old = (*buf)[static_cast<usize>(idx)];
+        const double rhs = deref(eval(*e.args[1])).asDouble();
+        nv = applyCompound(e.text, old, rhs);
+      }
+      (*buf)[static_cast<usize>(idx)] = nv;
+      return Value(nv);
+    }
+    if (lhs.kind == ExprKind::Unary && lhs.text == "*") {
+      const Value p = deref(eval(*lhs.args[0]));
+      const auto buf = p.asBuffer();
+      const double nv = e.text == "="
+                            ? deref(eval(*e.args[1])).asDouble()
+                            : applyCompound(e.text, (*buf)[0], deref(eval(*e.args[1])).asDouble());
+      (*buf)[0] = nv;
+      return Value(nv);
+    }
+    Value *slot = address(lhs);
+    Value rhs = deref(eval(*e.args[1]));
+    if (e.text != "=") {
+      const Value old = deref(*slot);
+      if (std::holds_alternative<double>(old.v) || std::holds_alternative<double>(rhs.v)) {
+        rhs = Value(applyCompound(e.text, old.asDouble(), rhs.asDouble()));
+      } else {
+        rhs = Value(static_cast<i64>(
+            applyCompound(e.text, static_cast<double>(old.asInt()),
+                          static_cast<double>(rhs.asInt()))));
+      }
+    } else if (std::holds_alternative<double>(deref(*slot).v) &&
+               std::holds_alternative<i64>(rhs.v)) {
+      rhs = Value(rhs.asDouble()); // keep declared floating type
+    }
+    assignThrough(slot, rhs);
+    return rhs;
+  }
+
+  static double applyCompound(const std::string &op, double old, double rhs) {
+    if (op == "+=") return old + rhs;
+    if (op == "-=") return old - rhs;
+    if (op == "*=") return old * rhs;
+    if (op == "/=") return old / rhs;
+    fail("unsupported compound assignment " + op);
+  }
+
+  [[nodiscard]] bool isBufferCall(const Expr &call) {
+    // `view(i)` — a call whose callee names a buffer/object-with-data.
+    if (call.args.empty() || call.args[0]->kind != ExprKind::Ident) return false;
+    Value *slot = lookup(call.args[0]->text);
+    if (!slot) return false;
+    const Value v = deref(*slot);
+    if (v.isBuffer()) return true;
+    if (const auto *obj = std::get_if<std::shared_ptr<Object>>(&v.v))
+      return (*obj)->fields.count("data") != 0;
+    return false;
+  }
+
+  Value evalMember(const Expr &e) {
+    const Value base = deref(eval(*e.args[0]));
+    if (const auto *obj = std::get_if<std::shared_ptr<Object>>(&base.v)) {
+      const auto it = (*obj)->fields.find(e.text);
+      if (it != (*obj)->fields.end()) return it->second;
+      return Value(i64{0});
+    }
+    fail("member access on non-object value: ." + e.text);
+  }
+
+  Value evalKernelLaunch(const Expr &e) {
+    const std::string name = e.args[0]->text;
+    const auto it = functions_.find(name);
+    if (it == functions_.end()) fail("unknown kernel '" + name + "'");
+    const i64 grid = deref(eval(*e.args[1])).asInt();
+    const i64 block = deref(eval(*e.args[2])).asInt();
+    std::vector<Value> args;
+    for (usize i = 3; i < e.args.size(); ++i) args.push_back(deref(eval(*e.args[i])));
+    launchGrid(*it->second, args, grid, block);
+    return Value();
+  }
+
+  void launchGrid(const FunctionDecl &kernel, const std::vector<Value> &args, i64 grid,
+                  i64 block) {
+    const auto dim3 = [&](i64 x) {
+      auto obj = std::make_shared<Object>();
+      obj->type = "dim3";
+      obj->fields["x"] = Value(x);
+      obj->fields["y"] = Value(i64{1});
+      obj->fields["z"] = Value(i64{1});
+      Value v;
+      v.v = std::move(obj);
+      return v;
+    };
+    for (i64 b = 0; b < grid; ++b) {
+      for (i64 t = 0; t < block; ++t) {
+        scopes_.emplace_back();
+        frameBase_.push_back(scopes_.size() - 1);
+        scopes_.back()["threadIdx"] = dim3(t);
+        scopes_.back()["blockIdx"] = dim3(b);
+        scopes_.back()["blockDim"] = dim3(block);
+        scopes_.back()["gridDim"] = dim3(grid);
+        for (usize i = 0; i < kernel.params.size() && i < args.size(); ++i)
+          scopes_.back()[kernel.params[i].name] = args[i];
+        (void)exec(*kernel.body);
+        scopes_.pop_back();
+        frameBase_.pop_back();
+      }
+    }
+  }
+
+  Value evalCall(const Expr &e);
+  Value callBuiltin(const std::string &name, const Expr &e);
+  Value callMemberBuiltin(const Expr &mem, const Expr &call);
+  Value makeObject(const std::string &type, const Expr &ctorCall);
+  void printArgs(const Expr &e, usize firstArg);
+
+  friend struct ScopeGuard;
+};
+
+// ------------------------------------------------------------- calls ----
+
+Value Interp::evalCall(const Expr &e) {
+  const Expr &callee = *e.args[0];
+  // Member call: object.method(args).
+  if (callee.kind == ExprKind::Member) return callMemberBuiltin(callee, e);
+
+  if (callee.kind == ExprKind::Ident) {
+    const std::string &name = callee.text;
+    // View/buffer indexing through call syntax.
+    if (isBufferCall(e)) {
+      const auto buf = deref(eval(callee)).asBuffer();
+      i64 idx = deref(eval(*e.args[1])).asInt();
+      if (options_.fortran) idx -= 1;
+      if (idx < 0 || static_cast<usize>(idx) >= buf->size()) fail("index out of bounds");
+      return Value((*buf)[static_cast<usize>(idx)]);
+    }
+    // User function?
+    if (const auto it = functions_.find(name); it != functions_.end()) {
+      std::vector<Value> args;
+      for (usize i = 1; i < e.args.size(); ++i) {
+        const bool byRef =
+            i - 1 < it->second->params.size() && it->second->params[i - 1].type.reference;
+        if (byRef || options_.fortran) {
+          // Fortran passes everything by reference.
+          if (e.args[i]->kind == ExprKind::Ident) {
+            Value v;
+            v.v = address(*e.args[i]);
+            args.push_back(v);
+            continue;
+          }
+        }
+        args.push_back(deref(eval(*e.args[i])));
+      }
+      return callFunction(*it->second, args);
+    }
+    // Closure variable?
+    if (Value *slot = lookup(name)) {
+      const Value v = deref(*slot);
+      if (const auto *cl = std::get_if<std::shared_ptr<Closure>>(&v.v)) {
+        std::vector<Value> args;
+        for (usize i = 1; i < e.args.size(); ++i) args.push_back(deref(eval(*e.args[i])));
+        return callClosure(**cl, args);
+      }
+    }
+    return callBuiltin(name, e);
+  }
+  // Calling the result of an expression (lambda literal invoked directly).
+  const Value v = deref(eval(callee));
+  if (const auto *cl = std::get_if<std::shared_ptr<Closure>>(&v.v)) {
+    std::vector<Value> args;
+    for (usize i = 1; i < e.args.size(); ++i) args.push_back(deref(eval(*e.args[i])));
+    return callClosure(**cl, args);
+  }
+  fail("expression is not callable");
+}
+
+void Interp::printArgs(const Expr &e, usize firstArg) {
+  for (usize i = firstArg; i < e.args.size(); ++i) {
+    const Value v = deref(eval(*e.args[i]));
+    if (i > firstArg) out_ += " ";
+    if (const auto *s = std::get_if<std::string>(&v.v)) out_ += *s;
+    else if (const auto *d = std::get_if<double>(&v.v)) out_ += str::fmtDouble(*d, 6);
+    else if (const auto *ii = std::get_if<i64>(&v.v)) out_ += std::to_string(*ii);
+    else if (const auto *b = std::get_if<bool>(&v.v)) out_ += *b ? "T" : "F";
+  }
+  out_ += "\n";
+}
+
+Value Interp::makeObject(const std::string &type, const Expr &ctorCall) {
+  auto obj = std::make_shared<Object>();
+  obj->type = type;
+  if (str::startsWith(type, "sycl::buffer")) {
+    // buffer(hostPtr, range): shares the host allocation.
+    if (ctorCall.args.size() > 1) {
+      const Value host = deref(eval(*ctorCall.args[1]));
+      if (host.isBuffer()) obj->fields["data"] = host;
+    }
+  } else if (str::startsWith(type, "Kokkos::View")) {
+    // View("label", n): fresh allocation.
+    usize n = 0;
+    for (usize i = 1; i < ctorCall.args.size(); ++i) {
+      const Value v = deref(eval(*ctorCall.args[i]));
+      if (std::holds_alternative<i64>(v.v)) n = static_cast<usize>(v.asInt());
+    }
+    obj->fields["data"] = Value(std::make_shared<std::vector<double>>(n, 0.0));
+  } else if (str::startsWith(type, "tbb::blocked_range")) {
+    if (ctorCall.args.size() > 2) {
+      obj->fields["lo"] = deref(eval(*ctorCall.args[1]));
+      obj->fields["hi"] = deref(eval(*ctorCall.args[2]));
+    }
+  } else if (str::startsWith(type, "sycl::range") || str::startsWith(type, "Kokkos::RangePolicy")) {
+    if (ctorCall.args.size() > 1) obj->fields["hi"] = deref(eval(*ctorCall.args[1]));
+    if (ctorCall.args.size() > 2) {
+      obj->fields["lo"] = obj->fields["hi"];
+      obj->fields["hi"] = deref(eval(*ctorCall.args[2]));
+    }
+  }
+  Value v;
+  v.v = std::move(obj);
+  return v;
+}
+
+/// Free-function builtins: math intrinsics, allocation, the C-side of the
+/// CUDA/HIP runtimes, Kokkos/TBB/StdPar dispatch, Fortran intrinsics.
+Value Interp::callBuiltin(const std::string &name, const Expr &e) {
+  const auto arg = [&](usize i) { return deref(eval(*e.args[i + 1])); };
+  const usize argc = e.args.size() - 1;
+  // Strip namespace qualifiers for the math intrinsics.
+  std::string base = name;
+  if (const auto pos = base.rfind("::"); pos != std::string::npos) base = base.substr(pos + 2);
+
+  // ---- printing & process control ------------------------------------
+  if (name == "printf" || name == "print" || base == "print") {
+    printArgs(e, 1);
+    return Value(i64{0});
+  }
+  if (name == "exit" || base == "exit") throw ExitSignal{argc > 0 ? arg(0).asInt() : 0};
+
+  // ---- math -----------------------------------------------------------
+  if (base == "sqrt") return Value(std::sqrt(arg(0).asDouble()));
+  if (base == "fabs" || base == "abs") {
+    const Value v = arg(0);
+    if (std::holds_alternative<i64>(v.v)) return Value(std::abs(v.asInt()));
+    return Value(std::fabs(v.asDouble()));
+  }
+  if (base == "pow") return Value(std::pow(arg(0).asDouble(), arg(1).asDouble()));
+  if (base == "exp") return Value(std::exp(arg(0).asDouble()));
+  if (base == "sin") return Value(std::sin(arg(0).asDouble()));
+  if (base == "cos") return Value(std::cos(arg(0).asDouble()));
+  if (base == "floor") return Value(std::floor(arg(0).asDouble()));
+  if (base == "fmin" || base == "min") {
+    const Value a = arg(0), b = arg(1);
+    if (std::holds_alternative<i64>(a.v) && std::holds_alternative<i64>(b.v))
+      return Value(std::min(a.asInt(), b.asInt()));
+    return Value(std::fmin(a.asDouble(), b.asDouble()));
+  }
+  if (base == "fmax" || base == "max") {
+    const Value a = arg(0), b = arg(1);
+    if (std::holds_alternative<i64>(a.v) && std::holds_alternative<i64>(b.v))
+      return Value(std::max(a.asInt(), b.asInt()));
+    return Value(std::fmax(a.asDouble(), b.asDouble()));
+  }
+  if (base == "mod") return Value(arg(0).asInt() % arg(1).asInt());
+  if (base == "real" || base == "dble") return Value(arg(0).asDouble());
+  if (base == "int") return Value(arg(0).asInt());
+  if (base == "epsilon") return Value(2.220446049250313e-16);
+  if (base == "sizeof") return Value(i64{8}); // everything is a double/word
+
+  // ---- allocation -------------------------------------------------------
+  if (name == "malloc" || base == "aligned_alloc") {
+    const usize bytes = static_cast<usize>(arg(argc - 1).asInt());
+    return Value(std::make_shared<std::vector<double>>(bytes / 8, 0.0));
+  }
+  if (name == "free" || base == "free") return Value();
+  if (name == "allocate") {
+    // allocate(a(n), b(n), ...): each arg is Index(Ident, n).
+    for (usize i = 1; i < e.args.size(); ++i) {
+      const Expr &spec = *e.args[i];
+      if (spec.kind != ExprKind::Index || spec.args[0]->kind != ExprKind::Ident) continue;
+      const usize n = static_cast<usize>(deref(eval(*spec.args[1])).asInt());
+      *address(*spec.args[0]) = Value(std::make_shared<std::vector<double>>(n, 0.0));
+    }
+    return Value();
+  }
+  if (name == "deallocate") return Value();
+
+  // ---- Fortran array intrinsics -----------------------------------------
+  if (base == "sum" && argc == 1) {
+    const auto buf = arg(0).asBuffer();
+    double s = 0.0;
+    for (const double v : *buf) s += v;
+    return Value(s);
+  }
+  if (base == "dot_product") {
+    const auto a = arg(0).asBuffer();
+    const auto b = arg(1).asBuffer();
+    double s = 0.0;
+    for (usize i = 0; i < std::min(a->size(), b->size()); ++i) s += (*a)[i] * (*b)[i];
+    return Value(s);
+  }
+  if (base == "size") return Value(static_cast<i64>(arg(0).asBuffer()->size()));
+  if (base == "maxval") {
+    const auto buf = arg(0).asBuffer();
+    double m = buf->empty() ? 0.0 : (*buf)[0];
+    for (const double v : *buf) m = std::max(m, v);
+    return Value(m);
+  }
+
+  // ---- OpenMP runtime -----------------------------------------------------
+  if (name == "omp_get_wtime") return Value(static_cast<double>(steps_) * 1e-9);
+  if (name == "omp_get_max_threads" || name == "omp_get_num_threads") return Value(i64{1});
+  if (name == "omp_get_thread_num") return Value(i64{0});
+
+  // ---- CUDA / HIP runtime -------------------------------------------------
+  if (name == "cudaMalloc" || name == "hipMalloc") {
+    // (void**)&ptr may wrap the address in a cast.
+    const Expr *target = e.args[1].get();
+    while (target->kind == ExprKind::Cast || target->kind == ExprKind::ImplicitCast)
+      target = target->args[0].get();
+    if (target->kind == ExprKind::Unary && target->text == "&") {
+      const usize bytes = static_cast<usize>(arg(1).asInt());
+      *address(*target->args[0]) = Value(std::make_shared<std::vector<double>>(bytes / 8, 0.0));
+      return Value(i64{0});
+    }
+    fail(name + ": expected &pointer argument");
+  }
+  if (name == "cudaMemcpy" || name == "hipMemcpy") {
+    const auto dst = arg(0).asBuffer();
+    const auto src = arg(1).asBuffer();
+    const usize n = std::min({static_cast<usize>(arg(2).asInt()) / 8, dst->size(), src->size()});
+    for (usize i = 0; i < n; ++i) (*dst)[i] = (*src)[i];
+    return Value(i64{0});
+  }
+  if (name == "cudaMemset" || name == "hipMemset") {
+    const auto dst = arg(0).asBuffer();
+    const usize n = std::min(static_cast<usize>(arg(2).asInt()) / 8, dst->size());
+    for (usize i = 0; i < n; ++i) (*dst)[i] = 0.0;
+    return Value(i64{0});
+  }
+  if (name == "cudaFree" || name == "hipFree" || name == "cudaDeviceSynchronize" ||
+      name == "hipDeviceSynchronize")
+    return Value(i64{0});
+  if (name == "hipLaunchKernelGGL") {
+    // (kernel, grid, block, shmem, stream, args...)
+    const std::string kname = e.args[1]->text;
+    const auto it = functions_.find(kname);
+    if (it == functions_.end()) fail("unknown kernel '" + kname + "'");
+    const i64 grid = arg(1).asInt();
+    const i64 block = arg(2).asInt();
+    std::vector<Value> args;
+    for (usize i = 6; i < e.args.size(); ++i) args.push_back(deref(eval(*e.args[i])));
+    launchGrid(*it->second, args, grid, block);
+    return Value();
+  }
+
+  // ---- SYCL free functions -------------------------------------------------
+  if (name == "sycl::malloc_device" || name == "sycl::malloc_shared" ||
+      name == "sycl::malloc_host") {
+    const usize n = static_cast<usize>(arg(0).asInt());
+    return Value(std::make_shared<std::vector<double>>(n, 0.0));
+  }
+  if (name == "sycl::free") return Value();
+  if (name == "sycl::range") return arg(0);
+
+  // ---- Kokkos ---------------------------------------------------------------
+  if (name == "Kokkos::initialize" || name == "Kokkos::finalize" || name == "Kokkos::fence")
+    return Value();
+  if (name == "Kokkos::parallel_for") {
+    // (label?, n-or-policy, functor)
+    usize fi = argc - 1;
+    const Value fv = arg(fi);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("Kokkos::parallel_for: missing functor");
+    i64 lo = 0, hi = 0;
+    for (usize i = 0; i < fi; ++i) {
+      const Value v = arg(i);
+      if (std::holds_alternative<i64>(v.v)) hi = v.asInt();
+      if (const auto *obj = std::get_if<std::shared_ptr<Object>>(&v.v)) {
+        if ((*obj)->fields.count("lo")) lo = (*obj)->fields["lo"].asInt();
+        if ((*obj)->fields.count("hi")) hi = (*obj)->fields["hi"].asInt();
+      }
+    }
+    for (i64 i = lo; i < hi; ++i) (void)callClosure(**cl, {Value(i)});
+    return Value();
+  }
+  if (name == "Kokkos::parallel_reduce") {
+    // (label?, n, functor(i, acc&), result)
+    usize fi = 0;
+    i64 hi = 0;
+    Value fv; // keeps the closure alive for the whole reduction
+    for (usize i = 0; i < argc; ++i) {
+      const Value v = arg(i);
+      if (std::holds_alternative<i64>(v.v)) hi = v.asInt();
+      if (std::holds_alternative<std::shared_ptr<Closure>>(v.v)) {
+        fv = v;
+        fi = i;
+      }
+    }
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("Kokkos::parallel_reduce: missing functor");
+    Value acc(0.0);
+    Value accRef;
+    accRef.v = &acc;
+    for (i64 i = 0; i < hi; ++i) (void)callClosure(**cl, {Value(i), accRef});
+    // Result parameter follows the functor.
+    if (fi + 1 + 1 < e.args.size()) {
+      const Expr &res = *e.args[fi + 2];
+      *address(res) = acc;
+    }
+    return acc;
+  }
+  if (name == "Kokkos::deep_copy") {
+    const auto dst = arg(0).asBuffer();
+    const auto src = arg(1).asBuffer();
+    for (usize i = 0; i < std::min(dst->size(), src->size()); ++i) (*dst)[i] = (*src)[i];
+    return Value();
+  }
+
+  // ---- TBB ---------------------------------------------------------------
+  if (name == "tbb::parallel_for") {
+    const Value rv = arg(0);
+    const Value fv = arg(1);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("tbb::parallel_for: missing body");
+    (void)callClosure(**cl, {rv}); // single chunk covers the whole range
+    return Value();
+  }
+  if (name == "tbb::parallel_reduce") {
+    // (range, identity, body(range, acc) -> acc, join)
+    const Value rv = arg(0);
+    Value acc = arg(1);
+    const Value fv = arg(2);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("tbb::parallel_reduce: missing body");
+    return callClosure(**cl, {rv, acc});
+  }
+
+  // ---- parallel STL ---------------------------------------------------------
+  if (name == "std::for_each_n") {
+    // (policy, first, n, f) with integer "iterators".
+    const i64 first = arg(1).asInt();
+    const i64 n = arg(2).asInt();
+    const Value fv = arg(3);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("for_each_n: missing function");
+    for (i64 i = 0; i < n; ++i) (void)callClosure(**cl, {Value(first + i)});
+    return Value();
+  }
+  if (name == "std::for_each") {
+    const i64 first = arg(1).asInt();
+    const i64 last = arg(2).asInt();
+    const Value fv = arg(3);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("for_each: missing function");
+    for (i64 i = first; i < last; ++i) (void)callClosure(**cl, {Value(i)});
+    return Value();
+  }
+  if (name == "std::transform_reduce") {
+    // (policy, first, last, init, reduce, transform) — integer iterators.
+    const i64 first = arg(1).asInt();
+    const i64 last = arg(2).asInt();
+    Value acc = arg(3);
+    const Value tv = arg(5);
+    const auto *tf = std::get_if<std::shared_ptr<Closure>>(&tv.v);
+    if (!tf) fail("transform_reduce: missing transform function");
+    double s = acc.asDouble();
+    for (i64 i = first; i < last; ++i) s += callClosure(**tf, {Value(i)}).asDouble();
+    return Value(s);
+  }
+  if (name == "std::fill_n") {
+    const auto buf = arg(1).asBuffer();
+    const i64 n = arg(2).asInt();
+    const double v = arg(3).asDouble();
+    for (i64 i = 0; i < n && static_cast<usize>(i) < buf->size(); ++i)
+      (*buf)[static_cast<usize>(i)] = v;
+    return Value();
+  }
+  if (name == "std::plus" || name == "std::multiplies") return Value(name);
+
+  // ---- constructor-style calls of known object types -----------------------
+  if (str::startsWith(name, "sycl::") || str::startsWith(name, "Kokkos::") ||
+      str::startsWith(name, "tbb::") || name == "dim3")
+    return makeObject(name, e);
+
+  fail("unknown function '" + name + "'");
+}
+
+/// Member-call builtins: the object-oriented half of the model runtimes.
+Value Interp::callMemberBuiltin(const Expr &mem, const Expr &call) {
+  const std::string &method = mem.text;
+  const Value base = deref(eval(*mem.args[0]));
+  const auto arg = [&](usize i) { return deref(eval(*call.args[i + 1])); };
+  const usize argc = call.args.size() - 1;
+
+  const auto *obj = std::get_if<std::shared_ptr<Object>>(&base.v);
+
+  // blocked_range / range accessors.
+  if (obj && (method == "begin" || method == "end")) {
+    const auto &fields = (*obj)->fields;
+    const auto it = fields.find(method == "begin" ? "lo" : "hi");
+    return it != fields.end() ? it->second : Value(i64{0});
+  }
+  if (obj && (method == "size" || method == "get_range"))
+    return Value(static_cast<i64>(base.asBuffer()->size()));
+  if (method == "get_id" || method == "get_global_id") return base; // item -> index
+
+  // sycl::queue methods.
+  if (method == "submit") {
+    const Value fv = arg(0);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("queue::submit: expected a command-group lambda");
+    auto handler = std::make_shared<Object>();
+    handler->type = "sycl::handler";
+    Value hv;
+    hv.v = std::move(handler);
+    return callClosure(**cl, {hv});
+  }
+  if (method == "wait" || method == "wait_and_throw") return Value();
+  if (method == "parallel_for") {
+    // handler/queue parallel_for(rangeOrN, [offset,] kernel).
+    i64 n = 0;
+    const Value rv = arg(0);
+    if (const auto *ro = std::get_if<std::shared_ptr<Object>>(&rv.v)) {
+      const auto it = (*ro)->fields.find("hi");
+      n = it != (*ro)->fields.end() ? it->second.asInt() : 0;
+    } else {
+      n = rv.asInt();
+    }
+    const Value fv = arg(argc - 1);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("parallel_for: missing kernel lambda");
+    for (i64 i = 0; i < n; ++i) (void)callClosure(**cl, {Value(i)});
+    return Value();
+  }
+  if (method == "single_task") {
+    const Value fv = arg(0);
+    const auto *cl = std::get_if<std::shared_ptr<Closure>>(&fv.v);
+    if (!cl) fail("single_task: missing lambda");
+    return callClosure(**cl, {});
+  }
+  if (method == "memcpy") {
+    const auto dst = arg(0).asBuffer();
+    const auto src = arg(1).asBuffer();
+    const usize n = std::min({static_cast<usize>(arg(2).asInt()) / 8, dst->size(), src->size()});
+    for (usize i = 0; i < n; ++i) (*dst)[i] = (*src)[i];
+    return Value();
+  }
+  if (method == "copy") { // handler::copy(src, dstBuffer)
+    const auto src = arg(0).asBuffer();
+    const auto dst = arg(1).asBuffer();
+    for (usize i = 0; i < std::min(dst->size(), src->size()); ++i) (*dst)[i] = (*src)[i];
+    return Value();
+  }
+  if (method == "get_access") {
+    // accessor over the buffer: hand back the underlying data.
+    return Value(base.asBuffer());
+  }
+  fail("unknown method '" + method + "'");
+}
+
+} // namespace
+
+RunResult run(const lang::ast::TranslationUnit &unit, const RunOptions &options) {
+  return Interp(unit, options).run();
+}
+
+} // namespace sv::vm

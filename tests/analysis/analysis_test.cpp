@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+
+using namespace sv;
+using namespace sv::analysis;
+
+namespace {
+/// Two tight groups far apart: {0,1} near each other, {2,3} near each other.
+DistanceMatrix twoClusters() {
+  return buildMatrix({"a1", "a2", "b1", "b2"}, [](usize i, usize j) {
+    const bool sameGroup = (i < 2) == (j < 2);
+    return sameGroup ? 0.1 : 5.0;
+  });
+}
+} // namespace
+
+TEST(Matrix, BuildIsSymmetricWithZeroDiagonal) {
+  const auto m = buildMatrix({"x", "y", "z"}, [](usize i, usize j) {
+    return static_cast<double>(i + j);
+  });
+  EXPECT_EQ(m.size(), 3u);
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+    for (usize j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+  }
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+}
+
+TEST(Cluster, MergesCloseGroupsFirst) {
+  const auto m = twoClusters();
+  const auto merges = cluster(m, /*euclidean=*/false);
+  ASSERT_EQ(merges.size(), 3u);
+  // First two merges join within-group pairs at low height.
+  EXPECT_LT(merges[0].height, 1.0);
+  EXPECT_LT(merges[1].height, 1.0);
+  EXPECT_GT(merges[2].height, 1.0);
+  // Heights are non-decreasing for complete linkage.
+  EXPECT_LE(merges[0].height, merges[1].height);
+  EXPECT_LE(merges[1].height, merges[2].height);
+}
+
+TEST(Cluster, CutRecoverGroups) {
+  const auto m = twoClusters();
+  const auto merges = cluster(m, false);
+  const auto groups = cutClusters(merges, 4, 2);
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[2], groups[3]);
+  EXPECT_NE(groups[0], groups[2]);
+}
+
+TEST(Cluster, CutIntoAllLeaves) {
+  const auto m = twoClusters();
+  const auto merges = cluster(m, false);
+  const auto groups = cutClusters(merges, 4, 4);
+  EXPECT_EQ(groups, (std::vector<usize>{0, 1, 2, 3}));
+}
+
+TEST(Cluster, EuclideanRowsMode) {
+  // In Euclidean mode, rows act as feature vectors — same grouping here.
+  const auto merges = cluster(twoClusters(), true);
+  const auto groups = cutClusters(merges, 4, 2);
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[2], groups[3]);
+}
+
+TEST(Cluster, SingleLeafAndEmpty) {
+  DistanceMatrix one;
+  one.labels = {"solo"};
+  one.values = {0.0};
+  EXPECT_TRUE(cluster(one).empty());
+  DistanceMatrix empty;
+  EXPECT_TRUE(cluster(empty).empty());
+}
+
+TEST(Dendrogram, RenderContainsAllLabels) {
+  const auto m = twoClusters();
+  const auto merges = cluster(m, false);
+  const auto text = renderDendrogram(merges, m.labels);
+  for (const auto &l : m.labels) EXPECT_NE(text.find(l), std::string::npos) << l;
+  EXPECT_NE(text.find("h="), std::string::npos);
+}
+
+TEST(Dendrogram, NewickGroupsSiblings) {
+  const auto m = twoClusters();
+  const auto merges = cluster(m, false);
+  const auto nwk = toNewick(merges, m.labels);
+  // a1/a2 must appear adjacent inside one set of parens; same for b1/b2.
+  const bool aTogether = nwk.find("(a1,a2)") != std::string::npos ||
+                         nwk.find("(a2,a1)") != std::string::npos;
+  EXPECT_TRUE(aTogether) << nwk;
+  EXPECT_EQ(nwk.back(), ';');
+}
+
+TEST(Heatmap, RendersValuesAndLegend) {
+  const auto text = renderHeatmap({"row1", "row2"}, {"c1", "c2", "c3"},
+                                  {{0.0, 0.5, 1.0}, {0.2, 0.9, 0.4}});
+  EXPECT_NE(text.find("row1"), std::string::npos);
+  EXPECT_NE(text.find("0.50"), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find("c3"), std::string::npos);
+}

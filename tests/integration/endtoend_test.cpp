@@ -1,0 +1,85 @@
+// End-to-end smoke of the rendering layer and the figure pipeline on a
+// reduced model set — fast enough for every CI run, deep enough to catch a
+// broken stage anywhere in the Fig 2 workflow.
+#include <gtest/gtest.h>
+
+#include "silvervale/silvervale.hpp"
+
+using namespace sv;
+
+namespace {
+const silvervale::IndexedApp &smallApp() {
+  static const silvervale::IndexedApp app = [] {
+    silvervale::IndexAppOptions opts;
+    opts.models = {"serial", "omp", "cuda", "sycl-usm"};
+    return silvervale::indexApp("babelstream", opts);
+  }();
+  return app;
+}
+} // namespace
+
+TEST(EndToEnd, SubsetIndexRespectsModelList) {
+  EXPECT_EQ(smallApp().models.size(), 4u);
+  EXPECT_EQ(smallApp().modelNames(),
+            (std::vector<std::string>{"serial", "omp", "cuda", "sycl-usm"}));
+}
+
+TEST(EndToEnd, MatrixClusterDendrogramPipeline) {
+  const auto m = silvervale::divergenceMatrix(smallApp(), metrics::Metric::Tsem);
+  const auto merges = analysis::cluster(m);
+  const auto dendro = analysis::renderDendrogram(merges, m.labels);
+  for (const auto &l : m.labels) EXPECT_NE(dendro.find(l), std::string::npos);
+  // Rendering twice is byte-identical (deterministic pipeline).
+  EXPECT_EQ(dendro, analysis::renderDendrogram(merges, m.labels));
+}
+
+TEST(EndToEnd, HeatmapRendererHandlesFigureShapedInput) {
+  const auto &base = smallApp().model("serial");
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> rowLabels;
+  for (const auto metric :
+       {metrics::Metric::Source, metrics::Metric::Tsrc, metrics::Metric::Tsem}) {
+    std::vector<double> row;
+    for (const auto &m : smallApp().models)
+      row.push_back(metrics::diverge(base, m, metric).normalised());
+    rows.push_back(std::move(row));
+    rowLabels.emplace_back(metrics::metricName(metric));
+  }
+  const auto text = analysis::renderHeatmap(rowLabels, smallApp().modelNames(), rows);
+  EXPECT_NE(text.find("Tsem"), std::string::npos);
+  EXPECT_NE(text.find("0.00"), std::string::npos); // the serial self column
+}
+
+TEST(EndToEnd, PerfPipelineOnSubset) {
+  const auto kernels = silvervale::paperDeck("babelstream");
+  const auto perfs = perf::simulateAll(silvervale::perfModels(smallApp()), kernels);
+  ASSERT_EQ(perfs.size(), 4u);
+  const auto cascadeText = perf::renderCascade(perfs);
+  EXPECT_NE(cascadeText.find("serial"), std::string::npos);
+  // Navigation points for the subset.
+  const auto points = silvervale::navigationPoints(smallApp());
+  EXPECT_EQ(points.size(), 3u);
+  const auto chart = perf::renderNavigationChart(points);
+  EXPECT_NE(chart.find("omp"), std::string::npos);
+  EXPECT_EQ(chart, perf::renderNavigationChart(points)); // deterministic
+}
+
+TEST(EndToEnd, DbRoundTripPreservesDivergences) {
+  const auto &a = smallApp().model("serial");
+  const auto &b = smallApp().model("sycl-usm");
+  const auto a2 = db::CodebaseDb::deserialise(a.serialise());
+  const auto b2 = db::CodebaseDb::deserialise(b.serialise());
+  for (const auto metric : {metrics::Metric::Source, metrics::Metric::Tsrc,
+                            metrics::Metric::Tsem, metrics::Metric::Tir}) {
+    EXPECT_EQ(metrics::diverge(a, b, metric).distance,
+              metrics::diverge(a2, b2, metric).distance)
+        << metrics::metricName(metric);
+  }
+}
+
+TEST(EndToEnd, ParallelAndSerialIndexingAgree) {
+  // indexApp runs ports on a thread pool; results must match a serial
+  // single-model index bit for bit.
+  const auto direct = db::index(corpus::make("babelstream", "omp")).db.serialise();
+  EXPECT_EQ(smallApp().model("omp").serialise(), direct);
+}

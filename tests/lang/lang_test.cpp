@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "lang/ast.hpp"
+#include "lang/directive.hpp"
+#include "lang/source.hpp"
+
+using namespace sv;
+using namespace sv::lang;
+
+// --------------------------------------------------------- SourceManager --
+
+TEST(SourceManager, AssignsStableIds) {
+  SourceManager sm;
+  const auto a = sm.add("a.cpp", "A");
+  const auto b = sm.add("b.cpp", "B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sm.idOf("a.cpp"), a);
+  EXPECT_EQ(sm.file(b).text, "B");
+  EXPECT_EQ(sm.fileCount(), 2u);
+}
+
+TEST(SourceManager, ReAddReplacesText) {
+  SourceManager sm;
+  const auto a = sm.add("a.cpp", "old");
+  const auto a2 = sm.add("a.cpp", "new");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(sm.file(a).text, "new");
+  EXPECT_EQ(sm.fileCount(), 1u);
+}
+
+TEST(SourceManager, DescribeLocations) {
+  SourceManager sm;
+  const auto a = sm.add("dir/a.cpp", "x");
+  EXPECT_EQ(sm.describe(Location{a, 12, 3}), "dir/a.cpp:12:3");
+  EXPECT_EQ(sm.describe(Location{}), "<unknown>");
+  EXPECT_EQ(sm.describe(Location{99, 1, 1}), "<unknown>");
+}
+
+TEST(SourceManager, UnknownNameReturnsNullopt) {
+  SourceManager sm;
+  EXPECT_FALSE(sm.idOf("missing.cpp").has_value());
+}
+
+// ------------------------------------------------------------ directives --
+
+TEST(Directive, ParsesMultiWordKind) {
+  const auto d = parseDirective("omp target teams distribute parallel for", {});
+  EXPECT_EQ(d.family, "omp");
+  EXPECT_EQ(d.kind,
+            (std::vector<std::string>{"target", "teams", "distribute", "parallel", "for"}));
+  EXPECT_TRUE(d.clauses.empty());
+}
+
+TEST(Directive, ParsesClausesWithArguments) {
+  const auto d = parseDirective("omp parallel for reduction(+ : sum) schedule(static, 4)", {});
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0].name, "reduction");
+  EXPECT_EQ(d.clauses[0].arguments, (std::vector<std::string>{"+", "sum"}));
+  EXPECT_EQ(d.clauses[1].name, "schedule");
+  EXPECT_EQ(d.clauses[1].arguments, (std::vector<std::string>{"static", "4"}));
+}
+
+TEST(Directive, BareClauses) {
+  const auto d = parseDirective("omp parallel for nowait untied", {});
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0].name, "nowait");
+  EXPECT_TRUE(d.clauses[0].arguments.empty());
+}
+
+TEST(Directive, MapClauseWithArraySections) {
+  const auto d = parseDirective("omp target map(tofrom: a[0:n], b)", {});
+  ASSERT_EQ(d.clauses.size(), 1u);
+  EXPECT_EQ(d.clauses[0].arguments, (std::vector<std::string>{"tofrom", "a[0:n]", "b"}));
+}
+
+TEST(Directive, AccFamily) {
+  const auto d = parseDirective("acc parallel loop copyin(a) copyout(c)", {});
+  EXPECT_EQ(d.family, "acc");
+  EXPECT_EQ(d.kind, (std::vector<std::string>{"parallel", "loop"}));
+  ASSERT_EQ(d.clauses.size(), 2u);
+}
+
+TEST(Directive, RoundTripToString) {
+  const auto d = parseDirective("omp parallel for reduction(+ : s)", {});
+  EXPECT_EQ(directiveToString(d), "omp parallel for reduction(+,s)");
+}
+
+TEST(Directive, DataClauseClassification) {
+  EXPECT_TRUE(isDataClause("map"));
+  EXPECT_TRUE(isDataClause("reduction"));
+  EXPECT_TRUE(isDataClause("copyin"));
+  EXPECT_FALSE(isDataClause("schedule"));
+  EXPECT_FALSE(isDataClause("nowait"));
+}
+
+// ------------------------------------------------------------------- AST --
+
+TEST(AstType, StrRendersQualifiedForms) {
+  using namespace lang::ast;
+  Type t = Type::simple("sycl::buffer");
+  t.args = {Type::simple("double"), Type::simple("1")};
+  EXPECT_EQ(t.str(), "sycl::buffer<double, 1>");
+  Type p = Type::simple("double");
+  p.pointer = 2;
+  p.isConst = true;
+  EXPECT_EQ(p.str(), "const double**");
+  Type r = Type::simple("int");
+  r.reference = true;
+  EXPECT_EQ(r.str(), "int&");
+}
+
+TEST(AstClone, ExprDeepCopyIsStructurallyEqualAndIndependent) {
+  using namespace lang::ast;
+  auto call = Expr::make(ExprKind::Call, {});
+  call->args.push_back(Expr::make(ExprKind::Ident, {}, "f"));
+  call->args.push_back(Expr::make(ExprKind::IntLit, {}, "3"));
+  call->apiHiddenTemplates = 2;
+  auto copy = call->clone();
+  EXPECT_TRUE(structurallyEqual(*call, *copy));
+  EXPECT_EQ(copy->apiHiddenTemplates, 2u);
+  copy->args[1]->text = "4";
+  EXPECT_FALSE(structurallyEqual(*call, *copy));
+  EXPECT_EQ(call->args[1]->text, "3"); // original untouched
+}
+
+TEST(AstClone, StmtDeepCopyCoversControlFlow) {
+  using namespace lang::ast;
+  auto loop = Stmt::make(StmtKind::For, {});
+  loop->cond = Expr::make(ExprKind::BoolLit, {}, "true");
+  loop->step = Expr::make(ExprKind::Unary, {}, "++");
+  loop->step->args.push_back(Expr::make(ExprKind::Ident, {}, "i"));
+  loop->children.push_back(Stmt::make(StmtKind::Break, {}));
+  auto copy = loop->clone();
+  EXPECT_TRUE(structurallyEqual(*loop, *copy));
+  copy->children[0]->kind = StmtKind::Continue;
+  EXPECT_FALSE(structurallyEqual(*loop, *copy));
+}
+
+TEST(AstClone, FunctionCloneCarriesAttributesAndParams) {
+  using namespace lang::ast;
+  FunctionDecl f;
+  f.name = "k";
+  f.attributes = {"__global__"};
+  Param p;
+  p.type = Type::simple("double");
+  p.type.pointer = 1;
+  p.name = "a";
+  f.params.push_back(std::move(p));
+  f.body = Stmt::make(StmtKind::Compound, {});
+  const auto c = cloneFunction(f);
+  EXPECT_EQ(c.name, "k");
+  EXPECT_TRUE(c.isKernel());
+  ASSERT_EQ(c.params.size(), 1u);
+  EXPECT_EQ(c.params[0].type.pointer, 1);
+  ASSERT_TRUE(c.body);
+  EXPECT_NE(c.body.get(), f.body.get());
+}
+
+TEST(AstDirective, StructuralEqualityChecksDirectivePayload) {
+  using namespace lang::ast;
+  auto a = Stmt::make(StmtKind::Directive, {});
+  a->directive = Directive{"omp", {"parallel", "for"}, {}, {}};
+  auto b = a->clone();
+  EXPECT_TRUE(structurallyEqual(*a, *b));
+  b->directive->kind = {"parallel"};
+  EXPECT_FALSE(structurallyEqual(*a, *b));
+}

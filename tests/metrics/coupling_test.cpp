@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "metrics/coupling.hpp"
+
+using namespace sv;
+using namespace sv::metrics;
+
+TEST(Coupling, TealeafUnitsShareTheHeader) {
+  const auto dbv = db::index(corpus::make("tealeaf", "serial")).db;
+  const auto report = coupling(dbv);
+  ASSERT_EQ(report.units.size(), 2u);
+  // main.cpp and cg.cpp both include tealeaf.h -> mutual common coupling.
+  for (const auto &u : report.units) {
+    EXPECT_EQ(u.fanOut, 1u) << u.unit;
+    EXPECT_EQ(u.fanIn, 1u) << u.unit;
+    ASSERT_EQ(u.coupledWith.size(), 1u);
+    EXPECT_DOUBLE_EQ(u.coupledWith[0].second, 1.0); // identical dep sets
+  }
+  EXPECT_DOUBLE_EQ(report.couplingDensity, 1.0);
+  EXPECT_DOUBLE_EQ(report.averageFanOut, 1.0);
+}
+
+TEST(Coupling, SingleUnitAppHasNoCoupling) {
+  const auto dbv = db::index(corpus::make("babelstream", "serial")).db;
+  const auto report = coupling(dbv);
+  ASSERT_EQ(report.units.size(), 1u);
+  EXPECT_EQ(report.units[0].fanIn, 0u);
+  EXPECT_DOUBLE_EQ(report.couplingDensity, 0.0);
+}
+
+TEST(Coupling, DepsSurviveSerialisation) {
+  const auto dbv = db::index(corpus::make("tealeaf", "omp")).db;
+  const auto back = db::CodebaseDb::deserialise(dbv.serialise());
+  ASSERT_EQ(back.units.size(), 2u);
+  EXPECT_EQ(back.units[0].deps, dbv.units[0].deps);
+  EXPECT_FALSE(back.units[0].deps.empty());
+  EXPECT_EQ(back.units[0].deps[0], "tealeaf.h");
+}
+
+TEST(Coupling, SystemHeadersDoNotCouple) {
+  // cuda_runtime.h etc. are system headers and must not appear in deps.
+  const auto dbv = db::index(corpus::make("tealeaf", "cuda")).db;
+  for (const auto &u : dbv.units)
+    for (const auto &d : u.deps) EXPECT_EQ(d.find("include/"), std::string::npos) << d;
+}
+
+TEST(TreeComplexity, ShapeSummary) {
+  const auto t = tree::toTree(tree::build(
+      "R", {tree::build("A", {tree::build("x"), tree::build("y"), tree::build("z")}),
+            tree::build("B")}));
+  const auto c = treeComplexity(t);
+  EXPECT_EQ(c.nodes, 6u);
+  EXPECT_EQ(c.depth, 3u);
+  EXPECT_EQ(c.leaves, 4u);
+  EXPECT_EQ(c.maxBranching, 3u);
+  EXPECT_DOUBLE_EQ(c.averageBranching, 2.5); // (2 + 3) / 2 interior nodes
+}
+
+TEST(TreeComplexity, CorpusTreesAreBushyNotDegenerate) {
+  const auto dbv = db::index(corpus::make("babelstream", "serial")).db;
+  const auto c = treeComplexity(dbv.units[0].tsem);
+  EXPECT_GT(c.nodes, 100u);
+  EXPECT_GT(c.depth, 5u);
+  EXPECT_LT(c.depth, c.nodes / 4); // not a linked list
+  EXPECT_GT(c.averageBranching, 1.2);
+}
+
+TEST(TreeComplexity, EmptyTree) {
+  const auto c = treeComplexity(tree::Tree{});
+  EXPECT_EQ(c.nodes, 0u);
+  EXPECT_EQ(c.depth, 0u);
+  EXPECT_DOUBLE_EQ(c.averageBranching, 0.0);
+}

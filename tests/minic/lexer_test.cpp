@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+
+using namespace sv;
+using namespace sv::minic;
+
+namespace {
+std::vector<std::string> texts(const std::vector<Token> &toks) {
+  std::vector<std::string> out;
+  for (const auto &t : toks)
+    if (!t.is(TokKind::Eof)) out.push_back(t.text);
+  return out;
+}
+} // namespace
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = lex("int a = 42;", 0);
+  ASSERT_EQ(toks.size(), 6u); // int a = 42 ; EOF
+  EXPECT_TRUE(toks[0].isKeyword("int"));
+  EXPECT_TRUE(toks[1].is(TokKind::Ident, "a"));
+  EXPECT_TRUE(toks[2].isPunct("="));
+  EXPECT_TRUE(toks[3].is(TokKind::IntLit, "42"));
+  EXPECT_TRUE(toks[4].isPunct(";"));
+}
+
+TEST(Lexer, FloatForms) {
+  const auto toks = lex("1.5 2. 3e8 4.0e-2 5.f", 0);
+  for (usize i = 0; i < 5; ++i) EXPECT_EQ(toks[i].kind, TokKind::FloatLit) << i;
+}
+
+TEST(Lexer, IntegerSuffixesConsumed) {
+  const auto toks = lex("100ul 5u", 0);
+  EXPECT_TRUE(toks[0].is(TokKind::IntLit, "100"));
+  EXPECT_TRUE(toks[1].is(TokKind::IntLit, "5"));
+}
+
+TEST(Lexer, CommentsVanish) {
+  const auto toks = lex("a // line\n/* block\nmore */ b", 0);
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Lexer, LineNumbersAccurate) {
+  const auto toks = lex("a\nb\n\nc", 0);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[2].loc.line, 4);
+}
+
+TEST(Lexer, LineOriginsRemap) {
+  const std::vector<lang::Location> origins = {{7, 100, 1}, {8, 200, 1}};
+  const auto toks = lex("a\nb", 0, &origins);
+  EXPECT_EQ(toks[0].loc.file, 7);
+  EXPECT_EQ(toks[0].loc.line, 100);
+  EXPECT_EQ(toks[1].loc.file, 8);
+  EXPECT_EQ(toks[1].loc.line, 200);
+}
+
+TEST(Lexer, MultiCharPunct) {
+  const auto toks = lex("a :: b -> c <<< d >>> e == f <= g", 0);
+  std::vector<std::string> puncts;
+  for (const auto &t : toks)
+    if (t.kind == TokKind::Punct) puncts.push_back(t.text);
+  EXPECT_EQ(puncts, (std::vector<std::string>{"::", "->", "<<<", ">>>", "==", "<="}));
+}
+
+TEST(Lexer, ShiftVersusChevrons) {
+  const auto toks = lex("a << b >> c", 0);
+  EXPECT_TRUE(toks[1].isPunct("<<"));
+  EXPECT_TRUE(toks[3].isPunct(">>"));
+}
+
+TEST(Lexer, PragmaLineBecomesOneToken) {
+  const auto toks = lex("#pragma omp parallel for reduction(+ : sum)\nx = 1;", 0);
+  ASSERT_TRUE(toks[0].is(TokKind::Pragma));
+  EXPECT_EQ(toks[0].text, "omp parallel for reduction(+ : sum)");
+  EXPECT_TRUE(toks[1].is(TokKind::Ident, "x"));
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto toks = lex(R"("a\nb\"c")", 0);
+  EXPECT_EQ(toks[0].text, "a\nb\"c");
+}
+
+TEST(Lexer, StringWithCommentMarkersInside) {
+  const auto toks = lex("\"no // comment /* here */\"", 0);
+  EXPECT_TRUE(toks[0].is(TokKind::StringLit));
+  EXPECT_EQ(texts(toks).size(), 1u);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW((void)lex("\"open", 0), lang::FrontendError);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW((void)lex("/* open", 0), lang::FrontendError);
+}
+
+TEST(Lexer, AttributesAreIdents) {
+  const auto toks = lex("__global__ void k()", 0);
+  EXPECT_TRUE(toks[0].is(TokKind::Ident, "__global__"));
+  EXPECT_TRUE(toks[1].isKeyword("void"));
+}
+
+TEST(Lexer, CommentRangesFound) {
+  const std::string src = "int a; // one\n/* two */ int b;\n";
+  const auto ranges = commentRanges(src);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(src.substr(ranges[0].begin, ranges[0].end - ranges[0].begin), "// one");
+  EXPECT_EQ(src.substr(ranges[1].begin, ranges[1].end - ranges[1].begin), "/* two */");
+}
+
+TEST(Lexer, CommentRangesIgnoreStrings) {
+  const auto ranges = commentRanges("const char* s = \"// not a comment\";\n");
+  EXPECT_TRUE(ranges.empty());
+}

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "minic/preprocessor.hpp"
+
+using namespace sv;
+using namespace sv::minic;
+using lang::SourceManager;
+
+TEST(Preprocessor, PassThroughPlainSource) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "int main() {\n  return 0;\n}\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int main() {\n  return 0;\n}\n");
+  ASSERT_EQ(r.lineOrigins.size(), 3u);
+  EXPECT_EQ(r.lineOrigins[1].line, 2);
+  EXPECT_EQ(r.lineOrigins[1].file, id);
+}
+
+TEST(Preprocessor, ObjectMacroExpansion) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#define N 1024\nint a[N];\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int a[1024];\n");
+}
+
+TEST(Preprocessor, FunctionMacroExpansion) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#define SQ(x) ((x) * (x))\nint y = SQ(a + 1);\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int y = ((a + 1) * (a + 1));\n");
+}
+
+TEST(Preprocessor, NestedMacros) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#define A B\n#define B 7\nint x = A;\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int x = 7;\n");
+}
+
+TEST(Preprocessor, MacroNotExpandedInStrings) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#define N 9\nconst char* s = \"N\";\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "const char* s = \"N\";\n");
+}
+
+TEST(Preprocessor, IncludeSplicesFileWithOrigins) {
+  SourceManager sm;
+  const auto hdr = sm.add("k.h", "int helper();\n");
+  const auto id = sm.add("a.cpp", "#include \"k.h\"\nint main() { return helper(); }\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int helper();\nint main() { return helper(); }\n");
+  ASSERT_EQ(r.lineOrigins.size(), 2u);
+  EXPECT_EQ(r.lineOrigins[0].file, hdr);
+  EXPECT_EQ(r.lineOrigins[0].line, 1);
+  EXPECT_EQ(r.lineOrigins[1].file, id);
+  ASSERT_EQ(r.includes.size(), 1u);
+  EXPECT_EQ(r.includes[0].path, "k.h");
+  EXPECT_FALSE(r.includes[0].system);
+}
+
+TEST(Preprocessor, SystemIncludeResolvesUnderIncludePrefix) {
+  SourceManager sm;
+  const auto hdr = sm.add("include/sycl.hpp", "struct queue { int id; };\n");
+  const auto id = sm.add("a.cpp", "#include <sycl.hpp>\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "struct queue { int id; };\n");
+  EXPECT_TRUE(r.systemFiles.count(hdr));
+  EXPECT_TRUE(r.includes[0].system);
+}
+
+TEST(Preprocessor, MissingIncludeRecordedNotFatal) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#include <cstdio>\nint x;\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int x;\n");
+  ASSERT_EQ(r.missingIncludes.size(), 1u);
+  EXPECT_EQ(r.missingIncludes[0], "cstdio");
+}
+
+TEST(Preprocessor, PragmaOnceDeduplicates) {
+  SourceManager sm;
+  sm.add("h.h", "#pragma once\nint one();\n");
+  const auto id = sm.add("a.cpp", "#include \"h.h\"\n#include \"h.h\"\nint x;\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int one();\nint x;\n");
+}
+
+TEST(Preprocessor, IncludeCycleThrows) {
+  SourceManager sm;
+  sm.add("a.h", "#include \"b.h\"\n");
+  sm.add("b.h", "#include \"a.h\"\n");
+  const auto id = sm.add("main.cpp", "#include \"a.h\"\n");
+  EXPECT_THROW((void)preprocess(sm, id), lang::FrontendError);
+}
+
+TEST(Preprocessor, IfdefBranches) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#ifdef USE_X\nint x;\n#else\nint y;\n#endif\n");
+  PreprocessOptions opts;
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int y;\n");
+  opts.defines["USE_X"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int x;\n");
+}
+
+TEST(Preprocessor, IfndefAndNestedConditionals) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#ifndef A\n#ifdef B\nint b;\n#endif\nint na;\n#endif\n");
+  PreprocessOptions opts;
+  opts.defines["B"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int b;\nint na;\n");
+  opts.defines["A"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "");
+}
+
+TEST(Preprocessor, IfDefinedExpression) {
+  SourceManager sm;
+  const auto id =
+      sm.add("a.cpp", "#if defined(A) && !defined(B)\nint yes;\n#else\nint no;\n#endif\n");
+  PreprocessOptions opts;
+  opts.defines["A"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int yes;\n");
+  opts.defines["B"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int no;\n");
+}
+
+TEST(Preprocessor, ElifChain) {
+  SourceManager sm;
+  const auto id = sm.add(
+      "a.cpp", "#if defined(A)\nint a;\n#elif defined(B)\nint b;\n#else\nint c;\n#endif\n");
+  PreprocessOptions opts;
+  opts.defines["B"] = "1";
+  EXPECT_EQ(preprocess(sm, id, opts).text, "int b;\n");
+}
+
+TEST(Preprocessor, PragmasPreserved) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#pragma omp parallel for\nfor (;;) {}\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "#pragma omp parallel for\nfor (;;) {}\n");
+}
+
+TEST(Preprocessor, CommentsStrippedBeforeLexing) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "int a; // c1\n/* c2 */ int b;\nint /* mid */ c;\n");
+  const auto r = preprocess(sm, id);
+  EXPECT_EQ(r.text, "int a; \n int b;\nint  c;\n");
+}
+
+TEST(Preprocessor, MultiLineBlockComment) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "int a;\n/* line1\nline2 */\nint b;\n");
+  const auto r = preprocess(sm, id);
+  // Comment-only lines become empty but keep their place in the line map.
+  EXPECT_EQ(r.text, "int a;\n\n\nint b;\n");
+  EXPECT_EQ(r.lineOrigins[3].line, 4);
+}
+
+TEST(Preprocessor, UnterminatedIfThrows) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#ifdef X\nint x;\n");
+  EXPECT_THROW((void)preprocess(sm, id), lang::FrontendError);
+}
+
+TEST(Preprocessor, UndefRemovesMacro) {
+  SourceManager sm;
+  const auto id = sm.add("a.cpp", "#define N 5\n#undef N\nint a[N];\n");
+  EXPECT_EQ(preprocess(sm, id).text, "int a[N];\n");
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+using namespace sv;
+using namespace sv::minic;
+using namespace sv::lang::ast;
+
+namespace {
+lang::SourceManager gSm;
+
+TranslationUnit parseAndAnalyse(const std::string &src, SemaStats *statsOut = nullptr) {
+  auto tu = parseTranslationUnit(lex(src, 0), "test.cpp", gSm);
+  const auto stats = analyse(tu);
+  if (statsOut) *statsOut = stats;
+  return tu;
+}
+} // namespace
+
+TEST(Sema, LiteralTypes) {
+  const auto tu = parseAndAnalyse("void f() { x = 1; y = 2.5; z = true; }");
+  const auto &body = *tu.functions[0].body;
+  EXPECT_EQ(body.children[0]->cond->args[1]->valueType.name, "int");
+  EXPECT_EQ(body.children[1]->cond->args[1]->valueType.name, "double");
+  EXPECT_EQ(body.children[2]->cond->args[1]->valueType.name, "bool");
+}
+
+TEST(Sema, ParamAndLocalResolution) {
+  const auto tu = parseAndAnalyse("double f(double a) { double b = a; return b; }");
+  const auto &ret = *tu.functions[0].body->children[1]->cond;
+  EXPECT_EQ(ret.valueType.name, "double");
+}
+
+TEST(Sema, ImplicitCastInsertedOnMixedArithmetic) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse("double f(double a, int i) { return a + i; }", &stats);
+  EXPECT_GE(stats.implicitCasts, 1u);
+  const auto &add = *tu.functions[0].body->children[0]->cond;
+  // The int operand is wrapped in an ImplicitCast to double.
+  EXPECT_EQ(add.args[1]->kind, ExprKind::ImplicitCast);
+  EXPECT_EQ(add.args[1]->valueType.name, "double");
+  EXPECT_EQ(add.valueType.name, "double");
+}
+
+TEST(Sema, ImplicitCastOnInitAndAssign) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse("void f(int i) { double d = i; d = 3; }", &stats);
+  EXPECT_EQ(stats.implicitCasts, 2u);
+  const auto &decl = tu.functions[0].body->children[0]->decls[0];
+  EXPECT_EQ(decl.init->kind, ExprKind::ImplicitCast);
+}
+
+TEST(Sema, NoCastWhenTypesMatch) {
+  SemaStats stats;
+  (void)parseAndAnalyse("void f(double a, double b) { double c = a + b; }", &stats);
+  EXPECT_EQ(stats.implicitCasts, 0u);
+}
+
+TEST(Sema, ComparisonYieldsBool) {
+  const auto tu = parseAndAnalyse("void f(int a, int b) { bool c = a < b; }");
+  const auto &init = *tu.functions[0].body->children[0]->decls[0].init;
+  EXPECT_EQ(init.valueType.name, "bool");
+}
+
+TEST(Sema, PointerDerefAndIndex) {
+  const auto tu = parseAndAnalyse("void f(double* p, int i) { double a = p[i]; double b = *p; }");
+  const auto &body = *tu.functions[0].body;
+  EXPECT_EQ(body.children[0]->decls[0].init->valueType.name, "double");
+  EXPECT_EQ(body.children[1]->decls[0].init->valueType.name, "double");
+}
+
+TEST(Sema, StructFieldTypes) {
+  const auto tu = parseAndAnalyse(
+      "struct F { double* data; int n; };\nint count(F f) { return f.n; }");
+  const auto &ret = *tu.functions[0].body->children[0]->cond;
+  EXPECT_EQ(ret.valueType.name, "int");
+}
+
+TEST(Sema, CudaBuiltinsInsideKernels) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse(
+      "__global__ void k(double* a) { int i = threadIdx.x + blockIdx.x * blockDim.x; a[i] = 0.0; }",
+      &stats);
+  const auto &decl = tu.functions[0].body->children[0]->decls[0];
+  EXPECT_EQ(decl.init->valueType.name, "int");
+  EXPECT_EQ(stats.unresolvedNames, 0u);
+}
+
+TEST(Sema, CudaBuiltinsNotVisibleInHostCode) {
+  SemaStats stats;
+  (void)parseAndAnalyse("void host() { int i = threadIdx.x; }", &stats);
+  EXPECT_GE(stats.unresolvedNames, 1u);
+}
+
+TEST(Sema, FunctionCallReturnTypeAndArgCasts) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse(
+      "double scale(double x) { return x * 2.0; }\nvoid f() { double y = scale(3); }", &stats);
+  const auto &init = *tu.functions[1].body->children[0]->decls[0].init;
+  EXPECT_EQ(init.valueType.name, "double");
+  EXPECT_EQ(init.args[1]->kind, ExprKind::ImplicitCast); // 3 -> 3.0
+}
+
+TEST(Sema, ApiCallAnnotated) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse(
+      "void f(int n) { Kokkos::parallel_for(n, [=](int i) { work(i); }); }", &stats);
+  EXPECT_EQ(stats.apiCalls, 1u);
+  const auto &call = *tu.functions[0].body->children[0]->cond;
+  EXPECT_EQ(call.apiHiddenTemplates, 3u);
+  EXPECT_EQ(call.apiImplicitConversions, 1u);
+}
+
+TEST(Sema, MemberApiCallAnnotated) {
+  SemaStats stats;
+  const auto tu = parseAndAnalyse(
+      "void f(queue q) { q.submit([&](handler h) { h.parallel_for(r, fn); }); }", &stats);
+  EXPECT_EQ(stats.apiCalls, 2u); // submit + parallel_for
+  const auto &submit = *tu.functions[0].body->children[0]->cond;
+  EXPECT_EQ(submit.apiHiddenTemplates, 1u);
+}
+
+TEST(Sema, NonApiCallNotAnnotated) {
+  SemaStats stats;
+  (void)parseAndAnalyse("void g() {}\nvoid f() { g(); }", &stats);
+  EXPECT_EQ(stats.apiCalls, 0u);
+}
+
+TEST(Sema, LambdaParamsScoped) {
+  SemaStats stats;
+  (void)parseAndAnalyse(
+      "void f() { auto g = [=](double v) { double w = v * 2.0; }; }", &stats);
+  EXPECT_EQ(stats.implicitCasts, 0u);
+}
+
+TEST(Sema, UnresolvedExternalCounted) {
+  SemaStats stats;
+  (void)parseAndAnalyse("void f() { double t = omp_get_wtime(); }", &stats);
+  EXPECT_GE(stats.unresolvedNames, 1u);
+}

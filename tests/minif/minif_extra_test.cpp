@@ -1,0 +1,219 @@
+// Additional MiniF coverage: control-flow forms, functions with result
+// variables, module structure, and VM semantics that the corpus exercises
+// only implicitly.
+#include <gtest/gtest.h>
+
+#include "minif/fparser.hpp"
+#include "minif/ftrees.hpp"
+#include "vm/vm.hpp"
+
+using namespace sv;
+using namespace sv::minif;
+using namespace sv::lang::ast;
+
+namespace {
+lang::SourceManager gSm;
+
+TranslationUnit parseF(const std::string &src) {
+  return parseFortran(lexFortran(src, 0), "t.f90", gSm);
+}
+
+vm::RunResult runF(const std::string &src) {
+  auto tu = parseF(src);
+  vm::RunOptions opts;
+  opts.fortran = true;
+  return vm::run(tu, opts);
+}
+} // namespace
+
+TEST(FParserExtra, DoWhileLoop) {
+  const auto tu = parseF(
+      "program p\ninteger :: i\ni = 0\ndo while (i < 5)\n  i = i + 1\nend do\nprint *, i\n"
+      "end program\n");
+  const auto &loop = *tu.functions[0].body->children[2];
+  EXPECT_EQ(loop.kind, StmtKind::While);
+}
+
+TEST(FParserExtra, ElseIfChain) {
+  const auto tu = parseF(R"(
+program p
+  integer :: x, y
+  x = 5
+  if (x > 10) then
+    y = 1
+  elseif (x > 3) then
+    y = 2
+  else
+    y = 3
+  end if
+  print *, y
+end program
+)");
+  ASSERT_EQ(tu.functions.size(), 1u);
+  const auto r = [&] {
+    auto tu2 = parseF(R"(
+program p
+  integer :: x, y
+  x = 5
+  if (x > 10) then
+    y = 1
+  elseif (x > 3) then
+    y = 2
+  else
+    y = 3
+  end if
+  print *, y
+end program
+)");
+    vm::RunOptions opts;
+    opts.fortran = true;
+    return vm::run(tu2, opts);
+  }();
+  EXPECT_NE(r.output.find("2"), std::string::npos);
+}
+
+TEST(FParserExtra, OneLineIf) {
+  const auto r = runF("program p\ninteger :: x\nx = 1\nif (x == 1) x = 9\nprint *, x\n"
+                      "end program\n");
+  EXPECT_NE(r.output.find("9"), std::string::npos);
+}
+
+TEST(FParserExtra, ExitAndCycle) {
+  const auto r = runF(R"(
+program p
+  integer :: i, total
+  total = 0
+  do i = 1, 100
+    if (mod(i, 2) == 0) then
+      cycle
+    end if
+    if (i > 7) then
+      exit
+    end if
+    total = total + i
+  end do
+  print *, total
+end program
+)");
+  // odd i <= 7: 1 + 3 + 5 + 7 = 16
+  EXPECT_NE(r.output.find("16"), std::string::npos);
+}
+
+TEST(FParserExtra, PowerOperatorRightAssociative) {
+  const auto r = runF("program p\nreal(8) :: x\nx = 2.0 ** 3.0\nprint *, x\nend program\n");
+  EXPECT_NE(r.output.find("8"), std::string::npos);
+}
+
+TEST(FParserExtra, NestedLoops2D) {
+  const auto r = runF(R"(
+program p
+  integer :: i, j, count
+  count = 0
+  do j = 1, 4
+    do i = 1, 3
+      count = count + 1
+    end do
+  end do
+  print *, count
+end program
+)");
+  EXPECT_NE(r.output.find("12"), std::string::npos);
+}
+
+TEST(FParserExtra, MultipleSubroutinesInModule) {
+  const auto tu = parseF(R"(
+module m
+contains
+subroutine a(x)
+  real(8), intent(inout) :: x
+  x = x + 1.0
+end subroutine a
+subroutine b(x)
+  real(8), intent(inout) :: x
+  x = x * 2.0
+end subroutine b
+end module m
+program p
+  real(8) :: v
+  v = 3.0
+  call a(v)
+  call b(v)
+  print *, v
+end program p
+)");
+  EXPECT_EQ(tu.functions.size(), 3u);
+  vm::RunOptions opts;
+  opts.fortran = true;
+  auto tu2 = parseF(R"(
+module m
+contains
+subroutine a(x)
+  real(8), intent(inout) :: x
+  x = x + 1.0
+end subroutine a
+subroutine b(x)
+  real(8), intent(inout) :: x
+  x = x * 2.0
+end subroutine b
+end module m
+program p
+  real(8) :: v
+  v = 3.0
+  call a(v)
+  call b(v)
+  print *, v
+end program p
+)");
+  const auto r = vm::run(tu2, opts);
+  EXPECT_NE(r.output.find("8"), std::string::npos); // (3+1)*2
+}
+
+TEST(FParserExtra, ArraySectionWithBounds) {
+  const auto r = runF(R"(
+program p
+  real(8), allocatable :: a(:)
+  allocate(a(10))
+  a(:) = 1.0
+  a(3:5) = 9.0
+  print *, sum(a)
+end program
+)");
+  // 7 * 1 + 3 * 9 = 34
+  EXPECT_NE(r.output.find("34"), std::string::npos);
+}
+
+TEST(FParserExtra, DimensionAttribute) {
+  const auto tu = parseF(
+      "subroutine s(v, n)\n  integer, intent(in) :: n\n"
+      "  real(8), dimension(:), intent(out) :: v\n  v(:) = 0.0\nend subroutine s\n");
+  ASSERT_EQ(tu.functions.size(), 1u);
+  EXPECT_EQ(tu.functions[0].params[0].type.pointer, 1); // array param
+}
+
+TEST(FTreesExtra, TaskloopDirectiveLabel) {
+  const auto tu = parseF(
+      "program p\ninteger :: i\nreal(8), allocatable :: a(:)\n"
+      "!$omp taskloop\ndo i = 1, n\n  a(i) = 1.0\nend do\n!$omp end taskloop\nend program\n");
+  const auto t = buildFortranSemTree(tu);
+  bool saw = false;
+  for (const auto &n : t.nodes())
+    if (n.label == "gimple_omp_taskloop") saw = true;
+  EXPECT_TRUE(saw);
+}
+
+TEST(FTreesExtra, DoConcurrentMarkerInSemTree) {
+  const auto tu = parseF(
+      "program p\ninteger :: i\nreal(8), allocatable :: a(:)\n"
+      "do concurrent (i = 1:8)\n  a(i) = 1.0\nend do\nend program\n");
+  const auto t = buildFortranSemTree(tu);
+  bool saw = false;
+  for (const auto &n : t.nodes())
+    if (n.label == "gimple_fortran_concurrent") saw = true;
+  EXPECT_TRUE(saw);
+}
+
+TEST(FParserExtra, ContinuedCallStatement) {
+  const auto r = runF(
+      "program p\nreal(8) :: x\nx = 1.0 + &\n    2.0 + &\n    3.0\nprint *, x\nend program\n");
+  EXPECT_NE(r.output.find("6"), std::string::npos);
+}

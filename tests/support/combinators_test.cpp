@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/combinators.hpp"
+
+using namespace sv;
+
+TEST(Combinators, Map) {
+  const std::vector<int> xs{1, 2, 3};
+  const auto ys = map(xs, [](int x) { return x * 2; });
+  EXPECT_EQ(ys, (std::vector<int>{2, 4, 6}));
+}
+
+TEST(Combinators, MapChangesType) {
+  const std::vector<int> xs{1, 22};
+  const auto ys = map(xs, [](int x) { return std::to_string(x); });
+  EXPECT_EQ(ys, (std::vector<std::string>{"1", "22"}));
+}
+
+TEST(Combinators, MapIndexed) {
+  const std::vector<char> xs{'a', 'b'};
+  const auto ys = mapIndexed(xs, [](char c, usize i) { return std::string(i + 1, c); });
+  EXPECT_EQ(ys, (std::vector<std::string>{"a", "bb"}));
+}
+
+TEST(Combinators, Filter) {
+  const std::vector<int> xs{1, 2, 3, 4};
+  EXPECT_EQ(filter(xs, [](int x) { return x % 2 == 0; }), (std::vector<int>{2, 4}));
+}
+
+TEST(Combinators, FlatMap) {
+  const std::vector<int> xs{1, 3};
+  const auto ys = flatMap(xs, [](int x) { return std::vector<int>{x, x + 1}; });
+  EXPECT_EQ(ys, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Combinators, GroupByPreservesOrderWithinBuckets) {
+  const std::vector<int> xs{1, 2, 3, 4, 5};
+  const auto groups = groupBy(xs, [](int x) { return x % 2; });
+  EXPECT_EQ(groups.at(0), (std::vector<int>{2, 4}));
+  EXPECT_EQ(groups.at(1), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(Combinators, SortByIsStable) {
+  const std::vector<std::pair<int, int>> xs{{1, 10}, {0, 20}, {1, 30}, {0, 40}};
+  const auto ys = sortBy(xs, [](const auto &p) { return p.first; });
+  EXPECT_EQ(ys[0].second, 20);
+  EXPECT_EQ(ys[1].second, 40);
+  EXPECT_EQ(ys[2].second, 10);
+  EXPECT_EQ(ys[3].second, 30);
+}
+
+TEST(Combinators, Distinct) {
+  EXPECT_EQ(distinct(std::vector<int>{3, 1, 3, 2, 1}), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(Combinators, ZipStopsAtShorter) {
+  const auto zs = zip(std::vector<int>{1, 2, 3}, std::vector<char>{'a', 'b'});
+  ASSERT_EQ(zs.size(), 2u);
+  EXPECT_EQ(zs[1], (std::pair<int, char>{2, 'b'}));
+}
+
+TEST(Combinators, SumAndSumBy) {
+  const std::vector<int> xs{1, 2, 3};
+  EXPECT_EQ(sum(xs), 6);
+  EXPECT_EQ(sumBy(xs, [](int x) { return x * x; }), 14);
+}
+
+TEST(Combinators, FindFirstAndIndexWhere) {
+  const std::vector<int> xs{5, 6, 7};
+  EXPECT_EQ(findFirst(xs, [](int x) { return x > 5; }).value(), 6);
+  EXPECT_FALSE(findFirst(xs, [](int x) { return x > 10; }).has_value());
+  EXPECT_EQ(indexWhere(xs, [](int x) { return x == 7; }).value(), 2u);
+}
+
+TEST(Combinators, Quantifiers) {
+  const std::vector<int> xs{2, 4};
+  EXPECT_TRUE(allOf(xs, [](int x) { return x % 2 == 0; }));
+  EXPECT_TRUE(anyOf(xs, [](int x) { return x == 4; }));
+  EXPECT_TRUE(contains(xs, 2));
+  EXPECT_FALSE(contains(xs, 3));
+}
+
+TEST(Combinators, Cartesian) {
+  const auto prod = cartesian(std::vector<int>{1, 2}, std::vector<int>{10, 20});
+  ASSERT_EQ(prod.size(), 4u);
+  EXPECT_EQ(prod[3], (std::pair<int, int>{2, 20}));
+}
+
+TEST(Combinators, Indices) {
+  EXPECT_EQ(indices(3), (std::vector<usize>{0, 1, 2}));
+  EXPECT_TRUE(indices(0).empty());
+}
+
+TEST(Combinators, FoldLeft) {
+  const std::vector<int> xs{1, 2, 3};
+  const auto r = foldLeft(xs, std::string("x"), [](std::string acc, int v) {
+    return std::move(acc) + std::to_string(v);
+  });
+  EXPECT_EQ(r, "x123");
+}
+
+TEST(Combinators, MinMaxBy) {
+  const std::vector<std::string> xs{"bbb", "a", "cc"};
+  EXPECT_EQ(minBy(xs, [](const std::string &s) { return s.size(); }).value(), "a");
+  EXPECT_EQ(maxBy(xs, [](const std::string &s) { return s.size(); }).value(), "bbb");
+  EXPECT_FALSE(minBy(std::vector<int>{}, [](int x) { return x; }).has_value());
+}

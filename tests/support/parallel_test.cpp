@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "support/parallel.hpp"
+
+using namespace sv;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Pool remains usable after an error.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.wait(); // must not deadlock
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const usize n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallelFor(n, [&](usize i) { hits[i].fetch_add(1); });
+  for (usize i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  bool called = false;
+  parallelFor(0, [&](usize) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialFallbackMatches) {
+  std::vector<int> out(64, 0);
+  parallelFor(64, [&](usize i) { out[i] = static_cast<int>(i * i); }, 1);
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(parallelFor(100, [](usize i) {
+    if (i == 42) throw std::logic_error("bad index");
+  }),
+               std::logic_error);
+}
+
+TEST(ParallelMap, ProducesOrderedResults) {
+  const auto out = parallelMap(1000, [](usize i) { return i * 3; });
+  for (usize i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(ParallelMap, SumMatchesSerial) {
+  const auto out = parallelMap(5000, [](usize i) { return static_cast<u64>(i); });
+  const u64 total = std::accumulate(out.begin(), out.end(), u64{0});
+  EXPECT_EQ(total, u64{5000} * 4999 / 2);
+}

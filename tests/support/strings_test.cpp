@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+
+using namespace sv;
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = str::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = str::split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = str::split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitLinesNoTrailingEmpty) {
+  const auto lines = str::splitLines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(Strings, SplitLinesLastWithoutNewline) {
+  const auto lines = str::splitLines("a\nb");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(Strings, SplitLinesHandlesCRLF) {
+  const auto lines = str::splitLines("a\r\nb\r\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(str::trim("  x y  "), "x y");
+  EXPECT_EQ(str::trim("\t\n"), "");
+  EXPECT_EQ(str::trim(""), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+  EXPECT_EQ(str::join({"x"}, ","), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(str::startsWith("#pragma omp", "#pragma"));
+  EXPECT_FALSE(str::startsWith("#", "#pragma"));
+  EXPECT_TRUE(str::endsWith("file.cpp", ".cpp"));
+  EXPECT_FALSE(str::endsWith("cpp", ".cpp"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(str::replaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(str::replaceAll("none", "x", "y"), "none");
+  EXPECT_EQ(str::replaceAll("abab", "ab", "c"), "cc");
+}
+
+TEST(Strings, CollapseWhitespace) {
+  EXPECT_EQ(str::collapseWhitespace("a  \t b"), "a b");
+  EXPECT_EQ(str::collapseWhitespace("  x"), " x");
+}
+
+TEST(Strings, IsBlank) {
+  EXPECT_TRUE(str::isBlank(" \t "));
+  EXPECT_TRUE(str::isBlank(""));
+  EXPECT_FALSE(str::isBlank(" x "));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(str::padLeft("7", 3), "  7");
+  EXPECT_EQ(str::padRight("ab", 4), "ab  ");
+  EXPECT_EQ(str::padLeft("long", 2), "long");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(str::fmtDouble(0.5, 2), "0.50");
+  EXPECT_EQ(str::fmtDouble(1.0 / 3.0, 3), "0.333");
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support/strings.hpp"
+#include "text/text.hpp"
+
+using namespace sv;
+using namespace sv::text;
+
+TEST(Normalise, CollapsesWhitespaceAndDropsBlankLines) {
+  const auto n = normalise("int   a;\n\n\t\nint    b;\n");
+  EXPECT_EQ(n, "int a;\nint b;\n");
+}
+
+TEST(Normalise, StripsCommentRanges) {
+  const std::string src = "int a; // trailing\nint b;\n";
+  const usize begin = src.find("//");
+  const auto n = normalise(src, {{begin, src.find('\n')}});
+  EXPECT_EQ(n, "int a;\nint b;\n");
+}
+
+TEST(Normalise, MultiLineCommentKeepsLineStructure) {
+  const std::string src = "int a;\n/* one\ntwo */\nint b;\n";
+  const usize begin = src.find("/*");
+  const usize end = src.find("*/") + 2;
+  const auto n = normalise(src, {{begin, end}});
+  EXPECT_EQ(n, "int a;\nint b;\n"); // the comment lines become blank and vanish
+}
+
+TEST(Normalise, PragmaLinesSurvive) {
+  const auto n = normalise("#pragma omp parallel for\nfor (;;) {}\n");
+  EXPECT_NE(n.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(Sloc, CountsNonBlankLines) {
+  EXPECT_EQ(sloc("a\nb\nc\n"), 3u);
+  EXPECT_EQ(sloc(""), 0u);
+  EXPECT_EQ(sloc("one\n"), 1u);
+}
+
+TEST(Lloc, ForHeaderCountsOnce) {
+  // The for-header's internal semicolons are at paren depth 1.
+  const auto src = normalise("for (int i = 0;\n i < n;\n ++i) {\n body();\n}\n");
+  EXPECT_EQ(lloc(src), 2u); // the '{' block opener + body(); statement
+}
+
+TEST(Lloc, StatementsAndBlocks) {
+  const auto src = normalise("int a = 1;\nint b = 2;\nif (a) {\n b++;\n}\n");
+  // a;  b;  { opener  b++;  => 4
+  EXPECT_EQ(lloc(src), 4u);
+}
+
+TEST(Lloc, DirectivesCountOnce) {
+  const auto src = normalise("#include <x>\n#pragma omp parallel\nint a;\n");
+  EXPECT_EQ(lloc(src), 3u);
+}
+
+TEST(Lloc, StringsDoNotConfuseCounting) {
+  const auto src = normalise("const char* s = \"a;{b\";\n");
+  EXPECT_EQ(lloc(src), 1u);
+}
+
+TEST(Lloc, FortranStatementsPerLine) {
+  const auto src = normalise("program p\nx = 1\ny = 2; z = 3\nend program\n");
+  EXPECT_EQ(lloc(src, true), 5u);
+}
+
+TEST(Lloc, FortranContinuationMergesLines) {
+  const auto src = normalise("x = a + &\n b + &\n c\ny = 1\n");
+  EXPECT_EQ(lloc(src, true), 2u);
+}
+
+TEST(Lloc, FortranCommentsSkippedDirectivesCounted) {
+  const auto src = normalise("! pure comment\n!$omp parallel do\nx = 1\n");
+  EXPECT_EQ(lloc(src, true), 2u);
+}
+
+TEST(Lcs, IdenticalSequences) {
+  const std::vector<std::string> a{"x", "y", "z"};
+  EXPECT_EQ(lcsLength(a, a), 3u);
+  EXPECT_EQ(diffDistance(a, a), 0u);
+}
+
+TEST(Lcs, DisjointSequences) {
+  const std::vector<std::string> a{"a", "b"};
+  const std::vector<std::string> b{"c", "d", "e"};
+  EXPECT_EQ(lcsLength(a, b), 0u);
+  EXPECT_EQ(diffDistance(a, b), 5u);
+}
+
+TEST(Lcs, ClassicExample) {
+  // LCS of ABCBDAB / BDCABA is 4 (BCBA / BDAB / BCAB).
+  const auto mk = [](const std::string &s) {
+    std::vector<std::string> v;
+    for (const char c : s) v.emplace_back(1, c);
+    return v;
+  };
+  EXPECT_EQ(lcsLength(mk("ABCBDAB"), mk("BDCABA")), 4u);
+}
+
+TEST(Lcs, EmptyEdgeCases) {
+  const std::vector<std::string> empty;
+  const std::vector<std::string> a{"x"};
+  EXPECT_EQ(lcsLength(empty, empty), 0u);
+  EXPECT_EQ(lcsLength(empty, a), 0u);
+  EXPECT_EQ(diffDistance(empty, a), 1u);
+}
+
+// Property: diffDistance == |a| + |b| - 2*LCS, diff is symmetric, and the
+// triangle inequality holds — checked on random line sequences.
+class DiffPropertySweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DiffPropertySweep, DualityAndMetricAxioms) {
+  std::mt19937 rng(GetParam());
+  const auto randomLines = [&](usize n) {
+    std::vector<std::string> v;
+    static const char *pool[] = {"int a;", "for(;;)", "x++;", "call();", "}", "{"};
+    for (usize i = 0; i < n; ++i) v.emplace_back(pool[rng() % 6]);
+    return v;
+  };
+  const auto a = randomLines(5 + rng() % 60);
+  const auto b = randomLines(5 + rng() % 60);
+  const auto c = randomLines(5 + rng() % 60);
+
+  const usize d = diffDistance(a, b);
+  EXPECT_EQ(d, a.size() + b.size() - 2 * lcsLength(a, b));
+  EXPECT_EQ(d, diffDistance(b, a));
+  EXPECT_LE(diffDistance(a, c), d + diffDistance(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DiffPropertySweep, ::testing::Range(0u, 16u));
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(levenshtein("", "abc"), 3u);
+  EXPECT_EQ(levenshtein("same", "same"), 0u);
+  EXPECT_EQ(levenshtein("flaw", "lawn"), 2u);
+}
+
+TEST(Levenshtein, SymmetricOnRandomInputs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::string a(rng() % 40, 'a'), b(rng() % 40, 'a');
+    for (auto &ch : a) ch = static_cast<char>('a' + rng() % 4);
+    for (auto &ch : b) ch = static_cast<char>('a' + rng() % 4);
+    EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+  }
+}

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "minif/fparser.hpp"
+#include "vm/vm.hpp"
+
+using namespace sv;
+using namespace sv::vm;
+
+namespace {
+lang::SourceManager gSm;
+
+RunResult runC(const std::string &src, RunOptions opts = {}) {
+  auto tu = minic::parseTranslationUnit(minic::lex(src, 0), "t.cpp", gSm);
+  minic::analyse(tu);
+  return run(tu, opts);
+}
+
+RunResult runF(const std::string &src) {
+  auto tu = minif::parseFortran(minif::lexFortran(src, 0), "t.f90", gSm);
+  RunOptions opts;
+  opts.fortran = true;
+  return run(tu, opts);
+}
+} // namespace
+
+TEST(Vm, ReturnsValue) {
+  EXPECT_EQ(runC("int main() { return 42; }").returnValue.asInt(), 42);
+}
+
+TEST(Vm, ArithmeticAndLocals) {
+  const auto r = runC("int main() { double a = 1.5; double b = a * 4.0; return b > 5.9; }");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(Vm, IntegerDivisionTruncates) {
+  EXPECT_EQ(runC("int main() { return 7 / 2; }").returnValue.asInt(), 3);
+}
+
+TEST(Vm, MixedArithmeticPromotes) {
+  EXPECT_EQ(runC("int main() { double x = 3 / 2.0; return x == 1.5; }").returnValue.asInt(), 1);
+}
+
+TEST(Vm, ControlFlow) {
+  const auto r = runC(R"(
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 10; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 7) break;
+        total += i;
+      }
+      int j = 0;
+      while (j < 3) j++;
+      do { j++; } while (j < 5);
+      return total * 100 + j;
+    })");
+  // odd i <= 7: 1+3+5+7 = 16; j ends at 5.
+  EXPECT_EQ(r.returnValue.asInt(), 1605);
+}
+
+TEST(Vm, FunctionsAndRecursion) {
+  const auto r = runC(R"(
+    int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+    int main() { return fib(10); })");
+  EXPECT_EQ(r.returnValue.asInt(), 55);
+}
+
+TEST(Vm, ArraysViaMalloc) {
+  const auto r = runC(R"(
+    int main() {
+      double* a = (double*) malloc(sizeof(double) * 8);
+      for (int i = 0; i < 8; i++) a[i] = i * 2.0;
+      double s = 0.0;
+      for (int i = 0; i < 8; i++) s += a[i];
+      free(a);
+      return s == 56.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(Vm, OutOfBoundsThrows) {
+  EXPECT_THROW(
+      (void)runC("int main() { double* a = (double*) malloc(8); a[5] = 1.0; return 0; }"),
+      VmError);
+}
+
+TEST(Vm, StepLimitGuardsInfiniteLoop) {
+  RunOptions opts;
+  opts.maxSteps = 1000;
+  EXPECT_THROW((void)runC("int main() { while (true) { int x = 1; } return 0; }", opts), VmError);
+}
+
+TEST(Vm, PrintfCapturesOutput) {
+  const auto r = runC(R"(int main() { printf("result", 3.5, 7); return 0; })");
+  EXPECT_NE(r.output.find("result"), std::string::npos);
+  EXPECT_NE(r.output.find("3.5"), std::string::npos);
+  EXPECT_NE(r.output.find("7"), std::string::npos);
+}
+
+TEST(Vm, MathBuiltins) {
+  const auto r = runC(R"(
+    int main() {
+      double a = std::sqrt(16.0) + fabs(-2.0) + std::fmax(1.0, 3.0) + std::fmin(5.0, 4.0);
+      return a == 13.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(Vm, LambdasCaptureArraysByReference) {
+  const auto r = runC(R"(
+    int main() {
+      double* a = (double*) malloc(sizeof(double) * 4);
+      auto init = [=](int i) { a[i] = 7.0; };
+      for (int i = 0; i < 4; i++) init(i);
+      return a[3] == 7.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(Vm, CoverageRecordsExecutedLinesOnly) {
+  const auto r = runC("int main() {\n"      // line 1
+                      "  int x = 1;\n"      // line 2
+                      "  if (x > 5) {\n"    // line 3
+                      "    x = 99;\n"       // line 4 (never runs)
+                      "  }\n"
+                      "  return x;\n"       // line 6
+                      "}\n");
+  EXPECT_TRUE(r.coverage.covered(0, 2));
+  EXPECT_TRUE(r.coverage.covered(0, 3));
+  EXPECT_FALSE(r.coverage.covered(0, 4));
+  EXPECT_TRUE(r.coverage.covered(0, 6));
+}
+
+// ------------------------------------------------------------ models ----
+
+TEST(VmModels, OmpDirectiveExecutesBlock) {
+  const auto r = runC(R"(
+    int main() {
+      double s = 0.0;
+      double* a = (double*) malloc(sizeof(double) * 16);
+      for (int i = 0; i < 16; i++) a[i] = 1.0;
+      #pragma omp parallel for reduction(+:s)
+      for (int i = 0; i < 16; i++) s += a[i];
+      return s == 16.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, CudaKernelLaunchCoversGrid) {
+  const auto r = runC(R"(
+    __global__ void fill(double* a, int n) {
+      int i = threadIdx.x + blockIdx.x * blockDim.x;
+      if (i < n) a[i] = 2.0;
+    }
+    int main() {
+      int n = 10;
+      double* d;
+      cudaMalloc((void**)&d, sizeof(double) * n);
+      fill<<<3, 4>>>(d, n);
+      cudaDeviceSynchronize();
+      double* h = (double*) malloc(sizeof(double) * n);
+      cudaMemcpy(h, d, sizeof(double) * n, cudaMemcpyDeviceToHost);
+      double s = 0.0;
+      for (int i = 0; i < n; i++) s += h[i];
+      return s == 20.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, HipLaunchKernelGGL) {
+  const auto r = runC(R"(
+    __global__ void fill(double* a, int n) {
+      int i = threadIdx.x + blockIdx.x * blockDim.x;
+      if (i < n) a[i] = 3.0;
+    }
+    int main() {
+      int n = 8;
+      double* d;
+      hipMalloc((void**)&d, sizeof(double) * n);
+      hipLaunchKernelGGL(fill, 2, 4, 0, 0, d, n);
+      double s = 0.0;
+      for (int i = 0; i < n; i++) s += d[i];
+      return s == 24.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, SyclUsmQueue) {
+  const auto r = runC(R"(
+    int main() {
+      sycl::queue q;
+      int n = 12;
+      double* a = sycl::malloc_device<double>(n, q);
+      q.submit([&](handler h) {
+        h.parallel_for(sycl::range(n), [=](int i) { a[i] = 0.5; });
+      });
+      q.wait();
+      double s = 0.0;
+      for (int i = 0; i < n; i++) s += a[i];
+      sycl::free(a);
+      return s == 6.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, SyclBuffersAndAccessors) {
+  const auto r = runC(R"(
+    int main() {
+      int n = 6;
+      sycl::queue q;
+      double* host = (double*) malloc(sizeof(double) * n);
+      sycl::buffer<double, 1> buf(host, sycl::range<1>(n));
+      q.submit([&](handler h) {
+        auto acc = buf.get_access<sycl::access::mode::write>(h);
+        h.parallel_for(sycl::range(n), [=](int i) { acc[i] = 4.0; });
+      });
+      q.wait();
+      return host[5] == 4.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, KokkosParallelForAndView) {
+  const auto r = runC(R"(
+    int main() {
+      Kokkos::initialize();
+      int n = 9;
+      Kokkos::View<double*> a("A", n);
+      Kokkos::parallel_for(n, [=](int i) { a(i) = 1.0 + i; });
+      double total = 0.0;
+      Kokkos::parallel_reduce(n, [=](int i, double& s) { s += a(i); }, total);
+      Kokkos::finalize();
+      return total == 45.0; // sum of 1..9
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, TbbBlockedRange) {
+  const auto r = runC(R"(
+    int main() {
+      int n = 10;
+      double* a = (double*) malloc(sizeof(double) * n);
+      tbb::parallel_for(tbb::blocked_range(0, n), [=](tbb::blocked_range r) {
+        for (int i = r.begin(); i < r.end(); i++) a[i] = 2.5;
+      });
+      double s = tbb::parallel_reduce(tbb::blocked_range(0, n), 0.0,
+        [=](tbb::blocked_range r, double acc) {
+          for (int i = r.begin(); i < r.end(); i++) acc += a[i];
+          return acc;
+        }, std::plus<double>());
+      return s == 25.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+TEST(VmModels, StdParForEachAndTransformReduce) {
+  const auto r = runC(R"(
+    int main() {
+      int n = 8;
+      double* a = (double*) malloc(sizeof(double) * n);
+      std::for_each_n(std::execution::par_unseq, 0, n, [=](int i) { a[i] = i * 1.0; });
+      double s = std::transform_reduce(std::execution::par_unseq, 0, n, 0.0,
+                                       std::plus<double>(), [=](int i) { return a[i] * 2.0; });
+      return s == 56.0;
+    })");
+  EXPECT_EQ(r.returnValue.asInt(), 1);
+}
+
+// ----------------------------------------------------------- Fortran ----
+
+TEST(VmFortran, DoLoopAndOneBasedIndexing) {
+  const auto r = runF(R"(
+program p
+  integer :: i
+  real(8), allocatable :: a(:)
+  real(8) :: s
+  allocate(a(5))
+  do i = 1, 5
+    a(i) = i * 1.0
+  end do
+  s = 0.0
+  do i = 1, 5
+    s = s + a(i)
+  end do
+  print *, s
+end program p
+)");
+  EXPECT_NE(r.output.find("15"), std::string::npos);
+}
+
+TEST(VmFortran, ArrayAssignmentElementwise) {
+  const auto r = runF(R"(
+program p
+  real(8), allocatable :: a(:), b(:), c(:)
+  real(8) :: s
+  allocate(a(4), b(4), c(4))
+  b(:) = 2.0
+  c(:) = 3.0
+  a(:) = b(:) + 0.5 * c(:)
+  s = sum(a)
+  print *, s
+end program p
+)");
+  EXPECT_NE(r.output.find("14"), std::string::npos);
+}
+
+TEST(VmFortran, DoConcurrentExecutes) {
+  const auto r = runF(R"(
+program p
+  integer :: i, n
+  real(8), allocatable :: a(:)
+  n = 6
+  allocate(a(n))
+  do concurrent (i = 1:n)
+    a(i) = 7.0
+  end do
+  print *, sum(a)
+end program p
+)");
+  EXPECT_NE(r.output.find("42"), std::string::npos);
+}
+
+TEST(VmFortran, SubroutineCallByReference) {
+  const auto r = runF(R"(
+module m
+contains
+subroutine fill(a, n, v)
+  integer, intent(in) :: n
+  real(8), intent(out) :: a(:)
+  real(8), intent(in) :: v
+  integer :: i
+  do i = 1, n
+    a(i) = v
+  end do
+end subroutine fill
+end module m
+
+program p
+  integer :: n
+  real(8), allocatable :: a(:)
+  n = 4
+  allocate(a(n))
+  call fill(a, n, 2.5)
+  print *, sum(a)
+end program p
+)");
+  EXPECT_NE(r.output.find("10"), std::string::npos);
+}
+
+TEST(VmFortran, OmpDirectiveExecutes) {
+  const auto r = runF(R"(
+program p
+  integer :: i, n
+  real(8), allocatable :: a(:)
+  real(8) :: s
+  n = 8
+  allocate(a(n))
+  s = 0.0
+!$omp parallel do reduction(+:s)
+  do i = 1, n
+    a(i) = 1.5
+  end do
+!$omp end parallel do
+  do i = 1, n
+    s = s + a(i)
+  end do
+  print *, s
+end program p
+)");
+  EXPECT_NE(r.output.find("12"), std::string::npos);
+}
+
+TEST(VmFortran, DotProductIntrinsic) {
+  const auto r = runF(R"(
+program p
+  real(8), allocatable :: a(:), b(:)
+  allocate(a(3), b(3))
+  a(:) = 2.0
+  b(:) = 4.0
+  print *, dot_product(a, b)
+end program p
+)");
+  EXPECT_NE(r.output.find("24"), std::string::npos);
+}

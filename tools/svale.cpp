@@ -1,0 +1,254 @@
+// svale — the SilverVale command-line driver. Wraps the end-to-end
+// workflow of Fig 2 for the embedded corpus and for external codebases
+// described by a compile_commands.json.
+//
+//   svale list
+//   svale run <app> <model>                 execute in the VM (verification + coverage)
+//   svale index <app> <model> -o out.svdb   index a port and write the Codebase DB
+//   svale diverge <app> <A> <B> [--metric M] [--pp] [--cov]
+//   svale cluster <app> [--metric M]        dendrogram over all ports
+//   svale heatmap <app> [--base serial]     divergence-from-baseline rows
+//   svale cascade <app>                     Φ cascade over the Table III platforms
+//   svale nav <app>                         Φ × TBMD navigation chart
+//   svale coupling <app> <model>            module-coupling report
+//   svale index-dir <dir> [-o out.svdb]     index a real on-disk codebase
+//                                           (needs <dir>/compile_commands.json)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "db/diskload.hpp"
+#include "metrics/coupling.hpp"
+#include "silvervale/silvervale.hpp"
+
+using namespace sv;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: svale <command> [...]\n"
+      "  list                                 corpus apps and their models\n"
+      "  run <app> <model>                    execute the port in the VM\n"
+      "  index <app> <model> [-o file.svdb]   write a Codebase DB\n"
+      "  diverge <app> <A> <B> [--metric M] [--pp] [--cov]\n"
+      "  cluster <app> [--metric M]\n"
+      "  heatmap <app> [--base MODEL]\n"
+      "  cascade <app>\n"
+      "  nav <app>\n"
+      "  coupling <app> <model>\n"
+      "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
+      "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n");
+  return 2;
+}
+
+metrics::Metric parseMetric(const std::string &name) {
+  if (name == "SLOC") return metrics::Metric::SLOC;
+  if (name == "LLOC") return metrics::Metric::LLOC;
+  if (name == "Source") return metrics::Metric::Source;
+  if (name == "Tsrc") return metrics::Metric::Tsrc;
+  if (name == "Tsem") return metrics::Metric::Tsem;
+  if (name == "Tsem+i") return metrics::Metric::TsemInline;
+  if (name == "Tir") return metrics::Metric::Tir;
+  throw ParseError("unknown metric: " + name);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags; ///< "--x v" and bare "--x" -> "1"
+};
+
+Args parseArgs(int argc, char **argv, int first) {
+  Args out;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') out.flags[a.substr(2)] = argv[++i];
+      else out.flags[a.substr(2)] = "1";
+    } else if (a == "-o" && i + 1 < argc) {
+      out.flags["out"] = argv[++i];
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+int cmdList() {
+  for (const auto &app : corpus::appNames()) {
+    std::printf("%s:\n", app.c_str());
+    for (const auto &m : corpus::modelsOf(app)) std::printf("  %s\n", m.c_str());
+  }
+  return 0;
+}
+
+int cmdRun(const Args &args) {
+  if (args.positional.size() < 2) return usage();
+  const auto cb = corpus::make(args.positional[0], args.positional[1]);
+  db::IndexOptions opts;
+  opts.runCoverage = true;
+  const auto result = db::index(cb, opts);
+  const auto &run = *result.coverageRun;
+  std::printf("%s", run.output.c_str());
+  std::printf("\nsteps=%llu coveredLines=%zu\n", static_cast<unsigned long long>(run.steps),
+              run.coverage.coveredLineCount());
+  const bool pass = run.output.find("PASSED") != std::string::npos;
+  return pass ? 0 : 1;
+}
+
+int cmdIndex(const Args &args) {
+  if (args.positional.size() < 2) return usage();
+  const auto cb = corpus::make(args.positional[0], args.positional[1]);
+  db::IndexOptions opts;
+  opts.runCoverage = args.flags.count("cov") != 0;
+  const auto result = db::index(cb, opts);
+  for (const auto &u : result.db.units)
+    std::printf("unit %-14s role=%-8s sloc=%-5zu tsrc=%-5zu tsem=%-5zu tsem+i=%-5zu tir=%zu\n",
+                u.file.c_str(), u.role.c_str(), u.sloc, u.tsrc.size(), u.tsem.size(),
+                u.tsemI.size(), u.tir.size());
+  const auto it = args.flags.find("out");
+  if (it != args.flags.end()) {
+    const auto bytes = result.db.serialise();
+    std::ofstream out(it->second, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote %s (%zu bytes)\n", it->second.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+int cmdDiverge(const Args &args) {
+  if (args.positional.size() < 3) return usage();
+  const auto metric = parseMetric(args.flags.count("metric") ? args.flags.at("metric") : "Tsem");
+  metrics::Variant variant;
+  variant.preprocessed = args.flags.count("pp") != 0;
+  variant.coverage = args.flags.count("cov") != 0;
+  db::IndexOptions opts;
+  opts.runCoverage = variant.coverage;
+  const auto a = db::index(corpus::make(args.positional[0], args.positional[1]), opts).db;
+  const auto b = db::index(corpus::make(args.positional[0], args.positional[2]), opts).db;
+  if (metrics::isAbsolute(metric)) {
+    std::printf("%s: %zu vs %zu\n", args.flags.count("metric") ? args.flags.at("metric").c_str()
+                                                               : "Tsem",
+                metrics::absolute(a, metric, variant), metrics::absolute(b, metric, variant));
+    return 0;
+  }
+  const auto d = metrics::diverge(a, b, metric, variant);
+  std::printf("d=%llu dmax(Eq7)=%llu dmaxSym=%llu normalised=%.4f matched=%zu unmatched=%zu\n",
+              static_cast<unsigned long long>(d.distance),
+              static_cast<unsigned long long>(d.dmaxEq7),
+              static_cast<unsigned long long>(d.dmaxSym), d.normalised(), d.matchedUnits,
+              d.unmatchedUnits);
+  return 0;
+}
+
+int cmdCluster(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto metric = parseMetric(args.flags.count("metric") ? args.flags.at("metric") : "Tsem");
+  const auto app = silvervale::indexApp(args.positional[0]);
+  const auto m = metrics::isAbsolute(metric)
+                     ? silvervale::absoluteDifferenceMatrix(app, metric)
+                     : silvervale::divergenceMatrix(app, metric);
+  const auto merges = analysis::cluster(m);
+  std::printf("%s", analysis::renderDendrogram(merges, m.labels).c_str());
+  std::printf("newick: %s\n", analysis::toNewick(merges, m.labels).c_str());
+  return 0;
+}
+
+int cmdHeatmap(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const std::string base = args.flags.count("base") ? args.flags.at("base") : "serial";
+  const auto app = silvervale::indexApp(args.positional[0]);
+  const auto &baseDb = app.model(base);
+  std::printf("%-12s %-8s %-8s %-8s %-8s %-8s\n", "model", "Source", "Tsrc", "Tsem", "Tsem+i",
+              "Tir");
+  for (const auto &m : app.models) {
+    const auto row = metrics::divergenceRow(baseDb, m);
+    std::printf("%-12s %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f\n", m.model.c_str(), row.source,
+                row.tsrc, row.tsem, row.tsemI, row.tir);
+  }
+  return 0;
+}
+
+int cmdCascade(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto app = silvervale::indexApp(args.positional[0]);
+  const auto kernels = silvervale::paperDeck(args.positional[0]);
+  const auto perfs = perf::simulateAll(silvervale::perfModels(app), kernels);
+  std::printf("%s", perf::renderCascade(perfs).c_str());
+  return 0;
+}
+
+int cmdNav(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto app = silvervale::indexApp(args.positional[0]);
+  std::printf("%s", perf::renderNavigationChart(silvervale::navigationPoints(app)).c_str());
+  return 0;
+}
+
+int cmdIndexDir(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto cb = db::loadFromDisk(args.positional[0]);
+  const auto result = db::index(cb);
+  for (const auto &u : result.db.units)
+    std::printf("unit %-20s model=%s sloc=%-5zu tsem=%-5zu tir=%zu deps=%zu\n", u.file.c_str(),
+                std::string(ir::modelName(result.db.modelKind)).c_str(), u.sloc, u.tsem.size(),
+                u.tir.size(), u.deps.size());
+  const auto it = args.flags.find("out");
+  if (it != args.flags.end()) {
+    const auto bytes = result.db.serialise();
+    std::ofstream out(it->second, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote %s (%zu bytes)\n", it->second.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+int cmdCoupling(const Args &args) {
+  if (args.positional.size() < 2) return usage();
+  const auto dbv = db::index(corpus::make(args.positional[0], args.positional[1])).db;
+  const auto report = metrics::coupling(dbv);
+  std::printf("coupling density %.2f, average fan-out %.2f\n", report.couplingDensity,
+              report.averageFanOut);
+  for (const auto &u : report.units) {
+    std::printf("%-14s fan-out=%zu fan-in=%zu", u.unit.c_str(), u.fanOut, u.fanIn);
+    for (const auto &[other, strength] : u.coupledWith)
+      std::printf("  <-> %s (%.2f)", other.c_str(), strength);
+    std::printf("\n");
+  }
+  for (const auto &u : dbv.units) {
+    const auto c = metrics::treeComplexity(u.tsem);
+    std::printf("%-14s Tsem complexity: nodes=%zu depth=%zu leaves=%zu avg-branch=%.2f\n",
+                u.file.c_str(), c.nodes, c.depth, c.leaves, c.averageBranching);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto args = parseArgs(argc, argv, 2);
+  try {
+    if (cmd == "list") return cmdList();
+    if (cmd == "run") return cmdRun(args);
+    if (cmd == "index") return cmdIndex(args);
+    if (cmd == "diverge") return cmdDiverge(args);
+    if (cmd == "cluster") return cmdCluster(args);
+    if (cmd == "heatmap") return cmdHeatmap(args);
+    if (cmd == "cascade") return cmdCascade(args);
+    if (cmd == "nav") return cmdNav(args);
+    if (cmd == "coupling") return cmdCoupling(args);
+    if (cmd == "index-dir") return cmdIndexDir(args);
+  } catch (const std::exception &e) {
+    std::fprintf(stderr, "svale: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
