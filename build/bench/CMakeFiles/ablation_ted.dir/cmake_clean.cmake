@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ted.dir/ablation/ablation_ted.cpp.o"
+  "CMakeFiles/ablation_ted.dir/ablation/ablation_ted.cpp.o.d"
+  "ablation_ted"
+  "ablation_ted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

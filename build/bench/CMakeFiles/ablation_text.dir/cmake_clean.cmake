@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_text.dir/ablation/ablation_text.cpp.o"
+  "CMakeFiles/ablation_text.dir/ablation/ablation_text.cpp.o.d"
+  "ablation_text"
+  "ablation_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tealeaf_cascade.dir/figures/fig11_tealeaf_cascade.cpp.o"
+  "CMakeFiles/fig11_tealeaf_cascade.dir/figures/fig11_tealeaf_cascade.cpp.o.d"
+  "fig11_tealeaf_cascade"
+  "fig11_tealeaf_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tealeaf_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

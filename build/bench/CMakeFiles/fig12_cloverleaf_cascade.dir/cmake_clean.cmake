@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cloverleaf_cascade.dir/figures/fig12_cloverleaf_cascade.cpp.o"
+  "CMakeFiles/fig12_cloverleaf_cascade.dir/figures/fig12_cloverleaf_cascade.cpp.o.d"
+  "fig12_cloverleaf_cascade"
+  "fig12_cloverleaf_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cloverleaf_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_cloverleaf_cascade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cloverleaf_nav.dir/figures/fig13_cloverleaf_nav.cpp.o"
+  "CMakeFiles/fig13_cloverleaf_nav.dir/figures/fig13_cloverleaf_nav.cpp.o.d"
+  "fig13_cloverleaf_nav"
+  "fig13_cloverleaf_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cloverleaf_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tealeaf_nav.dir/figures/fig14_tealeaf_nav.cpp.o"
+  "CMakeFiles/fig14_tealeaf_nav.dir/figures/fig14_tealeaf_nav.cpp.o.d"
+  "fig14_tealeaf_nav"
+  "fig14_tealeaf_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tealeaf_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scenario.dir/figures/fig15_scenario.cpp.o"
+  "CMakeFiles/fig15_scenario.dir/figures/fig15_scenario.cpp.o.d"
+  "fig15_scenario"
+  "fig15_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

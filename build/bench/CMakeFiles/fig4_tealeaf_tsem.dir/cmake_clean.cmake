@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tealeaf_tsem.dir/figures/fig4_tealeaf_tsem.cpp.o"
+  "CMakeFiles/fig4_tealeaf_tsem.dir/figures/fig4_tealeaf_tsem.cpp.o.d"
+  "fig4_tealeaf_tsem"
+  "fig4_tealeaf_tsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tealeaf_tsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

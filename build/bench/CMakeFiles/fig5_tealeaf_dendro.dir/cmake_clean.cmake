@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tealeaf_dendro.dir/figures/fig5_tealeaf_dendro.cpp.o"
+  "CMakeFiles/fig5_tealeaf_dendro.dir/figures/fig5_tealeaf_dendro.cpp.o.d"
+  "fig5_tealeaf_dendro"
+  "fig5_tealeaf_dendro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tealeaf_dendro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

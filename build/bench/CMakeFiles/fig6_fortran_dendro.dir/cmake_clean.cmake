@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fortran_dendro.dir/figures/fig6_fortran_dendro.cpp.o"
+  "CMakeFiles/fig6_fortran_dendro.dir/figures/fig6_fortran_dendro.cpp.o.d"
+  "fig6_fortran_dendro"
+  "fig6_fortran_dendro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fortran_dendro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_minibude_heatmap.dir/figures/fig7_minibude_heatmap.cpp.o"
+  "CMakeFiles/fig7_minibude_heatmap.dir/figures/fig7_minibude_heatmap.cpp.o.d"
+  "fig7_minibude_heatmap"
+  "fig7_minibude_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_minibude_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

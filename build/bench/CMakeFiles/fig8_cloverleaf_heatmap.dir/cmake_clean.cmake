@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cloverleaf_heatmap.dir/figures/fig8_cloverleaf_heatmap.cpp.o"
+  "CMakeFiles/fig8_cloverleaf_heatmap.dir/figures/fig8_cloverleaf_heatmap.cpp.o.d"
+  "fig8_cloverleaf_heatmap"
+  "fig8_cloverleaf_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cloverleaf_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

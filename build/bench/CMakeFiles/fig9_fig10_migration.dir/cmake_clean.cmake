@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fig10_migration.dir/figures/fig9_fig10_migration.cpp.o"
+  "CMakeFiles/fig9_fig10_migration.dir/figures/fig9_fig10_migration.cpp.o.d"
+  "fig9_fig10_migration"
+  "fig9_fig10_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fig10_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

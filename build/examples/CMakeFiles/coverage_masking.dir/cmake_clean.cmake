@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_masking.dir/coverage_masking.cpp.o"
+  "CMakeFiles/coverage_masking.dir/coverage_masking.cpp.o.d"
+  "coverage_masking"
+  "coverage_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_codebase.dir/custom_codebase.cpp.o"
+  "CMakeFiles/custom_codebase.dir/custom_codebase.cpp.o.d"
+  "custom_codebase"
+  "custom_codebase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_codebase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

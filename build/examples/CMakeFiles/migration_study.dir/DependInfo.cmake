@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/migration_study.cpp" "examples/CMakeFiles/migration_study.dir/migration_study.cpp.o" "gcc" "examples/CMakeFiles/migration_study.dir/migration_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/silvervale/CMakeFiles/sv_silvervale.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sv_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sv_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/sv_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/minif/CMakeFiles/sv_minif.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sv_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sv_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

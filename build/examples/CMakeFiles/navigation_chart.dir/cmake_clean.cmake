@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_chart.dir/navigation_chart.cpp.o"
+  "CMakeFiles/navigation_chart.dir/navigation_chart.cpp.o.d"
+  "navigation_chart"
+  "navigation_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tree")
+subdirs("text")
+subdirs("lang")
+subdirs("minic")
+subdirs("minif")
+subdirs("ir")
+subdirs("vm")
+subdirs("db")
+subdirs("metrics")
+subdirs("analysis")
+subdirs("perf")
+subdirs("corpus")
+subdirs("silvervale")

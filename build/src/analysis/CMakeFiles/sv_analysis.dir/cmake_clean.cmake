@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/sv_analysis.dir/analysis.cpp.o.d"
+  "libsv_analysis.a"
+  "libsv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/babelstream.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/babelstream.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/babelstream.cpp.o.d"
+  "/root/repo/src/corpus/babelstream_f.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/babelstream_f.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/babelstream_f.cpp.o.d"
+  "/root/repo/src/corpus/cloverleaf.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/cloverleaf.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/cloverleaf.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/headers.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/headers.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/headers.cpp.o.d"
+  "/root/repo/src/corpus/minibude.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/minibude.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/minibude.cpp.o.d"
+  "/root/repo/src/corpus/tealeaf.cpp" "src/corpus/CMakeFiles/sv_corpus.dir/tealeaf.cpp.o" "gcc" "src/corpus/CMakeFiles/sv_corpus.dir/tealeaf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/sv_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/sv_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/minif/CMakeFiles/sv_minif.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sv_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

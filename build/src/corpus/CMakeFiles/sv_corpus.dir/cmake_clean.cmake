@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_corpus.dir/babelstream.cpp.o"
+  "CMakeFiles/sv_corpus.dir/babelstream.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/babelstream_f.cpp.o"
+  "CMakeFiles/sv_corpus.dir/babelstream_f.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/cloverleaf.cpp.o"
+  "CMakeFiles/sv_corpus.dir/cloverleaf.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/sv_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/headers.cpp.o"
+  "CMakeFiles/sv_corpus.dir/headers.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/minibude.cpp.o"
+  "CMakeFiles/sv_corpus.dir/minibude.cpp.o.d"
+  "CMakeFiles/sv_corpus.dir/tealeaf.cpp.o"
+  "CMakeFiles/sv_corpus.dir/tealeaf.cpp.o.d"
+  "libsv_corpus.a"
+  "libsv_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_db.dir/codebase.cpp.o"
+  "CMakeFiles/sv_db.dir/codebase.cpp.o.d"
+  "CMakeFiles/sv_db.dir/compiledb.cpp.o"
+  "CMakeFiles/sv_db.dir/compiledb.cpp.o.d"
+  "CMakeFiles/sv_db.dir/diskload.cpp.o"
+  "CMakeFiles/sv_db.dir/diskload.cpp.o.d"
+  "libsv_db.a"
+  "libsv_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cost.cpp" "src/ir/CMakeFiles/sv_ir.dir/cost.cpp.o" "gcc" "src/ir/CMakeFiles/sv_ir.dir/cost.cpp.o.d"
+  "/root/repo/src/ir/irtree.cpp" "src/ir/CMakeFiles/sv_ir.dir/irtree.cpp.o" "gcc" "src/ir/CMakeFiles/sv_ir.dir/irtree.cpp.o.d"
+  "/root/repo/src/ir/lower.cpp" "src/ir/CMakeFiles/sv_ir.dir/lower.cpp.o" "gcc" "src/ir/CMakeFiles/sv_ir.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

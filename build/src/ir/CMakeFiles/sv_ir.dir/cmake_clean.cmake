@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_ir.dir/cost.cpp.o"
+  "CMakeFiles/sv_ir.dir/cost.cpp.o.d"
+  "CMakeFiles/sv_ir.dir/irtree.cpp.o"
+  "CMakeFiles/sv_ir.dir/irtree.cpp.o.d"
+  "CMakeFiles/sv_ir.dir/lower.cpp.o"
+  "CMakeFiles/sv_ir.dir/lower.cpp.o.d"
+  "libsv_ir.a"
+  "libsv_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

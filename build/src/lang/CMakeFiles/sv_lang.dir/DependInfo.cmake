@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/lang/CMakeFiles/sv_lang.dir/ast.cpp.o" "gcc" "src/lang/CMakeFiles/sv_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/lang/directive.cpp" "src/lang/CMakeFiles/sv_lang.dir/directive.cpp.o" "gcc" "src/lang/CMakeFiles/sv_lang.dir/directive.cpp.o.d"
+  "/root/repo/src/lang/source.cpp" "src/lang/CMakeFiles/sv_lang.dir/source.cpp.o" "gcc" "src/lang/CMakeFiles/sv_lang.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_lang.dir/ast.cpp.o"
+  "CMakeFiles/sv_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/sv_lang.dir/directive.cpp.o"
+  "CMakeFiles/sv_lang.dir/directive.cpp.o.d"
+  "CMakeFiles/sv_lang.dir/source.cpp.o"
+  "CMakeFiles/sv_lang.dir/source.cpp.o.d"
+  "libsv_lang.a"
+  "libsv_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

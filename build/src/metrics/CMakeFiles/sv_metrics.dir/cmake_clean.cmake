@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_metrics.dir/coupling.cpp.o"
+  "CMakeFiles/sv_metrics.dir/coupling.cpp.o.d"
+  "CMakeFiles/sv_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/sv_metrics.dir/metrics.cpp.o.d"
+  "libsv_metrics.a"
+  "libsv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

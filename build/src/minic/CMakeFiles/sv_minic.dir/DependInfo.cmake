@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/api.cpp" "src/minic/CMakeFiles/sv_minic.dir/api.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/api.cpp.o.d"
+  "/root/repo/src/minic/inliner.cpp" "src/minic/CMakeFiles/sv_minic.dir/inliner.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/inliner.cpp.o.d"
+  "/root/repo/src/minic/lexer.cpp" "src/minic/CMakeFiles/sv_minic.dir/lexer.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/lexer.cpp.o.d"
+  "/root/repo/src/minic/parser.cpp" "src/minic/CMakeFiles/sv_minic.dir/parser.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/parser.cpp.o.d"
+  "/root/repo/src/minic/preprocessor.cpp" "src/minic/CMakeFiles/sv_minic.dir/preprocessor.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/minic/sema.cpp" "src/minic/CMakeFiles/sv_minic.dir/sema.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/sema.cpp.o.d"
+  "/root/repo/src/minic/semtree.cpp" "src/minic/CMakeFiles/sv_minic.dir/semtree.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/semtree.cpp.o.d"
+  "/root/repo/src/minic/srctree.cpp" "src/minic/CMakeFiles/sv_minic.dir/srctree.cpp.o" "gcc" "src/minic/CMakeFiles/sv_minic.dir/srctree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sv_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

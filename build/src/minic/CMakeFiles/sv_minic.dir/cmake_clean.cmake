@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_minic.dir/api.cpp.o"
+  "CMakeFiles/sv_minic.dir/api.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/inliner.cpp.o"
+  "CMakeFiles/sv_minic.dir/inliner.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/lexer.cpp.o"
+  "CMakeFiles/sv_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/parser.cpp.o"
+  "CMakeFiles/sv_minic.dir/parser.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/preprocessor.cpp.o"
+  "CMakeFiles/sv_minic.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/sema.cpp.o"
+  "CMakeFiles/sv_minic.dir/sema.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/semtree.cpp.o"
+  "CMakeFiles/sv_minic.dir/semtree.cpp.o.d"
+  "CMakeFiles/sv_minic.dir/srctree.cpp.o"
+  "CMakeFiles/sv_minic.dir/srctree.cpp.o.d"
+  "libsv_minic.a"
+  "libsv_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minif/flexer.cpp" "src/minif/CMakeFiles/sv_minif.dir/flexer.cpp.o" "gcc" "src/minif/CMakeFiles/sv_minif.dir/flexer.cpp.o.d"
+  "/root/repo/src/minif/fparser.cpp" "src/minif/CMakeFiles/sv_minif.dir/fparser.cpp.o" "gcc" "src/minif/CMakeFiles/sv_minif.dir/fparser.cpp.o.d"
+  "/root/repo/src/minif/ftrees.cpp" "src/minif/CMakeFiles/sv_minif.dir/ftrees.cpp.o" "gcc" "src/minif/CMakeFiles/sv_minif.dir/ftrees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sv_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

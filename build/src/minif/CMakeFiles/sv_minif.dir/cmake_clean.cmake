@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_minif.dir/flexer.cpp.o"
+  "CMakeFiles/sv_minif.dir/flexer.cpp.o.d"
+  "CMakeFiles/sv_minif.dir/fparser.cpp.o"
+  "CMakeFiles/sv_minif.dir/fparser.cpp.o.d"
+  "CMakeFiles/sv_minif.dir/ftrees.cpp.o"
+  "CMakeFiles/sv_minif.dir/ftrees.cpp.o.d"
+  "libsv_minif.a"
+  "libsv_minif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_minif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_perf.dir/perf.cpp.o"
+  "CMakeFiles/sv_perf.dir/perf.cpp.o.d"
+  "libsv_perf.a"
+  "libsv_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

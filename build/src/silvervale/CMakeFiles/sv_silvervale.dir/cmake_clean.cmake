@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_silvervale.dir/silvervale.cpp.o"
+  "CMakeFiles/sv_silvervale.dir/silvervale.cpp.o.d"
+  "libsv_silvervale.a"
+  "libsv_silvervale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_silvervale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

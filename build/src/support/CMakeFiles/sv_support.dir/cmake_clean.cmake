@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_support.dir/compress.cpp.o"
+  "CMakeFiles/sv_support.dir/compress.cpp.o.d"
+  "CMakeFiles/sv_support.dir/json.cpp.o"
+  "CMakeFiles/sv_support.dir/json.cpp.o.d"
+  "CMakeFiles/sv_support.dir/msgpack.cpp.o"
+  "CMakeFiles/sv_support.dir/msgpack.cpp.o.d"
+  "CMakeFiles/sv_support.dir/parallel.cpp.o"
+  "CMakeFiles/sv_support.dir/parallel.cpp.o.d"
+  "CMakeFiles/sv_support.dir/strings.cpp.o"
+  "CMakeFiles/sv_support.dir/strings.cpp.o.d"
+  "libsv_support.a"
+  "libsv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

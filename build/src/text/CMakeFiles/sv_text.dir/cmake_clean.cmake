@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_text.dir/text.cpp.o"
+  "CMakeFiles/sv_text.dir/text.cpp.o.d"
+  "libsv_text.a"
+  "libsv_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_tree.dir/ted.cpp.o"
+  "CMakeFiles/sv_tree.dir/ted.cpp.o.d"
+  "CMakeFiles/sv_tree.dir/tree.cpp.o"
+  "CMakeFiles/sv_tree.dir/tree.cpp.o.d"
+  "libsv_tree.a"
+  "libsv_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

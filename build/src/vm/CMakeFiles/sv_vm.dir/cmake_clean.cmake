@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_vm.dir/vm.cpp.o"
+  "CMakeFiles/sv_vm.dir/vm.cpp.o.d"
+  "libsv_vm.a"
+  "libsv_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

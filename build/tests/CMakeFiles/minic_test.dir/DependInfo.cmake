@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minic/lexer_test.cpp" "tests/CMakeFiles/minic_test.dir/minic/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic/lexer_test.cpp.o.d"
+  "/root/repo/tests/minic/parser_test.cpp" "tests/CMakeFiles/minic_test.dir/minic/parser_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic/parser_test.cpp.o.d"
+  "/root/repo/tests/minic/preprocessor_test.cpp" "tests/CMakeFiles/minic_test.dir/minic/preprocessor_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic/preprocessor_test.cpp.o.d"
+  "/root/repo/tests/minic/sema_test.cpp" "tests/CMakeFiles/minic_test.dir/minic/sema_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic/sema_test.cpp.o.d"
+  "/root/repo/tests/minic/trees_test.cpp" "tests/CMakeFiles/minic_test.dir/minic/trees_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic/trees_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/sv_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sv_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sv_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minif_test.dir/minif/minif_extra_test.cpp.o"
+  "CMakeFiles/minif_test.dir/minif/minif_extra_test.cpp.o.d"
+  "CMakeFiles/minif_test.dir/minif/minif_test.cpp.o"
+  "CMakeFiles/minif_test.dir/minif/minif_test.cpp.o.d"
+  "minif_test"
+  "minif_test.pdb"
+  "minif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

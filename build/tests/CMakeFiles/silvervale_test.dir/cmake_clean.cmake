@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silvervale_test.dir/silvervale/silvervale_test.cpp.o"
+  "CMakeFiles/silvervale_test.dir/silvervale/silvervale_test.cpp.o.d"
+  "silvervale_test"
+  "silvervale_test.pdb"
+  "silvervale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silvervale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

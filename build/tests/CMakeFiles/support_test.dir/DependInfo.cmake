@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/combinators_test.cpp" "tests/CMakeFiles/support_test.dir/support/combinators_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/combinators_test.cpp.o.d"
+  "/root/repo/tests/support/compress_test.cpp" "tests/CMakeFiles/support_test.dir/support/compress_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/compress_test.cpp.o.d"
+  "/root/repo/tests/support/json_test.cpp" "tests/CMakeFiles/support_test.dir/support/json_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/json_test.cpp.o.d"
+  "/root/repo/tests/support/msgpack_test.cpp" "tests/CMakeFiles/support_test.dir/support/msgpack_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/msgpack_test.cpp.o.d"
+  "/root/repo/tests/support/parallel_test.cpp" "tests/CMakeFiles/support_test.dir/support/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/parallel_test.cpp.o.d"
+  "/root/repo/tests/support/strings_test.cpp" "tests/CMakeFiles/support_test.dir/support/strings_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/strings_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

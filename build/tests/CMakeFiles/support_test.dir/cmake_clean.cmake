@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/combinators_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/combinators_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/compress_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/compress_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/json_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/json_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/msgpack_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/msgpack_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/parallel_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/parallel_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/strings_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/strings_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree/ted_bruteforce_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/ted_bruteforce_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/ted_bruteforce_test.cpp.o.d"
+  "/root/repo/tests/tree/ted_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/ted_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/ted_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/sv_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

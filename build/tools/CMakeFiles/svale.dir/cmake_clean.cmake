@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svale.dir/svale.cpp.o"
+  "CMakeFiles/svale.dir/svale.cpp.o.d"
+  "svale"
+  "svale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

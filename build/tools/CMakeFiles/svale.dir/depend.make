@@ -1,0 +1,2 @@
+# Empty dependencies file for svale.
+# This may be replaced when dependencies are built.
