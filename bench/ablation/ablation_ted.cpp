@@ -9,6 +9,7 @@
 #include "corpus/corpus.hpp"
 #include "db/codebase.hpp"
 #include "tree/ted.hpp"
+#include "tree/tedengine.hpp"
 
 using namespace sv;
 using namespace sv::tree;
@@ -74,6 +75,20 @@ void BM_TedCorpus(benchmark::State &state, TedAlgo algo) {
   for (auto _ : state) benchmark::DoNotOptimize(ted(a, b, opts));
 }
 
+/// Shared-view engine on the same corpus pair. `warm == false` clears the
+/// engine every iteration (view build + DP, no memo); `warm == true` shows
+/// the steady-state replay cost the divergence matrices see for the
+/// reverse direction of every pair.
+void BM_TedCorpusEngine(benchmark::State &state, bool warm) {
+  const auto &a = corpusTree("serial");
+  const auto &b = corpusTree("sycl-acc");
+  TedEngine engine;
+  for (auto _ : state) {
+    if (!warm) engine.clear();
+    benchmark::DoNotOptimize(engine.ted(a, b));
+  }
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_TedRandom, zhang_shasha, TedAlgo::ZhangShasha)
@@ -88,5 +103,7 @@ BENCHMARK_CAPTURE(BM_TedCombs, zhang_shasha, TedAlgo::ZhangShasha)->Arg(128)->Ar
 BENCHMARK_CAPTURE(BM_TedCombs, path_strategy, TedAlgo::PathStrategy)->Arg(128)->Arg(256);
 BENCHMARK_CAPTURE(BM_TedCorpus, zhang_shasha, TedAlgo::ZhangShasha);
 BENCHMARK_CAPTURE(BM_TedCorpus, path_strategy, TedAlgo::PathStrategy);
+BENCHMARK_CAPTURE(BM_TedCorpusEngine, engine_cold, false);
+BENCHMARK_CAPTURE(BM_TedCorpusEngine, engine_warm, true);
 
 BENCHMARK_MAIN();

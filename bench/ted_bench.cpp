@@ -1,0 +1,113 @@
+// TED engine microbenchmark: times silvervale::divergenceMatrix for
+// Tsrc/Tsem/Tir on TeaLeaf and CloverLeaf with the shared-view engine on
+// vs. off and writes BENCH_ted.json (median of N >= 3 runs per
+// configuration) so future PRs have a perf trajectory to compare against.
+// The engine cache is cleared before every engine-on run, so the reported
+// speedup is the cold, single-matrix win (view reuse across pairs, the
+// symmetric pair memo, fingerprint short-circuits) — not warm-cache replay.
+//
+// Usage: ted_bench [--runs N] [--out FILE] [--quick]
+//   --quick restricts to TeaLeaf/Tsem (the acceptance-criteria cell).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "silvervale/silvervale.hpp"
+#include "support/json.hpp"
+#include "tree/tedengine.hpp"
+
+using namespace sv;
+
+namespace {
+
+double timeMatrixMs(const silvervale::IndexedApp &app, metrics::Metric metric, bool engineOn) {
+  tree::TedOptions ted;
+  ted.useCache = engineOn;
+  if (engineOn) tree::TedEngine::global().clear(); // cold-cache measurement
+  const auto start = std::chrono::steady_clock::now();
+  const auto m = silvervale::divergenceMatrix(app, metric, {}, ted);
+  const auto stop = std::chrono::steady_clock::now();
+  // Consume the matrix so the compiler cannot elide the computation.
+  volatile double sink = 0;
+  for (const double v : m.values) sink = sink + v;
+  (void)sink;
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 3;
+  std::string outFile = "BENCH_ted.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
+    else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (runs < 3) runs = 3; // median of >= 3 by contract
+
+  const std::vector<std::string> appNames =
+      quick ? std::vector<std::string>{"tealeaf"} : std::vector<std::string>{"tealeaf", "cloverleaf"};
+  const std::vector<std::pair<metrics::Metric, const char *>> allMetrics = {
+      {metrics::Metric::Tsrc, "Tsrc"}, {metrics::Metric::Tsem, "Tsem"},
+      {metrics::Metric::Tir, "Tir"}};
+  const auto metricSpecs =
+      quick ? std::vector<std::pair<metrics::Metric, const char *>>{{metrics::Metric::Tsem, "Tsem"}}
+            : allMetrics;
+
+  json::Object report;
+  report.emplace("runs", json::Value(runs));
+  json::Object apps;
+
+  for (const auto &appName : appNames) {
+    std::printf("indexing %s...\n", appName.c_str());
+    const auto app = silvervale::indexApp(appName);
+    json::Object perMetric;
+    for (const auto &[metric, name] : metricSpecs) {
+      std::vector<double> off, on;
+      for (usize r = 0; r < runs; ++r) off.push_back(timeMatrixMs(app, metric, false));
+      for (usize r = 0; r < runs; ++r) on.push_back(timeMatrixMs(app, metric, true));
+      const double offMs = median(off);
+      const double onMs = median(on);
+      const double speedup = onMs > 0 ? offMs / onMs : 0;
+      std::printf("  %-12s %-5s engine off: %9.1f ms   on: %9.1f ms   speedup: %.2fx\n",
+                  appName.c_str(), name, offMs, onMs, speedup);
+      json::Object cell;
+      cell.emplace("engine_off_ms", json::Value(offMs));
+      cell.emplace("engine_on_ms", json::Value(onMs));
+      cell.emplace("speedup", json::Value(speedup));
+      perMetric.emplace(name, json::Value(std::move(cell)));
+    }
+    apps.emplace(appName, json::Value(std::move(perMetric)));
+  }
+  report.emplace("apps", json::Value(std::move(apps)));
+
+  const auto stats = tree::TedEngine::global().stats();
+  json::Object engine;
+  engine.emplace("view_hits", json::Value(stats.viewHits));
+  engine.emplace("view_misses", json::Value(stats.viewMisses));
+  engine.emplace("memo_hits", json::Value(stats.memoHits));
+  engine.emplace("memo_misses", json::Value(stats.memoMisses));
+  engine.emplace("whole_tree_shortcuts", json::Value(stats.wholeTreeShortcuts));
+  engine.emplace("keyroot_block_hits", json::Value(stats.keyrootBlockHits));
+  report.emplace("engine_stats_last_run", json::Value(std::move(engine)));
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outFile.c_str());
+  return 0;
+}

@@ -1,21 +1,26 @@
 #include "metrics/metrics.hpp"
 
 #include <map>
+#include <unordered_map>
 
 #include "support/strings.hpp"
 #include "text/text.hpp"
+#include "tree/tedengine.hpp"
 
 namespace sv::metrics {
 
 namespace {
 
-const db::UnitEntry *findUnit(const db::CodebaseDb &c, const std::string &role,
-                              const MatchOptions &match) {
-  for (const auto &u : c.units) {
-    const std::string r = match.roleOf ? match.roleOf(u) : u.role;
-    if (r == role) return &u;
-  }
-  return nullptr;
+/// role -> first unit with that role, built once per codebase per diverge()
+/// call instead of a linear scan per unit (CloverLeaf's many-unit ports pay
+/// O(U^2) otherwise, and divergenceRow re-pays it for all five metrics).
+std::unordered_map<std::string, const db::UnitEntry *> unitsByRole(const db::CodebaseDb &c,
+                                                                  const MatchOptions &match) {
+  std::unordered_map<std::string, const db::UnitEntry *> index;
+  index.reserve(c.units.size());
+  // emplace keeps the first unit per role, matching the original scan order.
+  for (const auto &u : c.units) index.emplace(match.roleOf ? match.roleOf(u) : u.role, &u);
+  return index;
 }
 
 const tree::Tree &selectTree(const db::UnitEntry &u, Metric metric, const Variant &variant) {
@@ -79,17 +84,26 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
   if (isAbsolute(metric)) internalError("diverge() requires a relative metric");
   Divergence out;
 
-  const auto maskedTree = [&](const db::CodebaseDb &c, const db::UnitEntry &u) {
+  // Returns a reference to the unit's stored tree in the common path; only
+  // the +coverage variant materialises a masked copy (into `storage`, which
+  // must outlive the use of the returned reference).
+  const auto maskedTree = [&](const db::CodebaseDb &c, const db::UnitEntry &u,
+                              tree::Tree &storage) -> const tree::Tree & {
     const tree::Tree &base = selectTree(u, metric, variant);
-    if (variant.coverage && c.hasCoverage) return applyCoverage(base, c.coverage);
-    return base; // copy
+    if (variant.coverage && c.hasCoverage) {
+      storage = applyCoverage(base, c.coverage);
+      return storage;
+    }
+    return base;
   };
 
+  const auto c2ByRole = unitsByRole(c2, match);
   std::map<std::string, bool> seenRoles;
   for (const auto &u1 : c1.units) {
     const std::string role = match.roleOf ? match.roleOf(u1) : u1.role;
     seenRoles[role] = true;
-    const auto *u2 = findUnit(c2, role, match);
+    const auto it2 = c2ByRole.find(role);
+    const auto *u2 = it2 == c2ByRole.end() ? nullptr : it2->second;
     if (metric == Metric::Source) {
       const auto lines1 = str::splitLines(selectText(u1, variant));
       if (!u2) {
@@ -105,15 +119,16 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
       ++out.matchedUnits;
       continue;
     }
-    const auto t1 = maskedTree(c1, u1);
+    tree::Tree masked1, masked2;
+    const tree::Tree &t1 = maskedTree(c1, u1, masked1);
     if (!u2) {
       out.distance += t1.size();
       out.dmaxSym += t1.size();
       ++out.unmatchedUnits;
       continue;
     }
-    const auto t2 = maskedTree(c2, *u2);
-    out.distance += tree::ted(t1, t2, tedOptions);
+    const tree::Tree &t2 = maskedTree(c2, *u2, masked2);
+    out.distance += tree::tedDispatch(t1, t2, tedOptions);
     out.dmaxEq7 += t2.size();
     out.dmaxSym += t1.size() + t2.size();
     ++out.matchedUnits;
@@ -128,7 +143,8 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
       out.dmaxEq7 += lines2.size();
       out.dmaxSym += lines2.size();
     } else {
-      const auto t2 = maskedTree(c2, u2);
+      tree::Tree masked2;
+      const tree::Tree &t2 = maskedTree(c2, u2, masked2);
       out.distance += t2.size();
       out.dmaxEq7 += t2.size();
       out.dmaxSym += t2.size();

@@ -35,10 +35,13 @@ IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {
 }
 
 analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app, metrics::Metric metric,
-                                          metrics::Variant variant) {
+                                          metrics::Variant variant,
+                                          const tree::TedOptions &ted) {
   return analysis::buildMatrix(app.modelNames(), [&](usize i, usize j) {
-    const auto dij = metrics::diverge(app.models[i], app.models[j], metric, variant);
-    const auto dji = metrics::diverge(app.models[j], app.models[i], metric, variant);
+    // With the engine on, dij computes the unit-pair TEDs and dji replays
+    // them from the symmetric pair memo; only the accounting differs.
+    const auto dij = metrics::diverge(app.models[i], app.models[j], metric, variant, ted);
+    const auto dji = metrics::diverge(app.models[j], app.models[i], metric, variant, ted);
     return std::max(dij.normalised(), dji.normalised());
   });
 }
@@ -127,6 +130,8 @@ std::vector<perf::NavPoint> navigationPoints(const IndexedApp &app) {
     perf::NavPoint p;
     p.model = m.model;
     p.phiValue = perf::phi(perfs[i].efficiency);
+    // Routed through the TED engine: the serial baseline's views are built
+    // once and reused across every port's Tsem/Tsrc divergence.
     p.tsem = metrics::diverge(serial, m, metrics::Metric::Tsem).normalised();
     p.tsrc = metrics::diverge(serial, m, metrics::Metric::Tsrc).normalised();
     points.push_back(std::move(p));

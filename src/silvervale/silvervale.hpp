@@ -38,10 +38,16 @@ struct IndexAppOptions {
 
 /// Pairwise normalised divergence matrix over all models of `app` under
 /// `metric` — the input to the Fig 4/5/6 clusterings. Symmetrised as
-/// max(d(a,b), d(b,a)) normalised.
+/// max(d(a,b), d(b,a)) normalised. TED pairs route through the shared-view
+/// engine by default (`ted.useCache`): views are built once per tree, the
+/// d(a,b)/d(b,a) TED work is shared via the symmetric pair memo, and only
+/// the asymmetric dmax/unmatched accounting runs twice. Pass
+/// `ted.useCache = false` to force the uncached reference path (the
+/// engine-off arm of bench/ted_bench.cpp).
 [[nodiscard]] analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app,
                                                         metrics::Metric metric,
-                                                        metrics::Variant variant = {});
+                                                        metrics::Variant variant = {},
+                                                        const tree::TedOptions &ted = {});
 
 /// For the SLOC/LLOC pseudo-clustering of Fig 5/6: absolute values per
 /// model turned into |a - b| distances.

@@ -33,6 +33,10 @@ enum class TedAlgo {
 struct TedOptions {
   TedAlgo algo = TedAlgo::PathStrategy;
   TedCosts costs{};
+  /// Consulted by `tedDispatch` (tree/tedengine.hpp): route through the
+  /// shared-view engine (true) or the uncached reference below (false).
+  /// `ted()` itself always runs uncached and ignores this flag.
+  bool useCache = true;
 };
 
 /// d_TED(t1, t2): minimal total cost of node deletions, insertions and

@@ -1,0 +1,368 @@
+#include "tree/tedengine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+
+namespace sv::tree {
+
+namespace {
+
+/// Global label id space: the DP inner loop compares u32s, not strings, and
+/// interning happens once per distinct tree instead of once per pair. Ids
+/// are append-only so views built at different times remain comparable.
+class LabelInterner {
+public:
+  u32 intern(const std::string &s) {
+    {
+      std::shared_lock lock(mutex_);
+      const auto it = ids_.find(s);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    return ids_.emplace(s, static_cast<u32>(ids_.size())).first->second;
+  }
+
+private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, u32> ids_;
+};
+
+/// Build one orientation: post-order positions, interned labels, leftmost
+/// leaves, keyroots, bottom-up Merkle fingerprints and the RTED subproblem
+/// estimate. Mirrors ted.cpp's makeView exactly (same traversal, same
+/// keyroot definition) so the DP semantics are unchanged; the fingerprints
+/// reuse Tree::fingerprint's hash recipe, evaluated in the view's own child
+/// order, so `left.fp[n] == t.fingerprint()`.
+EngineView makeEngineView(const Tree &t, bool mirrored, LabelInterner &interner) {
+  EngineView v;
+  v.n = t.size();
+  v.label.assign(v.n + 1, 0);
+  v.lml.assign(v.n + 1, 0);
+  v.fp.assign(v.n + 1, 0);
+  if (v.n == 0) return v;
+
+  std::vector<NodeId> order;
+  order.reserve(v.n);
+  std::vector<std::pair<NodeId, usize>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto &[id, cursor] = stack.back();
+    const auto &ch = t.node(id).children;
+    if (cursor < ch.size()) {
+      const NodeId next = mirrored ? ch[ch.size() - 1 - cursor] : ch[cursor];
+      ++cursor;
+      stack.emplace_back(next, 0);
+    } else {
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+
+  std::vector<usize> pos(v.n, 0);
+  for (usize i = 0; i < order.size(); ++i) pos[order[i]] = i + 1;
+
+  for (usize i = 1; i <= v.n; ++i) {
+    const NodeId id = order[i - 1];
+    const auto &node = t.node(id);
+    v.label[i] = interner.intern(node.label);
+    const auto &ch = node.children;
+    if (ch.empty()) {
+      v.lml[i] = i;
+    } else {
+      const NodeId first = mirrored ? ch.back() : ch.front();
+      v.lml[i] = v.lml[pos[first]];
+    }
+    // Post-order guarantees children's fingerprints are already final.
+    u64 acc = fnv1a(node.label);
+    if (mirrored) {
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it) acc = hashCombine(acc, v.fp[pos[*it]]);
+    } else {
+      for (const NodeId c : ch) acc = hashCombine(acc, v.fp[pos[c]]);
+    }
+    v.fp[i] = acc;
+  }
+
+  std::vector<bool> seen(v.n + 2, false);
+  for (usize i = v.n; i >= 1; --i) {
+    if (!seen[v.lml[i]]) {
+      v.keyroots.push_back(i);
+      seen[v.lml[i]] = true;
+    }
+    if (i == 1) break;
+  }
+  std::sort(v.keyroots.begin(), v.keyroots.end());
+
+  for (const usize k : v.keyroots) v.subproblems += static_cast<u64>(k - v.lml[k] + 1);
+  return v;
+}
+
+/// The TD entries a keyroot subproblem produces for an identical subtree
+/// pair, recorded once per distinct subtree and replayed for repeats. The
+/// values are a pure function of the subtree content and the costs (fixed
+/// within one DP run), so the copy is exact.
+struct TdBlock {
+  std::vector<usize> offs; ///< left-path-root offsets relative to lml, ascending
+  std::vector<u64> td;     ///< offs.size()^2 values, row-major
+};
+
+/// Zhang–Shasha over two engine views, byte-identical to ted.cpp's
+/// reference DP. Fingerprints add two reuse levels: keyroot subproblems
+/// whose subtrees are identical share their TD block (first occurrence runs
+/// the DP and records it; repeats copy), and the caller short-circuits
+/// whole-tree equality before ever reaching this function.
+u64 zhangShashaEngine(const EngineView &a, const EngineView &b, const TedCosts &costs,
+                      std::atomic<u64> &blockHits) {
+  if (a.n == 0) return static_cast<u64>(b.n) * costs.ins;
+  if (b.n == 0) return static_cast<u64>(a.n) * costs.del;
+
+  std::vector<u64> td((a.n + 1) * (b.n + 1), 0);
+  const auto TD = [&](usize i, usize j) -> u64 & { return td[i * (b.n + 1) + j]; };
+
+  std::vector<u64> fd((a.n + 2) * (b.n + 2), 0);
+
+  // Call-local: TD blocks depend on the costs, so they must not outlive the
+  // DP run. Keyed by (subtree fingerprint, subtree size).
+  std::unordered_map<u64, TdBlock> blocks;
+
+  for (const usize i : a.keyroots) {
+    const usize li = a.lml[i];
+    const usize rows = i - li + 2; // forest prefixes 0..(i-li+1)
+    for (const usize j : b.keyroots) {
+      const usize lj = b.lml[j];
+      const usize cols = j - lj + 2;
+
+      // Identical subtrees produce identical TD blocks: replay if recorded.
+      const bool same = a.fp[i] == b.fp[j] && i - li == j - lj;
+      const u64 blockKey = same ? hashCombine(a.fp[i], static_cast<u64>(i - li + 1)) : 0;
+      if (same) {
+        const auto it = blocks.find(blockKey);
+        if (it != blocks.end()) {
+          const auto &blk = it->second;
+          const usize m = blk.offs.size();
+          for (usize p = 0; p < m; ++p)
+            for (usize q = 0; q < m; ++q)
+              TD(li + blk.offs[p], lj + blk.offs[q]) = blk.td[p * m + q];
+          blockHits.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+
+      const auto FD = [&](usize x, usize y) -> u64 & { return fd[x * cols + y]; };
+
+      FD(0, 0) = 0;
+      for (usize x = 1; x < rows; ++x) FD(x, 0) = FD(x - 1, 0) + costs.del;
+      for (usize y = 1; y < cols; ++y) FD(0, y) = FD(0, y - 1) + costs.ins;
+
+      for (usize x = 1; x < rows; ++x) {
+        const usize di = li + x - 1; // node in a
+        for (usize y = 1; y < cols; ++y) {
+          const usize dj = lj + y - 1; // node in b
+          const u64 delCost = FD(x - 1, y) + costs.del;
+          const u64 insCost = FD(x, y - 1) + costs.ins;
+          if (a.lml[di] == li && b.lml[dj] == lj) {
+            const u64 ren = a.label[di] == b.label[dj] ? 0 : costs.rename;
+            const u64 sub = FD(x - 1, y - 1) + ren;
+            const u64 best = std::min({delCost, insCost, sub});
+            FD(x, y) = best;
+            TD(di, dj) = best;
+          } else {
+            // Jump over the complete subtrees rooted at di, dj.
+            const usize px = a.lml[di] - li; // forest prefix before subtree(di)
+            const usize py = b.lml[dj] - lj;
+            const u64 sub = FD(px, py) + TD(di, dj);
+            FD(x, y) = std::min({delCost, insCost, sub});
+          }
+        }
+      }
+
+      if (same) {
+        // Record this subproblem's left-path TD block. Identical subtrees
+        // share the left-path-root offset set, so one side's offsets apply
+        // to both.
+        TdBlock blk;
+        for (usize p = 0; p <= i - li; ++p)
+          if (a.lml[li + p] == li) blk.offs.push_back(p);
+        const usize m = blk.offs.size();
+        blk.td.resize(m * m);
+        for (usize p = 0; p < m; ++p)
+          for (usize q = 0; q < m; ++q)
+            blk.td[p * m + q] = TD(li + blk.offs[p], lj + blk.offs[q]);
+        blocks.emplace(blockKey, std::move(blk));
+      }
+    }
+  }
+  return TD(a.n, b.n);
+}
+
+/// Memo key for one unordered tree pair under fixed costs. ted(a, b,
+/// {del, ins, ren}) == ted(b, a, {ins, del, ren}) — reversing an edit
+/// script swaps deletions and insertions — so keys are canonicalised by
+/// ordering the (fingerprint, size) pairs and swapping del/ins alongside.
+struct PairKey {
+  u64 fp1 = 0, fp2 = 0;
+  usize n1 = 0, n2 = 0;
+  u32 del = 0, ins = 0, rename = 0;
+
+  bool operator==(const PairKey &) const = default;
+};
+
+struct PairKeyHash {
+  usize operator()(const PairKey &k) const {
+    u64 h = hashCombine(k.fp1, k.fp2);
+    h = hashCombine(h, static_cast<u64>(k.n1));
+    h = hashCombine(h, static_cast<u64>(k.n2));
+    h = hashCombine(h, (static_cast<u64>(k.del) << 40) ^ (static_cast<u64>(k.ins) << 20) ^
+                           static_cast<u64>(k.rename));
+    return static_cast<usize>(h);
+  }
+};
+
+struct ViewKey {
+  u64 fp = 0;
+  usize n = 0;
+  bool operator==(const ViewKey &) const = default;
+};
+
+struct ViewKeyHash {
+  usize operator()(const ViewKey &k) const {
+    return static_cast<usize>(hashCombine(k.fp, static_cast<u64>(k.n)));
+  }
+};
+
+} // namespace
+
+struct TedEngine::Impl {
+  LabelInterner interner;
+
+  mutable std::mutex viewMutex;
+  std::unordered_map<ViewKey, std::shared_ptr<const TreeViews>, ViewKeyHash> viewCache;
+
+  mutable std::mutex memoMutex;
+  std::unordered_map<PairKey, u64, PairKeyHash> memo;
+
+  std::atomic<u64> viewHits{0}, viewMisses{0};
+  std::atomic<u64> memoHits{0}, memoMisses{0};
+  std::atomic<u64> wholeTreeShortcuts{0};
+  std::atomic<u64> keyrootBlockHits{0};
+};
+
+TedEngine::TedEngine() : impl_(std::make_unique<Impl>()) {}
+TedEngine::~TedEngine() = default;
+
+TedEngine &TedEngine::global() {
+  static TedEngine engine;
+  return engine;
+}
+
+std::shared_ptr<const TreeViews> TedEngine::views(const Tree &t) {
+  const ViewKey key{t.fingerprint(), t.size()};
+  {
+    std::lock_guard lock(impl_->viewMutex);
+    const auto it = impl_->viewCache.find(key);
+    if (it != impl_->viewCache.end()) {
+      impl_->viewHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Build outside the lock: a racing builder of the same tree just produces
+  // an equivalent view and the first insertion wins.
+  auto built = std::make_shared<TreeViews>();
+  built->size = t.size();
+  built->rootFp = key.fp;
+  built->left = makeEngineView(t, false, impl_->interner);
+  built->right = makeEngineView(t, true, impl_->interner);
+  impl_->viewMisses.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(impl_->viewMutex);
+  return impl_->viewCache.emplace(key, std::move(built)).first->second;
+}
+
+u64 TedEngine::ted(const Tree &a, const Tree &b, const TedOptions &options) {
+  const TedCosts &costs = options.costs;
+  if (a.empty()) return static_cast<u64>(b.size()) * costs.ins;
+  if (b.empty()) return static_cast<u64>(a.size()) * costs.del;
+
+  const auto va = views(a);
+  const auto vb = views(b);
+
+  // Whole-tree equality: identical units (shared headers, unchanged
+  // kernels) answer in the O(n) it took to fingerprint them.
+  if (va->rootFp == vb->rootFp && va->size == vb->size) {
+    impl_->wholeTreeShortcuts.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+  PairKey key{va->rootFp, vb->rootFp, va->size, vb->size, costs.del, costs.ins, costs.rename};
+  const bool swapped = std::tie(key.fp1, key.n1) > std::tie(key.fp2, key.n2);
+  if (swapped) {
+    std::swap(key.fp1, key.fp2);
+    std::swap(key.n1, key.n2);
+    std::swap(key.del, key.ins);
+  }
+  {
+    std::lock_guard lock(impl_->memoMutex);
+    const auto it = impl_->memo.find(key);
+    if (it != impl_->memo.end()) {
+      impl_->memoHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  impl_->memoMisses.fetch_add(1, std::memory_order_relaxed);
+
+  u64 result = 0;
+  if (options.algo == TedAlgo::ZhangShasha) {
+    result = zhangShashaEngine(va->left, vb->left, costs, impl_->keyrootBlockHits);
+  } else {
+    // PathStrategy: the subproblem estimates are precomputed per view, so
+    // strategy selection is O(1) instead of four view rebuilds per pair.
+    const u64 costLeft = va->left.subproblems * vb->left.subproblems;
+    const u64 costRight = va->right.subproblems * vb->right.subproblems;
+    if (costRight < costLeft)
+      result = zhangShashaEngine(va->right, vb->right, costs, impl_->keyrootBlockHits);
+    else
+      result = zhangShashaEngine(va->left, vb->left, costs, impl_->keyrootBlockHits);
+  }
+
+  std::lock_guard lock(impl_->memoMutex);
+  impl_->memo.emplace(key, result);
+  return result;
+}
+
+EngineStats TedEngine::stats() const {
+  EngineStats s;
+  s.viewHits = impl_->viewHits.load();
+  s.viewMisses = impl_->viewMisses.load();
+  s.memoHits = impl_->memoHits.load();
+  s.memoMisses = impl_->memoMisses.load();
+  s.wholeTreeShortcuts = impl_->wholeTreeShortcuts.load();
+  s.keyrootBlockHits = impl_->keyrootBlockHits.load();
+  return s;
+}
+
+void TedEngine::clear() {
+  {
+    std::lock_guard lock(impl_->viewMutex);
+    impl_->viewCache.clear();
+  }
+  {
+    std::lock_guard lock(impl_->memoMutex);
+    impl_->memo.clear();
+  }
+  impl_->viewHits = 0;
+  impl_->viewMisses = 0;
+  impl_->memoHits = 0;
+  impl_->memoMisses = 0;
+  impl_->wholeTreeShortcuts = 0;
+  impl_->keyrootBlockHits = 0;
+}
+
+u64 tedDispatch(const Tree &a, const Tree &b, const TedOptions &options) {
+  if (options.useCache) return TedEngine::global().ted(a, b, options);
+  return ted(a, b, options);
+}
+
+} // namespace sv::tree

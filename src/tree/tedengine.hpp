@@ -1,0 +1,101 @@
+// Shared-view TED engine (the perf layer over tree/ted, Section VII): the
+// pairwise TED calls over the cartesian product of model ports dominate
+// end-to-end runtime, and the uncached `tree::ted()` rebuilds post-order
+// views and re-interns every label string per comparison. The engine makes
+// each pair cheap by precomputing per-tree structure once:
+//
+//  * a thread-safe global label interner (ids are append-only, so views
+//    built at different times stay comparable);
+//  * a per-tree cached `TreeViews` — both decomposition orientations plus
+//    Merkle-style subtree fingerprints and the RTED subproblem estimates —
+//    built once and shared across all O(M^2 * U) comparisons. Views are
+//    keyed by (structural fingerprint, node count), so byte-identical trees
+//    (shared headers across model ports) share one view;
+//  * an O(min(n1, n2)) whole-tree equality short-circuit (`ted == 0`) and a
+//    keyroot-level TD-block reuse for identical subtree pairs inside the
+//    Zhang–Shasha DP;
+//  * a symmetric pair memo keyed on (fingerprint, fingerprint, costs):
+//    ted(a, b, {del, ins, ren}) == ted(b, a, {ins, del, ren}), so
+//    diverge(a, b) and diverge(b, a) share the TED work and only the
+//    asymmetric dmax/unmatched accounting is recomputed.
+//
+// The engine is byte-identical to the uncached `tree::ted()` reference on
+// every input (tests/tree/tedengine_test.cpp and the corpus parity suite
+// assert this); `tree::ted()` itself stays untouched as the reference.
+#pragma once
+
+#include <memory>
+
+#include "tree/ted.hpp"
+
+namespace sv::tree {
+
+/// One decomposition orientation of a tree, with everything Zhang–Shasha
+/// needs plus per-node subtree fingerprints.
+struct EngineView {
+  usize n = 0;
+  std::vector<u32> label;      ///< [1..n] globally interned label id
+  std::vector<usize> lml;      ///< [1..n] post-order index of leftmost leaf descendant
+  std::vector<usize> keyroots; ///< ascending
+  std::vector<u64> fp;         ///< [1..n] Merkle subtree fingerprint (orientation-aware)
+  u64 subproblems = 0;         ///< RTED relevant-subproblem estimate for this orientation
+};
+
+/// Both orientations of one tree, built once and shared between all pairs
+/// the tree participates in. `left.fp[n] == Tree::fingerprint()`.
+struct TreeViews {
+  usize size = 0;
+  u64 rootFp = 0;
+  EngineView left;  ///< natural child order
+  EngineView right; ///< mirrored child order (right-path decomposition)
+};
+
+/// Cache-effectiveness counters, exposed for tests and the ted bench.
+struct EngineStats {
+  u64 viewHits = 0;            ///< views() served from the cache
+  u64 viewMisses = 0;          ///< views() that had to build
+  u64 memoHits = 0;            ///< ted() answered from the pair memo
+  u64 memoMisses = 0;          ///< ted() that ran a DP
+  u64 wholeTreeShortcuts = 0;  ///< ted() == 0 via equal root fingerprints
+  u64 keyrootBlockHits = 0;    ///< keyroot subproblems filled by TD-block copy
+};
+
+/// Thread-safe cached TED evaluator. One global instance serves the whole
+/// process (metrics::diverge, silvervale::divergenceMatrix, the benches);
+/// independent instances can be created for isolation in tests.
+class TedEngine {
+public:
+  TedEngine();
+  ~TedEngine();
+
+  TedEngine(const TedEngine &) = delete;
+  TedEngine &operator=(const TedEngine &) = delete;
+
+  /// The process-wide engine used by `tedDispatch`.
+  static TedEngine &global();
+
+  /// Cached d_TED(a, b): byte-identical to `tree::ted(a, b, options)`.
+  /// Thread-safe; concurrent calls share views and memo entries.
+  [[nodiscard]] u64 ted(const Tree &a, const Tree &b, const TedOptions &options = {});
+
+  /// The shared view of `t` (both orientations), building it on first use.
+  /// Keyed by (fingerprint, size): structurally identical trees share.
+  [[nodiscard]] std::shared_ptr<const TreeViews> views(const Tree &t);
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Drop cached views, memo entries and stats. The label interner is kept:
+  /// ids are append-only, so views still held by callers stay valid.
+  void clear();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Route through the global engine when `options.useCache` (the default), or
+/// the uncached reference `tree::ted()` otherwise — the engine on/off switch
+/// used by metrics::diverge and the benches.
+[[nodiscard]] u64 tedDispatch(const Tree &a, const Tree &b, const TedOptions &options = {});
+
+} // namespace sv::tree
