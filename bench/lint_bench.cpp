@@ -1,0 +1,80 @@
+// Linter throughput benchmark: times silvervale::lintCodebase (frontend
+// parse + sema + lint::run) over every TeaLeaf port and writes
+// BENCH_lint.json (median of N >= 3 runs per port). The linter is meant to
+// be cheap enough to run on every index — this keeps that claim honest as
+// checks accumulate.
+//
+// Usage: lint_bench [--runs N] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "silvervale/silvervale.hpp"
+#include "support/json.hpp"
+
+using namespace sv;
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 3;
+  std::string outFile = "BENCH_lint.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
+  }
+  if (runs < 3) runs = 3; // median of >= 3 by contract
+
+  const std::string appName = "tealeaf";
+  json::Object report;
+  report.emplace("app", appName);
+  report.emplace("runs", json::Value(runs));
+  json::Object ports;
+
+  double totalMs = 0;
+  usize totalDiags = 0;
+  for (const auto &model : corpus::modelsOf(appName)) {
+    const auto cb = corpus::make(appName, model);
+    std::vector<double> times;
+    usize diagCount = 0;
+    for (usize r = 0; r < runs; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto rep = silvervale::lintCodebase(cb);
+      const auto stop = std::chrono::steady_clock::now();
+      times.push_back(std::chrono::duration<double, std::milli>(stop - start).count());
+      diagCount = rep.count(lint::Severity::Error) + rep.count(lint::Severity::Warning);
+    }
+    const double ms = median(times);
+    totalMs += ms;
+    totalDiags += diagCount;
+    std::printf("  %-12s %8.2f ms   diagnostics: %zu\n", model.c_str(), ms, diagCount);
+    json::Object cell;
+    cell.emplace("median_ms", json::Value(ms));
+    cell.emplace("diagnostics", json::Value(diagCount));
+    ports.emplace(model, json::Value(std::move(cell)));
+  }
+  report.emplace("ports", json::Value(std::move(ports)));
+  report.emplace("total_ms", json::Value(totalMs));
+  report.emplace("total_diagnostics", json::Value(totalDiags));
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (total %.2f ms across %s ports)\n", outFile.c_str(), totalMs,
+              appName.c_str());
+  return 0;
+}

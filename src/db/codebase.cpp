@@ -52,7 +52,8 @@ std::vector<i32> unitFiles(const Codebase &cb, i32 mainFile,
   return out;
 }
 
-UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd) {
+UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
+                       const IndexOptions &options) {
   const auto fileId = cb.sources.idOf(cmd.file);
   SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
 
@@ -112,6 +113,7 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd) {
   auto tu = minic::parseTranslationUnit(ppToks, cmd.file, cb.sources);
   tu.includes = pp.includes;
   minic::analyse(tu);
+  if (options.runLint) unit.lint = lint::run(tu);
 
   minic::SemTreeOptions semOpts;
   for (const i32 f : pp.systemFiles) semOpts.maskedFiles.insert(f);
@@ -157,7 +159,8 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd) {
   return unit;
 }
 
-UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd) {
+UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd,
+                           const IndexOptions &options) {
   const auto fileId = cb.sources.idOf(cmd.file);
   SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
   const auto &text = cb.sources.file(*fileId).text;
@@ -180,6 +183,7 @@ UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd) {
   unit.tsrcPp = unit.tsrc;
 
   auto tu = minif::parseFortran(toks, cmd.file, cb.sources);
+  if (options.runLint) unit.lint = lint::run(tu);
   unit.tsem = minif::buildFortranSemTree(tu);
   unit.tsemI = unit.tsem; // inlining is not implemented for GFortran (IV-B)
 
@@ -231,6 +235,32 @@ lang::ast::TranslationUnit linkForExecution(const Codebase &codebase) {
   return merged;
 }
 
+std::vector<ParsedUnit> parseUnits(const Codebase &codebase) {
+  std::vector<ParsedUnit> out;
+  for (const auto &cmd : codebase.commands) {
+    const auto fileId = codebase.sources.idOf(cmd.file);
+    SV_CHECK(fileId.has_value(), "parseUnits: unknown file " + cmd.file);
+    ParsedUnit u;
+    u.file = cmd.file;
+    if (isFortranFile(cmd.file)) {
+      u.fortran = true;
+      u.tu = minif::parseFortran(
+          minif::lexFortran(codebase.sources.file(*fileId).text, *fileId), cmd.file,
+          codebase.sources);
+    } else {
+      minic::PreprocessOptions ppOpts;
+      ppOpts.defines = definesFromCommand(cmd);
+      const auto pp = minic::preprocess(codebase.sources, *fileId, ppOpts);
+      const auto toks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+      u.tu = minic::parseTranslationUnit(toks, cmd.file, codebase.sources);
+      u.tu.includes = pp.includes;
+      minic::analyse(u.tu);
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
 IndexResult index(const Codebase &codebase, const IndexOptions &options) {
   IndexResult result;
   auto &out = result.db;
@@ -242,8 +272,8 @@ IndexResult index(const Codebase &codebase, const IndexOptions &options) {
   for (const auto &f : codebase.sources.files()) out.fileNames.push_back(f.name);
 
   for (const auto &cmd : codebase.commands) {
-    out.units.push_back(isFortranFile(cmd.file) ? indexFortranUnit(codebase, cmd)
-                                                : indexCxxUnit(codebase, cmd));
+    out.units.push_back(isFortranFile(cmd.file) ? indexFortranUnit(codebase, cmd, options)
+                                                : indexCxxUnit(codebase, cmd, options));
   }
 
   if (options.runCoverage) {
@@ -264,6 +294,32 @@ namespace {
 
 msgpack::Value treeToMsg(const tree::Tree &t) { return t.toMsgpack(); }
 
+msgpack::Value diagToMsg(const lint::Diagnostic &d) {
+  msgpack::Map m;
+  m.emplace("check", static_cast<i64>(d.check));
+  m.emplace("severity", static_cast<i64>(d.severity));
+  m.emplace("file", static_cast<i64>(d.loc.file));
+  m.emplace("line", static_cast<i64>(d.loc.line));
+  m.emplace("col", static_cast<i64>(d.loc.col));
+  m.emplace("symbol", d.symbol);
+  m.emplace("directive", d.directive);
+  m.emplace("message", d.message);
+  return msgpack::Value(std::move(m));
+}
+
+lint::Diagnostic diagFromMsg(const msgpack::Value &v) {
+  lint::Diagnostic d;
+  d.check = static_cast<lint::Check>(v.at("check").asInt());
+  d.severity = static_cast<lint::Severity>(v.at("severity").asInt());
+  d.loc.file = static_cast<i32>(v.at("file").asInt());
+  d.loc.line = static_cast<i32>(v.at("line").asInt());
+  d.loc.col = static_cast<i32>(v.at("col").asInt());
+  d.symbol = v.at("symbol").asString();
+  d.directive = v.at("directive").asString();
+  d.message = v.at("message").asString();
+  return d;
+}
+
 msgpack::Value unitToMsg(const UnitEntry &u) {
   msgpack::Map m;
   m.emplace("file", u.file);
@@ -283,6 +339,9 @@ msgpack::Value unitToMsg(const UnitEntry &u) {
   m.emplace("tsem", treeToMsg(u.tsem));
   m.emplace("tsemI", treeToMsg(u.tsemI));
   m.emplace("tir", treeToMsg(u.tir));
+  msgpack::Array lintArr;
+  for (const auto &d : u.lint) lintArr.push_back(diagToMsg(d));
+  m.emplace("lint", std::move(lintArr));
   return msgpack::Value(std::move(m));
 }
 
@@ -303,6 +362,7 @@ UnitEntry unitFromMsg(const msgpack::Value &v) {
   u.tsem = tree::Tree::fromMsgpack(v.at("tsem"));
   u.tsemI = tree::Tree::fromMsgpack(v.at("tsemI"));
   u.tir = tree::Tree::fromMsgpack(v.at("tir"));
+  for (const auto &d : v.at("lint").asArray()) u.lint.push_back(diagFromMsg(d));
   return u;
 }
 

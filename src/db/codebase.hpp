@@ -12,6 +12,7 @@
 
 #include "db/compiledb.hpp"
 #include "lang/source.hpp"
+#include "lint/lint.hpp"
 #include "tree/tree.hpp"
 #include "vm/vm.hpp"
 
@@ -52,6 +53,10 @@ struct UnitEntry {
   tree::Tree tsem;    ///< frontend semantic tree
   tree::Tree tsemI;   ///< T_sem with same-codebase calls inlined
   tree::Tree tir;     ///< backend IR tree
+
+  /// Parallel-semantics diagnostics over the sema'd AST (populated when
+  /// IndexOptions.runLint is set; serialised with the DB).
+  std::vector<lint::Diagnostic> lint;
 };
 
 struct CodebaseDb {
@@ -72,6 +77,11 @@ struct IndexOptions {
   /// Execute the program in the VM and record line coverage. The entry
   /// point is "main" (or the Fortran program unit); all TUs are linked.
   bool runCoverage = false;
+  /// Run the parallel-semantics linter over each unit's sema'd AST and
+  /// store the diagnostics in UnitEntry::lint. Off by default so the
+  /// divergence hot path does not pay for it (bench/lint_bench.cpp tracks
+  /// the cost).
+  bool runLint = false;
   vm::RunOptions vmOptions;
 };
 
@@ -87,5 +97,18 @@ struct IndexResult {
 /// Link all TUs of a codebase into one unit for execution (the VM's view of
 /// the final binary).
 [[nodiscard]] lang::ast::TranslationUnit linkForExecution(const Codebase &codebase);
+
+/// One translation unit through the frontend only (preprocess, parse,
+/// sema) — no trees, no IR. The cheap path for consumers that need the
+/// analysed AST per unit rather than the metric inputs (the linter, the
+/// lint bench).
+struct ParsedUnit {
+  std::string file;
+  bool fortran = false;
+  lang::ast::TranslationUnit tu;
+};
+
+/// Run the frontend over every compile command of `codebase`.
+[[nodiscard]] std::vector<ParsedUnit> parseUnits(const Codebase &codebase);
 
 } // namespace sv::db

@@ -82,7 +82,7 @@ bool looksLikeKindWord(const std::string &w) {
       "parallel", "for",     "do",       "simd",     "target", "teams",  "distribute",
       "taskloop", "task",    "sections", "section",  "single", "master", "critical",
       "atomic",   "barrier", "loop",     "kernels",  "data",   "enter",  "exit",
-      "update",   "declare", "routine",  "concurrent"};
+      "update",   "declare", "routine",  "concurrent", "end"};
   for (const auto *k : kKinds)
     if (w == k) return true;
   return false;

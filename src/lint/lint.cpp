@@ -1,0 +1,815 @@
+#include "lint/lint.hpp"
+
+#include <map>
+#include <set>
+
+#include "lang/directive.hpp"
+#include "support/strings.hpp"
+
+namespace sv::lint {
+
+namespace {
+
+using namespace lang::ast;
+
+// ------------------------------------------------------ directive shapes --
+
+bool hasKind(const Directive &d, std::string_view k) {
+  for (const auto &w : d.kind)
+    if (w == k) return true;
+  return false;
+}
+
+/// Unstructured data-movement forms: `target enter/exit data`, `target
+/// update`, `acc enter/exit data`, `acc update`. They govern no statement.
+bool isStandaloneData(const Directive &d) {
+  return hasKind(d, "enter") || hasKind(d, "exit") || hasKind(d, "update");
+}
+
+bool isBarrierLike(const Directive &d) {
+  return !d.kind.empty() &&
+         (d.kind[0] == "barrier" || d.kind[0] == "taskwait" || d.kind[0] == "flush");
+}
+
+/// Regions executed by a single thread/task at a time: writes inside them
+/// are not races even when the enclosing construct is parallel.
+bool isSerializing(const Directive &d) {
+  if (d.family != "omp") return false;
+  for (const auto &k : d.kind)
+    if (k == "single" || k == "master" || k == "critical" || k == "atomic" || k == "task" ||
+        k == "sections" || k == "section" || k == "masked" || k == "ordered")
+      // `taskloop` shares the "task" stem but is iteration-parallel.
+      if (k != "task" || !hasKind(d, "taskloop")) return true;
+  return false;
+}
+
+/// Regions whose body runs once per iteration/thread: the data-race and
+/// reduction checks apply. `acc kernels` is excluded — the compiler only
+/// parallelises what it can prove independent, so sequential semantics are
+/// preserved and flagging its body would be noise.
+bool isRaceChecked(const Directive &d) {
+  if (isStandaloneData(d) || isBarrierLike(d)) return false;
+  if (d.family == "omp") {
+    for (const auto &k : d.kind)
+      if (k == "parallel" || k == "for" || k == "do" || k == "taskloop" || k == "distribute" ||
+          k == "teams" || k == "simd")
+        return true;
+    return false;
+  }
+  if (d.family == "acc")
+    return !hasKind(d, "kernels") && (hasKind(d, "parallel") || hasKind(d, "loop"));
+  return false;
+}
+
+/// Regions that execute on a device with an explicit data environment: the
+/// offload-mapping check applies. Every OpenACC compute construct offloads;
+/// OpenMP offloads under `target`.
+bool isOffload(const Directive &d) {
+  if (isStandaloneData(d) || isBarrierLike(d)) return false;
+  if (d.family == "omp") return hasKind(d, "target") && !hasKind(d, "data");
+  if (d.family == "acc")
+    return hasKind(d, "parallel") || hasKind(d, "kernels") || hasKind(d, "loop");
+  return false;
+}
+
+/// Directives that require an associated loop statement.
+bool bindsToLoop(const Directive &d) {
+  if (isStandaloneData(d)) return false;
+  for (const auto &k : d.kind)
+    if (k == "for" || k == "do" || k == "loop" || k == "distribute" || k == "taskloop" ||
+        k == "simd" || k == "concurrent")
+      return true;
+  return false;
+}
+
+// --------------------------------------------------------- clause model --
+
+/// `map(to: a[0:n])` carries a section; `copyin(a(1:n))` a Fortran slice.
+/// The lint checks only need the base variable name.
+std::string baseName(std::string_view arg) {
+  usize end = arg.size();
+  for (usize i = 0; i < arg.size(); ++i)
+    if (arg[i] == '[' || arg[i] == '(') {
+      end = i;
+      break;
+    }
+  auto s = str::trim(arg.substr(0, end));
+  while (!s.empty() && (s.front() == '*' || s.front() == '&')) s.remove_prefix(1);
+  return std::string(s);
+}
+
+bool isMapKeyword(const std::string &w) {
+  static const char *kWords[] = {"to",     "from",  "tofrom",  "alloc", "release",
+                                 "delete", "always", "close",  "present"};
+  for (const auto *k : kWords)
+    if (w == k) return true;
+  return false;
+}
+
+/// Split a data clause into its access mode and variable names.
+/// Returns true when the clause is a data clause at all.
+bool dataClauseVars(const DirectiveClause &c, bool &readOnly, std::vector<std::string> &names) {
+  names.clear();
+  usize first = 0;
+  std::string mode;
+  if (c.name == "map") {
+    // splitClauseArgs turned "to: a, b" into {"to", "a", "b"}; a missing
+    // keyword means the default tofrom mapping.
+    if (!c.arguments.empty() && isMapKeyword(c.arguments[0])) {
+      mode = c.arguments[0];
+      first = 1;
+      if (c.arguments.size() > 1 && isMapKeyword(c.arguments[1])) first = 2; // always to: x
+      if (first == 2) mode = c.arguments[1];
+    } else {
+      mode = "tofrom";
+    }
+  } else if (c.name == "copyin" || c.name == "present") {
+    mode = "to";
+  } else if (c.name == "copyout" || c.name == "copy" || c.name == "create" ||
+             c.name == "deviceptr" || c.name == "device" || c.name == "use_device" ||
+             c.name == "host" || c.name == "self" || c.name == "attach") {
+    mode = "tofrom";
+  } else {
+    return false;
+  }
+  readOnly = mode == "to";
+  // `present` promises the data is already on the device in an unknown
+  // mode; treating it as writable avoids false write-to-readonly reports.
+  if (c.name == "present") readOnly = false;
+  for (usize i = first; i < c.arguments.size(); ++i) {
+    auto n = baseName(c.arguments[i]);
+    if (!n.empty()) names.push_back(std::move(n));
+  }
+  return true;
+}
+
+bool isPrivatizingClause(const std::string &name) {
+  return name == "private" || name == "firstprivate" || name == "lastprivate" ||
+         name == "linear";
+}
+
+// ------------------------------------------------------------- regions --
+
+struct Region {
+  const Directive *dir = nullptr;
+  std::string dirText;
+  bool raceChecked = false;
+  bool offload = false;
+  // Clause-derived sets.
+  std::set<std::string> privates;              ///< private/firstprivate/lastprivate/linear
+  std::set<std::string> clausePrivates;        ///< only private-family (for unused check)
+  std::map<std::string, std::string> reductions; ///< var -> operator
+  std::set<std::string> mapped;                ///< any region-level data coverage
+  std::set<std::string> readOnly;              ///< map(to:)/copyin
+  std::set<std::string> writable;              ///< tofrom/from/alloc/copy/copyout/create/...
+  // Walk-accumulated state.
+  std::set<std::string> declared;              ///< names declared inside the region
+  std::set<std::string> referenced;            ///< every identifier seen inside
+  std::map<std::string, lang::Location> arraysTouched;
+  std::map<std::string, lang::Location> arraysWritten;
+  std::set<std::string> reported;              ///< per-(check,symbol) dedup keys
+};
+
+// ------------------------------------------------------------- checker --
+
+class Checker {
+public:
+  explicit Checker(const TranslationUnit &unit) : unit_(unit) {}
+
+  std::vector<Diagnostic> run() {
+    collectResident();
+    for (const auto &fn : unit_.functions) {
+      if (!fn.body) continue;
+      arrays_.clear();
+      for (const auto &p : fn.params) {
+        if (p.type.pointer > 0) arrays_.insert(p.name);
+      }
+      visitStmt(*fn.body);
+    }
+    return std::move(diags_);
+  }
+
+private:
+  const TranslationUnit &unit_;
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> resident_;  ///< TU-wide enter/exit/update data names
+  std::set<std::string> arrays_;    ///< current function's array-like names
+  std::vector<Region> stack_;
+  int serialDepth_ = 0;             ///< single/master/critical/task nesting
+  std::set<std::string> allowedReductionReads_;
+
+  // ---- diagnostics -----------------------------------------------------
+
+  void emit(Check check, Severity sev, lang::Location loc, std::string symbol,
+            std::string directive, std::string message) {
+    diags_.push_back(Diagnostic{check, sev, loc, std::move(symbol), std::move(directive),
+                                std::move(message)});
+  }
+
+  /// Deduplicated per enclosing region: one report per (check, symbol).
+  void emitOnce(Region &r, Check check, Severity sev, lang::Location loc,
+                const std::string &symbol, const std::string &message) {
+    const std::string key = std::string(name(check)) + ":" + symbol;
+    if (!r.reported.insert(key).second) return;
+    emit(check, sev, loc, symbol, r.dirText, message);
+  }
+
+  // ---- TU pre-pass -----------------------------------------------------
+
+  /// Names mapped by unstructured / structured data directives anywhere in
+  /// the unit (`target enter data map(to: u)`, `acc data copyin(a)`, ...)
+  /// count as device-resident for every offload region: the corpus maps
+  /// long-lived arrays once at startup.
+  void collectResident() {
+    for (const auto &fn : unit_.functions)
+      if (fn.body) collectResidentStmt(*fn.body);
+  }
+
+  void collectResidentStmt(const Stmt &s) {
+    if (s.kind == StmtKind::Directive && s.directive) {
+      const auto &d = *s.directive;
+      if (isStandaloneData(d) || hasKind(d, "data")) {
+        for (const auto &c : d.clauses) {
+          bool ro = false;
+          std::vector<std::string> names;
+          if (dataClauseVars(c, ro, names))
+            for (auto &n : names) resident_.insert(std::move(n));
+        }
+      }
+    }
+    for (const auto &child : s.children)
+      if (child) collectResidentStmt(*child);
+  }
+
+  // ---- name classification --------------------------------------------
+
+  [[nodiscard]] bool declaredInRegion(const std::string &n) const {
+    for (const auto &r : stack_)
+      if (r.declared.count(n) || r.privates.count(n)) return true;
+    return false;
+  }
+
+  [[nodiscard]] const std::string *reductionOp(const std::string &n) const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      const auto found = it->reductions.find(n);
+      if (found != it->reductions.end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] Region *innermostRaceRegion() {
+    if (serialDepth_ > 0) return nullptr;
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it)
+      if (it->raceChecked) return &*it;
+    return nullptr;
+  }
+
+  [[nodiscard]] Region *innermostOffloadRegion() {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it)
+      if (it->offload) return &*it;
+    return nullptr;
+  }
+
+  [[nodiscard]] bool isArrayExpr(const Expr &e) const {
+    if (e.kind != ExprKind::Ident) return false;
+    return arrays_.count(e.text) > 0 || e.valueType.pointer > 0;
+  }
+
+  void declare(const std::string &n, bool isArray) {
+    if (isArray) arrays_.insert(n);
+    if (!stack_.empty()) stack_.back().declared.insert(n);
+  }
+
+  void reference(const std::string &n) {
+    if (!stack_.empty()) stack_.back().referenced.insert(n);
+  }
+
+  void touchArray(const std::string &n, lang::Location loc, bool write) {
+    if (Region *r = innermostOffloadRegion()) {
+      r->arraysTouched.emplace(n, loc);
+      if (write) r->arraysWritten.emplace(n, loc);
+    }
+  }
+
+  // ---- statements ------------------------------------------------------
+
+  void visitStmt(const Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::Directive:
+      handleDirective(s);
+      return;
+    case StmtKind::DeclStmt:
+      for (const auto &d : s.decls) {
+        declare(d.name, !d.arrayDims.empty() || d.type.pointer > 0);
+        if (d.init) visitExpr(*d.init);
+        for (const auto &dim : d.arrayDims)
+          if (dim) visitExpr(*dim);
+      }
+      return;
+    case StmtKind::For:
+      if (s.init) {
+        // The loop variable of an associated (or nested) loop is private to
+        // the iteration even when the init re-uses an outer declaration.
+        if (s.init->kind == StmtKind::ExprStmt && s.init->cond &&
+            s.init->cond->kind == ExprKind::Assign && !s.init->cond->args.empty() &&
+            s.init->cond->args[0]->kind == ExprKind::Ident)
+          declare(s.init->cond->args[0]->text, false);
+        visitStmt(*s.init);
+      }
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      break;
+    case StmtKind::ForRange:
+      if (!s.loopVar.empty()) {
+        declare(s.loopVar, false);
+        reference(s.loopVar);
+      }
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      break;
+    case StmtKind::ArrayAssign:
+      handleArrayAssign(s);
+      return;
+    default:
+      if (s.cond) visitExpr(*s.cond);
+      if (s.step) visitExpr(*s.step);
+      break;
+    }
+    for (const auto &child : s.children)
+      if (child) visitStmt(*child);
+  }
+
+  /// Fortran whole-array assignment `a(:) = expr`: a write to every element
+  /// from a single statement.
+  void handleArrayAssign(const Stmt &s) {
+    if (s.cond) {
+      const Expr &lhs = *s.cond;
+      const Expr *base = lhs.kind == ExprKind::Index && !lhs.args.empty() ? lhs.args[0].get()
+                                                                          : &lhs;
+      if (base->kind == ExprKind::Ident) {
+        reference(base->text);
+        touchArray(base->text, base->loc, /*write=*/true);
+        if (Region *r = innermostRaceRegion()) {
+          if (!declaredInRegion(base->text))
+            emitOnce(*r, Check::DataRace, Severity::Error, base->loc, base->text,
+                     "whole-array assignment to shared '" + base->text +
+                         "' is repeated by every iteration of the parallel region");
+        }
+      }
+      for (const auto &a : lhs.args)
+        if (a && a.get() != base) visitExpr(*a);
+    }
+    if (s.step) visitExpr(*s.step);
+    for (const auto &child : s.children)
+      if (child) visitStmt(*child);
+  }
+
+  // ---- directives ------------------------------------------------------
+
+  void handleDirective(const Stmt &s) {
+    const Directive &d = *s.directive;
+    const std::string dirText = lang::directiveToString(d);
+
+    if (isBarrierLike(d)) {
+      checkBarrierPlacement(d, dirText);
+      return;
+    }
+    if (isStandaloneData(d)) return; // resident pre-pass already consumed it
+    if (d.family == "fortran") {     // DO CONCURRENT wrapper: no clause data
+      for (const auto &child : s.children)
+        if (child) visitStmt(*child);
+      return;
+    }
+
+    checkNesting(s, d, dirText);
+
+    if (isSerializing(d)) {
+      ++serialDepth_;
+      for (const auto &child : s.children)
+        if (child) visitStmt(*child);
+      --serialDepth_;
+      return;
+    }
+
+    const bool race = isRaceChecked(d);
+    const bool offload = isOffload(d);
+    if (!race && !offload) {
+      for (const auto &child : s.children)
+        if (child) visitStmt(*child);
+      return;
+    }
+
+    Region r;
+    r.dir = &d;
+    r.dirText = dirText;
+    r.raceChecked = race;
+    r.offload = offload;
+    for (const auto &c : d.clauses) {
+      if (isPrivatizingClause(c.name)) {
+        for (const auto &a : c.arguments) {
+          const auto n = baseName(a);
+          if (n.empty()) continue;
+          r.privates.insert(n);
+          if (c.name != "linear") r.clausePrivates.insert(n);
+        }
+      } else if (c.name == "reduction" && c.arguments.size() >= 2) {
+        for (usize i = 1; i < c.arguments.size(); ++i) {
+          const auto n = baseName(c.arguments[i]);
+          if (!n.empty()) r.reductions[n] = c.arguments[0];
+        }
+      } else {
+        bool ro = false;
+        std::vector<std::string> names;
+        if (dataClauseVars(c, ro, names)) {
+          for (const auto &n : names) {
+            r.mapped.insert(n);
+            (ro ? r.readOnly : r.writable).insert(n);
+          }
+        }
+      }
+    }
+    for (const auto &[n, op] : r.reductions) r.mapped.insert(n), r.writable.insert(n);
+    for (const auto &n : r.privates) r.mapped.insert(n);
+
+    // A new parallel team: serialization from enclosing single/master does
+    // not extend into it (the Fortran parallel/single/taskloop stack).
+    const int savedSerial = serialDepth_;
+    if (race) serialDepth_ = 0;
+    stack_.push_back(std::move(r));
+    for (const auto &child : s.children)
+      if (child) visitStmt(*child);
+    Region done = std::move(stack_.back());
+    stack_.pop_back();
+    serialDepth_ = savedSerial;
+
+    finishRegion(done);
+    if (!stack_.empty()) {
+      auto &parent = stack_.back();
+      parent.referenced.insert(done.referenced.begin(), done.referenced.end());
+    }
+  }
+
+  void finishRegion(Region &r) {
+    if (r.offload) {
+      for (const auto &[n, loc] : r.arraysTouched) {
+        if (r.declared.count(n) || r.privates.count(n) || r.reductions.count(n)) continue;
+        if (r.mapped.count(n) || resident_.count(n)) continue;
+        emitOnce(r, Check::OffloadMapping, Severity::Error, loc, n,
+                 "array '" + n + "' is referenced in this offload region but no map/copy "
+                 "clause (or enclosing data directive) covers it");
+      }
+      for (const auto &[n, loc] : r.arraysWritten) {
+        if (r.declared.count(n) || r.privates.count(n) || r.reductions.count(n)) continue;
+        if (!r.readOnly.count(n) || r.writable.count(n) || resident_.count(n)) continue;
+        emitOnce(r, Check::OffloadMapping, Severity::Error, loc, n,
+                 "array '" + n + "' is mapped read-only (map(to:)/copyin) but written "
+                 "inside the region");
+      }
+    }
+    for (const auto &n : r.clausePrivates) {
+      if (r.referenced.count(n)) continue;
+      emitOnce(r, Check::UnusedPrivate, Severity::Warning, r.dir->loc, n,
+               "'" + n + "' is privatised but never referenced in the region");
+    }
+  }
+
+  void checkBarrierPlacement(const Directive &d, const std::string &dirText) {
+    if (d.kind.empty() || d.kind[0] != "barrier") return;
+    if (serialDepth_ > 0) {
+      emit(Check::DirectiveNesting, Severity::Error, d.loc, "", dirText,
+           "barrier inside a single/master/critical/task region deadlocks: the other "
+           "threads never reach it");
+      return;
+    }
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (!it->raceChecked) continue;
+      const Directive &rd = *it->dir;
+      // Inside a worksharing/taskloop/distribute region a barrier is
+      // non-conforming; directly inside `parallel` it is fine.
+      if (hasKind(rd, "for") || hasKind(rd, "do") || hasKind(rd, "taskloop") ||
+          hasKind(rd, "distribute") || hasKind(rd, "sections")) {
+        emit(Check::DirectiveNesting, Severity::Error, d.loc, "", dirText,
+             "barrier may not appear inside the worksharing region '" + it->dirText + "'");
+      }
+      return; // only the innermost parallel-ish region binds the barrier
+    }
+  }
+
+  void checkNesting(const Stmt &s, const Directive &d, const std::string &dirText) {
+    if (bindsToLoop(d)) {
+      const Stmt *body = s.children.empty() ? nullptr : s.children[0].get();
+      const bool loop =
+          body && (body->kind == StmtKind::For || body->kind == StmtKind::ForRange);
+      if (!loop)
+        emit(Check::DirectiveNesting, Severity::Error, d.loc, "", dirText,
+             "directive requires an associated loop but governs " +
+                 std::string(body ? "a non-loop statement" : "no statement"));
+    }
+    const auto enclosingHas = [&](std::string_view k) {
+      for (const auto &r : stack_)
+        if (hasKind(*r.dir, k)) return true;
+      return false;
+    };
+    if (hasKind(d, "distribute") && !hasKind(d, "teams") && !enclosingHas("teams"))
+      emit(Check::DirectiveNesting, Severity::Error, d.loc, "", dirText,
+           "'distribute' must be closely nested inside a 'teams' region");
+    if (d.family == "omp" && hasKind(d, "teams") && !hasKind(d, "target") &&
+        !enclosingHas("target"))
+      emit(Check::DirectiveNesting, Severity::Warning, d.loc, "", dirText,
+           "'teams' is not nested inside a 'target' region; it will run on the host");
+  }
+
+  // ---- expressions -----------------------------------------------------
+
+  void visitExpr(const Expr &e) {
+    switch (e.kind) {
+    case ExprKind::Ident:
+      handleIdentRead(e);
+      return;
+    case ExprKind::Assign:
+      handleAssign(e);
+      return;
+    case ExprKind::Unary:
+      if ((e.text == "++" || e.text == "--" || e.text == "post++" || e.text == "post--") &&
+          !e.args.empty()) {
+        handleIncrement(e);
+        return;
+      }
+      break;
+    case ExprKind::Index:
+      if (!e.args.empty() && e.args[0]->kind == ExprKind::Ident) {
+        reference(e.args[0]->text);
+        touchArray(e.args[0]->text, e.args[0]->loc, /*write=*/false);
+        checkReductionRead(*e.args[0]);
+        for (usize i = 1; i < e.args.size(); ++i)
+          if (e.args[i]) visitExpr(*e.args[i]);
+        return;
+      }
+      break;
+    case ExprKind::Call:
+      // args[0] is the callee; a bare function name is not a data access.
+      for (usize i = 0; i < e.args.size(); ++i) {
+        if (!e.args[i]) continue;
+        if (i == 0 && e.args[i]->kind == ExprKind::Ident) continue;
+        visitExpr(*e.args[i]);
+      }
+      if (e.body) visitStmt(*e.body);
+      return;
+    case ExprKind::Lambda:
+      for (const auto &p : e.params) declare(p.name, p.type.pointer > 0);
+      if (e.body) visitStmt(*e.body);
+      return;
+    default:
+      break;
+    }
+    for (const auto &a : e.args)
+      if (a) visitExpr(*a);
+    if (e.body) visitStmt(*e.body);
+  }
+
+  void handleIdentRead(const Expr &e) {
+    reference(e.text);
+    if (isArrayExpr(e)) touchArray(e.text, e.loc, /*write=*/false);
+    checkReductionRead(e);
+  }
+
+  /// A reduction variable may only appear inside its own accumulation
+  /// statement; any other read observes an undefined partial value.
+  void checkReductionRead(const Expr &e) {
+    if (allowedReductionReads_.count(e.text)) return;
+    const std::string *op = reductionOp(e.text);
+    if (!op) return;
+    if (Region *r = innermostRaceRegion())
+      emitOnce(*r, Check::ReductionMisuse, Severity::Warning, e.loc, e.text,
+               "reduction variable '" + e.text + "' is read outside its reduction "
+               "statement; intermediate values are undefined inside the region");
+  }
+
+  /// Does `e` mention any name that is private to the current iteration
+  /// (clause-private, region-declared, or a loop induction variable)?
+  [[nodiscard]] bool mentionsPrivateName(const Expr &e) const {
+    if (e.kind == ExprKind::Ident && declaredInRegion(e.text)) return true;
+    for (const auto &a : e.args)
+      if (a && mentionsPrivateName(*a)) return true;
+    return false;
+  }
+
+  [[nodiscard]] static bool mentionsName(const Expr &e, const std::string &n) {
+    if (e.kind == ExprKind::Ident && e.text == n) return true;
+    for (const auto &a : e.args)
+      if (a && mentionsName(*a, n)) return true;
+    return false;
+  }
+
+  void handleAssign(const Expr &e) {
+    SV_CHECK(e.args.size() >= 2, "assign without two operands");
+    const Expr &lhs = *e.args[0];
+    const Expr &rhs = *e.args[1];
+
+    if (lhs.kind == ExprKind::Ident) {
+      if (!handleScalarWrite(e, lhs, rhs)) visitExpr(rhs);
+      return;
+    }
+    if (lhs.kind == ExprKind::Index && !lhs.args.empty() &&
+        lhs.args[0]->kind == ExprKind::Ident) {
+      const Expr &base = *lhs.args[0];
+      reference(base.text);
+      touchArray(base.text, base.loc, /*write=*/true);
+      if (Region *r = innermostRaceRegion(); r && !declaredInRegion(base.text)) {
+        bool indexVaries = false;
+        for (usize i = 1; i < lhs.args.size(); ++i)
+          if (lhs.args[i] && mentionsPrivateName(*lhs.args[i])) indexVaries = true;
+        if (!indexVaries)
+          emitOnce(*r, Check::DataRace, Severity::Warning, lhs.loc, base.text,
+                   "every iteration writes the same element of shared '" + base.text +
+                       "': the index does not depend on the loop");
+      }
+      for (usize i = 1; i < lhs.args.size(); ++i)
+        if (lhs.args[i]) visitExpr(*lhs.args[i]);
+      visitExpr(rhs);
+      return;
+    }
+    if (lhs.kind == ExprKind::Unary && lhs.text == "*" && !lhs.args.empty() &&
+        lhs.args[0]->kind == ExprKind::Ident) {
+      const Expr &base = *lhs.args[0];
+      reference(base.text);
+      touchArray(base.text, base.loc, /*write=*/true);
+      if (Region *r = innermostRaceRegion(); r && !declaredInRegion(base.text))
+        emitOnce(*r, Check::DataRace, Severity::Warning, lhs.loc, base.text,
+                 "write through shared pointer '" + base.text +
+                     "' targets the same location in every iteration");
+      visitExpr(rhs);
+      return;
+    }
+    // Member stores and other exotic lvalues: record reads, no race claim.
+    visitExpr(lhs);
+    visitExpr(rhs);
+  }
+
+  /// `x = ...` / `x op= ...` with a plain identifier target. Returns true
+  /// when the rhs has already been visited.
+  bool handleScalarWrite(const Expr &assign, const Expr &lhs, const Expr &rhs) {
+    reference(lhs.text);
+    if (declaredInRegion(lhs.text)) return false;
+
+    if (const std::string *op = reductionOp(lhs.text)) {
+      if (!matchesReductionPattern(assign, lhs.text, *op)) {
+        if (Region *r = innermostRaceRegion())
+          emitOnce(*r, Check::ReductionMisuse, Severity::Error, assign.loc, lhs.text,
+                   "reduction(" + *op + ":" + lhs.text + ") variable is written outside "
+                   "its reduction pattern ('" + lhs.text + " " + *op + "= expr' or '" +
+                       lhs.text + " = " + lhs.text + " " + *op + " expr')");
+        return false;
+      }
+      // The rhs legitimately reads the variable inside the pattern.
+      allowedReductionReads_.insert(lhs.text);
+      visitExpr(rhs);
+      allowedReductionReads_.erase(lhs.text);
+      return true;
+    }
+
+    Region *r = innermostRaceRegion();
+    if (!r) return false;
+    const bool compound = assign.text != "=";
+    const bool selfReferential = assign.text == "=" && mentionsName(rhs, lhs.text);
+    if (compound || selfReferential) {
+      emitOnce(*r, Check::ReductionMisuse, Severity::Error, assign.loc, lhs.text,
+               "accumulation into shared '" + lhs.text + "' without a reduction(" +
+                   (assign.text == "=" ? "op" : assign.text.substr(0, assign.text.size() - 1)) +
+                   ":" + lhs.text + ") clause: concurrent updates will be lost");
+    } else {
+      emitOnce(*r, Check::DataRace, Severity::Error, assign.loc, lhs.text,
+               "write to shared variable '" + lhs.text + "' inside '" + r->dirText +
+                   "': every iteration races on it (privatise it or move the write out)");
+    }
+    return false;
+  }
+
+  [[nodiscard]] static bool matchesReductionPattern(const Expr &assign, const std::string &var,
+                                                    const std::string &op) {
+    if (assign.text == op + "=") return true;
+    if (assign.text != "=") return false;
+    const Expr &rhs = *assign.args[1];
+    // `x = x op e` / `x = e op x` (one level, the corpus shape).
+    if (rhs.kind == ExprKind::Binary && rhs.text == op)
+      for (const auto &side : rhs.args)
+        if (side && mentionsName(*side, var)) return true;
+    // `x = max(x, e)` for min/max reductions.
+    if ((op == "max" || op == "min") && rhs.kind == ExprKind::Call && !rhs.args.empty() &&
+        rhs.args[0]->kind == ExprKind::Ident && rhs.args[0]->text == op)
+      return mentionsName(rhs, var);
+    return false;
+  }
+
+  void handleIncrement(const Expr &e) {
+    const Expr &target = *e.args[0];
+    if (target.kind == ExprKind::Ident) {
+      reference(target.text);
+      if (declaredInRegion(target.text)) return;
+      if (reductionOp(target.text)) return; // x++ under reduction(+/-) is conforming-ish
+      if (Region *r = innermostRaceRegion())
+        emitOnce(*r, Check::ReductionMisuse, Severity::Error, e.loc, target.text,
+                 "increment of shared '" + target.text + "' without a reduction clause: "
+                 "concurrent updates will be lost");
+      return;
+    }
+    visitExpr(target);
+  }
+};
+
+} // namespace
+
+// -------------------------------------------------------------- public --
+
+const char *name(Severity s) {
+  switch (s) {
+  case Severity::Note: return "note";
+  case Severity::Warning: return "warning";
+  case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char *name(Check c) {
+  switch (c) {
+  case Check::DataRace: return "data-race";
+  case Check::ReductionMisuse: return "reduction-misuse";
+  case Check::OffloadMapping: return "offload-mapping";
+  case Check::DirectiveNesting: return "directive-nesting";
+  case Check::UnusedPrivate: return "unused-private";
+  }
+  return "?";
+}
+
+std::vector<Diagnostic> run(const lang::ast::TranslationUnit &unit) {
+  return Checker(unit).run();
+}
+
+usize Report::count(Severity s) const {
+  usize n = 0;
+  for (const auto &u : units)
+    for (const auto &d : u.diags)
+      if (d.severity == s) ++n;
+  return n;
+}
+
+std::string Report::renderText(const lang::SourceManager *sm) const {
+  std::string out;
+  for (const auto &u : units) {
+    for (const auto &d : u.diags) {
+      if (sm && d.loc.file >= 0) {
+        out += sm->describe(d.loc);
+      } else {
+        out += u.file + ":" + std::to_string(d.loc.line) + ":" + std::to_string(d.loc.col);
+      }
+      out += ": ";
+      out += name(d.severity);
+      out += ": [";
+      out += name(d.check);
+      out += "] ";
+      out += d.message;
+      if (!d.directive.empty()) out += " [in '" + d.directive + "']";
+      out += "\n";
+    }
+  }
+  const usize errors = count(Severity::Error), warnings = count(Severity::Warning);
+  if (errors == 0 && warnings == 0) {
+    out += "lint clean";
+    if (!app.empty()) out += ": " + app + "/" + model;
+    out += "\n";
+  } else {
+    out += std::to_string(errors) + " error(s), " + std::to_string(warnings) + " warning(s)\n";
+  }
+  return out;
+}
+
+json::Value Report::toJson() const {
+  json::Object root;
+  root.emplace("app", app);
+  root.emplace("model", model);
+  root.emplace("errors", count(Severity::Error));
+  root.emplace("warnings", count(Severity::Warning));
+  json::Array unitArr;
+  for (const auto &u : units) {
+    json::Object uo;
+    uo.emplace("file", u.file);
+    json::Array diagArr;
+    for (const auto &d : u.diags) {
+      json::Object dobj;
+      dobj.emplace("check", name(d.check));
+      dobj.emplace("severity", name(d.severity));
+      dobj.emplace("line", static_cast<i64>(d.loc.line));
+      dobj.emplace("col", static_cast<i64>(d.loc.col));
+      dobj.emplace("symbol", d.symbol);
+      dobj.emplace("directive", d.directive);
+      dobj.emplace("message", d.message);
+      diagArr.emplace_back(std::move(dobj));
+    }
+    uo.emplace("diagnostics", std::move(diagArr));
+    unitArr.emplace_back(std::move(uo));
+  }
+  root.emplace("units", std::move(unitArr));
+  return json::Value(std::move(root));
+}
+
+} // namespace sv::lint

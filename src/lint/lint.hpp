@@ -1,0 +1,94 @@
+// svale lint — a model-aware parallel-semantics checker over the sema'd
+// AST. The paper's premise is that T_sem sees model semantics the
+// programmer doesn't write (directive nodes, hidden template arguments,
+// implicit conversions); this pass *checks* that representation instead of
+// only measuring it. It walks a `lang::ast::TranslationUnit` after
+// `sv::minic::analyse` (or `minif::parseFortran`) and emits structured
+// diagnostics with source locations and severities.
+//
+// Check catalogue (see DESIGN.md "Lint subsystem"):
+//   data-race          writes to shared variables reachable from more than
+//                      one iteration of a parallel/taskloop/distribute
+//                      region (scalars not privatised by clause or local
+//                      declaration; loop-invariant array element writes)
+//   reduction-misuse   a reduction(op:x) variable written outside the
+//                      `x op= e` / `x = x op e` pattern or with the wrong
+//                      operator, and reduction-shaped accumulations on
+//                      shared variables that lack a reduction clause
+//   offload-mapping    arrays touched inside target / acc compute regions
+//                      with no map/copy clause (region-level or a
+//                      target enter/exit data resident mapping) covering
+//                      them, and writes to arrays mapped read-only
+//                      (map(to:)/copyin) at region level
+//   directive-nesting  barrier inside single/master/critical/task regions,
+//                      loop-binding directives (for/do/loop/distribute/
+//                      taskloop/simd) without an associated loop, and
+//                      distribute/teams constructs outside their required
+//                      teams/target nesting
+//   unused-private     private/firstprivate/lastprivate(x) where x is
+//                      never referenced inside the region
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/json.hpp"
+
+namespace sv::lint {
+
+enum class Severity : u8 { Note = 0, Warning = 1, Error = 2 };
+enum class Check : u8 {
+  DataRace = 0,
+  ReductionMisuse = 1,
+  OffloadMapping = 2,
+  DirectiveNesting = 3,
+  UnusedPrivate = 4,
+};
+
+[[nodiscard]] const char *name(Severity s);
+[[nodiscard]] const char *name(Check c);
+
+struct Diagnostic {
+  Check check{};
+  Severity severity{};
+  lang::Location loc;     ///< directive or offending expression location
+  std::string symbol;     ///< principal variable, empty when not applicable
+  std::string directive;  ///< canonical text of the governing directive
+  std::string message;    ///< human-readable explanation
+
+  [[nodiscard]] bool operator==(const Diagnostic &) const = default;
+};
+
+/// Run every check over one analysed translation unit. The unit must have
+/// been through `minic::analyse` for C-family sources (the checks consume
+/// sema's Ident value types to tell arrays from scalars); Fortran units
+/// work directly off `minif::parseFortran` output (array-ness is recovered
+/// from declarations instead).
+[[nodiscard]] std::vector<Diagnostic> run(const lang::ast::TranslationUnit &unit);
+
+// -------------------------------------------------------------- report --
+
+struct UnitReport {
+  std::string file;  ///< TU main file
+  std::vector<Diagnostic> diags;
+};
+
+/// Aggregated lint results for one codebase (app/model pair), with text and
+/// JSON renderers for the CLI.
+struct Report {
+  std::string app;
+  std::string model;
+  std::vector<UnitReport> units;
+
+  [[nodiscard]] usize count(Severity s) const;
+  [[nodiscard]] bool hasErrors() const { return count(Severity::Error) > 0; }
+
+  /// clang-style one-line-per-diagnostic text. When `sm` is given,
+  /// locations render as file:line:col; otherwise the unit file name is
+  /// used with the location's line/col.
+  [[nodiscard]] std::string renderText(const lang::SourceManager *sm = nullptr) const;
+  [[nodiscard]] json::Value toJson() const;
+};
+
+} // namespace sv::lint

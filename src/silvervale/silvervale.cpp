@@ -19,6 +19,19 @@ std::vector<std::string> IndexedApp::modelNames() const {
   return out;
 }
 
+lint::Report lintCodebase(const db::Codebase &codebase) {
+  lint::Report report;
+  report.app = codebase.app;
+  report.model = codebase.model;
+  for (auto &parsed : db::parseUnits(codebase)) {
+    lint::UnitReport unit;
+    unit.file = parsed.file;
+    unit.diags = lint::run(parsed.tu);
+    report.units.push_back(std::move(unit));
+  }
+  return report;
+}
+
 IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {
   IndexedApp out;
   out.app = app;

@@ -11,6 +11,7 @@
 #include "analysis/analysis.hpp"
 #include "corpus/corpus.hpp"
 #include "db/codebase.hpp"
+#include "lint/lint.hpp"
 #include "metrics/metrics.hpp"
 #include "perf/perf.hpp"
 
@@ -68,5 +69,11 @@ perfModels(const IndexedApp &app);
 /// Navigation-chart points (Fig 13/14): Φ over the Table III platforms
 /// against normalised T_sem / T_src divergence from the serial port.
 [[nodiscard]] std::vector<perf::NavPoint> navigationPoints(const IndexedApp &app);
+
+/// Run the parallel-semantics linter over every translation unit of a
+/// codebase (frontend only — no trees, no IR, no VM) and aggregate the
+/// diagnostics into a renderable report. Backs `svale lint` / `svale
+/// lint-dir` and the corpus-wide lint-clean regression test.
+[[nodiscard]] lint::Report lintCodebase(const db::Codebase &codebase);
 
 } // namespace sv::silvervale

@@ -85,6 +85,80 @@ TEST(Directive, RoundTripToString) {
   EXPECT_EQ(directiveToString(d), "omp parallel for reduction(+,s)");
 }
 
+TEST(Directive, EmptyClauseArguments) {
+  // `if()` / `map()` with nothing inside must not produce phantom "" args.
+  const auto d = parseDirective("omp parallel if() map()", {});
+  EXPECT_EQ(d.kind, (std::vector<std::string>{"parallel"}));
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0].name, "if");
+  EXPECT_TRUE(d.clauses[0].arguments.empty());
+  EXPECT_EQ(d.clauses[1].name, "map");
+  EXPECT_TRUE(d.clauses[1].arguments.empty());
+}
+
+TEST(Directive, RepeatedClausesKeptInOrder) {
+  const auto d = parseDirective("omp target map(to: a) map(from: b) map(alloc: c)", {});
+  ASSERT_EQ(d.clauses.size(), 3u);
+  for (const auto &c : d.clauses) EXPECT_EQ(c.name, "map");
+  EXPECT_EQ(d.clauses[0].arguments, (std::vector<std::string>{"to", "a"}));
+  EXPECT_EQ(d.clauses[1].arguments, (std::vector<std::string>{"from", "b"}));
+  EXPECT_EQ(d.clauses[2].arguments, (std::vector<std::string>{"alloc", "c"}));
+}
+
+TEST(Directive, UnknownClauseNamesBecomeClausesNotKind) {
+  // Vendor extensions and typos must not leak into the directive kind.
+  const auto d = parseDirective("omp parallel for vendor_hint(7) mystery", {});
+  EXPECT_EQ(d.kind, (std::vector<std::string>{"parallel", "for"}));
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0].name, "vendor_hint");
+  EXPECT_EQ(d.clauses[0].arguments, (std::vector<std::string>{"7"}));
+  EXPECT_EQ(d.clauses[1].name, "mystery");
+  EXPECT_TRUE(d.clauses[1].arguments.empty());
+}
+
+TEST(Directive, KindWordAfterClauseStaysClause) {
+  // Once the clause list starts, later kind-spelled words are clauses
+  // (OpenMP grammar: the directive name is a prefix).
+  const auto d = parseDirective("omp target map(to: a) parallel", {});
+  EXPECT_EQ(d.kind, (std::vector<std::string>{"target"}));
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[1].name, "parallel");
+}
+
+TEST(Directive, FortranEndSentinelsRoundTrip) {
+  // The Fortran lexer strips `!$` and hands "omp end parallel do" /
+  // "acc end kernels" to the directive parser; `end` is part of the kind
+  // and the printer must reproduce the sentinel body exactly.
+  for (const char *text : {"omp end parallel do", "omp end single", "omp end taskloop",
+                           "acc end kernels", "acc end parallel loop"}) {
+    const auto d = parseDirective(text, {});
+    EXPECT_TRUE(d.clauses.empty()) << text;
+    EXPECT_EQ(d.kind.front(), "end") << text;
+    EXPECT_EQ(directiveToString(d), text);
+  }
+}
+
+TEST(Directive, OmpAccSentinelReparseRoundTrip) {
+  // Clause-bearing directives round-trip semantically: re-parsing the
+  // printed form yields the same family/kind/clause structure (the printer
+  // normalises `:` separators to `,`, so compare structure, not text).
+  for (const char *text :
+       {"omp parallel do reduction(+ : sum) schedule(static)",
+        "acc parallel loop reduction(+ : sum) copyin(a, b)",
+        "acc kernels copyin(a[0:n]) copyout(c)",
+        "omp target teams distribute parallel for map(tofrom: a[0:n])"}) {
+    const auto d1 = parseDirective(text, {});
+    const auto d2 = parseDirective(directiveToString(d1), {});
+    EXPECT_EQ(d1.family, d2.family) << text;
+    EXPECT_EQ(d1.kind, d2.kind) << text;
+    ASSERT_EQ(d1.clauses.size(), d2.clauses.size()) << text;
+    for (usize i = 0; i < d1.clauses.size(); ++i) {
+      EXPECT_EQ(d1.clauses[i].name, d2.clauses[i].name) << text;
+      EXPECT_EQ(d1.clauses[i].arguments, d2.clauses[i].arguments) << text;
+    }
+  }
+}
+
 TEST(Directive, DataClauseClassification) {
   EXPECT_TRUE(isDataClause("map"));
   EXPECT_TRUE(isDataClause("reduction"));

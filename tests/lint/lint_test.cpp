@@ -1,0 +1,523 @@
+// Seeded-mutation tests for the parallel-semantics linter: every check has
+// a variant that must fire and a corpus-shaped twin that must stay silent.
+// The broken variants are the shipped miniapp kernels with one directive
+// clause or one statement mutated — exactly the porting mistakes Section
+// II's productivity argument is about.
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "minif/fparser.hpp"
+
+using namespace sv;
+using namespace sv::lint;
+
+namespace {
+
+lang::SourceManager gSm;
+
+std::vector<Diagnostic> lintC(const std::string &src) {
+  auto tu = minic::parseTranslationUnit(minic::lex(src, 0), "test.cpp", gSm);
+  minic::analyse(tu);
+  return run(tu);
+}
+
+std::vector<Diagnostic> lintF(const std::string &src) {
+  auto tu = minif::parseFortran(minif::lexFortran(src, 0), "t.f90", gSm);
+  return run(tu);
+}
+
+usize countOf(const std::vector<Diagnostic> &diags, Check c, Severity sev) {
+  usize n = 0;
+  for (const auto &d : diags)
+    if (d.check == c && d.severity == sev) ++n;
+  return n;
+}
+
+bool fires(const std::vector<Diagnostic> &diags, Check c, Severity sev,
+           const std::string &symbol = "") {
+  for (const auto &d : diags)
+    if (d.check == c && d.severity == sev && (symbol.empty() || d.symbol == symbol))
+      return true;
+  return false;
+}
+
+usize errorCount(const std::vector<Diagnostic> &diags) {
+  usize n = 0;
+  for (const auto &d : diags)
+    if (d.severity == Severity::Error) ++n;
+  return n;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- data races --
+
+TEST(LintDataRace, SharedScalarWriteInParallelForFires) {
+  const auto diags = lintC(R"(
+    void k(double *a, const double *b, int n) {
+      double t;
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i) {
+        t = b[i];
+        a[i] = t * 2.0;
+      }
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DataRace, Severity::Error, "t"));
+}
+
+TEST(LintDataRace, IterationLocalTemporaryIsSilent) {
+  // The TeaLeaf kernel shape: the temporary lives inside the iteration.
+  const auto diags = lintC(R"(
+    void k(double *a, const double *b, int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i) {
+        double t = b[i];
+        a[i] = t * 2.0;
+      }
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintDataRace, PrivateClauseSilencesTheRace) {
+  const auto diags = lintC(R"(
+    void k(double *a, const double *b, int n) {
+      double t;
+      #pragma omp parallel for private(t)
+      for (int i = 0; i < n; ++i) {
+        t = b[i];
+        a[i] = t;
+      }
+    }
+  )");
+  EXPECT_EQ(errorCount(diags), 0u);
+}
+
+TEST(LintDataRace, LoopInvariantElementWriteWarns) {
+  const auto diags = lintC(R"(
+    void k(double *a, const double *b, int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i)
+        a[0] = b[i];
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DataRace, Severity::Warning, "a"));
+}
+
+TEST(LintDataRace, FortranWholeArrayAssignInParallelLoopFires) {
+  const auto diags = lintF(R"(
+subroutine k(a, b, n)
+  integer :: n, i
+  real(8) :: a(n), b(n)
+  !$acc parallel loop
+  do i = 1, n
+    b(:) = a(i)
+  end do
+end subroutine k
+)");
+  EXPECT_TRUE(fires(diags, Check::DataRace, Severity::Error, "b"));
+}
+
+TEST(LintDataRace, FortranWholeArrayUnderAccKernelsIsSilent) {
+  // `acc kernels` preserves sequential semantics; the acc-array port's
+  // whole-array statements are the idiom, not a bug.
+  const auto diags = lintF(R"(
+subroutine k(a, b, n)
+  integer :: n
+  real(8) :: a(n), b(n)
+  !$acc kernels copyin(a) copyout(b)
+  b(:) = a(:) * 2.0
+  !$acc end kernels
+end subroutine k
+)");
+  EXPECT_EQ(errorCount(diags), 0u);
+}
+
+TEST(LintDataRace, SerializedSubRegionIsExempt) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      double t;
+      #pragma omp parallel
+      {
+        #pragma omp single
+        {
+          t = a[0];
+          a[0] = t + 1.0;
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(errorCount(diags), 0u);
+}
+
+// ------------------------------------------------------ reduction misuse --
+
+TEST(LintReduction, AccumulationWithoutClauseFires) {
+  const auto diags = lintC(R"(
+    double dot(const double *a, const double *b, int n) {
+      double sum = 0.0;
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i)
+        sum += a[i] * b[i];
+      return sum;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::ReductionMisuse, Severity::Error, "sum"));
+}
+
+TEST(LintReduction, DeclaredReductionIsSilent) {
+  // The BabelStream dot kernel, as shipped.
+  const auto diags = lintC(R"(
+    double dot(const double *a, const double *b, int n) {
+      double sum = 0.0;
+      #pragma omp parallel for reduction(+ : sum)
+      for (int i = 0; i < n; ++i)
+        sum += a[i] * b[i];
+      return sum;
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintReduction, SpelledOutAccumulationIsSilentToo) {
+  const auto diags = lintC(R"(
+    double dot(const double *a, const double *b, int n) {
+      double sum = 0.0;
+      #pragma omp parallel for reduction(+ : sum)
+      for (int i = 0; i < n; ++i)
+        sum = sum + a[i] * b[i];
+      return sum;
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintReduction, PlainOverwriteOfReductionVarFires) {
+  const auto diags = lintC(R"(
+    double last(const double *a, int n) {
+      double sum = 0.0;
+      #pragma omp parallel for reduction(+ : sum)
+      for (int i = 0; i < n; ++i)
+        sum = a[i];
+      return sum;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::ReductionMisuse, Severity::Error, "sum"));
+}
+
+TEST(LintReduction, StrayReadOfReductionVarWarns) {
+  const auto diags = lintC(R"(
+    double k(double *a, int n) {
+      double sum = 0.0;
+      #pragma omp parallel for reduction(+ : sum)
+      for (int i = 0; i < n; ++i) {
+        sum += a[i];
+        a[i] = sum;
+      }
+      return sum;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::ReductionMisuse, Severity::Warning, "sum"));
+}
+
+TEST(LintReduction, SharedIncrementFires) {
+  const auto diags = lintC(R"(
+    int count(const double *a, int n) {
+      int hits = 0;
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i)
+        if (a[i] > 0.0) hits++;
+      return hits;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::ReductionMisuse, Severity::Error, "hits"));
+}
+
+TEST(LintReduction, FortranReductionRoundTrip) {
+  const auto clean = lintF(R"(
+subroutine dot(a, b, n, s)
+  integer :: n, i
+  real(8) :: a(n), b(n), s
+  s = 0.0
+  !$omp parallel do reduction(+:s)
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end do
+end subroutine dot
+)");
+  EXPECT_EQ(errorCount(clean), 0u);
+
+  const auto broken = lintF(R"(
+subroutine dot(a, b, n, s)
+  integer :: n, i
+  real(8) :: a(n), b(n), s
+  s = 0.0
+  !$omp parallel do
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end do
+end subroutine dot
+)");
+  EXPECT_TRUE(fires(broken, Check::ReductionMisuse, Severity::Error, "s"));
+}
+
+// ------------------------------------------------------- offload mapping --
+
+TEST(LintOffload, UnmappedArrayFires) {
+  const auto diags = lintC(R"(
+    void copy(double *a, const double *b, int n) {
+      #pragma omp target teams distribute parallel for map(to: b[0:n])
+      for (int i = 0; i < n; ++i)
+        a[i] = b[i];
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::OffloadMapping, Severity::Error, "a"));
+}
+
+TEST(LintOffload, FullyMappedKernelIsSilent) {
+  const auto diags = lintC(R"(
+    void copy(double *a, const double *b, int n) {
+      #pragma omp target teams distribute parallel for map(from: a[0:n]) map(to: b[0:n])
+      for (int i = 0; i < n; ++i)
+        a[i] = b[i];
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintOffload, WriteToReadOnlyMappingFires) {
+  const auto diags = lintC(R"(
+    void scale(double *a, int n) {
+      #pragma omp target teams distribute parallel for map(to: a[0:n])
+      for (int i = 0; i < n; ++i)
+        a[i] = a[i] * 2.0;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::OffloadMapping, Severity::Error, "a"));
+}
+
+TEST(LintOffload, EnterDataResidencyCoversLaterKernels) {
+  // The omp-target ports map long-lived arrays once at startup; kernels
+  // then run without per-launch map clauses.
+  const auto diags = lintC(R"(
+    void setup(double *a, int n) {
+      #pragma omp target enter data map(alloc: a[0:n])
+      for (int i = 0; i < n; ++i) {}
+    }
+    void kernel(double *a, int n) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < n; ++i)
+        a[i] = 0.0;
+    }
+  )");
+  EXPECT_EQ(errorCount(diags), 0u);
+}
+
+TEST(LintOffload, ScalarsAreImplicitlyFirstprivate) {
+  const auto diags = lintC(R"(
+    void scale(double *a, double s, int n) {
+      #pragma omp target teams distribute parallel for map(tofrom: a[0:n])
+      for (int i = 0; i < n; ++i)
+        a[i] = a[i] * s;
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintOffload, AccCopyinWrittenFires) {
+  const auto diags = lintF(R"(
+subroutine scale(a, n)
+  integer :: n, i
+  real(8) :: a(n)
+  !$acc parallel loop copyin(a)
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+end subroutine scale
+)");
+  EXPECT_TRUE(fires(diags, Check::OffloadMapping, Severity::Error, "a"));
+}
+
+TEST(LintOffload, AccCopyoutIsSilent) {
+  const auto diags = lintF(R"(
+subroutine scale(a, b, n)
+  integer :: n, i
+  real(8) :: a(n), b(n)
+  !$acc parallel loop copyin(b) copyout(a)
+  do i = 1, n
+    a(i) = b(i) * 2.0
+  end do
+end subroutine scale
+)");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+// ----------------------------------------------------- directive nesting --
+
+TEST(LintNesting, LoopDirectiveOverNonLoopFires) {
+  const auto diags = lintC(R"(
+    void k(double *a) {
+      #pragma omp parallel for
+      a[0] = 1.0;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DirectiveNesting, Severity::Error));
+}
+
+TEST(LintNesting, DistributeOutsideTeamsFires) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      #pragma omp distribute
+      for (int i = 0; i < n; ++i)
+        a[i] = 0.0;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DirectiveNesting, Severity::Error));
+}
+
+TEST(LintNesting, TeamsWithoutTargetWarns) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      #pragma omp teams distribute parallel for
+      for (int i = 0; i < n; ++i)
+        a[i] = 0.0;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DirectiveNesting, Severity::Warning));
+}
+
+TEST(LintNesting, CombinedTargetTeamsDistributeIsSilent) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      #pragma omp target teams distribute parallel for map(from: a[0:n])
+      for (int i = 0; i < n; ++i)
+        a[i] = 0.0;
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintNesting, BarrierInsideWorksharingFires) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i) {
+        #pragma omp barrier
+        a[i] = 0.0;
+      }
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DirectiveNesting, Severity::Error));
+}
+
+TEST(LintNesting, BarrierDirectlyInParallelIsSilent) {
+  const auto diags = lintC(R"(
+    void k() {
+      #pragma omp parallel
+      {
+        #pragma omp barrier
+      }
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(LintNesting, BarrierInsideSingleFires) {
+  const auto diags = lintC(R"(
+    void k() {
+      #pragma omp parallel
+      {
+        #pragma omp single
+        {
+          #pragma omp barrier
+        }
+      }
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::DirectiveNesting, Severity::Error));
+}
+
+// ------------------------------------------------------- unused private --
+
+TEST(LintUnusedPrivate, UnreferencedPrivateWarns) {
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      double t;
+      #pragma omp parallel for private(t)
+      for (int i = 0; i < n; ++i)
+        a[i] = 2.0;
+    }
+  )");
+  EXPECT_TRUE(fires(diags, Check::UnusedPrivate, Severity::Warning, "t"));
+}
+
+TEST(LintUnusedPrivate, ReferencedPrivateIsSilent) {
+  const auto diags = lintC(R"(
+    void k(double *a, const double *b, int n) {
+      double t;
+      #pragma omp parallel for private(t)
+      for (int i = 0; i < n; ++i) {
+        t = b[i];
+        a[i] = t;
+      }
+    }
+  )");
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+// --------------------------------------------------------------- report --
+
+TEST(LintReport, NamesAndCountsAndExitContract) {
+  EXPECT_STREQ(name(Severity::Error), "error");
+  EXPECT_STREQ(name(Severity::Warning), "warning");
+  EXPECT_STREQ(name(Check::DataRace), "data-race");
+  EXPECT_STREQ(name(Check::UnusedPrivate), "unused-private");
+
+  Report r;
+  r.app = "tealeaf";
+  r.model = "omp";
+  r.units.push_back({"solver.cpp", {}});
+  EXPECT_FALSE(r.hasErrors());
+  EXPECT_NE(r.renderText().find("lint clean: tealeaf/omp"), std::string::npos);
+
+  Diagnostic d;
+  d.check = Check::DataRace;
+  d.severity = Severity::Error;
+  d.loc = {0, 12, 5};
+  d.symbol = "t";
+  d.directive = "omp parallel for";
+  d.message = "boom";
+  r.units[0].diags.push_back(d);
+  EXPECT_TRUE(r.hasErrors());
+  EXPECT_EQ(r.count(Severity::Error), 1u);
+  const auto text = r.renderText();
+  EXPECT_NE(text.find("solver.cpp:12:5: error: [data-race] boom"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s)"), std::string::npos);
+
+  const auto j = r.toJson();
+  EXPECT_EQ(j.at("app").asString(), "tealeaf");
+  EXPECT_EQ(j.at("errors").asInt(), 1);
+  const auto &diag = j.at("units").asArray()[0].at("diagnostics").asArray()[0];
+  EXPECT_EQ(diag.at("check").asString(), "data-race");
+  EXPECT_EQ(diag.at("line").asInt(), 12);
+}
+
+TEST(LintReport, OneDiagnosticPerSymbolPerRegion) {
+  // The same shared scalar written many times in one region is one report.
+  const auto diags = lintC(R"(
+    void k(double *a, int n) {
+      double t;
+      #pragma omp parallel for
+      for (int i = 0; i < n; ++i) {
+        t = a[i];
+        t = a[i] + 1.0;
+        t = a[i] + 2.0;
+        a[i] = t;
+      }
+    }
+  )");
+  EXPECT_EQ(countOf(diags, Check::DataRace, Severity::Error), 1u);
+}

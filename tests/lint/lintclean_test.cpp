@@ -1,0 +1,94 @@
+// Corpus-wide lint regression: every shipped port of every miniapp must be
+// error-free. The ports are real, verified implementations — any error
+// here is a linter false positive, which destroys the tool's value faster
+// than a false negative does.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "silvervale/silvervale.hpp"
+
+using namespace sv;
+
+TEST(LintClean, EveryCorpusPortIsErrorFree) {
+  usize ports = 0;
+  for (const auto &app : corpus::appNames()) {
+    for (const auto &model : corpus::modelsOf(app)) {
+      const auto report = silvervale::lintCodebase(corpus::make(app, model));
+      EXPECT_EQ(report.count(lint::Severity::Error), 0u)
+          << app << "/" << model << ":\n" << report.renderText();
+      EXPECT_FALSE(report.hasErrors()) << app << "/" << model;
+      ++ports;
+    }
+  }
+  EXPECT_GE(ports, 40u); // the full registry, not a subset
+}
+
+TEST(LintClean, DirectiveHeavyPortsAreFullyClean) {
+  // The ports that exercise every check (OpenMP host, OpenMP offload,
+  // OpenACC) stay warning-free too, so a new check that regresses the
+  // corpus is caught even at Warning severity.
+  const std::pair<const char *, const char *> ports[] = {
+      {"tealeaf", "omp"},          {"tealeaf", "omp-target"},
+      {"babelstream", "omp"},      {"babelstream", "omp-target"},
+      {"babelstream-fortran", "omp"}, {"babelstream-fortran", "acc"},
+      {"babelstream-fortran", "acc-array"},
+  };
+  for (const auto &[app, model] : ports) {
+    const auto report = silvervale::lintCodebase(corpus::make(app, model));
+    EXPECT_EQ(report.count(lint::Severity::Error), 0u)
+        << app << "/" << model << ":\n" << report.renderText();
+    EXPECT_EQ(report.count(lint::Severity::Warning), 0u)
+        << app << "/" << model << ":\n" << report.renderText();
+  }
+}
+
+TEST(LintDb, IndexStoresAndRoundTripsDiagnostics) {
+  // A seeded race in a synthetic codebase must survive index → serialise →
+  // deserialise, so lint results stored in a .svdb are trustworthy.
+  db::Codebase cb;
+  cb.app = "synthetic";
+  cb.model = "omp";
+  cb.addFile("race.cpp", R"(
+    int main() {
+      double a[4];
+      double t;
+      #pragma omp parallel for
+      for (int i = 0; i < 4; ++i) {
+        t = a[i];
+        a[i] = t;
+      }
+      return 0;
+    }
+  )");
+  db::CompileCommand cmd;
+  cmd.file = "race.cpp";
+  cmd.args = {"c++", "race.cpp"};
+  cb.commands.push_back(cmd);
+
+  db::IndexOptions opts;
+  opts.runLint = true;
+  const auto db = db::index(cb, opts).db;
+  ASSERT_EQ(db.units.size(), 1u);
+  ASSERT_FALSE(db.units[0].lint.empty());
+  EXPECT_EQ(db.units[0].lint[0].check, lint::Check::DataRace);
+  EXPECT_EQ(db.units[0].lint[0].symbol, "t");
+
+  const auto roundTrip = db::CodebaseDb::deserialise(db.serialise());
+  ASSERT_EQ(roundTrip.units.size(), 1u);
+  EXPECT_EQ(roundTrip.units[0].lint, db.units[0].lint);
+}
+
+TEST(LintDb, LintOffByDefault) {
+  db::Codebase cb;
+  cb.app = "synthetic";
+  cb.model = "serial";
+  cb.addFile("m.cpp", "int main() { return 0; }\n");
+  db::CompileCommand cmd;
+  cmd.file = "m.cpp";
+  cmd.args = {"c++", "m.cpp"};
+  cb.commands.push_back(cmd);
+  const auto db = db::index(cb).db;
+  ASSERT_EQ(db.units.size(), 1u);
+  EXPECT_TRUE(db.units[0].lint.empty());
+}

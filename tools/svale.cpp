@@ -11,11 +11,15 @@
 //   svale cascade <app>                     Φ cascade over the Table III platforms
 //   svale nav <app>                         Φ × TBMD navigation chart
 //   svale coupling <app> <model>            module-coupling report
+//   svale lint <app> <model> [--json]       parallel-semantics lint of a port
+//   svale lint-dir <dir> [--json]           lint a real on-disk codebase
 //   svale index-dir <dir> [-o out.svdb]     index a real on-disk codebase
 //                                           (needs <dir>/compile_commands.json)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <stdexcept>
 
 #include "db/diskload.hpp"
 #include "metrics/coupling.hpp"
@@ -37,6 +41,8 @@ int usage() {
       "  cascade <app>\n"
       "  nav <app>\n"
       "  coupling <app> <model>\n"
+      "  lint <app> <model> [--json]          parallel-semantics diagnostics\n"
+      "  lint-dir <dir> [--json]              lint an on-disk codebase\n"
       "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n");
   return 2;
@@ -58,18 +64,53 @@ struct Args {
   std::map<std::string, std::string> flags; ///< "--x v" and bare "--x" -> "1"
 };
 
+/// A malformed command line: unknown flag, missing value, and friends.
+/// Distinct from ParseError so main can show the usage text for it.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Flags that take a value vs. flags that are pure switches. Keeping the
+/// split explicit lets a value flag consume the next argument even when it
+/// starts with '-' (e.g. `--base -serial-variant`), and lets everything
+/// else that looks like a flag be rejected instead of silently becoming a
+/// positional or a bare switch.
+const std::set<std::string> kValueFlags = {"metric", "base", "out"};
+const std::set<std::string> kBareFlags = {"pp", "cov", "json"};
+
 Args parseArgs(int argc, char **argv, int first) {
   Args out;
   for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      if (i + 1 < argc && argv[i + 1][0] != '-') out.flags[a.substr(2)] = argv[++i];
-      else out.flags[a.substr(2)] = "1";
-    } else if (a == "-o" && i + 1 < argc) {
+    std::string a = argv[i];
+    if (a == "-o") {
+      if (i + 1 >= argc) throw UsageError("-o requires a value");
       out.flags["out"] = argv[++i];
-    } else {
-      out.positional.push_back(a);
+      continue;
     }
+    if (a.rfind("--", 0) == 0) {
+      std::string name = a.substr(2);
+      std::string value;
+      bool hasValue = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name.resize(eq);
+        hasValue = true;
+      }
+      if (kValueFlags.count(name)) {
+        if (!hasValue) {
+          if (i + 1 >= argc) throw UsageError("--" + name + " requires a value");
+          value = argv[++i];
+        }
+        out.flags[name] = std::move(value);
+      } else if (kBareFlags.count(name)) {
+        if (hasValue) throw UsageError("--" + name + " does not take a value");
+        out.flags[name] = "1";
+      } else {
+        throw UsageError("unknown flag: " + a);
+      }
+      continue;
+    }
+    out.positional.push_back(std::move(a));
   }
   return out;
 }
@@ -209,6 +250,26 @@ int cmdIndexDir(const Args &args) {
   return 0;
 }
 
+/// Print a lint report and map it to the exit code contract: non-zero iff
+/// at least one error-severity diagnostic was emitted.
+int reportLint(const lint::Report &report, bool asJson) {
+  if (asJson) std::printf("%s\n", json::write(report.toJson(), 2).c_str());
+  else std::printf("%s", report.renderText().c_str());
+  return report.hasErrors() ? 1 : 0;
+}
+
+int cmdLint(const Args &args) {
+  if (args.positional.size() < 2) return usage();
+  const auto cb = corpus::make(args.positional[0], args.positional[1]);
+  return reportLint(silvervale::lintCodebase(cb), args.flags.count("json") != 0);
+}
+
+int cmdLintDir(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto cb = db::loadFromDisk(args.positional[0]);
+  return reportLint(silvervale::lintCodebase(cb), args.flags.count("json") != 0);
+}
+
 int cmdCoupling(const Args &args) {
   if (args.positional.size() < 2) return usage();
   const auto dbv = db::index(corpus::make(args.positional[0], args.positional[1])).db;
@@ -234,7 +295,13 @@ int cmdCoupling(const Args &args) {
 int main(int argc, char **argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const auto args = parseArgs(argc, argv, 2);
+  Args args;
+  try {
+    args = parseArgs(argc, argv, 2);
+  } catch (const UsageError &e) {
+    std::fprintf(stderr, "svale: %s\n", e.what());
+    return usage();
+  }
   try {
     if (cmd == "list") return cmdList();
     if (cmd == "run") return cmdRun(args);
@@ -245,6 +312,8 @@ int main(int argc, char **argv) {
     if (cmd == "cascade") return cmdCascade(args);
     if (cmd == "nav") return cmdNav(args);
     if (cmd == "coupling") return cmdCoupling(args);
+    if (cmd == "lint") return cmdLint(args);
+    if (cmd == "lint-dir") return cmdLintDir(args);
     if (cmd == "index-dir") return cmdIndexDir(args);
   } catch (const std::exception &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
