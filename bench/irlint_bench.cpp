@@ -1,0 +1,103 @@
+// IR-tier lint cost benchmark: for every TeaLeaf port, times (a) the
+// lowering pass (parse + sema + ir::lower for every unit) and (b) the IR
+// checks themselves (lint::runIr: CFG + reaching-defs + liveness + the
+// transfer state machine) over the pre-lowered modules. Writes
+// BENCH_irlint.json (median of N >= 3 runs per port). The IR tier must stay
+// cheap relative to lowering so `svale lint --ir` and indexing with
+// runLint remain interactive.
+//
+// Usage: irlint_bench [--runs N] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "lint/irlint.hpp"
+#include "support/json.hpp"
+
+using namespace sv;
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 3;
+  std::string outFile = "BENCH_irlint.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
+  }
+  if (runs < 3) runs = 3; // median of >= 3 by contract
+
+  const std::string appName = "tealeaf";
+  json::Object report;
+  report.emplace("app", appName);
+  report.emplace("runs", json::Value(runs));
+  json::Object ports;
+
+  double totalLowerMs = 0;
+  double totalLintMs = 0;
+  for (const auto &model : corpus::modelsOf(appName)) {
+    const auto cb = corpus::make(appName, model);
+    std::vector<double> lowerTimes;
+    std::vector<double> lintTimes;
+    usize functions = 0;
+    usize diagCount = 0;
+    for (usize r = 0; r < runs; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      const auto units = db::lowerUnits(cb);
+      lowerTimes.push_back(msSince(start));
+
+      functions = 0;
+      diagCount = 0;
+      start = std::chrono::steady_clock::now();
+      for (const auto &u : units) {
+        functions += u.module.functions.size();
+        diagCount += lint::runIr(u.module).size();
+      }
+      lintTimes.push_back(msSince(start));
+    }
+    const double lowerMs = median(lowerTimes);
+    const double lintMs = median(lintTimes);
+    totalLowerMs += lowerMs;
+    totalLintMs += lintMs;
+    std::printf("  %-12s lower %8.2f ms   irlint %7.2f ms   fns: %3zu   diagnostics: %zu\n",
+                model.c_str(), lowerMs, lintMs, functions, diagCount);
+    json::Object cell;
+    cell.emplace("lower_median_ms", json::Value(lowerMs));
+    cell.emplace("irlint_median_ms", json::Value(lintMs));
+    cell.emplace("functions", json::Value(functions));
+    cell.emplace("diagnostics", json::Value(diagCount));
+    ports.emplace(model, json::Value(std::move(cell)));
+  }
+  report.emplace("ports", json::Value(std::move(ports)));
+  report.emplace("total_lower_ms", json::Value(totalLowerMs));
+  report.emplace("total_irlint_ms", json::Value(totalLintMs));
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (lower %.2f ms + irlint %.2f ms across %s ports)\n",
+              outFile.c_str(), totalLowerMs, totalLintMs, appName.c_str());
+  return 0;
+}

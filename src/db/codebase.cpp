@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ir/irtree.hpp"
+#include "lint/irlint.hpp"
 #include "minic/inliner.hpp"
 #include "minic/lexer.hpp"
 #include "minic/parser.hpp"
@@ -149,6 +150,10 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
   ir::LowerOptions lowOpts;
   lowOpts.model = modelFromCommand(cmd);
   const auto module = ir::lower(tu, lowOpts);
+  if (options.runLint) {
+    auto irDiags = lint::runIr(module);
+    unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
+  }
   auto irTree = ir::buildIrTree(module);
   // Mask functions/globals defined in system headers out of T_ir.
   unit.tir = irTree.pruneWhere([&](const tree::Node &n) {
@@ -189,7 +194,12 @@ UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd,
 
   ir::LowerOptions lowOpts;
   lowOpts.model = modelFromCommand(cmd);
-  unit.tir = ir::buildIrTree(ir::lower(tu, lowOpts));
+  const auto module = ir::lower(tu, lowOpts);
+  if (options.runLint) {
+    auto irDiags = lint::runIr(module);
+    unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
+  }
+  unit.tir = ir::buildIrTree(module);
   return unit;
 }
 
@@ -242,6 +252,7 @@ std::vector<ParsedUnit> parseUnits(const Codebase &codebase) {
     SV_CHECK(fileId.has_value(), "parseUnits: unknown file " + cmd.file);
     ParsedUnit u;
     u.file = cmd.file;
+    u.model = modelFromCommand(cmd);
     if (isFortranFile(cmd.file)) {
       u.fortran = true;
       u.tu = minif::parseFortran(
@@ -256,6 +267,20 @@ std::vector<ParsedUnit> parseUnits(const Codebase &codebase) {
       u.tu.includes = pp.includes;
       minic::analyse(u.tu);
     }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+std::vector<LoweredUnit> lowerUnits(const Codebase &codebase) {
+  std::vector<LoweredUnit> out;
+  for (auto &parsed : parseUnits(codebase)) {
+    LoweredUnit u;
+    u.file = parsed.file;
+    u.model = parsed.model;
+    ir::LowerOptions lowOpts;
+    lowOpts.model = parsed.model;
+    u.module = ir::lower(parsed.tu, lowOpts);
     out.push_back(std::move(u));
   }
   return out;

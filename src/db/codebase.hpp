@@ -77,10 +77,11 @@ struct IndexOptions {
   /// Execute the program in the VM and record line coverage. The entry
   /// point is "main" (or the Fortran program unit); all TUs are linked.
   bool runCoverage = false;
-  /// Run the parallel-semantics linter over each unit's sema'd AST and
-  /// store the diagnostics in UnitEntry::lint. Off by default so the
-  /// divergence hot path does not pay for it (bench/lint_bench.cpp tracks
-  /// the cost).
+  /// Run both lint tiers per unit — the parallel-semantics checks over the
+  /// sema'd AST (lint::run) and the CFG/dataflow checks over the lowered IR
+  /// (lint::runIr) — and store the diagnostics in UnitEntry::lint. Off by
+  /// default so the divergence hot path does not pay for it
+  /// (bench/lint_bench.cpp and bench/irlint_bench.cpp track the cost).
   bool runLint = false;
   vm::RunOptions vmOptions;
 };
@@ -105,10 +106,22 @@ struct IndexResult {
 struct ParsedUnit {
   std::string file;
   bool fortran = false;
+  ir::Model model = ir::Model::Serial; ///< from the unit's compile flags
   lang::ast::TranslationUnit tu;
 };
 
 /// Run the frontend over every compile command of `codebase`.
 [[nodiscard]] std::vector<ParsedUnit> parseUnits(const Codebase &codebase);
+
+/// One translation unit through frontend + backend lowering — the input of
+/// the IR-tier consumers (ir::verify gate, lint::runIr, the IR lint bench).
+struct LoweredUnit {
+  std::string file;
+  ir::Model model = ir::Model::Serial;
+  ir::Module module;
+};
+
+/// Parse and lower every compile command of `codebase`.
+[[nodiscard]] std::vector<LoweredUnit> lowerUnits(const Codebase &codebase);
 
 } // namespace sv::db

@@ -1,0 +1,103 @@
+#include "ir/cfg.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace sv::ir {
+
+bool isTerminator(const Instr &in) {
+  return in.op == "br" || in.op == "condbr" || in.op == "ret";
+}
+
+std::optional<u32> Cfg::blockOf(const std::string &name) const {
+  if (!function) return std::nullopt;
+  for (usize i = 0; i < function->blocks.size(); ++i)
+    if (function->blocks[i].name == name) return static_cast<u32>(i);
+  return std::nullopt;
+}
+
+Cfg buildCfg(const Function &fn) {
+  Cfg cfg;
+  cfg.function = &fn;
+  const usize n = fn.blocks.size();
+  cfg.succs.assign(n, {});
+  cfg.preds.assign(n, {});
+  cfg.reachable.assign(n, false);
+  cfg.terminator.assign(n, Cfg::npos);
+
+  std::map<std::string, u32> byName;
+  for (usize i = 0; i < n; ++i) byName.emplace(fn.blocks[i].name, static_cast<u32>(i));
+
+  const auto addEdge = [&](u32 from, u32 to) {
+    // Keep edges unique so condbr with duplicate targets stays a simple graph.
+    for (const u32 s : cfg.succs[from])
+      if (s == to) return;
+    cfg.succs[from].push_back(to);
+    cfg.preds[to].push_back(from);
+  };
+
+  for (usize b = 0; b < n; ++b) {
+    const auto &instrs = fn.blocks[b].instrs;
+    usize term = Cfg::npos;
+    for (usize i = 0; i < instrs.size(); ++i) {
+      if (isTerminator(instrs[i])) {
+        term = i;
+        break;
+      }
+    }
+    cfg.terminator[b] = term;
+    if (term == Cfg::npos) {
+      // Fall-through into the next block in layout order.
+      if (b + 1 < n) addEdge(static_cast<u32>(b), static_cast<u32>(b + 1));
+      else cfg.exits.push_back(static_cast<u32>(b));
+      continue;
+    }
+    const auto &t = instrs[term];
+    if (t.op == "ret") {
+      cfg.exits.push_back(static_cast<u32>(b));
+      continue;
+    }
+    // br / condbr: every label operand is a successor (handles multi-way
+    // branches uniformly).
+    for (const auto &op : t.operands) {
+      if (!str::startsWith(op, "label:")) continue;
+      const auto it = byName.find(op.substr(6));
+      if (it == byName.end()) continue; // unresolved target; verify reports it
+      addEdge(static_cast<u32>(b), it->second);
+    }
+  }
+
+  // Reachability + post-order via iterative DFS from the entry.
+  if (n > 0) {
+    std::vector<u32> postOrder;
+    std::vector<std::pair<u32, usize>> stack{{0, 0}};
+    cfg.reachable[0] = true;
+    while (!stack.empty()) {
+      auto &[b, next] = stack.back();
+      if (next < cfg.succs[b].size()) {
+        const u32 s = cfg.succs[b][next++];
+        if (!cfg.reachable[s]) {
+          cfg.reachable[s] = true;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        postOrder.push_back(b);
+        stack.pop_back();
+      }
+    }
+    cfg.rpo.assign(postOrder.rbegin(), postOrder.rend());
+    for (usize b = 0; b < n; ++b)
+      if (!cfg.reachable[b]) cfg.rpo.push_back(static_cast<u32>(b));
+  }
+  return cfg;
+}
+
+std::vector<u32> unreachableBlocks(const Cfg &cfg) {
+  std::vector<u32> out;
+  for (usize b = 0; b < cfg.size(); ++b)
+    if (!cfg.reachable[b]) out.push_back(static_cast<u32>(b));
+  return out;
+}
+
+} // namespace sv::ir

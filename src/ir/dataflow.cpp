@@ -1,0 +1,193 @@
+#include "ir/dataflow.hpp"
+
+namespace sv::ir {
+
+namespace {
+
+/// Memory key for a slot address operand.
+std::string memKey(const std::string &addr) { return "mem:" + addr; }
+
+} // namespace
+
+// ------------------------------------------------------------ framework --
+
+DataflowSolution solve(const Cfg &cfg, const DataflowProblem &problem) {
+  const usize n = cfg.size();
+  DataflowSolution sol;
+  sol.in.assign(n, BitSet(problem.numFacts));
+  sol.out.assign(n, BitSet(problem.numFacts));
+  if (n == 0) return sol;
+
+  const bool forward = problem.direction == Direction::Forward;
+
+  // "Before" = the meet input (IN for forward, OUT for backward);
+  // "after" = transfer output. Stored so in/out keep execution-order naming.
+  auto &before = forward ? sol.in : sol.out;
+  auto &after = forward ? sol.out : sol.in;
+
+  if (forward) {
+    before[0].unionWith(problem.boundary);
+  } else {
+    for (const u32 e : cfg.exits) before[e].unionWith(problem.boundary);
+  }
+
+  // Iterate in (reverse) post-order until stable; union meet converges fast.
+  std::vector<u32> order = cfg.rpo;
+  if (!forward) std::vector<u32>(order.rbegin(), order.rend()).swap(order);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const u32 b : order) {
+      const auto &meetEdges = forward ? cfg.preds[b] : cfg.succs[b];
+      for (const u32 p : meetEdges) before[b].unionWith(after[p]);
+      BitSet next = before[b];
+      next.transfer(problem.gen[b], problem.kill[b]);
+      if (!(next == after[b])) {
+        after[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return sol;
+}
+
+// -------------------------------------------------------- tracked slots --
+
+std::set<std::string> trackedSlots(const Function &fn) {
+  std::set<std::string> slots;
+  for (const auto &b : fn.blocks)
+    for (const auto &in : b.instrs)
+      if (in.op == "alloca" && in.operands.empty() && !in.result.empty())
+        slots.insert(in.result); // sized allocas (stack arrays) are element
+                                 // storage, accessed through geps — skip them
+  for (const auto &b : fn.blocks) {
+    for (const auto &in : b.instrs) {
+      for (usize i = 0; i < in.operands.size(); ++i) {
+        const auto &op = in.operands[i];
+        if (!slots.count(op)) continue;
+        const bool loadAddr = in.op == "load" && i == 0;
+        const bool storeAddr = in.op == "store" && i == 1;
+        if (!loadAddr && !storeAddr) slots.erase(op); // address escapes
+      }
+    }
+  }
+  return slots;
+}
+
+// ------------------------------------------------- reaching definitions --
+
+ReachingDefs computeReachingDefs(const Function &fn, const Cfg &cfg,
+                                 const std::set<std::string> &slots) {
+  ReachingDefs rd;
+  const usize n = fn.blocks.size();
+  rd.instrDefs.resize(n);
+
+  const auto internValue = [&](const std::string &key) {
+    const auto [it, inserted] = rd.valueIds.emplace(key, static_cast<u32>(rd.valueIds.size()));
+    if (inserted) rd.defsOfValue.emplace_back();
+    return it->second;
+  };
+  const auto addDef = [&](u32 block, i32 instr, u32 value, bool uninit) {
+    const u32 fact = static_cast<u32>(rd.defs.size());
+    rd.defs.push_back({block, instr, value, uninit});
+    rd.defsOfValue[value].push_back(fact);
+    if (instr >= 0) rd.instrDefs[block][static_cast<usize>(instr)].push_back(fact);
+    return fact;
+  };
+
+  for (usize b = 0; b < n; ++b) {
+    const auto &instrs = fn.blocks[b].instrs;
+    rd.instrDefs[b].resize(instrs.size());
+    for (usize i = 0; i < instrs.size(); ++i) {
+      const auto &in = instrs[i];
+      if (!in.result.empty()) {
+        const u32 v = internValue(in.result);
+        addDef(static_cast<u32>(b), static_cast<i32>(i), v, false);
+        // The alloca of a tracked slot also "defines" its memory as
+        // uninitialised until the first store kills the pseudo def.
+        if (in.op == "alloca" && slots.count(in.result)) {
+          const u32 m = internValue(memKey(in.result));
+          addDef(static_cast<u32>(b), static_cast<i32>(i), m, true);
+        }
+      }
+      if (in.op == "store" && in.operands.size() >= 2 && slots.count(in.operands[1])) {
+        const u32 m = internValue(memKey(in.operands[1]));
+        addDef(static_cast<u32>(b), static_cast<i32>(i), m, false);
+      }
+    }
+  }
+
+  // Per-block gen/kill: last def of each value generates; any def kills the
+  // value's other defs.
+  DataflowProblem p;
+  p.direction = Direction::Forward;
+  p.numFacts = rd.defs.size();
+  p.boundary = BitSet(p.numFacts);
+  p.gen.assign(n, BitSet(p.numFacts));
+  p.kill.assign(n, BitSet(p.numFacts));
+  for (usize b = 0; b < n; ++b) {
+    BitSet cur(p.numFacts);
+    for (usize i = 0; i < rd.instrDefs[b].size(); ++i) {
+      for (const u32 fact : rd.instrDefs[b][i]) {
+        for (const u32 other : rd.defsOfValue[rd.defs[fact].value]) {
+          cur.reset(other);
+          if (other != fact) p.kill[b].set(other);
+        }
+        cur.set(fact);
+      }
+    }
+    p.gen[b] = cur;
+  }
+  rd.solution = solve(cfg, p);
+  return rd;
+}
+
+void ReachingDefs::step(BitSet &facts, u32 block, usize instr) const {
+  for (const u32 fact : instrDefs[block][instr]) {
+    for (const u32 other : defsOfValue[defs[fact].value]) facts.reset(other);
+    facts.set(fact);
+  }
+}
+
+// ------------------------------------------------------------- liveness --
+
+Liveness computeLiveness(const Function &fn, const Cfg &cfg,
+                         const std::set<std::string> &slots) {
+  Liveness lv;
+  for (const auto &s : slots) lv.slotIds.emplace(s, static_cast<u32>(lv.slotIds.size()));
+
+  const usize n = fn.blocks.size();
+  DataflowProblem p;
+  p.direction = Direction::Backward;
+  p.numFacts = lv.slotIds.size();
+  p.boundary = BitSet(p.numFacts);
+  p.gen.assign(n, BitSet(p.numFacts));
+  p.kill.assign(n, BitSet(p.numFacts));
+
+  for (usize b = 0; b < n; ++b) {
+    const auto &instrs = fn.blocks[b].instrs;
+    // Walk in reverse so the entry processed last — the block's *first*
+    // access in execution order — decides whether the slot is gen or kill.
+    for (auto it = instrs.rbegin(); it != instrs.rend(); ++it) {
+      const auto &in = *it;
+      if (in.op == "load" && !in.operands.empty()) {
+        const auto sid = lv.slotIds.find(in.operands[0]);
+        if (sid != lv.slotIds.end()) {
+          p.gen[b].set(sid->second);
+          p.kill[b].reset(sid->second);
+        }
+      } else if (in.op == "store" && in.operands.size() >= 2) {
+        const auto sid = lv.slotIds.find(in.operands[1]);
+        if (sid != lv.slotIds.end()) {
+          p.kill[b].set(sid->second);
+          p.gen[b].reset(sid->second);
+        }
+      }
+    }
+  }
+  lv.solution = solve(cfg, p);
+  return lv;
+}
+
+} // namespace sv::ir

@@ -1,0 +1,133 @@
+// Generic worklist dataflow over the CFG: gen/kill bitsets per block with a
+// union meet, solved forward or backward to a fixpoint, plus the two
+// instances the IR lint tier consumes — reaching definitions (over interned
+// temp values and non-escaping memory slots, with an "uninitialised" pseudo
+// definition per slot) and slot liveness (for dead-store detection).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/cfg.hpp"
+
+namespace sv::ir {
+
+// --------------------------------------------------------------- bitset --
+
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(usize bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void set(usize i) { words_[i >> 6] |= u64{1} << (i & 63); }
+  void reset(usize i) { words_[i >> 6] &= ~(u64{1} << (i & 63)); }
+  [[nodiscard]] bool test(usize i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  [[nodiscard]] usize size() const { return bits_; }
+
+  /// this |= other. Returns true when any bit changed.
+  bool unionWith(const BitSet &other) {
+    bool changed = false;
+    for (usize w = 0; w < words_.size(); ++w) {
+      const u64 merged = words_[w] | other.words_[w];
+      if (merged != words_[w]) {
+        words_[w] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// this = (this & ~kill) | gen — the canonical block transfer.
+  void transfer(const BitSet &gen, const BitSet &kill) {
+    for (usize w = 0; w < words_.size(); ++w)
+      words_[w] = (words_[w] & ~kill.words_[w]) | gen.words_[w];
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const u64 w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool operator==(const BitSet &) const = default;
+
+private:
+  usize bits_ = 0;
+  std::vector<u64> words_;
+};
+
+// ------------------------------------------------------------ framework --
+
+enum class Direction { Forward, Backward };
+
+/// A gen/kill problem with union meet (a "may" analysis).
+struct DataflowProblem {
+  Direction direction = Direction::Forward;
+  usize numFacts = 0;
+  std::vector<BitSet> gen;  ///< per block
+  std::vector<BitSet> kill; ///< per block
+  /// Boundary facts: IN[entry] for forward, OUT[exit] for backward.
+  BitSet boundary;
+};
+
+struct DataflowSolution {
+  std::vector<BitSet> in;  ///< facts before the block (in execution order)
+  std::vector<BitSet> out; ///< facts after the block
+};
+
+/// Iterate to a fixpoint over the CFG (worklist seeded in reverse post-order
+/// for forward problems, post-order for backward ones).
+[[nodiscard]] DataflowSolution solve(const Cfg &cfg, const DataflowProblem &problem);
+
+// ------------------------------------------------- reaching definitions --
+
+/// Tracked memory slots of a function: results of `alloca` whose address is
+/// only ever used as the address operand of a load or store. A slot whose
+/// address escapes (into a call, a getelementptr, a stored value, ...) may
+/// be written through the alias, so neither the uninitialised-use nor the
+/// dead-store check can reason about it.
+[[nodiscard]] std::set<std::string> trackedSlots(const Function &fn);
+
+struct ReachingDefs {
+  struct Def {
+    u32 block = 0;
+    i32 instr = -1;     ///< -1 for the per-slot "uninitialised" pseudo def
+    u32 value = 0;      ///< interned value id
+    bool uninit = false;
+  };
+
+  std::vector<Def> defs;                    ///< fact index -> definition site
+  std::map<std::string, u32> valueIds;      ///< "%N" / "mem:%N" -> value id
+  std::vector<std::vector<u32>> defsOfValue; ///< value id -> fact indices
+  std::vector<std::vector<std::vector<u32>>> instrDefs; ///< block -> instr -> facts
+  DataflowSolution solution;
+
+  [[nodiscard]] u32 idOf(const std::string &key) const {
+    const auto it = valueIds.find(key);
+    return it == valueIds.end() ? static_cast<u32>(-1) : it->second;
+  }
+
+  /// Apply one instruction's gen/kill to `facts` (for in-block stepping).
+  void step(BitSet &facts, u32 block, usize instr) const;
+};
+
+/// Definitions: every instruction result `%N` (key "%N"), every store to a
+/// tracked slot (key "mem:%N"), and one uninitialised pseudo def per slot,
+/// generated at its alloca.
+[[nodiscard]] ReachingDefs computeReachingDefs(const Function &fn, const Cfg &cfg,
+                                               const std::set<std::string> &slots);
+
+// ------------------------------------------------------------- liveness --
+
+struct Liveness {
+  std::map<std::string, u32> slotIds; ///< tracked slot -> fact index
+  DataflowSolution solution;          ///< backward: in = live-in, out = live-out
+};
+
+/// Slot liveness: a load of a slot generates, a store kills.
+[[nodiscard]] Liveness computeLiveness(const Function &fn, const Cfg &cfg,
+                                       const std::set<std::string> &slots);
+
+} // namespace sv::ir

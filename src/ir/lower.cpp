@@ -94,10 +94,21 @@ public:
     fn_.blocks.back().instrs.push_back(in);
   }
 
+  /// Reserve a unique block name without switching the insertion point —
+  /// lets branches reference their targets before the blocks exist, so
+  /// every `label:` operand resolves to a real block (ir::verify relies on
+  /// this, and the CFG builder derives its edges from it).
+  std::string nameBlock(const std::string &hint) {
+    return hint + "." + std::to_string(nextBlock_++);
+  }
+
+  /// Begin appending into a (previously named) new block.
+  void startBlock(std::string name) { fn_.blocks.push_back(Block{std::move(name), {}}); }
+
   std::string newBlock(const std::string &hint) {
-    const std::string name = hint + "." + std::to_string(nextBlock_++);
-    fn_.blocks.push_back(Block{name, {}});
-    return name;
+    auto name = nameBlock(hint);
+    startBlock(name);
+    return fn_.blocks.back().name;
   }
 
   // ------------------------------------------------------------- values --
@@ -121,6 +132,13 @@ private:
   Function &fn_;
   usize nextValue_ = 0;
   usize nextBlock_ = 0;
+
+  /// Innermost-loop branch targets for break/continue.
+  struct LoopTargets {
+    std::string breakTo;
+    std::string continueTo;
+  };
+  std::vector<LoopTargets> loops_;
 
   void lowerDirective(const Stmt &s);
 };
@@ -629,76 +647,113 @@ void FunctionLowerer::lowerStmt(const Stmt &s) {
   }
   case StmtKind::If: {
     const auto c = lowerExpr(*s.cond);
-    emitVoid("condbr", "i1", {c, "label:if.then", "label:if.end"}, s.loc.file, s.loc.line);
-    newBlock("if.then");
+    const bool hasElse = s.children.size() > 1;
+    const auto thenB = nameBlock("if.then");
+    const auto elseB = hasElse ? nameBlock("if.else") : std::string();
+    const auto endB = nameBlock("if.end");
+    emitVoid("condbr", "i1", {c, "label:" + thenB, "label:" + (hasElse ? elseB : endB)},
+             s.loc.file, s.loc.line);
+    startBlock(thenB);
     lowerStmt(*s.children[0]);
-    emitVoid("br", "void", {"label:if.end"});
-    if (s.children.size() > 1) {
-      newBlock("if.else");
+    emitVoid("br", "void", {"label:" + endB});
+    if (hasElse) {
+      startBlock(elseB);
       lowerStmt(*s.children[1]);
-      emitVoid("br", "void", {"label:if.end"});
+      emitVoid("br", "void", {"label:" + endB});
     }
-    newBlock("if.end");
+    startBlock(endB);
     break;
   }
   case StmtKind::For: {
     if (s.init) lowerStmt(*s.init);
-    newBlock("for.cond");
+    const auto condB = nameBlock("for.cond");
+    const auto bodyB = nameBlock("for.body");
+    const auto incB = nameBlock("for.inc");
+    const auto endB = nameBlock("for.end");
+    startBlock(condB);
     if (s.cond) {
       const auto c = lowerExpr(*s.cond);
-      emitVoid("condbr", "i1", {c, "label:for.body", "label:for.end"}, s.loc.file, s.loc.line);
+      emitVoid("condbr", "i1", {c, "label:" + bodyB, "label:" + endB}, s.loc.file, s.loc.line);
     }
-    newBlock("for.body");
+    startBlock(bodyB);
+    loops_.push_back({endB, incB});
     for (const auto &c : s.children) lowerStmt(*c);
-    newBlock("for.inc");
+    loops_.pop_back();
+    startBlock(incB);
     if (s.step) (void)lowerExpr(*s.step);
-    emitVoid("br", "void", {"label:for.cond"});
-    newBlock("for.end");
+    emitVoid("br", "void", {"label:" + condB});
+    startBlock(endB);
     break;
   }
   case StmtKind::ForRange: {
-    const auto slot = emit("alloca", "i32", {});
+    const auto slot = emit("alloca", "i32", {}, "", s.loc.file, s.loc.line);
     locals_[s.loopVar] = {slot, "i32"};
     if (s.cond) {
       const auto lo = lowerExpr(*s.cond);
-      emitVoid("store", "i32", {lo, slot});
+      emitVoid("store", "i32", {lo, slot}, s.loc.file, s.loc.line);
     }
-    newBlock("do.cond");
+    const auto condB = nameBlock("do.cond");
+    const auto bodyB = nameBlock("do.body");
+    const auto endB = nameBlock("do.end");
+    startBlock(condB);
     if (s.step) {
       const auto hi = lowerExpr(*s.step);
-      const auto cur = emit("load", "i32", {slot});
-      const auto cmp = emit("icmp", "i1", {"le", cur, hi});
-      emitVoid("condbr", "i1", {cmp, "label:do.body", "label:do.end"});
+      const auto cur = emit("load", "i32", {slot}, "", s.loc.file, s.loc.line);
+      const auto cmp = emit("icmp", "i1", {"le", cur, hi}, "", s.loc.file, s.loc.line);
+      emitVoid("condbr", "i1", {cmp, "label:" + bodyB, "label:" + endB}, s.loc.file, s.loc.line);
     }
-    newBlock("do.body");
+    startBlock(bodyB);
+    loops_.push_back({endB, condB});
     for (const auto &c : s.children) lowerStmt(*c);
-    const auto cur = emit("load", "i32", {slot});
-    const auto next = emit("add", "i32", {cur, "const:1"});
-    emitVoid("store", "i32", {next, slot});
-    emitVoid("br", "void", {"label:do.cond"});
-    newBlock("do.end");
+    loops_.pop_back();
+    const auto cur = emit("load", "i32", {slot}, "", s.loc.file, s.loc.line);
+    const auto next = emit("add", "i32", {cur, "const:1"}, "", s.loc.file, s.loc.line);
+    emitVoid("store", "i32", {next, slot}, s.loc.file, s.loc.line);
+    emitVoid("br", "void", {"label:" + condB});
+    startBlock(endB);
     break;
   }
   case StmtKind::While: {
-    newBlock("while.cond");
+    const auto condB = nameBlock("while.cond");
+    const auto bodyB = nameBlock("while.body");
+    const auto endB = nameBlock("while.end");
+    startBlock(condB);
     const auto c = lowerExpr(*s.cond);
-    emitVoid("condbr", "i1", {c, "label:while.body", "label:while.end"});
-    newBlock("while.body");
+    emitVoid("condbr", "i1", {c, "label:" + bodyB, "label:" + endB}, s.loc.file, s.loc.line);
+    startBlock(bodyB);
+    loops_.push_back({endB, condB});
     for (const auto &ch : s.children) lowerStmt(*ch);
-    emitVoid("br", "void", {"label:while.cond"});
-    newBlock("while.end");
+    loops_.pop_back();
+    emitVoid("br", "void", {"label:" + condB});
+    startBlock(endB);
     break;
   }
   case StmtKind::DoWhile: {
-    newBlock("do.body");
+    const auto bodyB = nameBlock("do.body");
+    const auto endB = nameBlock("do.end");
+    startBlock(bodyB);
+    loops_.push_back({endB, bodyB});
     for (const auto &ch : s.children) lowerStmt(*ch);
+    loops_.pop_back();
     const auto c = lowerExpr(*s.cond);
-    emitVoid("condbr", "i1", {c, "label:do.body", "label:do.end"});
-    newBlock("do.end");
+    emitVoid("condbr", "i1", {c, "label:" + bodyB, "label:" + endB}, s.loc.file, s.loc.line);
+    startBlock(endB);
     break;
   }
-  case StmtKind::Break: emitVoid("br", "void", {"label:loop.end"}); break;
-  case StmtKind::Continue: emitVoid("br", "void", {"label:loop.inc"}); break;
+  case StmtKind::Break:
+    // Outside a loop the target stays symbolic and ir::verify reports it —
+    // that is malformed input, not a lowering bug.
+    emitVoid("br", "void",
+             {"label:" + (loops_.empty() ? std::string("loop.end") : loops_.back().breakTo)},
+             s.loc.file, s.loc.line);
+    newBlock("post.break");
+    break;
+  case StmtKind::Continue:
+    emitVoid("br", "void",
+             {"label:" + (loops_.empty() ? std::string("loop.inc") : loops_.back().continueTo)},
+             s.loc.file, s.loc.line);
+    newBlock("post.continue");
+    break;
   case StmtKind::Directive: lowerDirective(s); break;
   case StmtKind::ArrayAssign: {
     if (s.cond) (void)lowerExpr(*s.cond);

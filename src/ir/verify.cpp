@@ -1,0 +1,86 @@
+#include "ir/verify.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace sv::ir {
+
+namespace {
+
+bool isVoidLike(const std::string &op) {
+  return op == "store" || op == "br" || op == "condbr" || op == "ret";
+}
+
+void verifyFunction(const Function &fn, std::vector<VerifyIssue> &issues) {
+  const auto issue = [&](std::string msg) { issues.push_back({fn.name, std::move(msg)}); };
+
+  std::set<std::string> blockNames;
+  for (const auto &b : fn.blocks) {
+    if (b.name.empty()) issue("unnamed basic block");
+    if (!blockNames.insert(b.name).second) issue("duplicate block name '" + b.name + "'");
+  }
+
+  std::set<std::string> results;
+  for (const auto &b : fn.blocks) {
+    for (const auto &in : b.instrs) {
+      if (in.result.empty()) continue;
+      if (!str::startsWith(in.result, "%"))
+        issue("result '" + in.result + "' of " + in.op + " is not a local value");
+      if (!results.insert(in.result).second)
+        issue("result " + in.result + " defined more than once");
+    }
+  }
+
+  for (const auto &b : fn.blocks) {
+    for (const auto &in : b.instrs) {
+      // Result arity.
+      if (isVoidLike(in.op)) {
+        if (!in.result.empty())
+          issue(in.op + " in '" + b.name + "' must not produce a result");
+      } else if (in.type != "void" && in.op != "call" && in.result.empty()) {
+        issue("non-void " + in.op + " in '" + b.name + "' has no result");
+      }
+
+      // Operand references.
+      usize labels = 0;
+      for (const auto &op : in.operands) {
+        if (str::startsWith(op, "label:")) {
+          ++labels;
+          if (!blockNames.count(op.substr(6)))
+            issue(in.op + " in '" + b.name + "' targets unknown block '" + op.substr(6) + "'");
+        } else if (str::startsWith(op, "%") && !results.count(op)) {
+          issue(in.op + " in '" + b.name + "' uses undefined value " + op);
+        }
+      }
+
+      // Branch shapes.
+      if (in.op == "br" && (labels != 1 || in.operands.size() != 1))
+        issue("br in '" + b.name + "' must have exactly one label operand");
+      if (in.op == "condbr" && (labels < 2 || in.operands.size() < 3 ||
+                                str::startsWith(in.operands[0], "label:")))
+        issue("condbr in '" + b.name + "' needs a condition and at least two labels");
+    }
+  }
+}
+
+} // namespace
+
+std::vector<VerifyIssue> verify(const Module &m) {
+  std::vector<VerifyIssue> issues;
+  for (const auto &fn : m.functions) verifyFunction(fn, issues);
+  return issues;
+}
+
+std::string renderIssues(const std::vector<VerifyIssue> &issues) {
+  std::string out;
+  for (const auto &i : issues) {
+    out += i.function.empty() ? std::string("<module>") : i.function;
+    out += ": ";
+    out += i.message;
+    out += "\n";
+  }
+  return out;
+}
+
+} // namespace sv::ir

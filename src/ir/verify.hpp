@@ -1,0 +1,34 @@
+// IR well-formedness checker: the invariants every module out of ir::lower
+// must satisfy before the CFG/dataflow tier can analyse it. Distinct from
+// lint::runIr — a verify failure is a lowering bug (or a hand-built test
+// module), not a defect in the analysed program.
+//
+//   - block names are unique per function and every `label:` operand
+//     resolves to a block of the same function
+//   - every `%N` result is unique per function, and every `%N` operand
+//     references a result defined somewhere in the function
+//   - terminators (store/br/condbr/ret) carry no result; non-void
+//     instructions other than store/br/condbr/ret/call carry one
+//   - `br` has exactly one label operand; `condbr` has a condition plus at
+//     least two labels
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace sv::ir {
+
+struct VerifyIssue {
+  std::string function; ///< enclosing function name ("" for module scope)
+  std::string message;
+};
+
+/// Check every function of the module; empty result means well-formed.
+[[nodiscard]] std::vector<VerifyIssue> verify(const Module &m);
+
+/// One issue per line, "function: message" — for test failure output.
+[[nodiscard]] std::string renderIssues(const std::vector<VerifyIssue> &issues);
+
+} // namespace sv::ir

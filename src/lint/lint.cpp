@@ -737,6 +737,10 @@ const char *name(Check c) {
   case Check::OffloadMapping: return "offload-mapping";
   case Check::DirectiveNesting: return "directive-nesting";
   case Check::UnusedPrivate: return "unused-private";
+  case Check::UninitUse: return "uninit-use";
+  case Check::DeadStore: return "dead-store";
+  case Check::UnreachableBlock: return "unreachable-block";
+  case Check::DeviceTransfer: return "device-transfer";
   }
   return "?";
 }

@@ -39,11 +39,17 @@ namespace sv::lint {
 
 enum class Severity : u8 { Note = 0, Warning = 1, Error = 2 };
 enum class Check : u8 {
+  // AST tier (lint::run).
   DataRace = 0,
   ReductionMisuse = 1,
   OffloadMapping = 2,
   DirectiveNesting = 3,
   UnusedPrivate = 4,
+  // IR tier (lint::runIr, see lint/irlint.hpp).
+  UninitUse = 5,
+  DeadStore = 6,
+  UnreachableBlock = 7,
+  DeviceTransfer = 8,
 };
 
 [[nodiscard]] const char *name(Severity s);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/cost.hpp"
+#include "lint/irlint.hpp"
 #include "support/parallel.hpp"
 
 namespace sv::silvervale {
@@ -19,7 +20,7 @@ std::vector<std::string> IndexedApp::modelNames() const {
   return out;
 }
 
-lint::Report lintCodebase(const db::Codebase &codebase) {
+lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &options) {
   lint::Report report;
   report.app = codebase.app;
   report.model = codebase.model;
@@ -27,6 +28,12 @@ lint::Report lintCodebase(const db::Codebase &codebase) {
     lint::UnitReport unit;
     unit.file = parsed.file;
     unit.diags = lint::run(parsed.tu);
+    if (options.ir) {
+      ir::LowerOptions lowOpts;
+      lowOpts.model = parsed.model;
+      const auto irDiags = lint::runIr(ir::lower(parsed.tu, lowOpts));
+      unit.diags.insert(unit.diags.end(), irDiags.begin(), irDiags.end());
+    }
     report.units.push_back(std::move(unit));
   }
   return report;

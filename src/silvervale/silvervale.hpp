@@ -70,10 +70,19 @@ perfModels(const IndexedApp &app);
 /// against normalised T_sem / T_src divergence from the serial port.
 [[nodiscard]] std::vector<perf::NavPoint> navigationPoints(const IndexedApp &app);
 
-/// Run the parallel-semantics linter over every translation unit of a
-/// codebase (frontend only — no trees, no IR, no VM) and aggregate the
-/// diagnostics into a renderable report. Backs `svale lint` / `svale
-/// lint-dir` and the corpus-wide lint-clean regression test.
-[[nodiscard]] lint::Report lintCodebase(const db::Codebase &codebase);
+struct LintOptions {
+  /// Also lower each unit and run the IR-tier checks (lint::runIr): CFG +
+  /// dataflow over the backend module — uninitialised use, dead stores,
+  /// unreachable blocks, redundant/stale device transfers. Off by default:
+  /// the AST tier alone needs no lowering.
+  bool ir = false;
+};
+
+/// Run the linter over every translation unit of a codebase (frontend only
+/// unless `options.ir` adds the lowering pass — never trees or the VM) and
+/// aggregate the diagnostics into a renderable report. Backs `svale lint` /
+/// `svale lint-dir` and the corpus-wide lint-clean regression tests.
+[[nodiscard]] lint::Report lintCodebase(const db::Codebase &codebase,
+                                        const LintOptions &options = {});
 
 } // namespace sv::silvervale

@@ -1,0 +1,376 @@
+// CFG construction, the dataflow framework, and ir::verify over hand-built
+// and lowered modules — the edge cases the IR lint tier depends on: empty
+// blocks, fall-through into a labelled block, multi-way branches,
+// single-block functions, and unreachable-block detection.
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hpp"
+#include "ir/dataflow.hpp"
+#include "ir/lower.hpp"
+#include "ir/verify.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+using namespace sv;
+using namespace sv::ir;
+
+namespace {
+lang::SourceManager gSm;
+
+Module lowerSrc(const std::string &src, Model model = Model::Serial) {
+  auto tu = minic::parseTranslationUnit(minic::lex(src, 0), "t.cpp", gSm);
+  minic::analyse(tu);
+  LowerOptions opts;
+  opts.model = model;
+  return lower(tu, opts);
+}
+
+Instr instr(std::string op, std::string type, std::string result,
+            std::vector<std::string> operands) {
+  Instr in;
+  in.op = std::move(op);
+  in.type = std::move(type);
+  in.result = std::move(result);
+  in.operands = std::move(operands);
+  return in;
+}
+
+/// f: entry -> (a | b) -> end, plus an orphan block nothing targets.
+Function diamondWithOrphan() {
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back({"entry",
+                      {instr("icmp", "i1", "%0", {"lt", "const:1", "const:2"}),
+                       instr("condbr", "void", "", {"%0", "label:a", "label:b"})}});
+  f.blocks.push_back({"a", {instr("br", "void", "", {"label:end"})}});
+  f.blocks.push_back({"b", {instr("br", "void", "", {"label:end"})}});
+  f.blocks.push_back({"orphan", {instr("br", "void", "", {"label:end"})}});
+  f.blocks.push_back({"end", {instr("ret", "void", "", {})}});
+  return f;
+}
+} // namespace
+
+// ------------------------------------------------------------------ cfg --
+
+TEST(Cfg, DiamondEdgesAndOrphan) {
+  const auto f = diamondWithOrphan();
+  const auto cfg = buildCfg(f);
+  ASSERT_EQ(cfg.size(), 5u);
+  EXPECT_EQ(cfg.succs[0], (std::vector<u32>{1, 2}));
+  EXPECT_EQ(cfg.succs[1], (std::vector<u32>{4}));
+  EXPECT_EQ(cfg.succs[2], (std::vector<u32>{4}));
+  EXPECT_EQ(cfg.succs[3], (std::vector<u32>{4})); // orphan still has its edge
+  EXPECT_TRUE(cfg.succs[4].empty());
+  EXPECT_EQ(cfg.preds[4], (std::vector<u32>{1, 2, 3}));
+  EXPECT_TRUE(cfg.reachable[0]);
+  EXPECT_TRUE(cfg.reachable[4]);
+  EXPECT_FALSE(cfg.reachable[3]);
+  EXPECT_EQ(unreachableBlocks(cfg), (std::vector<u32>{3}));
+  EXPECT_EQ(cfg.exits, (std::vector<u32>{4}));
+}
+
+TEST(Cfg, FallThroughIntoLabelledBlock) {
+  // A block with no terminator falls through to the next block in layout
+  // order — exactly how the lowering leaves for.cond entered from entry.
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back({"entry", {instr("add", "i32", "%0", {"const:1", "const:2"})}});
+  f.blocks.push_back({"next", {instr("ret", "void", "", {})}});
+  const auto cfg = buildCfg(f);
+  EXPECT_EQ(cfg.succs[0], (std::vector<u32>{1}));
+  EXPECT_EQ(cfg.preds[1], (std::vector<u32>{0}));
+  EXPECT_TRUE(cfg.reachable[1]);
+}
+
+TEST(Cfg, EmptyBlockFallsThrough) {
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back({"entry", {}});
+  f.blocks.push_back({"mid", {}});
+  f.blocks.push_back({"end", {instr("ret", "void", "", {})}});
+  const auto cfg = buildCfg(f);
+  EXPECT_EQ(cfg.succs[0], (std::vector<u32>{1}));
+  EXPECT_EQ(cfg.succs[1], (std::vector<u32>{2}));
+  EXPECT_EQ(cfg.exits, (std::vector<u32>{2}));
+  for (usize b = 0; b < 3; ++b) EXPECT_TRUE(cfg.reachable[b]);
+}
+
+TEST(Cfg, SingleBlockFunction) {
+  Function f;
+  f.name = "@f";
+  f.returnType = "i32";
+  f.blocks.push_back({"entry", {instr("ret", "i32", "", {"const:0"})}});
+  const auto cfg = buildCfg(f);
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_TRUE(cfg.succs[0].empty());
+  EXPECT_EQ(cfg.exits, (std::vector<u32>{0}));
+  EXPECT_EQ(cfg.rpo, (std::vector<u32>{0}));
+}
+
+TEST(Cfg, LastBlockWithoutTerminatorIsAnExit) {
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back({"entry", {instr("add", "i32", "%0", {"const:1", "const:2"})}});
+  const auto cfg = buildCfg(f);
+  EXPECT_EQ(cfg.exits, (std::vector<u32>{0})); // falls off the end
+}
+
+TEST(Cfg, MultiWayBranchTakesAllLabels) {
+  // condbr with more than two labels (a switch-shaped terminator) edges to
+  // every target exactly once, even with duplicates.
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back(
+      {"entry", {instr("condbr", "void", "",
+                       {"const:1", "label:a", "label:b", "label:c", "label:a"})}});
+  f.blocks.push_back({"a", {instr("ret", "void", "", {})}});
+  f.blocks.push_back({"b", {instr("ret", "void", "", {})}});
+  f.blocks.push_back({"c", {instr("ret", "void", "", {})}});
+  const auto cfg = buildCfg(f);
+  EXPECT_EQ(cfg.succs[0], (std::vector<u32>{1, 2, 3}));
+  EXPECT_EQ(cfg.exits.size(), 3u);
+}
+
+TEST(Cfg, InstructionsAfterTerminatorContributeNoEdges) {
+  Function f;
+  f.name = "@f";
+  f.returnType = "void";
+  f.blocks.push_back({"entry",
+                      {instr("ret", "void", "", {}),
+                       instr("br", "void", "", {"label:dead"})}}); // dead tail
+  f.blocks.push_back({"dead", {instr("ret", "void", "", {})}});
+  const auto cfg = buildCfg(f);
+  EXPECT_TRUE(cfg.succs[0].empty());
+  EXPECT_FALSE(cfg.reachable[1]);
+  EXPECT_EQ(cfg.terminator[0], 0u);
+}
+
+TEST(Cfg, LoweredLoopRoundTrips) {
+  // Every branch target out of the lowering must resolve, and the loop's
+  // back edge must appear: for.inc (or the cond fall-through) -> for.cond.
+  const auto m =
+      lowerSrc("void f(double* a, int n) { for (int i = 0; i < n; i++) a[i] = 0.0; }");
+  const auto &f = m.functions[0];
+  const auto cfg = buildCfg(f);
+  bool backEdge = false;
+  for (u32 b = 0; b < cfg.size(); ++b)
+    for (const u32 s : cfg.succs[b])
+      if (s < b) backEdge = true;
+  EXPECT_TRUE(backEdge);
+  for (u32 b = 0; b < cfg.size(); ++b) EXPECT_TRUE(cfg.reachable[b]) << f.blocks[b].name;
+}
+
+TEST(Cfg, BreakBranchesToLoopEnd) {
+  const auto m = lowerSrc("int f(int n) {\n"
+                          "  int found = 0;\n"
+                          "  for (int i = 0; i < n; i++) {\n"
+                          "    if (i == 7) { found = 1; break; }\n"
+                          "  }\n"
+                          "  return found;\n"
+                          "}");
+  EXPECT_TRUE(verify(m).empty()) << renderIssues(verify(m));
+  const auto cfg = buildCfg(m.functions[0]);
+  // The break's target block must exist and be reachable.
+  bool loopEnd = false;
+  for (u32 b = 0; b < cfg.size(); ++b)
+    if (m.functions[0].blocks[b].name.rfind("for.end", 0) == 0 && cfg.reachable[b])
+      loopEnd = true;
+  EXPECT_TRUE(loopEnd);
+}
+
+TEST(Cfg, ContinueBranchesToLoopInc) {
+  const auto m = lowerSrc("int f(int n) {\n"
+                          "  int s = 0;\n"
+                          "  for (int i = 0; i < n; i++) {\n"
+                          "    if (i == 3) continue;\n"
+                          "    s = s + i;\n"
+                          "  }\n"
+                          "  return s;\n"
+                          "}");
+  EXPECT_TRUE(verify(m).empty()) << renderIssues(verify(m));
+}
+
+TEST(Cfg, WhileAndDoWhileResolve) {
+  const auto m = lowerSrc("int f(int n) {\n"
+                          "  int i = 0;\n"
+                          "  while (i < n) { i = i + 1; if (i > 100) break; }\n"
+                          "  do { i = i - 1; } while (i > 0);\n"
+                          "  return i;\n"
+                          "}");
+  EXPECT_TRUE(verify(m).empty()) << renderIssues(verify(m));
+  const auto cfg = buildCfg(m.functions[0]);
+  // Only the lowering's synthesised continuation blocks (post.break after a
+  // break's br, post.ret after a return) may be unreachable; they carry no
+  // source-located instructions.
+  for (u32 b = 0; b < cfg.size(); ++b) {
+    if (cfg.reachable[b]) continue;
+    for (const auto &in : m.functions[0].blocks[b].instrs)
+      EXPECT_LT(in.line, 0) << m.functions[0].blocks[b].name;
+  }
+}
+
+// ------------------------------------------------------------- dataflow --
+
+TEST(Dataflow, BitSetBasics) {
+  BitSet s(130);
+  s.set(0);
+  s.set(129);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(129));
+  EXPECT_FALSE(s.test(64));
+  BitSet t(130);
+  t.set(64);
+  EXPECT_TRUE(s.unionWith(t));
+  EXPECT_FALSE(s.unionWith(t)); // second union changes nothing
+  BitSet gen(130), kill(130);
+  kill.set(0);
+  gen.set(5);
+  s.transfer(gen, kill);
+  EXPECT_FALSE(s.test(0));
+  EXPECT_TRUE(s.test(5));
+  EXPECT_TRUE(s.test(129));
+}
+
+TEST(Dataflow, TrackedSlotsExcludeEscapes) {
+  const auto m = lowerSrc("void g(int* p) { }\n"
+                          "int f() {\n"
+                          "  int a = 1;\n"
+                          "  int b = 2;\n"
+                          "  g(&b);\n" // b's address escapes into the call
+                          "  return a + b;\n"
+                          "}");
+  const auto slots = trackedSlots(m.functions.back());
+  EXPECT_EQ(slots.size(), 1u); // only a
+}
+
+TEST(Dataflow, ReachingDefsAcrossDiamond) {
+  const auto m = lowerSrc("int f(int c) {\n"
+                          "  int x = 1;\n"
+                          "  if (c) { x = 2; }\n"
+                          "  return x;\n"
+                          "}");
+  const auto &f = m.functions[0];
+  const auto cfg = buildCfg(f);
+  const auto slots = trackedSlots(f);
+  const auto rd = computeReachingDefs(f, cfg, slots);
+  // At the join block, both stores of x reach; the uninit pseudo def does
+  // not (the unconditional init kills it).
+  const auto exitBlock = cfg.exits[0];
+  std::string xSlot;
+  for (const auto &s : slots)
+    if (s != "%0") xSlot = s; // %0 is the spilled arg c
+  usize reachingStores = 0;
+  bool uninitReaches = false;
+  const u32 v = rd.idOf("mem:" + xSlot);
+  ASSERT_NE(v, static_cast<u32>(-1));
+  for (const u32 fact : rd.defsOfValue[v]) {
+    if (!rd.solution.in[exitBlock].test(fact)) continue;
+    if (rd.defs[fact].uninit) uninitReaches = true;
+    else ++reachingStores;
+  }
+  EXPECT_EQ(reachingStores, 2u);
+  EXPECT_FALSE(uninitReaches);
+}
+
+TEST(Dataflow, LivenessAcrossLoop) {
+  const auto m = lowerSrc("int f(int n) {\n"
+                          "  int s = 0;\n"
+                          "  for (int i = 0; i < n; i++) s = s + i;\n"
+                          "  return s;\n"
+                          "}");
+  const auto &f = m.functions[0];
+  const auto cfg = buildCfg(f);
+  const auto slots = trackedSlots(f);
+  const auto lv = computeLiveness(f, cfg, slots);
+  // s is live out of the entry block: the loop body reads it.
+  std::string sSlot;
+  for (const auto &b : f.blocks)
+    for (const auto &in : b.instrs)
+      if (in.op == "store" && in.operands.size() >= 2 && in.operands[0] == "const:0" &&
+          in.type == "i32" && sSlot.empty())
+        sSlot = in.operands[1];
+  ASSERT_FALSE(sSlot.empty());
+  const auto sid = lv.slotIds.find(sSlot);
+  ASSERT_NE(sid, lv.slotIds.end());
+  EXPECT_TRUE(lv.solution.out[0].test(sid->second));
+}
+
+// --------------------------------------------------------------- verify --
+
+TEST(Verify, AcceptsWellFormed) {
+  const auto f = diamondWithOrphan();
+  Module m;
+  m.functions.push_back(f);
+  EXPECT_TRUE(verify(m).empty()) << renderIssues(verify(m));
+}
+
+TEST(Verify, RejectsUnknownLabel) {
+  Module m;
+  Function f;
+  f.name = "@f";
+  f.blocks.push_back({"entry", {instr("br", "void", "", {"label:nowhere"})}});
+  m.functions.push_back(std::move(f));
+  const auto issues = verify(m);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("nowhere"), std::string::npos);
+}
+
+TEST(Verify, RejectsDuplicateBlockAndResult) {
+  Module m;
+  Function f;
+  f.name = "@f";
+  f.blocks.push_back({"entry", {instr("add", "i32", "%0", {"const:1", "const:1"})}});
+  f.blocks.push_back({"entry", {instr("add", "i32", "%0", {"const:2", "const:2"})}});
+  m.functions.push_back(std::move(f));
+  const auto issues = verify(m);
+  EXPECT_EQ(issues.size(), 2u); // duplicate name + duplicate result
+}
+
+TEST(Verify, RejectsUndefinedValueUse) {
+  Module m;
+  Function f;
+  f.name = "@f";
+  f.blocks.push_back({"entry", {instr("ret", "i32", "", {"%42"})}});
+  m.functions.push_back(std::move(f));
+  const auto issues = verify(m);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("%42"), std::string::npos);
+}
+
+TEST(Verify, RejectsMalformedBranches) {
+  Module m;
+  Function f;
+  f.name = "@f";
+  f.blocks.push_back({"a", {instr("br", "void", "", {"label:a", "label:b"})}});
+  f.blocks.push_back({"b", {instr("condbr", "void", "", {"label:a", "label:b"})}});
+  m.functions.push_back(std::move(f));
+  EXPECT_EQ(verify(m).size(), 2u);
+}
+
+TEST(Verify, RejectsResultOnStore) {
+  Module m;
+  Function f;
+  f.name = "@f";
+  f.blocks.push_back(
+      {"entry", {instr("alloca", "i32", "%0", {}),
+                 instr("store", "i32", "%1", {"const:1", "%0"})}});
+  m.functions.push_back(std::move(f));
+  EXPECT_EQ(verify(m).size(), 1u);
+}
+
+TEST(Verify, EveryLoweredConstructIsWellFormed) {
+  // One function per statement construct, including nested break/continue.
+  const auto m = lowerSrc(
+      "int f1(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i == 2) continue; "
+      "if (i == 9) break; s = s + i; } return s; }\n"
+      "int f2(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }\n"
+      "int f3(int n) { int i = n; do { i = i - 1; } while (i > 0); return i; }\n"
+      "int f4(int c) { if (c > 0) { return 1; } else { return 2; } }\n"
+      "int f5(int c) { if (c > 0) { return 1; } return 0; }\n");
+  EXPECT_TRUE(verify(m).empty()) << renderIssues(verify(m));
+}

@@ -1,0 +1,270 @@
+// IR-tier lint checks over seeded mutations: each check gets a fire/silent
+// pair — a minimal program with the defect planted (drop the initialising
+// store, duplicate the host→device copy, orphan a block) and its healthy
+// twin — so both the detection and the false-positive boundary are pinned.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/lower.hpp"
+#include "lint/irlint.hpp"
+#include "minic/parser.hpp"
+#include "minic/preprocessor.hpp"
+#include "minic/sema.hpp"
+
+using namespace sv;
+
+namespace {
+
+ir::Module lowerSrc(const std::string &src, ir::Model model = ir::Model::Serial) {
+  lang::SourceManager sm;
+  const auto id = sm.add("t.cpp", src);
+  auto tu = minic::parseTranslationUnit(minic::lex(sm.file(id).text, id), "t.cpp", sm);
+  minic::analyse(tu);
+  ir::LowerOptions opts;
+  opts.model = model;
+  return ir::lower(tu, opts);
+}
+
+std::vector<lint::Diagnostic> lintSrc(const std::string &src,
+                                      ir::Model model = ir::Model::Serial) {
+  return lint::runIr(lowerSrc(src, model));
+}
+
+usize count(const std::vector<lint::Diagnostic> &diags, lint::Check check) {
+  return static_cast<usize>(std::count_if(
+      diags.begin(), diags.end(), [&](const auto &d) { return d.check == check; }));
+}
+
+const lint::Diagnostic *first(const std::vector<lint::Diagnostic> &diags,
+                              lint::Check check) {
+  for (const auto &d : diags)
+    if (d.check == check) return &d;
+  return nullptr;
+}
+
+// The CUDA host-side idiom shared by the device-transfer tests. `body` runs
+// inside main() after d_a/h_a are set up.
+std::string cudaHost(const std::string &body) {
+  return "int cudaMemcpy(double* dst, double* src, int bytes, int kind);\n"
+         "int cudaMemcpyHostToDevice = 1;\n"
+         "int cudaMemcpyDeviceToHost = 2;\n"
+         "__global__ void k(double* a) { a[0] = 1.0; }\n"
+         "int main() {\n"
+         "  double d_a[8];\n"
+         "  double h_a[8];\n" +
+         body + "  return 0;\n}\n";
+}
+
+} // namespace
+
+// ----------------------------------------------------------- uninit-use --
+
+TEST(IrLint, UninitUseFiresOnDroppedInitStore) {
+  // Mutation: the initialising store is gone — `t` is read stone cold.
+  const auto diags = lintSrc("double f() { double t; return t * 2.0; }");
+  ASSERT_GE(count(diags, lint::Check::UninitUse), 1u);
+  const auto *d = first(diags, lint::Check::UninitUse);
+  EXPECT_EQ(d->severity, lint::Severity::Error);
+}
+
+TEST(IrLint, UninitUseSilentWhenInitialised) {
+  const auto diags = lintSrc("double f() { double t = 0.0; return t * 2.0; }");
+  EXPECT_EQ(count(diags, lint::Check::UninitUse), 0u);
+}
+
+TEST(IrLint, UninitUseWarnsOnPartialInit) {
+  // Only one path through the branch initialises t: a may-uninit Warning,
+  // not the definite Error.
+  const auto diags = lintSrc("double f(int c) {\n"
+                             "  double t;\n"
+                             "  if (c > 0) { t = 1.0; }\n"
+                             "  return t;\n"
+                             "}");
+  ASSERT_GE(count(diags, lint::Check::UninitUse), 1u);
+  EXPECT_EQ(first(diags, lint::Check::UninitUse)->severity, lint::Severity::Warning);
+}
+
+TEST(IrLint, UninitUseSilentWhenBothPathsInitialise) {
+  const auto diags = lintSrc("double f(int c) {\n"
+                             "  double t;\n"
+                             "  if (c > 0) { t = 1.0; } else { t = 2.0; }\n"
+                             "  return t;\n"
+                             "}");
+  EXPECT_EQ(count(diags, lint::Check::UninitUse), 0u);
+}
+
+TEST(IrLint, UninitUseSilentWhenAddressEscapes) {
+  // &t goes into a call — the callee may initialise it; stay silent.
+  const auto diags = lintSrc("void init(double* p) { *p = 0.0; }\n"
+                             "double f() { double t; init(&t); return t; }");
+  EXPECT_EQ(count(diags, lint::Check::UninitUse), 0u);
+}
+
+// ----------------------------------------------------------- dead-store --
+
+TEST(IrLint, DeadStoreFiresOnOverwrittenValue) {
+  // Mutation: the first value of x is computed and immediately clobbered.
+  const auto diags = lintSrc("int f(int n) {\n"
+                             "  int x = n * 3;\n"
+                             "  x = 7;\n"
+                             "  return x;\n"
+                             "}");
+  ASSERT_GE(count(diags, lint::Check::DeadStore), 1u);
+  EXPECT_EQ(first(diags, lint::Check::DeadStore)->severity, lint::Severity::Warning);
+}
+
+TEST(IrLint, DeadStoreSilentWhenValueIsRead) {
+  const auto diags = lintSrc("int f(int n) {\n"
+                             "  int x = n * 3;\n"
+                             "  int y = x + 1;\n"
+                             "  x = 7;\n"
+                             "  return x + y;\n"
+                             "}");
+  EXPECT_EQ(count(diags, lint::Check::DeadStore), 0u);
+}
+
+TEST(IrLint, DeadStoreSilentAcrossLoopBackEdge) {
+  // The store in the increment is read by the next iteration's condition —
+  // liveness must follow the back edge, not just straight-line order.
+  const auto diags = lintSrc("int f(int n) {\n"
+                             "  int s = 0;\n"
+                             "  for (int i = 0; i < n; i++) { s = s + i; }\n"
+                             "  return s;\n"
+                             "}");
+  EXPECT_EQ(count(diags, lint::Check::DeadStore), 0u);
+}
+
+// ----------------------------------------------------- unreachable-block --
+
+TEST(IrLint, UnreachableBlockFiresOnCodeAfterReturn) {
+  // Mutation shape: a br retargeted so a block is orphaned. Statements after
+  // an unconditional return lower into exactly such a block.
+  const auto diags = lintSrc("int f(int n) {\n"
+                             "  return n;\n"
+                             "  n = n + 1;\n"
+                             "  return n;\n"
+                             "}");
+  ASSERT_GE(count(diags, lint::Check::UnreachableBlock), 1u);
+  EXPECT_EQ(first(diags, lint::Check::UnreachableBlock)->severity,
+            lint::Severity::Warning);
+}
+
+TEST(IrLint, UnreachableBlockSilentOnStraightLine) {
+  const auto diags = lintSrc("int f(int n) { if (n > 0) { return 1; } return 0; }");
+  EXPECT_EQ(count(diags, lint::Check::UnreachableBlock), 0u);
+}
+
+TEST(IrLint, UnreachableBlockNamesTheOrphan) {
+  // Hand-orphaned block: retarget the branch so `stranded` loses its only
+  // predecessor, exactly the seeded-mutation shape.
+  auto m = lowerSrc("int f(int n) { return n; }");
+  auto &f = m.functions[0];
+  ir::Instr dead;
+  dead.op = "add";
+  dead.type = "i32";
+  dead.result = "%990";
+  dead.operands = {"const:1", "const:2"};
+  dead.file = 0;
+  dead.line = 3;
+  ir::Instr deadRet;
+  deadRet.op = "ret";
+  deadRet.type = "i32";
+  deadRet.operands = {"%990"};
+  f.blocks.push_back({"stranded", {dead, deadRet}});
+  const auto diags = lint::runIr(m);
+  const auto *d = first(diags, lint::Check::UnreachableBlock);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->symbol, "stranded");
+}
+
+// ------------------------------------------------------ device-transfer --
+
+TEST(IrLint, DeviceTransferFiresOnDuplicatedCopy) {
+  // Mutation: the host→device copy pasted twice, no launch in between.
+  const auto diags = lintSrc(
+      cudaHost("  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  k<<<1, 8>>>(d_a);\n"),
+      ir::Model::Cuda);
+  ASSERT_GE(count(diags, lint::Check::DeviceTransfer), 1u);
+  EXPECT_EQ(first(diags, lint::Check::DeviceTransfer)->severity,
+            lint::Severity::Warning);
+}
+
+TEST(IrLint, DeviceTransferSilentWhenLaunchIntervenes) {
+  const auto diags = lintSrc(
+      cudaHost("  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  k<<<1, 8>>>(d_a);\n"
+               "  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  k<<<1, 8>>>(d_a);\n"),
+      ir::Model::Cuda);
+  EXPECT_EQ(count(diags, lint::Check::DeviceTransfer), 0u);
+}
+
+TEST(IrLint, DeviceTransferSilentWhenSourceUpdated) {
+  const auto diags = lintSrc(
+      cudaHost("  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  h_a[0] = 3.0;\n"
+               "  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+               "  k<<<1, 8>>>(d_a);\n"),
+      ir::Model::Cuda);
+  EXPECT_EQ(count(diags, lint::Check::DeviceTransfer), 0u);
+}
+
+TEST(IrLint, DeviceTransferFiresOnStaleHostRead) {
+  // copy-back, then another kernel launch, then a host read of the stale
+  // snapshot.
+  const auto diags = lintSrc(
+      cudaHost("  k<<<1, 8>>>(d_a);\n"
+               "  cudaMemcpy(h_a, d_a, 64, cudaMemcpyDeviceToHost);\n"
+               "  k<<<1, 8>>>(d_a);\n"
+               "  double v = h_a[0];\n"
+               "  h_a[1] = v;\n"),
+      ir::Model::Cuda);
+  ASSERT_GE(count(diags, lint::Check::DeviceTransfer), 1u);
+}
+
+TEST(IrLint, DeviceTransferSilentWhenCopyRefreshed) {
+  const auto diags = lintSrc(
+      cudaHost("  k<<<1, 8>>>(d_a);\n"
+               "  cudaMemcpy(h_a, d_a, 64, cudaMemcpyDeviceToHost);\n"
+               "  k<<<1, 8>>>(d_a);\n"
+               "  cudaMemcpy(h_a, d_a, 64, cudaMemcpyDeviceToHost);\n"
+               "  double v = h_a[0];\n"
+               "  h_a[1] = v;\n"),
+      ir::Model::Cuda);
+  EXPECT_EQ(count(diags, lint::Check::DeviceTransfer), 0u);
+}
+
+// ----------------------------------------------------- diagnostics shape --
+
+TEST(IrLint, DiagnosticsCarryLocationAndFunction) {
+  // Satellite contract: every seeded-mutation diagnostic points at a real
+  // source location and names its enclosing function.
+  const std::pair<std::string, ir::Model> cases[] = {
+      {"double f() { double t; return t; }", ir::Model::Serial},
+      {"int f(int n) { int x = n; x = 7; return x; }", ir::Model::Serial},
+      {"int f(int n) { return n; n = n + 1; return n; }", ir::Model::Serial},
+      {cudaHost("  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+                "  cudaMemcpy(d_a, h_a, 64, cudaMemcpyHostToDevice);\n"
+                "  k<<<1, 8>>>(d_a);\n"),
+       ir::Model::Cuda},
+  };
+  for (const auto &[src, model] : cases) {
+    const auto diags = lintSrc(src, model);
+    ASSERT_FALSE(diags.empty()) << src;
+    for (const auto &d : diags) {
+      EXPECT_TRUE(d.loc.valid()) << d.message;
+      EXPECT_FALSE(d.directive.empty()) << d.message;
+      EXPECT_EQ(d.directive[0], '@') << d.directive;
+    }
+  }
+}
+
+TEST(IrLint, RuntimeFunctionsStaySilent) {
+  // Offload models synthesise registration ctors and stubs; none of the
+  // value checks may fire on them.
+  const auto diags = lintSrc(cudaHost("  k<<<1, 8>>>(d_a);\n"), ir::Model::Cuda);
+  EXPECT_EQ(diags.size(), 0u);
+}

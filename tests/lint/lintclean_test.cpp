@@ -43,6 +43,32 @@ TEST(LintClean, DirectiveHeavyPortsAreFullyClean) {
   }
 }
 
+TEST(LintClean, EveryCorpusPortIsIrClean) {
+  // Same contract one tier down: with the IR checks enabled, every port
+  // must stay error-free — and in fact the IR tier emits *nothing* on the
+  // corpus (the exemption rules in lint::runIr are tuned so that real,
+  // verified ports produce zero IR diagnostics of any severity).
+  const silvervale::LintOptions withIr{.ir = true};
+  usize ports = 0;
+  for (const auto &app : corpus::appNames()) {
+    for (const auto &model : corpus::modelsOf(app)) {
+      const auto report = silvervale::lintCodebase(corpus::make(app, model), withIr);
+      EXPECT_FALSE(report.hasErrors())
+          << app << "/" << model << ":\n" << report.renderText();
+      const auto isIrCheck = [](lint::Check c) {
+        return c == lint::Check::UninitUse || c == lint::Check::DeadStore ||
+               c == lint::Check::UnreachableBlock || c == lint::Check::DeviceTransfer;
+      };
+      for (const auto &unit : report.units)
+        for (const auto &d : unit.diags)
+          EXPECT_FALSE(isIrCheck(d.check))
+              << app << "/" << model << " " << unit.file << ": " << d.message;
+      ++ports;
+    }
+  }
+  EXPECT_GE(ports, 40u);
+}
+
 TEST(LintDb, IndexStoresAndRoundTripsDiagnostics) {
   // A seeded race in a synthetic codebase must survive index → serialise →
   // deserialise, so lint results stored in a .svdb are trustworthy.

@@ -11,8 +11,9 @@
 //   svale cascade <app>                     Φ cascade over the Table III platforms
 //   svale nav <app>                         Φ × TBMD navigation chart
 //   svale coupling <app> <model>            module-coupling report
-//   svale lint <app> <model> [--json]       parallel-semantics lint of a port
-//   svale lint-dir <dir> [--json]           lint a real on-disk codebase
+//   svale lint <app> <model> [--ir] [--json] parallel-semantics lint of a port
+//   svale lint-dir <dir> [--ir] [--json]    lint a real on-disk codebase
+//                                           (--ir adds the CFG/dataflow tier)
 //   svale index-dir <dir> [-o out.svdb]     index a real on-disk codebase
 //                                           (needs <dir>/compile_commands.json)
 #include <cstdio>
@@ -41,8 +42,9 @@ int usage() {
       "  cascade <app>\n"
       "  nav <app>\n"
       "  coupling <app> <model>\n"
-      "  lint <app> <model> [--json]          parallel-semantics diagnostics\n"
-      "  lint-dir <dir> [--json]              lint an on-disk codebase\n"
+      "  lint <app> <model> [--ir] [--json]   parallel-semantics diagnostics\n"
+      "  lint-dir <dir> [--ir] [--json]       lint an on-disk codebase\n"
+      "                                       (--ir adds the IR-tier checks)\n"
       "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n");
   return 2;
@@ -76,7 +78,7 @@ struct UsageError : std::runtime_error {
 /// else that looks like a flag be rejected instead of silently becoming a
 /// positional or a bare switch.
 const std::set<std::string> kValueFlags = {"metric", "base", "out"};
-const std::set<std::string> kBareFlags = {"pp", "cov", "json"};
+const std::set<std::string> kBareFlags = {"pp", "cov", "json", "ir"};
 
 Args parseArgs(int argc, char **argv, int first) {
   Args out;
@@ -261,13 +263,15 @@ int reportLint(const lint::Report &report, bool asJson) {
 int cmdLint(const Args &args) {
   if (args.positional.size() < 2) return usage();
   const auto cb = corpus::make(args.positional[0], args.positional[1]);
-  return reportLint(silvervale::lintCodebase(cb), args.flags.count("json") != 0);
+  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0};
+  return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
 }
 
 int cmdLintDir(const Args &args) {
   if (args.positional.empty()) return usage();
   const auto cb = db::loadFromDisk(args.positional[0]);
-  return reportLint(silvervale::lintCodebase(cb), args.flags.count("json") != 0);
+  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0};
+  return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
 }
 
 int cmdCoupling(const Args &args) {
