@@ -1,0 +1,107 @@
+// Fuzz-harness throughput: times generation alone and the full
+// generate-plus-all-oracles pipeline per language, and writes
+// BENCH_fuzz.json (median of N >= 3 runs). The differential oracles gate
+// every CI run, so programs/second is what bounds how much coverage a
+// fixed smoke budget buys.
+//
+// Usage: fuzz_bench [--runs N] [--count K] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "fuzz/rng.hpp"
+#include "support/json.hpp"
+
+using namespace sv;
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 3;
+  usize count = 50;
+  std::string outFile = "BENCH_fuzz.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) count = std::stoul(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
+  }
+  if (runs < 3) runs = 3; // median of >= 3 by contract
+
+  json::Object report;
+  report.emplace("runs", json::Value(runs));
+  report.emplace("count", json::Value(count));
+  json::Object langs;
+
+  for (const fuzz::Lang lang : {fuzz::Lang::MiniC, fuzz::Lang::MiniF}) {
+    // Generation alone.
+    std::vector<double> genTimes;
+    for (usize r = 0; r < runs; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      for (usize i = 0; i < count; ++i) {
+        fuzz::GenOptions o;
+        o.lang = lang;
+        o.seed = fuzz::mixSeed(1, i);
+        (void)fuzz::generate(o);
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      genTimes.push_back(std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+
+    // Full pipeline: generate + all five oracles (corpus rounds excluded so
+    // the number measures the generated-program path only).
+    std::vector<double> oracleTimes;
+    usize programs = 0;
+    for (usize r = 0; r < runs; ++r) {
+      fuzz::FuzzOptions o;
+      o.seed = 1;
+      o.count = count;
+      o.genC = lang == fuzz::Lang::MiniC;
+      o.genF = lang == fuzz::Lang::MiniF;
+      o.corpusMutants = false;
+      o.outDir.clear();
+      const auto start = std::chrono::steady_clock::now();
+      const auto rep = fuzz::runFuzz(o);
+      const auto stop = std::chrono::steady_clock::now();
+      oracleTimes.push_back(std::chrono::duration<double, std::milli>(stop - start).count());
+      programs = rep.programs;
+      if (!rep.ok()) {
+        std::fprintf(stderr, "error: oracle failures during benchmark\n");
+        return 1;
+      }
+    }
+
+    const double genMs = median(genTimes);
+    const double oracleMs = median(oracleTimes);
+    const double perSecond = oracleMs > 0 ? 1000.0 * static_cast<double>(programs) / oracleMs : 0;
+    std::printf("%s: generate %8.2f ms, generate+oracles %8.2f ms (%zu programs, %.1f /s)\n",
+                fuzz::langName(lang), genMs, oracleMs, programs, perSecond);
+    json::Object cell;
+    cell.emplace("generate_ms", json::Value(genMs));
+    cell.emplace("generate_oracles_ms", json::Value(oracleMs));
+    cell.emplace("programs", json::Value(programs));
+    cell.emplace("programs_per_second", json::Value(perSecond));
+    langs.emplace(fuzz::langName(lang), json::Value(std::move(cell)));
+  }
+  report.emplace("langs", json::Value(std::move(langs)));
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outFile.c_str());
+  return 0;
+}

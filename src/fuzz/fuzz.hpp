@@ -1,0 +1,65 @@
+// The fuzz driver: generates seeded programs for the enabled languages,
+// runs the differential oracles over each, interleaves corpus-mutant
+// rounds, shrinks failures with the line reducer, and writes reduced
+// reproducers into a crash corpus directory. Every step is derived from
+// the base seed, so two runs with the same options produce byte-identical
+// transcripts and verdicts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+
+namespace sv::fuzz {
+
+struct FuzzOptions {
+  u64 seed = 1;
+  usize count = 100; ///< iterations; each runs every enabled language
+  bool genC = true;
+  bool genF = true;
+  u32 oracleMask = kAllOracles;
+  /// Where reduced reproducers land. Empty disables writing.
+  std::string outDir = "tests/fuzz/corpus";
+  /// Every 5th iteration mutates a BabelStream port instead of generating
+  /// (lint + fingerprint invariance over the real corpus language).
+  bool corpusMutants = true;
+  /// Self-test hook: plant an undeclared-variable use in every generated
+  /// program so the harness must catch, shrink and report it.
+  bool injectUndeclaredUse = false;
+  bool reduce = true;
+};
+
+struct FuzzFailure {
+  Lang lang = Lang::MiniC;
+  u64 seed = 0;
+  Oracle oracle{};
+  std::string message;
+  std::string reduced; ///< shrunk source ("" if reduction was off/skipped)
+  std::string file;    ///< crash-corpus path written ("" if none)
+};
+
+struct FuzzReport {
+  usize programs = 0;     ///< generated programs run through the oracles
+  usize corpusRounds = 0; ///< corpus-mutant rounds run
+  std::vector<FuzzFailure> failures;
+  /// One line per program / corpus round: index, language, seed, source
+  /// digest, verdict. Deterministic for fixed options.
+  std::string transcript;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+[[nodiscard]] FuzzReport runFuzz(const FuzzOptions &options);
+
+/// Re-run all oracles over one crash-corpus file. The first line may carry
+/// a `svale-fuzz lang=... model=... oracle=... seed=...` header (written by
+/// the driver); without one, language is inferred from the extension and
+/// model defaults to serial. ok == all oracles pass — a crash file is a
+/// regression test for a bug that has been fixed.
+struct ReplayResult {
+  bool ok = false;
+  std::string message;
+};
+[[nodiscard]] ReplayResult replayCrashFile(const std::string &fileName, const std::string &content);
+
+} // namespace sv::fuzz

@@ -1,0 +1,51 @@
+// Seeded random-program generators for MiniC and MiniF. Programs are
+// well-formed by construction — the differential oracles (fuzz/oracles.hpp)
+// treat *any* frontend/VM/lowering complaint about a generated program as a
+// pipeline bug, so the generator's job is to stay inside the guarantees:
+//
+//   * every variable is declared and initialised before use,
+//   * every loop has a literal (or literal-derived) trip count,
+//   * integer stores are range-wrapped (`% 1009` / `mod(x, 1009)`) and
+//     integer expressions multiply at most once, so no intermediate ever
+//     approaches i64 overflow (the VM does i64 arithmetic; signed overflow
+//     would be UB under the CI UBSan arm),
+//   * divisors and mod operands are non-zero literals,
+//   * doubles never convert to int (double->i64 casts of huge values are UB),
+//   * array indices are loop variables bounded by the array length,
+//   * calls form a DAG (main -> helpers, helpers call nothing), and
+//   * OpenMP regions only write reduction variables (`r += e`), loop-local
+//     declarations, privatised scalars, or elements indexed by the loop var.
+#pragma once
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace sv::fuzz {
+
+enum class Lang { MiniC, MiniF };
+
+[[nodiscard]] constexpr const char *langName(Lang l) { return l == Lang::MiniC ? "c" : "f"; }
+
+struct GenOptions {
+  Lang lang = Lang::MiniC;
+  u64 seed = 1;
+  /// Deliberately emit one use of an undeclared variable in the entry
+  /// unit — the self-test hook: the differential harness must catch it
+  /// (the VM evaluates unknown identifiers as name strings, so arithmetic
+  /// on one throws), shrink it, and write it to the crash corpus.
+  bool injectUndeclaredUse = false;
+};
+
+struct GeneratedProgram {
+  Lang lang = Lang::MiniC;
+  u64 seed = 0;
+  std::string fileName; ///< "fuzz.cpp" or "fuzz.f90"
+  std::string model;    ///< "serial" or "omp" — drives compile flags / ir::Model
+  std::string source;
+};
+
+/// Generate one deterministic program from the seed.
+[[nodiscard]] GeneratedProgram generate(const GenOptions &options);
+
+} // namespace sv::fuzz

@@ -1,0 +1,102 @@
+#include "fuzz/irtext.hpp"
+
+#include "support/strings.hpp"
+
+namespace sv::fuzz {
+
+namespace {
+
+[[nodiscard]] std::vector<std::string> splitWs(const std::string &s) {
+  std::vector<std::string> out;
+  usize i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    const usize start = i;
+    while (i < s.size() && s[i] != ' ') ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+} // namespace
+
+ir::Module parseIrText(const std::string &text) {
+  ir::Module m;
+  ir::Function *fn = nullptr;
+  ir::Block *block = nullptr;
+  usize lineNo = 0;
+  for (const auto &raw : str::splitLines(text)) {
+    ++lineNo;
+    const std::string line(raw);
+    const auto fail = [&](const std::string &why) -> void {
+      throw ParseError("ir text line " + std::to_string(lineNo) + ": " + why);
+    };
+    if (line.empty()) continue;
+    if (line.rfind("; module ", 0) == 0) {
+      m.sourceFile = line.substr(9);
+      continue;
+    }
+    if (line[0] == '@') {
+      // @name = global <type>[ ; runtime]
+      const usize eq = line.find(" = global ");
+      if (eq == std::string::npos) fail("malformed global");
+      ir::Global g;
+      g.name = line.substr(1, eq - 1);
+      std::string rest = line.substr(eq + 10);
+      const usize cmt = rest.find(" ; runtime");
+      if (cmt != std::string::npos) {
+        g.runtime = true;
+        rest = rest.substr(0, cmt);
+      }
+      g.type = rest;
+      m.globals.push_back(std::move(g));
+      continue;
+    }
+    if (line.rfind("define ", 0) == 0) {
+      // define <retType> <name>(<N> args) {
+      const auto toks = splitWs(line);
+      if (toks.size() != 5 || toks[3] != "args)" || toks[4] != "{") fail("malformed define");
+      ir::Function f;
+      f.returnType = toks[1];
+      const usize paren = toks[2].find('(');
+      if (paren == std::string::npos) fail("malformed define name");
+      f.name = toks[2].substr(0, paren);
+      f.argCount = static_cast<usize>(std::stoul(toks[2].substr(paren + 1)));
+      m.functions.push_back(std::move(f));
+      fn = &m.functions.back();
+      block = nullptr;
+      continue;
+    }
+    if (line == "}") {
+      fn = nullptr;
+      block = nullptr;
+      continue;
+    }
+    if (line.rfind("  ", 0) == 0) {
+      if (!fn || !block) fail("instruction outside a block");
+      auto toks = splitWs(line);
+      if (toks.empty()) continue;
+      ir::Instr in;
+      if (toks.size() >= 2 && toks[1] == "=") {
+        in.result = toks[0];
+        toks.erase(toks.begin(), toks.begin() + 2);
+      }
+      if (toks.size() < 2) fail("instruction needs op and type");
+      in.op = toks[0];
+      in.type = toks[1];
+      in.operands.assign(toks.begin() + 2, toks.end());
+      block->instrs.push_back(std::move(in));
+      continue;
+    }
+    if (!line.empty() && line.back() == ':') {
+      if (!fn) fail("block label outside a function");
+      fn->blocks.push_back(ir::Block{line.substr(0, line.size() - 1), {}});
+      block = &fn->blocks.back();
+      continue;
+    }
+    fail("unrecognised line: " + line);
+  }
+  return m;
+}
+
+} // namespace sv::fuzz

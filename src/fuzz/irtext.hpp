@@ -1,0 +1,18 @@
+// Parser for `ir::print` output, used by the IR round-trip oracle: a module
+// printed and reparsed must verify cleanly, print back byte-identically, and
+// yield the same CFG and dataflow facts as the original. Function roles and
+// source locations are not part of the printed form (by design — T_ir
+// ignores them), so the reparsed module carries defaults there; the oracle
+// compares only printed-form-derived facts.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace sv::fuzz {
+
+/// Parse text produced by `ir::print`. Throws ParseError on malformed input.
+[[nodiscard]] ir::Module parseIrText(const std::string &text);
+
+} // namespace sv::fuzz

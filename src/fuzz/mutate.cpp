@@ -1,0 +1,72 @@
+#include "fuzz/mutate.hpp"
+
+#include "support/strings.hpp"
+
+namespace sv::fuzz {
+
+namespace {
+
+[[nodiscard]] bool endsWithContinuation(const std::string &line) {
+  const auto t = str::trim(line);
+  return !t.empty() && (t.back() == '\\' || t.back() == '&');
+}
+
+/// A Fortran `!$omp` / `!$acc` directive line: nothing may come between it
+/// and the statement it governs.
+[[nodiscard]] bool isFortranDirective(const std::string &line) {
+  const auto t = str::trim(line);
+  return str::startsWith(t, "!$");
+}
+
+[[nodiscard]] bool isCDirectiveOrPp(const std::string &line) {
+  const auto t = str::trim(line);
+  return !t.empty() && t.front() == '#';
+}
+
+[[nodiscard]] bool safeForTrailingComment(const std::string &line, Lang lang) {
+  if (str::trim(line).empty()) return false;
+  for (const char c : line)
+    if (c == '"' || c == '\'' || c == '#' || c == '!' || c == '\\' || c == '&') return false;
+  if (lang == Lang::MiniC && line.find("//") != std::string::npos) return false;
+  return true;
+}
+
+} // namespace
+
+std::string mutateCommentsWhitespace(const std::string &source, Lang lang, Rng &rng) {
+  const auto lines = str::splitLines(source);
+  std::vector<std::string> out;
+  out.reserve(lines.size() + 8);
+  const std::string commentLead = lang == Lang::MiniC ? "//" : "!";
+  for (usize i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    const bool prevContinues = i > 0 && endsWithContinuation(lines[i - 1]);
+    const bool prevIsDirective =
+        i > 0 && (lang == Lang::MiniF ? isFortranDirective(lines[i - 1])
+                                      : isCDirectiveOrPp(lines[i - 1]));
+    const bool insertionSafe = !prevContinues && !prevIsDirective;
+
+    if (insertionSafe && rng.chance(12))
+      out.push_back(commentLead + " fuzz-mutation " + std::to_string(rng.below(1000)));
+    if (insertionSafe && rng.chance(10)) out.emplace_back();
+
+    // Indentation jitter: add spaces in front of non-blank, non-directive
+    // lines (Fortran free form and MiniC are both indentation-insensitive;
+    // C preprocessor lines are left alone out of caution).
+    const bool indentSafe = !str::trim(line).empty() && !isCDirectiveOrPp(line) &&
+                            !isFortranDirective(line) && !prevContinues;
+    if (indentSafe && rng.chance(20)) line = std::string(1 + rng.below(3), ' ') + line;
+
+    const bool nextIsGoverned =
+        lang == Lang::MiniF ? isFortranDirective(line)
+                            : isCDirectiveOrPp(line); // no trailing comment on directives
+    if (!nextIsGoverned && safeForTrailingComment(line, lang) && rng.chance(10))
+      line += "  " + commentLead + " mut" + std::to_string(rng.below(1000));
+
+    out.push_back(std::move(line));
+  }
+  if (rng.chance(50)) out.emplace_back();
+  return str::join(out, "\n") + "\n";
+}
+
+} // namespace sv::fuzz

@@ -1,0 +1,25 @@
+// Seeded comment/whitespace mutation — the EMI-style metamorphic transform
+// behind the lint-silence and fingerprint-invariance oracles: inserting
+// comment lines, blank lines, trailing comments and indentation changes must
+// leave the sema'd AST (and therefore lint verdicts and T_sem fingerprints)
+// untouched. Works on raw source text for either language, including corpus
+// ports the generator did not produce.
+#pragma once
+
+#include <string>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/rng.hpp"
+
+namespace sv::fuzz {
+
+/// Return a comment/whitespace-mutated copy of `source`. Deterministic in
+/// `rng`. Guarantees the mutation is semantics-preserving for both parsers:
+///   * no insertions after a continuation line (trailing '\' or '&') or
+///     between a Fortran directive line and the statement it governs
+///     (comment/blank lines there break directive binding),
+///   * trailing comments only on lines free of quotes, '#', '!', '\\', '&',
+///   * C insertions use `//` line comments only (never `/* */`).
+[[nodiscard]] std::string mutateCommentsWhitespace(const std::string &source, Lang lang, Rng &rng);
+
+} // namespace sv::fuzz

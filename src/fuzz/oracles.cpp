@@ -1,0 +1,387 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+#include "db/codebase.hpp"
+#include "fuzz/irtext.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/printer.hpp"
+#include "fuzz/rng.hpp"
+#include "ir/dataflow.hpp"
+#include "ir/lower.hpp"
+#include "ir/verify.hpp"
+#include "lint/irlint.hpp"
+#include "lint/lint.hpp"
+#include "minic/inliner.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/preprocessor.hpp"
+#include "minic/sema.hpp"
+#include "minic/semtree.hpp"
+#include "minif/flexer.hpp"
+#include "minif/fparser.hpp"
+#include "minif/ftrees.hpp"
+#include "support/strings.hpp"
+#include "tree/tedengine.hpp"
+#include "vm/vm.hpp"
+
+namespace sv::fuzz {
+
+namespace {
+
+using lang::ast::TranslationUnit;
+
+constexpr u64 kVmMaxSteps = 2'000'000;
+
+struct Parsed {
+  lang::SourceManager sm;
+  TranslationUnit tu;
+};
+
+/// Frontend over a single in-memory file; `sema` runs minic::analyse for C
+/// (Fortran units are consumed as parsed, like db::parseUnits does).
+[[nodiscard]] Parsed parseSource(const std::string &source, Lang lang,
+                                 const std::string &fileName, bool sema) {
+  Parsed p;
+  const i32 id = p.sm.add(fileName, source);
+  if (lang == Lang::MiniC) {
+    const auto pre = minic::preprocess(p.sm, id);
+    const auto toks = minic::lex(pre.text, id, &pre.lineOrigins);
+    p.tu = minic::parseTranslationUnit(toks, fileName, p.sm);
+    if (sema) (void)minic::analyse(p.tu);
+  } else {
+    const auto toks = minif::lexFortran(source, id);
+    p.tu = minif::parseFortran(toks, fileName, p.sm);
+  }
+  return p;
+}
+
+[[nodiscard]] tree::Tree semTreeOf(const TranslationUnit &tu, Lang lang) {
+  return lang == Lang::MiniC ? minic::buildSemTree(tu) : minif::buildFortranSemTree(tu);
+}
+
+[[nodiscard]] TranslationUnit cloneUnit(const TranslationUnit &u) {
+  TranslationUnit out;
+  out.fileName = u.fileName;
+  out.includes = u.includes;
+  out.programName = u.programName;
+  for (const auto &s : u.structs) {
+    lang::ast::StructDecl sd;
+    sd.name = s.name;
+    sd.loc = s.loc;
+    for (const auto &f : s.fields) sd.fields.push_back(lang::ast::cloneParam(f));
+    out.structs.push_back(std::move(sd));
+  }
+  for (const auto &g : u.globals)
+    out.globals.push_back({lang::ast::cloneVarDecl(g.var), g.attributes, g.loc});
+  for (const auto &f : u.functions) out.functions.push_back(lang::ast::cloneFunction(f));
+  return out;
+}
+
+[[nodiscard]] std::string describeValue(const vm::Value &v) {
+  if (v.isVoid()) return "void";
+  if (std::holds_alternative<double>(v.v)) return str::fmtDouble(std::get<double>(v.v), 9);
+  if (std::holds_alternative<i64>(v.v)) return std::to_string(std::get<i64>(v.v));
+  if (std::holds_alternative<bool>(v.v)) return std::get<bool>(v.v) ? "true" : "false";
+  if (std::holds_alternative<std::string>(v.v)) return "\"" + std::get<std::string>(v.v) + "\"";
+  return "<object>";
+}
+
+[[nodiscard]] ir::Model modelOf(const GeneratedProgram &p) {
+  return p.model == "omp" ? ir::Model::OpenMP : ir::Model::Serial;
+}
+
+// ------------------------------------------------------------- oracles --
+
+[[nodiscard]] std::optional<std::string> checkRoundTrip(const GeneratedProgram &p) {
+  auto first = parseSource(p.source, p.lang, p.fileName, /*sema=*/false);
+  const std::string p1 = printUnit(first.tu, p.lang);
+  Parsed second;
+  try {
+    second = parseSource(p1, p.lang, p.fileName, /*sema=*/false);
+  } catch (const ParseError &e) {
+    return std::string("printed source does not reparse: ") + e.what() + "\n--- printed ---\n" +
+           p1;
+  }
+  const std::string p2 = printUnit(second.tu, p.lang);
+  if (p1 != p2)
+    return "print(parse(print)) not a fixpoint\n--- first ---\n" + p1 + "--- second ---\n" + p2;
+  if (p.lang == Lang::MiniC) {
+    (void)minic::analyse(first.tu);
+    (void)minic::analyse(second.tu);
+  }
+  const u64 fp1 = semTreeOf(first.tu, p.lang).fingerprint();
+  const u64 fp2 = semTreeOf(second.tu, p.lang).fingerprint();
+  if (fp1 != fp2)
+    return "T_sem fingerprint changed across print/reparse\n--- printed ---\n" + p1;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> checkVm(const GeneratedProgram &p) {
+  auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/true);
+  vm::RunOptions opts;
+  opts.fortran = p.lang == Lang::MiniF;
+  opts.maxSteps = kVmMaxSteps;
+  const auto base = vm::run(parsed.tu, opts);
+
+  auto inlined = cloneUnit(parsed.tu);
+  (void)minic::inlineUnit(inlined);
+  const auto after = vm::run(inlined, opts);
+
+  if (base.output != after.output)
+    return "output diverged after inlining\n--- base ---\n" + base.output +
+           "--- inlined ---\n" + after.output;
+  if (base.steps != after.steps)
+    return "step count diverged after inlining: " + std::to_string(base.steps) + " vs " +
+           std::to_string(after.steps);
+  if (base.coverage.coveredLineCount() != after.coverage.coveredLineCount())
+    return "covered line count diverged after inlining";
+  if (describeValue(base.returnValue) != describeValue(after.returnValue))
+    return "return value diverged after inlining: " + describeValue(base.returnValue) + " vs " +
+           describeValue(after.returnValue);
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> cfgFactsDiffer(const ir::Function &a,
+                                                        const ir::Function &b) {
+  const auto ca = ir::buildCfg(a), cb = ir::buildCfg(b);
+  if (ca.succs != cb.succs || ca.preds != cb.preds || ca.reachable != cb.reachable ||
+      ca.rpo != cb.rpo || ca.exits != cb.exits || ca.terminator != cb.terminator)
+    return "CFG shape differs for " + a.name;
+  const auto slotsA = ir::trackedSlots(a), slotsB = ir::trackedSlots(b);
+  if (slotsA != slotsB) return "tracked slots differ for " + a.name;
+  const auto rdA = ir::computeReachingDefs(a, ca, slotsA);
+  const auto rdB = ir::computeReachingDefs(b, cb, slotsB);
+  if (rdA.solution.in != rdB.solution.in || rdA.solution.out != rdB.solution.out)
+    return "reaching-defs facts differ for " + a.name;
+  const auto lvA = ir::computeLiveness(a, ca, slotsA);
+  const auto lvB = ir::computeLiveness(b, cb, slotsB);
+  if (lvA.solution.in != lvB.solution.in || lvA.solution.out != lvB.solution.out)
+    return "liveness facts differ for " + a.name;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> checkIr(const GeneratedProgram &p) {
+  auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/true);
+  const auto mod = ir::lower(parsed.tu, {modelOf(p)});
+  if (const auto issues = ir::verify(mod); !issues.empty())
+    return "lowered module fails ir::verify:\n" + ir::renderIssues(issues);
+  const std::string text = ir::print(mod);
+  ir::Module mod2;
+  try {
+    mod2 = parseIrText(text);
+  } catch (const ParseError &e) {
+    return std::string("printed IR does not reparse: ") + e.what();
+  }
+  if (const auto issues = ir::verify(mod2); !issues.empty())
+    return "reparsed module fails ir::verify:\n" + ir::renderIssues(issues);
+  if (ir::print(mod2) != text) return "ir::print round-trip not a fixpoint";
+  if (mod.functions.size() != mod2.functions.size()) return "function count changed on reparse";
+  for (usize i = 0; i < mod.functions.size(); ++i)
+    if (auto why = cfgFactsDiffer(mod.functions[i], mod2.functions[i])) return why;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> checkTed(const GeneratedProgram &p,
+                                                  OracleContext *context) {
+  auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/p.lang == Lang::MiniC);
+  const tree::Tree t = semTreeOf(parsed.tu, p.lang);
+  tree::TedOptions engineOff;
+  engineOff.useCache = false;
+  const tree::TedOptions engineOn; // useCache defaults to true
+
+  if (tree::ted(t, t, engineOff) != 0) return "d(T,T) != 0 (engine off)";
+  if (tree::tedDispatch(t, t, engineOn) != 0) return "d(T,T) != 0 (engine on)";
+
+  if (context) {
+    for (const auto &q : context->tedPool) {
+      const u64 onAb = tree::tedDispatch(t, q, engineOn);
+      const u64 onBa = tree::tedDispatch(q, t, engineOn);
+      if (onAb != onBa)
+        return "TED not symmetric: " + std::to_string(onAb) + " vs " + std::to_string(onBa);
+      const u64 off = tree::ted(t, q, engineOff);
+      if (onAb != off)
+        return "engine-on/off parity broken: " + std::to_string(onAb) + " vs " +
+               std::to_string(off);
+    }
+    // Triangle inequality on sampled triples (a, t, b) from the pool.
+    const usize n = std::min<usize>(context->tedPool.size(), 3);
+    for (usize i = 0; i < n; ++i) {
+      for (usize j = i + 1; j < n; ++j) {
+        const auto &a = context->tedPool[i];
+        const auto &b = context->tedPool[j];
+        const u64 ab = tree::tedDispatch(a, b, engineOn);
+        const u64 at = tree::tedDispatch(a, t, engineOn);
+        const u64 tb = tree::tedDispatch(t, b, engineOn);
+        if (ab > at + tb)
+          return "triangle inequality violated: d(a,b)=" + std::to_string(ab) +
+                 " > d(a,t)+d(t,b)=" + std::to_string(at + tb);
+      }
+    }
+    context->tedPool.push_back(t);
+    if (context->tedPool.size() > OracleContext::kPoolCap)
+      context->tedPool.erase(context->tedPool.begin());
+  }
+  return std::nullopt;
+}
+
+/// Location-insensitive diagnostic keys, sorted — mutation shifts lines.
+[[nodiscard]] std::vector<std::string> diagKeys(const std::vector<lint::Diagnostic> &diags) {
+  std::vector<std::string> keys;
+  keys.reserve(diags.size());
+  for (const auto &d : diags)
+    keys.push_back(std::string(lint::name(d.check)) + "|" + lint::name(d.severity) + "|" +
+                   d.symbol + "|" + d.directive + "|" + d.message);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+[[nodiscard]] std::string renderKeys(const std::vector<std::string> &keys) {
+  return keys.empty() ? std::string("  (none)\n") : "  " + str::join(keys, "\n  ") + "\n";
+}
+
+[[nodiscard]] std::optional<std::string> checkLint(const GeneratedProgram &p) {
+  auto first = parseSource(p.source, p.lang, p.fileName, /*sema=*/true);
+  auto second = parseSource(p.source, p.lang, p.fileName, /*sema=*/true);
+  const auto diags1 = lint::run(first.tu);
+  const auto diags2 = lint::run(second.tu);
+  if (diags1 != diags2) return "lint::run not deterministic across fresh parses";
+  const auto ir1 = lint::runIr(ir::lower(first.tu, {modelOf(p)}));
+  const auto ir2 = lint::runIr(ir::lower(second.tu, {modelOf(p)}));
+  if (ir1 != ir2) return "lint::runIr not deterministic across fresh parses";
+
+  Rng mrng(p.seed ^ 0x4d757461746f72ULL);
+  const std::string mutant = mutateCommentsWhitespace(p.source, p.lang, mrng);
+  Parsed mutated;
+  try {
+    mutated = parseSource(mutant, p.lang, p.fileName, /*sema=*/true);
+  } catch (const ParseError &e) {
+    return std::string("comment/whitespace mutant does not parse: ") + e.what() +
+           "\n--- mutant ---\n" + mutant;
+  }
+  const auto keysBase = diagKeys(diags1);
+  const auto keysMut = diagKeys(lint::run(mutated.tu));
+  if (keysBase != keysMut)
+    return "lint verdicts changed under comment/whitespace mutation\n--- base ---\n" +
+           renderKeys(keysBase) + "--- mutant ---\n" + renderKeys(keysMut);
+  if (semTreeOf(first.tu, p.lang).fingerprint() != semTreeOf(mutated.tu, p.lang).fingerprint())
+    return "T_sem fingerprint changed under comment/whitespace mutation\n--- mutant ---\n" +
+           mutant;
+  return std::nullopt;
+}
+
+} // namespace
+
+const char *oracleName(Oracle o) {
+  switch (o) {
+  case Oracle::RoundTrip: return "round-trip";
+  case Oracle::Vm: return "vm";
+  case Oracle::Ir: return "ir";
+  case Oracle::Ted: return "ted";
+  case Oracle::Lint: return "lint";
+  }
+  return "?";
+}
+
+std::optional<Oracle> oracleFromName(std::string_view name) {
+  for (const Oracle o :
+       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint})
+    if (name == oracleName(o)) return o;
+  return std::nullopt;
+}
+
+bool parses(const std::string &source, Lang lang) {
+  try {
+    (void)parseSource(source, lang, lang == Lang::MiniC ? "fuzz.cpp" : "fuzz.f90",
+                      /*sema=*/lang == Lang::MiniC);
+    return true;
+  } catch (const std::exception &) {
+    return false;
+  }
+}
+
+std::optional<std::vector<std::string>> reductionGate(const std::string &source, Lang lang) {
+  try {
+    auto p = parseSource(source, lang, lang == Lang::MiniC ? "fuzz.cpp" : "fuzz.f90",
+                         /*sema=*/false);
+    if (lang == Lang::MiniC) {
+      auto names = minic::analyse(p.tu).unresolved;
+      std::sort(names.begin(), names.end());
+      names.erase(std::unique(names.begin(), names.end()), names.end());
+      return names;
+    }
+    if (p.tu.programName.empty()) return std::nullopt; // no entry unit left
+    return std::vector<std::string>{};
+  } catch (const std::exception &) {
+    return std::nullopt;
+  }
+}
+
+std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
+                                      OracleContext *context) {
+  std::vector<OracleFailure> failures;
+  const auto runOne = [&](Oracle o, auto &&check) {
+    if ((mask & oracleBit(o)) == 0) return;
+    std::optional<std::string> why;
+    try {
+      why = check();
+    } catch (const std::exception &e) {
+      why = std::string("exception: ") + e.what();
+    }
+    if (why) failures.push_back({o, *why});
+  };
+  runOne(Oracle::RoundTrip, [&] { return checkRoundTrip(program); });
+  runOne(Oracle::Vm, [&] { return checkVm(program); });
+  runOne(Oracle::Ir, [&] { return checkIr(program); });
+  runOne(Oracle::Ted, [&] { return checkTed(program, context); });
+  runOne(Oracle::Lint, [&] { return checkLint(program); });
+  return failures;
+}
+
+std::vector<OracleFailure> runCorpusMutationOracle(const std::string &app,
+                                                   const std::string &model, u64 seed) {
+  std::vector<OracleFailure> failures;
+  try {
+    const auto base = corpus::make(app, model);
+    auto mutated = corpus::make(app, model);
+    Rng rng(seed ^ 0x436f72707573ULL);
+    for (const auto &f : base.sources.files()) {
+      const Lang lang = str::endsWith(f.name, ".f90") || str::endsWith(f.name, ".f95") ||
+                                str::endsWith(f.name, ".f")
+                            ? Lang::MiniF
+                            : Lang::MiniC;
+      mutated.addFile(f.name, mutateCommentsWhitespace(f.text, lang, rng));
+    }
+    const auto units1 = db::parseUnits(base);
+    const auto units2 = db::parseUnits(mutated);
+    if (units1.size() != units2.size()) {
+      failures.push_back({Oracle::Lint, app + "/" + model + ": unit count changed"});
+      return failures;
+    }
+    for (usize i = 0; i < units1.size(); ++i) {
+      const auto &u1 = units1[i];
+      const auto &u2 = units2[i];
+      const auto k1 = diagKeys(lint::run(u1.tu));
+      const auto k2 = diagKeys(lint::run(u2.tu));
+      if (k1 != k2) {
+        failures.push_back({Oracle::Lint, app + "/" + model + " " + u1.file +
+                                              ": lint verdicts changed under mutation\n" +
+                                              renderKeys(k1) + "--- mutant ---\n" +
+                                              renderKeys(k2)});
+        continue;
+      }
+      const Lang lang = u1.fortran ? Lang::MiniF : Lang::MiniC;
+      if (semTreeOf(u1.tu, lang).fingerprint() != semTreeOf(u2.tu, lang).fingerprint())
+        failures.push_back({Oracle::Lint, app + "/" + model + " " + u1.file +
+                                              ": T_sem fingerprint changed under mutation"});
+    }
+  } catch (const std::exception &e) {
+    failures.push_back(
+        {Oracle::Lint, app + "/" + model + ": corpus mutant round threw: " + e.what()});
+  }
+  return failures;
+}
+
+} // namespace sv::fuzz

@@ -1,0 +1,79 @@
+// Differential and metamorphic oracles over the full pipeline. Every
+// generated program is well-formed by construction (see generator.hpp), so
+// *any* complaint from a frontend, the VM, the lowering, or a cross-layer
+// mismatch is a pipeline bug:
+//
+//   round-trip  print(parse(src)) reparses, prints back byte-identically,
+//               and both parses yield the same T_sem fingerprint
+//   vm          VM output/steps/coverage equal before and after T_sem+i
+//               inlining (the inliner is tree-level metadata; execution
+//               must not change)
+//   ir          lowered module passes ir::verify; ir::print round-trips
+//               byte-identically; CFG shape, tracked slots, reaching-defs
+//               and liveness facts are identical on the reparse
+//   ted         d(T,T)=0 (engine on and off), engine-on == engine-off
+//               values, symmetry, and triangle inequality against a rolling
+//               pool of recent trees
+//   lint        lint::run and lint::runIr are deterministic across fresh
+//               parses, and comment/whitespace mutation preserves both the
+//               diagnostic set (modulo locations) and the T_sem fingerprint
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "tree/tree.hpp"
+
+namespace sv::fuzz {
+
+enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4 };
+
+[[nodiscard]] const char *oracleName(Oracle o);
+[[nodiscard]] std::optional<Oracle> oracleFromName(std::string_view name);
+
+[[nodiscard]] constexpr u32 oracleBit(Oracle o) { return 1u << static_cast<u32>(o); }
+constexpr u32 kAllOracles = 0b11111;
+
+struct OracleFailure {
+  Oracle oracle{};
+  std::string message;
+};
+
+/// Cross-program state: a rolling pool of recent T_sem trees the TED
+/// metamorphic checks test new trees against.
+struct OracleContext {
+  std::vector<tree::Tree> tedPool;
+  static constexpr usize kPoolCap = 8;
+};
+
+/// Run the enabled oracles over one generated program. Empty result = pass.
+[[nodiscard]] std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
+                                                    OracleContext *context = nullptr);
+
+/// True when `source` makes it through the frontend. The reducer's failure
+/// predicate needs this: a shrink candidate that no longer parses does not
+/// reproduce the failure, it destroys the program.
+[[nodiscard]] bool parses(const std::string &source, Lang lang);
+
+/// Stronger gate for shrink candidates. nullopt when the candidate does not
+/// parse or (MiniF) lost its program unit; otherwise the sorted, deduped
+/// set of names the frontend could not resolve (always empty for MiniF,
+/// which has no resolution). The reducer rejects candidates whose set is
+/// not a subset of the original program's — deleting a declaration line
+/// manufactures a *new* undeclared-variable failure with the same oracle
+/// verdict, and the reduction would slide away from the bug it is meant to
+/// isolate.
+[[nodiscard]] std::optional<std::vector<std::string>> reductionGate(const std::string &source,
+                                                                    Lang lang);
+
+/// Corpus-mutant round: mutate every file of the app/model port with
+/// comments/whitespace and check lint verdicts (modulo locations) and T_sem
+/// fingerprints are invariant. Only the mutation oracles run here — the
+/// printer only guarantees the generator grammar, not the corpus language.
+[[nodiscard]] std::vector<OracleFailure> runCorpusMutationOracle(const std::string &app,
+                                                                const std::string &model,
+                                                                u64 seed);
+
+} // namespace sv::fuzz

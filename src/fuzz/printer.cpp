@@ -1,0 +1,410 @@
+#include "fuzz/printer.hpp"
+
+#include "lang/directive.hpp"
+#include "support/strings.hpp"
+
+namespace sv::fuzz {
+
+namespace {
+
+using namespace lang::ast;
+
+[[nodiscard]] bool isAtom(const Expr &e) {
+  switch (e.kind) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::StringLit:
+  case ExprKind::BoolLit:
+  case ExprKind::Ident:
+  case ExprKind::Call:
+  case ExprKind::Index:
+    return true;
+  default:
+    return false;
+  }
+}
+
+// ------------------------------------------------------------------ C --
+
+struct CPrinter {
+  std::string out;
+  usize indent = 0;
+
+  void line(const std::string &s) { out += std::string(indent * 2, ' ') + s + "\n"; }
+
+  [[nodiscard]] static std::string expr(const Expr &e) {
+    const auto sub = [](const Expr &c) {
+      return isAtom(c) ? expr(c) : "(" + expr(c) + ")";
+    };
+    switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::Ident:
+      return e.text;
+    case ExprKind::BoolLit:
+      return e.text;
+    case ExprKind::StringLit:
+      return "\"" + e.text + "\"";
+    case ExprKind::Binary:
+      return sub(*e.args[0]) + " " + e.text + " " + sub(*e.args[1]);
+    case ExprKind::Unary:
+      if (e.text.rfind("post", 0) == 0) return sub(*e.args[0]) + e.text.substr(4);
+      return e.text + sub(*e.args[0]);
+    case ExprKind::Assign:
+      return sub(*e.args[0]) + " " + e.text + " " + sub(*e.args[1]);
+    case ExprKind::Conditional:
+      return sub(*e.args[0]) + " ? " + sub(*e.args[1]) + " : " + sub(*e.args[2]);
+    case ExprKind::Call: {
+      std::string s = expr(*e.args[0]) + "(";
+      for (usize i = 1; i < e.args.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += expr(*e.args[i]);
+      }
+      return s + ")";
+    }
+    case ExprKind::Index:
+      return sub(*e.args[0]) + "[" + expr(*e.args[1]) + "]";
+    case ExprKind::Cast:
+      return "(" + e.text + ")" + sub(*e.args[0]);
+    case ExprKind::ImplicitCast:
+      return expr(*e.args[0]); // sema artefact; spell the operand
+    default:
+      internalError("fuzz printer: unsupported C expression kind");
+    }
+  }
+
+  [[nodiscard]] static std::string declText(const Stmt &s) {
+    SV_CHECK(s.decls.size() == 1, "fuzz printer: multi-declarator DeclStmt");
+    const VarDecl &d = s.decls[0];
+    SV_CHECK(d.arrayDims.empty(), "fuzz printer: C array declarator");
+    std::string t = d.type.str() + " " + d.name;
+    if (d.init) t += " = " + expr(*d.init);
+    return t + ";";
+  }
+
+  void stmt(const Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::Compound:
+      for (const auto &c : s.children) stmt(*c);
+      return;
+    case StmtKind::DeclStmt:
+      line(declText(s));
+      return;
+    case StmtKind::ExprStmt:
+      line(expr(*s.cond) + ";");
+      return;
+    case StmtKind::If: {
+      if (s.children[0]->kind == StmtKind::Compound) {
+        line("if (" + expr(*s.cond) + ") {");
+        ++indent;
+        stmt(*s.children[0]);
+        --indent;
+        if (s.children.size() > 1) {
+          line("} else {");
+          ++indent;
+          stmt(*s.children[1]);
+          --indent;
+        }
+        line("}");
+      } else {
+        line("if (" + expr(*s.cond) + ")");
+        ++indent;
+        stmt(*s.children[0]);
+        --indent;
+        if (s.children.size() > 1) {
+          line("else");
+          ++indent;
+          stmt(*s.children[1]);
+          --indent;
+        }
+      }
+      return;
+    }
+    case StmtKind::For: {
+      std::string head = "for (";
+      if (s.init) {
+        SV_CHECK(s.init->kind == StmtKind::DeclStmt, "fuzz printer: non-decl for-init");
+        head += declText(*s.init);
+      } else {
+        head += ";";
+      }
+      head += " ";
+      if (s.cond) head += expr(*s.cond);
+      head += "; ";
+      if (s.step) head += expr(*s.step);
+      head += ") {";
+      SV_CHECK(s.children[0]->kind == StmtKind::Compound, "fuzz printer: unbraced for body");
+      line(head);
+      ++indent;
+      stmt(*s.children[0]);
+      --indent;
+      line("}");
+      return;
+    }
+    case StmtKind::While:
+      SV_CHECK(s.children[0]->kind == StmtKind::Compound, "fuzz printer: unbraced while body");
+      line("while (" + expr(*s.cond) + ") {");
+      ++indent;
+      stmt(*s.children[0]);
+      --indent;
+      line("}");
+      return;
+    case StmtKind::Return:
+      line(s.cond ? "return " + expr(*s.cond) + ";" : "return;");
+      return;
+    case StmtKind::Break:
+      line("break;");
+      return;
+    case StmtKind::Continue:
+      line("continue;");
+      return;
+    case StmtKind::Directive:
+      line("#pragma " + lang::directiveToString(*s.directive));
+      if (!s.children.empty()) stmt(*s.children[0]);
+      return;
+    case StmtKind::Empty:
+      line(";");
+      return;
+    default:
+      internalError("fuzz printer: unsupported C statement kind");
+    }
+  }
+
+  [[nodiscard]] std::string unit(const TranslationUnit &u) {
+    for (usize fi = 0; fi < u.functions.size(); ++fi) {
+      const FunctionDecl &f = u.functions[fi];
+      std::string head = f.returnType.str() + " " + f.name + "(";
+      for (usize i = 0; i < f.params.size(); ++i) {
+        if (i) head += ", ";
+        head += f.params[i].type.str() + " " + f.params[i].name;
+      }
+      head += ") {";
+      line(head);
+      ++indent;
+      SV_CHECK(f.body && f.body->kind == StmtKind::Compound, "fuzz printer: bodyless function");
+      stmt(*f.body);
+      --indent;
+      line("}");
+      if (fi + 1 < u.functions.size()) out += "\n";
+    }
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ Fortran --
+
+struct FPrinter {
+  std::string out;
+  usize indent = 0;
+
+  void line(const std::string &s) { out += std::string(indent * 2, ' ') + s + "\n"; }
+
+  [[nodiscard]] static std::string expr(const Expr &e) {
+    const auto sub = [](const Expr &c) {
+      return isAtom(c) ? expr(c) : "(" + expr(c) + ")";
+    };
+    switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::Ident:
+      return e.text;
+    case ExprKind::BoolLit:
+      return e.text == "true" ? ".true." : ".false.";
+    case ExprKind::Binary: {
+      std::string op = e.text;
+      if (op == "&&") op = ".and.";
+      else if (op == "||") op = ".or.";
+      else if (op == "!=") op = "/=";
+      return sub(*e.args[0]) + " " + op + " " + sub(*e.args[1]);
+    }
+    case ExprKind::Unary:
+      if (e.text == "!") return ".not. " + sub(*e.args[0]);
+      return e.text + sub(*e.args[0]);
+    case ExprKind::Call:
+    case ExprKind::Index: {
+      std::string s = expr(*e.args[0]) + "(";
+      for (usize i = 1; i < e.args.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += expr(*e.args[i]);
+      }
+      return s + ")";
+    }
+    case ExprKind::Range: {
+      std::string s;
+      if (e.args[0]) s += expr(*e.args[0]);
+      s += ":";
+      if (e.args.size() > 1 && e.args[1]) s += expr(*e.args[1]);
+      return s;
+    }
+    default:
+      internalError("fuzz printer: unsupported Fortran expression kind");
+    }
+  }
+
+  [[nodiscard]] static std::string typeName(const Type &t) {
+    if (t.name == "int") return "integer";
+    if (t.name == "double") return "real(8)";
+    if (t.name == "bool") return "logical";
+    if (t.name == "char") return "character";
+    internalError("fuzz printer: unsupported Fortran type " + t.name);
+  }
+
+  void declStmt(const Stmt &s) {
+    for (const VarDecl &d : s.decls) {
+      SV_CHECK(!d.init, "fuzz printer: initialised Fortran declaration");
+      if (d.arrayDims.empty()) {
+        line(typeName(d.type) + " :: " + d.name);
+      } else {
+        SV_CHECK(d.arrayDims.size() == 1 && !d.arrayDims[0],
+                 "fuzz printer: non-deferred Fortran array shape");
+        line(typeName(d.type) + ", allocatable :: " + d.name + "(:)");
+      }
+    }
+  }
+
+  /// Single-line statement rendering for one-line ifs.
+  [[nodiscard]] static std::string inlineStmt(const Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::ExprStmt:
+      return exprStmtText(s);
+    case StmtKind::Return:
+      return "return";
+    case StmtKind::Break:
+      return "exit";
+    case StmtKind::Continue:
+      return "cycle";
+    default:
+      internalError("fuzz printer: unsupported one-line if body");
+    }
+  }
+
+  [[nodiscard]] static std::string exprStmtText(const Stmt &s) {
+    const Expr &e = *s.cond;
+    if (e.kind == ExprKind::Assign) return expr(*e.args[0]) + " = " + expr(*e.args[1]);
+    SV_CHECK(e.kind == ExprKind::Call, "fuzz printer: unsupported Fortran statement expr");
+    const std::string callee = e.args[0]->text;
+    std::string args;
+    for (usize i = 1; i < e.args.size(); ++i) {
+      if (i > 1) args += ", ";
+      args += expr(*e.args[i]);
+    }
+    if (callee == "print") return "print *, " + args;
+    if (callee == "allocate" || callee == "deallocate") return callee + "(" + args + ")";
+    return "call " + callee + (e.args.size() > 1 ? "(" + args + ")" : "()");
+  }
+
+  void stmt(const Stmt &s) {
+    switch (s.kind) {
+    case StmtKind::Compound:
+      for (const auto &c : s.children) stmt(*c);
+      return;
+    case StmtKind::DeclStmt:
+      declStmt(s);
+      return;
+    case StmtKind::ExprStmt:
+      line(exprStmtText(s));
+      return;
+    case StmtKind::ArrayAssign:
+      line(expr(*s.cond) + " = " + expr(*s.step));
+      return;
+    case StmtKind::If:
+      if (s.children[0]->kind != StmtKind::Compound) {
+        line("if (" + expr(*s.cond) + ") " + inlineStmt(*s.children[0]));
+        return;
+      }
+      line("if (" + expr(*s.cond) + ") then");
+      ++indent;
+      stmt(*s.children[0]);
+      --indent;
+      if (s.children.size() > 1) {
+        line("else");
+        ++indent;
+        stmt(*s.children[1]);
+        --indent;
+      }
+      line("end if");
+      return;
+    case StmtKind::ForRange:
+      line("do " + s.loopVar + " = " + expr(*s.cond) + ", " + expr(*s.step));
+      ++indent;
+      stmt(*s.children[0]);
+      --indent;
+      line("end do");
+      return;
+    case StmtKind::While:
+      line("do while (" + expr(*s.cond) + ")");
+      ++indent;
+      stmt(*s.children[0]);
+      --indent;
+      line("end do");
+      return;
+    case StmtKind::Return:
+      line("return");
+      return;
+    case StmtKind::Break:
+      line("exit");
+      return;
+    case StmtKind::Continue:
+      line("cycle");
+      return;
+    case StmtKind::Directive: {
+      const Directive &d = *s.directive;
+      if (d.family == "fortran" && d.kind.size() == 1 && d.kind[0] == "concurrent") {
+        // DO CONCURRENT is parsed into a synthetic directive wrapper.
+        const Stmt &loop = *s.children[0];
+        SV_CHECK(loop.kind == StmtKind::ForRange, "fuzz printer: concurrent without loop");
+        line("do concurrent (" + loop.loopVar + " = " + expr(*loop.cond) + ":" +
+             expr(*loop.step) + ")");
+        ++indent;
+        stmt(*loop.children[0]);
+        --indent;
+        line("end do");
+        return;
+      }
+      line("!$" + lang::directiveToString(d));
+      if (!s.children.empty()) stmt(*s.children[0]);
+      return;
+    }
+    case StmtKind::Empty:
+      return;
+    default:
+      internalError("fuzz printer: unsupported Fortran statement kind");
+    }
+  }
+
+  [[nodiscard]] std::string unit(const TranslationUnit &u) {
+    for (usize fi = 0; fi < u.functions.size(); ++fi) {
+      const FunctionDecl &f = u.functions[fi];
+      const bool isProgram = f.name == u.programName;
+      if (isProgram) {
+        line("program " + f.name);
+      } else {
+        std::string head = "subroutine " + f.name + "(";
+        for (usize i = 0; i < f.params.size(); ++i) {
+          if (i) head += ", ";
+          head += f.params[i].name;
+        }
+        line(head + ")");
+      }
+      ++indent;
+      // The parser folded parameter declaration lines into the param types;
+      // synthesise them back, in parameter order, ahead of the body.
+      for (const Param &p : f.params) line(typeName(p.type) + " :: " + p.name);
+      SV_CHECK(f.body && f.body->kind == StmtKind::Compound, "fuzz printer: bodyless unit");
+      stmt(*f.body);
+      --indent;
+      line(isProgram ? "end program " + f.name : "end subroutine " + f.name);
+      if (fi + 1 < u.functions.size()) out += "\n";
+    }
+    return out;
+  }
+};
+
+} // namespace
+
+std::string printUnit(const lang::ast::TranslationUnit &unit, Lang lang) {
+  if (lang == Lang::MiniC) return CPrinter{}.unit(unit);
+  return FPrinter{}.unit(unit);
+}
+
+} // namespace sv::fuzz

@@ -1,0 +1,28 @@
+// AST -> source printer for the round-trip oracle. Scope: the node shapes
+// the fuzz generator can produce (plus anything their reparse yields) — NOT
+// the full corpus language; corpus mutants skip the round-trip oracle for
+// exactly this reason. The printer is canonical and idempotent: printing the
+// reparse of its own output reproduces the output byte-for-byte, which is
+// what oracle 1 checks.
+//
+// Two rules keep reparses structure-identical:
+//   * composite operands (Binary/Unary/Assign/Conditional/Cast) are always
+//     parenthesised; atoms (identifiers, literals, calls, indexes) never are
+//     — `(v) - x` would trip the MiniC cast heuristic and reparse as a cast,
+//   * statement forms are preserved, not canonicalised: a non-compound If
+//     child prints as a one-line if (Fortran) / unbraced statement (C), so
+//     the reparse keeps the same tree shape.
+#pragma once
+
+#include <string>
+
+#include "fuzz/generator.hpp"
+#include "lang/ast.hpp"
+
+namespace sv::fuzz {
+
+/// Render the unit back to source. Throws InternalError on node shapes
+/// outside the generator grammar (a harness bug, not a pipeline bug).
+[[nodiscard]] std::string printUnit(const lang::ast::TranslationUnit &unit, Lang lang);
+
+} // namespace sv::fuzz

@@ -1,0 +1,56 @@
+#include "fuzz/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace sv::fuzz {
+
+namespace {
+
+[[nodiscard]] std::string joinLines(const std::vector<std::string> &lines) {
+  return lines.empty() ? std::string{} : str::join(lines, "\n") + "\n";
+}
+
+} // namespace
+
+std::string reduceLines(const std::string &source, const StillFails &stillFails, usize maxChecks) {
+  std::vector<std::string> lines = str::splitLines(source);
+  usize checks = 0;
+  // Windows slide by ONE line, not by the chunk size: a removable block
+  // (e.g. a 3-line empty loop) rarely sits on a chunk-aligned boundary,
+  // and the predicate is cheap for the small programs we shrink. Repeat
+  // the whole cascade until a full pass removes nothing.
+  bool progress = true;
+  while (progress && checks < maxChecks) {
+    progress = false;
+    for (usize chunk = std::max<usize>(lines.size() / 2, 1); chunk >= 1; chunk /= 2) {
+      usize start = 0;
+      while (start < lines.size() && checks < maxChecks) {
+        std::vector<std::string> candidate;
+        candidate.reserve(lines.size());
+        const usize end = std::min(start + chunk, lines.size());
+        for (usize i = 0; i < lines.size(); ++i)
+          if (i < start || i >= end) candidate.push_back(lines[i]);
+        if (candidate.empty()) {
+          ++start;
+          continue;
+        }
+        ++checks;
+        if (stillFails(joinLines(candidate))) {
+          lines = std::move(candidate);
+          progress = true;
+          // Same start now points at the lines that slid into the removed
+          // window; retry there.
+        } else {
+          ++start;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return joinLines(lines);
+}
+
+} // namespace sv::fuzz

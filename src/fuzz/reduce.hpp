@@ -1,0 +1,24 @@
+// Greedy delta-debugging reducer (ddmin over line chunks): repeatedly try
+// removing chunks of lines, keeping any removal under which the failure
+// predicate still holds, halving the chunk size until single lines. The
+// predicate gets candidate source text and must return true iff the same
+// oracle failure still reproduces (programs that no longer parse return
+// false inside the predicate). Bounded by `maxChecks` predicate calls so a
+// pathological failure cannot stall the fuzz run.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace sv::fuzz {
+
+using StillFails = std::function<bool(const std::string &)>;
+
+/// Shrink `source` while `stillFails` holds. Returns the smallest variant
+/// found (at worst, `source` itself).
+[[nodiscard]] std::string reduceLines(const std::string &source, const StillFails &stillFails,
+                                      usize maxChecks = 400);
+
+} // namespace sv::fuzz

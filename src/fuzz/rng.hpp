@@ -1,0 +1,63 @@
+// Deterministic PRNG for the fuzzing tier. SplitMix64: tiny, fast, and —
+// unlike std::mt19937 + distributions — bit-identical across standard
+// libraries and platforms, which the seed-determinism contract of
+// `svale fuzz` (same seed => byte-identical program stream) depends on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace sv::fuzz {
+
+class Rng {
+public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  [[nodiscard]] u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  [[nodiscard]] usize below(usize n) { return static_cast<usize>(next() % n); }
+
+  /// Uniform in [lo, hi] inclusive.
+  [[nodiscard]] i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next() % static_cast<u64>(hi - lo + 1));
+  }
+
+  /// True with probability percent/100.
+  [[nodiscard]] bool chance(u32 percent) { return next() % 100 < percent; }
+
+  template <typename T> [[nodiscard]] const T &pick(const std::vector<T> &xs) {
+    SV_CHECK(!xs.empty(), "Rng::pick on empty vector");
+    return xs[below(xs.size())];
+  }
+
+private:
+  u64 state_;
+};
+
+/// Derive a stream-independent child seed (program i of run seed s).
+[[nodiscard]] inline u64 mixSeed(u64 seed, u64 index) {
+  u64 z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a 64-bit hash, used for transcript digests of generated sources.
+[[nodiscard]] inline u64 fnv1a64(const std::string &s) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+} // namespace sv::fuzz

@@ -175,6 +175,7 @@ private:
         e.valueType = Type::simple("<function>");
       } else {
         ++stats_.unresolvedNames; // external/runtime symbol
+        stats_.unresolved.push_back(e.text);
       }
       break;
     }

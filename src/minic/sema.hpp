@@ -19,6 +19,10 @@ struct SemaStats {
   usize apiCalls = 0;
   usize hiddenTemplateArgs = 0;
   usize unresolvedNames = 0; ///< identifiers treated as external symbols
+  /// The names behind unresolvedNames, in visit order (with repeats). The
+  /// fuzz reducer uses the set to tell a pre-existing external symbol from
+  /// an undeclared variable its own line deletions just manufactured.
+  std::vector<std::string> unresolved;
 };
 
 /// Analyse `unit` in place. Never throws on unresolved names (external

@@ -17,18 +17,22 @@
 //   svale index-dir <dir> [-o out.svdb]     index a real on-disk codebase
 //                                           (needs <dir>/compile_commands.json)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <set>
 #include <stdexcept>
 
 #include "db/diskload.hpp"
+#include "fuzz/fuzz.hpp"
 #include "metrics/coupling.hpp"
 #include "silvervale/silvervale.hpp"
+#include "support/cliargs.hpp"
 
 using namespace sv;
 
 namespace {
+
+using cli::Args;
 
 int usage() {
   std::printf(
@@ -46,7 +50,12 @@ int usage() {
       "  lint-dir <dir> [--ir] [--json]       lint an on-disk codebase\n"
       "                                       (--ir adds the IR-tier checks)\n"
       "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
-      "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n");
+      "  fuzz [--seed N] [--count K] [--lang c|f|both] [--oracle NAME|all]\n"
+      "       [--out DIR]                     differential fuzzing of the pipeline;\n"
+      "                                       reduced reproducers land in DIR\n"
+      "                                       (default tests/fuzz/corpus)\n"
+      "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
+      "oracles: round-trip vm ir ted lint\n");
   return 2;
 }
 
@@ -61,61 +70,17 @@ metrics::Metric parseMetric(const std::string &name) {
   throw ParseError("unknown metric: " + name);
 }
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags; ///< "--x v" and bare "--x" -> "1"
-};
-
-/// A malformed command line: unknown flag, missing value, and friends.
-/// Distinct from ParseError so main can show the usage text for it.
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
 /// Flags that take a value vs. flags that are pure switches. Keeping the
 /// split explicit lets a value flag consume the next argument even when it
 /// starts with '-' (e.g. `--base -serial-variant`), and lets everything
 /// else that looks like a flag be rejected instead of silently becoming a
-/// positional or a bare switch.
-const std::set<std::string> kValueFlags = {"metric", "base", "out"};
-const std::set<std::string> kBareFlags = {"pp", "cov", "json", "ir"};
-
-Args parseArgs(int argc, char **argv, int first) {
-  Args out;
-  for (int i = first; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a == "-o") {
-      if (i + 1 >= argc) throw UsageError("-o requires a value");
-      out.flags["out"] = argv[++i];
-      continue;
-    }
-    if (a.rfind("--", 0) == 0) {
-      std::string name = a.substr(2);
-      std::string value;
-      bool hasValue = false;
-      if (const auto eq = name.find('='); eq != std::string::npos) {
-        value = name.substr(eq + 1);
-        name.resize(eq);
-        hasValue = true;
-      }
-      if (kValueFlags.count(name)) {
-        if (!hasValue) {
-          if (i + 1 >= argc) throw UsageError("--" + name + " requires a value");
-          value = argv[++i];
-        }
-        out.flags[name] = std::move(value);
-      } else if (kBareFlags.count(name)) {
-        if (hasValue) throw UsageError("--" + name + " does not take a value");
-        out.flags[name] = "1";
-      } else {
-        throw UsageError("unknown flag: " + a);
-      }
-      continue;
-    }
-    out.positional.push_back(std::move(a));
-  }
-  return out;
-}
+/// positional or a bare switch. (--inject-bug is the fuzz harness
+/// self-test: plant a generator bug and check the oracles catch it.)
+const cli::FlagSpec kFlagSpec = {
+    /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle"},
+    /*bareFlags=*/{"pp", "cov", "json", "ir", "inject-bug", "no-reduce"},
+    /*shortAliases=*/{{"-o", "out"}},
+};
 
 int cmdList() {
   for (const auto &app : corpus::appNames()) {
@@ -294,6 +259,44 @@ int cmdCoupling(const Args &args) {
   return 0;
 }
 
+u64 parseU64(const std::string &value, const char *flag) {
+  char *end = nullptr;
+  const u64 v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    throw cli::UsageError(std::string(flag) + " expects an unsigned integer, got '" + value + "'");
+  return v;
+}
+
+int cmdFuzz(const Args &args) {
+  fuzz::FuzzOptions opts;
+  opts.seed = parseU64(args.get("seed", "1"), "--seed");
+  opts.count = parseU64(args.get("count", "100"), "--count");
+  const std::string lang = args.get("lang", "both");
+  if (lang == "c") opts.genF = false;
+  else if (lang == "f") opts.genC = false;
+  else if (lang != "both") throw cli::UsageError("--lang expects c, f or both, got '" + lang + "'");
+  const std::string oracle = args.get("oracle", "all");
+  if (oracle != "all") {
+    const auto o = fuzz::oracleFromName(oracle);
+    if (!o) throw cli::UsageError("unknown oracle: " + oracle);
+    opts.oracleMask = fuzz::oracleBit(*o);
+  }
+  opts.outDir = args.get("out", "tests/fuzz/corpus");
+  opts.injectUndeclaredUse = args.has("inject-bug");
+  opts.reduce = !args.has("no-reduce");
+
+  const auto report = fuzz::runFuzz(opts);
+  std::printf("fuzz: %zu programs, %zu corpus rounds, %zu failure(s)\n", report.programs,
+              report.corpusRounds, report.failures.size());
+  for (const auto &f : report.failures) {
+    std::fprintf(stderr, "FAIL [%s] lang=%s seed=%llu: %s\n", fuzz::oracleName(f.oracle),
+                 fuzz::langName(f.lang), static_cast<unsigned long long>(f.seed),
+                 f.message.c_str());
+    if (!f.file.empty()) std::fprintf(stderr, "  reproducer: %s\n", f.file.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -301,8 +304,8 @@ int main(int argc, char **argv) {
   const std::string cmd = argv[1];
   Args args;
   try {
-    args = parseArgs(argc, argv, 2);
-  } catch (const UsageError &e) {
+    args = cli::parseArgs(argc, argv, 2, kFlagSpec);
+  } catch (const cli::UsageError &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return usage();
   }
@@ -319,6 +322,10 @@ int main(int argc, char **argv) {
     if (cmd == "lint") return cmdLint(args);
     if (cmd == "lint-dir") return cmdLintDir(args);
     if (cmd == "index-dir") return cmdIndexDir(args);
+    if (cmd == "fuzz") return cmdFuzz(args);
+  } catch (const cli::UsageError &e) {
+    std::fprintf(stderr, "svale: %s\n", e.what());
+    return usage();
   } catch (const std::exception &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return 1;
