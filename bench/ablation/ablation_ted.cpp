@@ -4,7 +4,10 @@
 // paper's future-work section raises.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <random>
+#include <string>
+#include <unordered_map>
 
 #include "corpus/corpus.hpp"
 #include "db/codebase.hpp"
@@ -89,6 +92,43 @@ void BM_TedCorpusEngine(benchmark::State &state, bool warm) {
   }
 }
 
+/// The uncached Apted pipeline split into its phases, with the
+/// per-strategy subproblem histogram exported as counters: how much
+/// forest-DP work each PathKind executed, and what the whole-tree
+/// decompositions would have cost instead.
+void BM_TedAptedPhases(benchmark::State &state) {
+  const auto n = static_cast<usize>(state.range(0));
+  const auto a = randomTree(1, n);
+  const auto b = randomTree(2, n);
+  std::unordered_map<std::string, u32> ids;
+  const auto intern = [&ids](const std::string &s) {
+    return ids.emplace(s, static_cast<u32>(ids.size())).first->second;
+  };
+  apted::RunCounters rc;
+  for (auto _ : state) {
+    const auto ia = apted::buildIndex(a, intern);
+    const auto ib = apted::buildIndex(b, intern);
+    const auto strat = apted::computeStrategy(ia, ib);
+    rc = {};
+    benchmark::DoNotOptimize(apted::run(ia, ib, strat, {}, /*reuseBlocks=*/false, &rc));
+  }
+  const auto ia = apted::buildIndex(a, intern);
+  const auto ib = apted::buildIndex(b, intern);
+  const auto strat = apted::computeStrategy(ia, ib);
+  state.counters["strategy_cost"] = static_cast<double>(strat.cost);
+  state.counters["whole_left_cost"] =
+      static_cast<double>(tedSubproblemsLeft(a) * tedSubproblemsLeft(b));
+  state.counters["whole_right_cost"] =
+      static_cast<double>(tedSubproblemsRight(a) * tedSubproblemsRight(b));
+  for (usize k = 0; k < 4; ++k) {
+    state.counters[std::string("kernels_") + apted::pathKindName(static_cast<apted::PathKind>(k))] =
+        static_cast<double>(rc.kernels[k]);
+    state.counters[std::string("cells_") + apted::pathKindName(static_cast<apted::PathKind>(k))] =
+        static_cast<double>(rc.subproblems[k]);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_TedRandom, zhang_shasha, TedAlgo::ZhangShasha)
@@ -99,11 +139,18 @@ BENCHMARK_CAPTURE(BM_TedRandom, path_strategy, TedAlgo::PathStrategy)
     ->RangeMultiplier(2)
     ->Range(64, 512)
     ->Complexity();
+BENCHMARK_CAPTURE(BM_TedRandom, apted, TedAlgo::Apted)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
 BENCHMARK_CAPTURE(BM_TedCombs, zhang_shasha, TedAlgo::ZhangShasha)->Arg(128)->Arg(256);
 BENCHMARK_CAPTURE(BM_TedCombs, path_strategy, TedAlgo::PathStrategy)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_TedCombs, apted, TedAlgo::Apted)->Arg(128)->Arg(256);
 BENCHMARK_CAPTURE(BM_TedCorpus, zhang_shasha, TedAlgo::ZhangShasha);
 BENCHMARK_CAPTURE(BM_TedCorpus, path_strategy, TedAlgo::PathStrategy);
+BENCHMARK_CAPTURE(BM_TedCorpus, apted, TedAlgo::Apted);
 BENCHMARK_CAPTURE(BM_TedCorpusEngine, engine_cold, false);
 BENCHMARK_CAPTURE(BM_TedCorpusEngine, engine_warm, true);
+BENCHMARK(BM_TedAptedPhases)->RangeMultiplier(2)->Range(64, 512)->Complexity();
 
 BENCHMARK_MAIN();

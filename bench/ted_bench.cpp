@@ -1,32 +1,36 @@
 // TED engine microbenchmark: times silvervale::divergenceMatrix for
-// Tsrc/Tsem/Tir on TeaLeaf and CloverLeaf with the shared-view engine on
-// vs. off and writes BENCH_ted.json (median of N >= 3 runs per
-// configuration) so future PRs have a perf trajectory to compare against.
-// The engine cache is cleared before every engine-on run, so the reported
-// speedup is the cold, single-matrix win (view reuse across pairs, the
-// symmetric pair memo, fingerprint short-circuits) — not warm-cache replay.
+// Tsrc/Tsem/Tir on TeaLeaf and CloverLeaf, per algorithm arm
+// (path_strategy vs apted) with the shared-view engine on vs. off, and
+// writes BENCH_ted.json (median of N >= 3 runs per configuration) so
+// future PRs have a perf trajectory to compare against. The engine cache
+// is cleared before every engine-on run, so the reported speedup is the
+// cold, single-matrix win (view reuse across pairs, the symmetric pair
+// memo, fingerprint short-circuits, cached strategy matrices) — not
+// warm-cache replay. Each apted engine-on cell also records the
+// strategy-choice histogram (single-path kernels and forest-DP cells per
+// PathKind) from the EngineStats counters.
 //
-// Usage: ted_bench [--runs N] [--out FILE] [--quick]
+// Usage: ted_bench [--runs N] [--out FILE] [--threads N] [--quick]
 //   --quick restricts to TeaLeaf/Tsem (the acceptance-criteria cell).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "silvervale/silvervale.hpp"
+#include "support/cliargs.hpp"
 #include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "tree/tedengine.hpp"
 
 using namespace sv;
 
 namespace {
 
-double timeMatrixMs(const silvervale::IndexedApp &app, metrics::Metric metric, bool engineOn) {
-  tree::TedOptions ted;
-  ted.useCache = engineOn;
-  if (engineOn) tree::TedEngine::global().clear(); // cold-cache measurement
+double timeMatrixMs(const silvervale::IndexedApp &app, metrics::Metric metric,
+                    const tree::TedOptions &ted) {
+  if (ted.useCache) tree::TedEngine::global().clear(); // cold-cache measurement
   const auto start = std::chrono::steady_clock::now();
   const auto m = silvervale::divergenceMatrix(app, metric, {}, ted);
   const auto stop = std::chrono::steady_clock::now();
@@ -43,16 +47,63 @@ double median(std::vector<double> xs) {
   return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
 }
 
+/// One algorithm arm: engine off and on medians over `runs` repetitions.
+json::Object benchArm(const silvervale::IndexedApp &app, metrics::Metric metric,
+                      tree::TedAlgo algo, usize runs, double &onMsOut) {
+  tree::TedOptions off;
+  off.algo = algo;
+  off.useCache = false;
+  tree::TedOptions on;
+  on.algo = algo;
+  std::vector<double> offMs, onMs;
+  for (usize r = 0; r < runs; ++r) offMs.push_back(timeMatrixMs(app, metric, off));
+  for (usize r = 0; r < runs; ++r) onMs.push_back(timeMatrixMs(app, metric, on));
+  const double offMed = median(offMs);
+  const double onMed = median(onMs);
+  onMsOut = onMed;
+  json::Object cell;
+  cell.emplace("engine_off_ms", json::Value(offMed));
+  cell.emplace("engine_on_ms", json::Value(onMed));
+  cell.emplace("speedup", json::Value(onMed > 0 ? offMed / onMed : 0));
+  return cell;
+}
+
+constexpr const char *kKindNames[4] = {"leftA", "rightA", "leftB", "rightB"};
+
+/// Strategy histogram of the engine's last (cold) apted run: which path
+/// kinds the strategy DP picked and how much forest-DP work each executed.
+json::Object strategyHistogram(const tree::EngineStats &s) {
+  json::Object kernels, cells;
+  for (usize k = 0; k < 4; ++k) {
+    kernels.emplace(kKindNames[k], json::Value(s.spfKernels[k]));
+    cells.emplace(kKindNames[k], json::Value(s.spfSubproblems[k]));
+  }
+  json::Object h;
+  h.emplace("kernels", json::Value(std::move(kernels)));
+  h.emplace("subproblems", json::Value(std::move(cells)));
+  h.emplace("strategy_misses", json::Value(s.strategyMisses));
+  h.emplace("strategy_hits", json::Value(s.strategyHits));
+  h.emplace("subtree_block_hits", json::Value(s.subtreeBlockHits));
+  return h;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   usize runs = 3;
   std::string outFile = "BENCH_ted.json";
   bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::stoul(argv[++i]);
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
-    else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  try {
+    const cli::FlagSpec spec{{"runs", "out", "threads"}, {"quick"}, {{"-o", "out"}}};
+    const auto args = cli::parseArgs(argc, argv, 1, spec);
+    if (args.flags.count("runs")) runs = std::stoul(args.flags.at("runs"));
+    if (args.flags.count("out")) outFile = args.flags.at("out");
+    if (args.flags.count("threads")) configureThreads(std::stoul(args.flags.at("threads")));
+    quick = args.flags.count("quick") != 0;
+  } catch (const std::exception &e) {
+    std::fprintf(stderr, "usage: ted_bench [--runs N] [--out FILE] [--threads N] [--quick]\n%s\n",
+                 e.what());
+    return 2;
   }
   if (runs < 3) runs = 3; // median of >= 3 by contract
 
@@ -74,18 +125,19 @@ int main(int argc, char **argv) {
     const auto app = silvervale::indexApp(appName);
     json::Object perMetric;
     for (const auto &[metric, name] : metricSpecs) {
-      std::vector<double> off, on;
-      for (usize r = 0; r < runs; ++r) off.push_back(timeMatrixMs(app, metric, false));
-      for (usize r = 0; r < runs; ++r) on.push_back(timeMatrixMs(app, metric, true));
-      const double offMs = median(off);
-      const double onMs = median(on);
-      const double speedup = onMs > 0 ? offMs / onMs : 0;
-      std::printf("  %-12s %-5s engine off: %9.1f ms   on: %9.1f ms   speedup: %.2fx\n",
-                  appName.c_str(), name, offMs, onMs, speedup);
+      double psOn = 0, apOn = 0;
       json::Object cell;
-      cell.emplace("engine_off_ms", json::Value(offMs));
-      cell.emplace("engine_on_ms", json::Value(onMs));
-      cell.emplace("speedup", json::Value(speedup));
+      cell.emplace("path_strategy", json::Value(benchArm(app, metric, tree::TedAlgo::PathStrategy,
+                                                         runs, psOn)));
+      // apted last: engine_stats_last_run below reflects an apted run.
+      auto apted = benchArm(app, metric, tree::TedAlgo::Apted, runs, apOn);
+      apted.emplace("strategy_histogram",
+                    json::Value(strategyHistogram(tree::TedEngine::global().stats())));
+      cell.emplace("apted", json::Value(std::move(apted)));
+      const double ratio = apOn > 0 ? psOn / apOn : 0;
+      cell.emplace("apted_vs_ps_engine_on", json::Value(ratio));
+      std::printf("  %-12s %-5s ps on: %9.1f ms   apted on: %9.1f ms   apted speedup: %.2fx\n",
+                  appName.c_str(), name, psOn, apOn, ratio);
       perMetric.emplace(name, json::Value(std::move(cell)));
     }
     apps.emplace(appName, json::Value(std::move(perMetric)));
@@ -100,6 +152,9 @@ int main(int argc, char **argv) {
   engine.emplace("memo_misses", json::Value(stats.memoMisses));
   engine.emplace("whole_tree_shortcuts", json::Value(stats.wholeTreeShortcuts));
   engine.emplace("keyroot_block_hits", json::Value(stats.keyrootBlockHits));
+  engine.emplace("strategy_hits", json::Value(stats.strategyHits));
+  engine.emplace("strategy_misses", json::Value(stats.strategyMisses));
+  engine.emplace("subtree_block_hits", json::Value(stats.subtreeBlockHits));
   report.emplace("engine_stats_last_run", json::Value(std::move(engine)));
 
   std::ofstream out(outFile);

@@ -184,13 +184,31 @@ struct Parsed {
   return std::nullopt;
 }
 
+/// Same tree with every node's child order reversed; d(mir(a), mir(b)) ==
+/// d(a, b) is the symmetry the Apted right-path kernels rely on.
+[[nodiscard]] tree::Tree mirroredTree(const tree::Tree &t) {
+  auto out = tree::Tree::leaf(t.node(0).label);
+  std::vector<std::pair<tree::NodeId, tree::NodeId>> queue{{0, 0}}; // (src, dst)
+  for (usize q = 0; q < queue.size(); ++q) {
+    const auto [src, dst] = queue[q];
+    const auto &ch = t.node(src).children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+      queue.emplace_back(*it, out.addChild(dst, t.node(*it).label));
+  }
+  return out;
+}
+
 [[nodiscard]] std::optional<std::string> checkTed(const GeneratedProgram &p,
                                                   OracleContext *context) {
   auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/p.lang == Lang::MiniC);
   const tree::Tree t = semTreeOf(parsed.tu, p.lang);
-  tree::TedOptions engineOff;
+  tree::TedOptions engineOff; // algo defaults to Apted
   engineOff.useCache = false;
   const tree::TedOptions engineOn; // useCache defaults to true
+  tree::TedOptions zsOff = engineOff;
+  zsOff.algo = tree::TedAlgo::ZhangShasha;
+  tree::TedOptions psOff = engineOff;
+  psOff.algo = tree::TedAlgo::PathStrategy;
 
   if (tree::ted(t, t, engineOff) != 0) return "d(T,T) != 0 (engine off)";
   if (tree::tedDispatch(t, t, engineOn) != 0) return "d(T,T) != 0 (engine on)";
@@ -205,6 +223,33 @@ struct Parsed {
       if (onAb != off)
         return "engine-on/off parity broken: " + std::to_string(onAb) + " vs " +
                std::to_string(off);
+      // Cross-algorithm equality: the Apted default against both oracles.
+      const u64 zs = tree::ted(t, q, zsOff);
+      if (off != zs)
+        return "Apted != ZhangShasha: " + std::to_string(off) + " vs " + std::to_string(zs);
+      const u64 ps = tree::ted(t, q, psOff);
+      if (off != ps)
+        return "Apted != PathStrategy: " + std::to_string(off) + " vs " + std::to_string(ps);
+    }
+
+    // Metamorphic mutants against the oldest pool entry: simultaneous
+    // sibling reversal and injective relabelling both preserve the
+    // distance, engine off and on (the mutants are fresh Tree objects, so
+    // the engine sees them purely through structural fingerprints).
+    if (!context->tedPool.empty()) {
+      const auto &q = context->tedPool.front();
+      const u64 base = tree::ted(t, q, engineOff);
+      const tree::Tree tm = mirroredTree(t), qm = mirroredTree(q);
+      if (tree::ted(tm, qm, engineOff) != base)
+        return "mirror invariance broken (engine off)";
+      if (tree::tedDispatch(tm, qm, engineOn) != base)
+        return "mirror invariance broken (engine on)";
+      const auto tag = [](const std::string &s) { return s + "\x01m"; };
+      const tree::Tree tr = t.relabel(tag), qr = q.relabel(tag);
+      if (tree::ted(tr, qr, engineOff) != base)
+        return "injective relabel invariance broken (engine off)";
+      if (tree::tedDispatch(tr, qr, engineOn) != base)
+        return "injective relabel invariance broken (engine on)";
     }
     // Triangle inequality on sampled triples (a, t, b) from the pool.
     const usize n = std::min<usize>(context->tedPool.size(), 3);

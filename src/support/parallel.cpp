@@ -1,6 +1,19 @@
 #include "support/parallel.hpp"
 
+#include <cstdlib>
+#include <string>
+
 namespace sv {
+
+namespace {
+
+/// Set inside pool workers; a parallelFor issued from one must run serially
+/// (its ancestors already hold pool slots — waiting on the pool deadlocks).
+thread_local bool tlInPoolWorker = false;
+
+std::atomic<usize> gConfiguredThreads{0};
+
+} // namespace
 
 ThreadPool::ThreadPool(usize threads) {
   usize n = threads != 0 ? threads : std::thread::hardware_concurrency();
@@ -38,6 +51,7 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::workerLoop() {
+  tlInPoolWorker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -61,37 +75,83 @@ void ThreadPool::workerLoop() {
   }
 }
 
+usize resolveThreadCount(usize explicitThreads, const char *envValue, usize hardware) {
+  if (explicitThreads != 0) return explicitThreads;
+  if (envValue != nullptr) {
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(envValue, &end, 10);
+    if (end != envValue && *end == '\0' && parsed > 0) return static_cast<usize>(parsed);
+  }
+  return hardware != 0 ? hardware : 1;
+}
+
+void configureThreads(usize threads) {
+  gConfiguredThreads.store(threads, std::memory_order_relaxed);
+}
+
+ThreadPool &sharedPool() {
+  static ThreadPool pool(resolveThreadCount(gConfiguredThreads.load(std::memory_order_relaxed),
+                                            std::getenv("SV_THREADS"),
+                                            std::thread::hardware_concurrency()));
+  return pool;
+}
+
 void parallelFor(usize n, const std::function<void(usize)> &body, usize threads) {
   if (n == 0) return;
-  usize workerCount = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (workerCount == 0) workerCount = 1;
-  if (workerCount == 1 || n < 2) {
+  const usize want =
+      tlInPoolWorker ? 1
+                     : resolveThreadCount(threads != 0
+                                              ? threads
+                                              : gConfiguredThreads.load(std::memory_order_relaxed),
+                                          std::getenv("SV_THREADS"),
+                                          std::thread::hardware_concurrency());
+  if (want == 1 || n < 2) {
     for (usize i = 0; i < n; ++i) body(i);
     return;
   }
-  workerCount = std::min(workerCount, n);
+
+  // The caller drains alongside pool workers, so `want` workers means
+  // want - 1 submitted tasks (capped by the pool size and by n).
+  ThreadPool &pool = sharedPool();
+  const usize workerCount = std::min({want, pool.threadCount() + 1, n});
+  if (workerCount == 1) {
+    for (usize i = 0; i < n; ++i) body(i);
+    return;
+  }
 
   std::atomic<usize> nextIndex{0};
+  std::mutex doneMutex; // guards remaining and firstError
+  std::condition_variable done;
+  usize remaining = workerCount - 1;
   std::exception_ptr firstError;
-  std::mutex errMutex;
 
-  std::vector<std::thread> workers;
-  workers.reserve(workerCount);
-  for (usize w = 0; w < workerCount; ++w) {
-    workers.emplace_back([&] {
-      while (true) {
-        const usize i = nextIndex.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          const std::lock_guard lock(errMutex);
-          if (!firstError) firstError = std::current_exception();
-        }
+  const auto drain = [&] {
+    while (true) {
+      const usize i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard lock(doneMutex);
+        if (!firstError) firstError = std::current_exception();
       }
+    }
+  };
+
+  for (usize w = 0; w + 1 < workerCount; ++w) {
+    pool.submit([&] {
+      drain();
+      // Notify under the lock: the moment remaining hits zero with the
+      // mutex released, the caller may return and destroy these locals.
+      const std::lock_guard lock(doneMutex);
+      --remaining;
+      if (remaining == 0) done.notify_all();
     });
   }
-  for (auto &w : workers) w.join();
+  drain();
+
+  std::unique_lock lock(doneMutex);
+  done.wait(lock, [&] { return remaining == 0; });
   if (firstError) std::rethrow_exception(firstError);
 }
 

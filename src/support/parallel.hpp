@@ -3,6 +3,13 @@
 // product of models (Section V-A) are embarrassingly parallel and dominated
 // by a few large pairs, so we use dynamic chunking (atomic fetch-add over
 // blocks) rather than static partitioning.
+//
+// `parallelFor` routes through one process-wide, lazily-constructed pool —
+// spawning and joining fresh threads on every `buildMatrix`/`indexApp` call
+// was measurable on small matrices. The pool size comes from, in order of
+// precedence: the per-call `threads` argument, `configureThreads` (the
+// `svale --threads` flag), the `SV_THREADS` environment variable, and
+// hardware_concurrency.
 #pragma once
 
 #include <atomic>
@@ -32,7 +39,8 @@ public:
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks have finished; rethrows the first task
-  /// exception, if any.
+  /// exception, if any. Don't mix with concurrent `parallelFor` callers on
+  /// the shared pool — it waits for *all* tasks, not just yours.
   void wait();
 
   [[nodiscard]] usize threadCount() const { return workers_.size(); }
@@ -50,8 +58,28 @@ private:
   std::exception_ptr firstError_;
 };
 
-/// Run `body(i)` for i in [0, n) on a private pool with dynamic chunking.
-/// Falls back to a serial loop when n is small or `threads` == 1.
+/// Worker-count resolution used by the shared pool, exposed pure for tests:
+/// a nonzero `explicitThreads` wins, else a positive integer in `envValue`
+/// (the content of SV_THREADS; nullptr / garbage / "0" are ignored), else
+/// `hardware` (floored at 1).
+[[nodiscard]] usize resolveThreadCount(usize explicitThreads, const char *envValue, usize hardware);
+
+/// Process-wide default worker count for `parallelFor` (0 restores the
+/// SV_THREADS / hardware default). Takes effect immediately; if the shared
+/// pool is already built, a value above its size is capped to it.
+void configureThreads(usize threads);
+
+/// The process-wide pool behind `parallelFor`, built on first use. Exposed
+/// for tests and for callers that want to submit long-lived work directly.
+[[nodiscard]] ThreadPool &sharedPool();
+
+/// Run `body(i)` for i in [0, n) on the shared pool with dynamic chunking.
+/// The calling thread participates as one of the workers, and each call has
+/// its own completion latch, so concurrent calls from different threads are
+/// safe. Falls back to a serial loop when n < 2, when one worker is
+/// resolved, or when already running inside a pool worker (a nested call
+/// would deadlock waiting for the slots its own ancestors occupy). The
+/// first exception thrown by `body` is rethrown after the loop completes.
 void parallelFor(usize n, const std::function<void(usize)> &body, usize threads = 0);
 
 /// Parallel map over an index range producing a vector of results. `f` must

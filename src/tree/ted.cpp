@@ -146,6 +146,16 @@ u64 subproblems(const PostView &v) {
 
 u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options) {
   PairInterner interner;
+  if (options.algo == TedAlgo::Apted) {
+    // Self-contained entry: index both trees against a per-call pair
+    // interner, plan, execute. Block reuse is the engine's job (it owns a
+    // cross-call fingerprint space); the uncached path skips it.
+    const auto intern = [&interner](const std::string &s) { return interner.intern(s); };
+    const apted::TreeIndex a = apted::buildIndex(t1, intern);
+    const apted::TreeIndex b = apted::buildIndex(t2, intern);
+    const apted::Strategy strategy = apted::computeStrategy(a, b);
+    return apted::run(a, b, strategy, options.costs, /*reuseBlocks=*/false, nullptr);
+  }
   if (options.algo == TedAlgo::ZhangShasha) {
     const PostView a = makeView(t1, false, interner);
     const PostView b = makeView(t2, false, interner);

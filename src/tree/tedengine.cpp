@@ -234,6 +234,23 @@ struct ViewKeyHash {
   }
 };
 
+/// Strategy-cache key: *ordered* (unlike PairKey) because the plan is
+/// orientation-specific — strategy(a, b) decomposes different trees than
+/// strategy(b, a). No costs: the strategy DP is structural only.
+struct StratKey {
+  u64 fp1 = 0, fp2 = 0;
+  usize n1 = 0, n2 = 0;
+  bool operator==(const StratKey &) const = default;
+};
+
+struct StratKeyHash {
+  usize operator()(const StratKey &k) const {
+    return static_cast<usize>(hashCombine(hashCombine(k.fp1, k.fp2),
+                                          hashCombine(static_cast<u64>(k.n1),
+                                                      static_cast<u64>(k.n2))));
+  }
+};
+
 } // namespace
 
 struct TedEngine::Impl {
@@ -245,10 +262,17 @@ struct TedEngine::Impl {
   mutable std::mutex memoMutex;
   std::unordered_map<PairKey, u64, PairKeyHash> memo;
 
+  mutable std::mutex strategyMutex;
+  std::unordered_map<StratKey, std::shared_ptr<const apted::Strategy>, StratKeyHash> strategies;
+
   std::atomic<u64> viewHits{0}, viewMisses{0};
   std::atomic<u64> memoHits{0}, memoMisses{0};
   std::atomic<u64> wholeTreeShortcuts{0};
   std::atomic<u64> keyrootBlockHits{0};
+  std::atomic<u64> strategyHits{0}, strategyMisses{0};
+  std::atomic<u64> spfKernels[4]{0, 0, 0, 0};
+  std::atomic<u64> spfSubproblems[4]{0, 0, 0, 0};
+  std::atomic<u64> subtreeBlockHits{0};
 };
 
 TedEngine::TedEngine() : impl_(std::make_unique<Impl>()) {}
@@ -276,6 +300,10 @@ std::shared_ptr<const TreeViews> TedEngine::views(const Tree &t) {
   built->rootFp = key.fp;
   built->left = makeEngineView(t, false, impl_->interner);
   built->right = makeEngineView(t, true, impl_->interner);
+  if (!t.empty()) {
+    built->aptedIndex = std::make_shared<const apted::TreeIndex>(apted::buildIndex(
+        t, [this](const std::string &s) { return impl_->interner.intern(s); }));
+  }
   impl_->viewMisses.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(impl_->viewMutex);
   return impl_->viewCache.emplace(key, std::move(built)).first->second;
@@ -314,7 +342,34 @@ u64 TedEngine::ted(const Tree &a, const Tree &b, const TedOptions &options) {
   impl_->memoMisses.fetch_add(1, std::memory_order_relaxed);
 
   u64 result = 0;
-  if (options.algo == TedAlgo::ZhangShasha) {
+  if (options.algo == TedAlgo::Apted) {
+    // Strategy matrices are structural (cost-independent) and cheap to key,
+    // so one DP serves every cost configuration of an ordered tree pair.
+    const StratKey skey{va->rootFp, vb->rootFp, va->size, vb->size};
+    std::shared_ptr<const apted::Strategy> strat;
+    {
+      std::lock_guard lock(impl_->strategyMutex);
+      const auto it = impl_->strategies.find(skey);
+      if (it != impl_->strategies.end()) strat = it->second;
+    }
+    if (strat) {
+      impl_->strategyHits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      impl_->strategyMisses.fetch_add(1, std::memory_order_relaxed);
+      strat = std::make_shared<const apted::Strategy>(
+          apted::computeStrategy(*va->aptedIndex, *vb->aptedIndex));
+      std::lock_guard lock(impl_->strategyMutex);
+      strat = impl_->strategies.emplace(skey, std::move(strat)).first->second;
+    }
+    apted::RunCounters rc;
+    result = apted::run(*va->aptedIndex, *vb->aptedIndex, *strat, costs,
+                        /*reuseBlocks=*/true, &rc);
+    for (usize k = 0; k < 4; ++k) {
+      impl_->spfKernels[k].fetch_add(rc.kernels[k], std::memory_order_relaxed);
+      impl_->spfSubproblems[k].fetch_add(rc.subproblems[k], std::memory_order_relaxed);
+    }
+    impl_->subtreeBlockHits.fetch_add(rc.blockHits, std::memory_order_relaxed);
+  } else if (options.algo == TedAlgo::ZhangShasha) {
     result = zhangShashaEngine(va->left, vb->left, costs, impl_->keyrootBlockHits);
   } else {
     // PathStrategy: the subproblem estimates are precomputed per view, so
@@ -340,6 +395,13 @@ EngineStats TedEngine::stats() const {
   s.memoMisses = impl_->memoMisses.load();
   s.wholeTreeShortcuts = impl_->wholeTreeShortcuts.load();
   s.keyrootBlockHits = impl_->keyrootBlockHits.load();
+  s.strategyHits = impl_->strategyHits.load();
+  s.strategyMisses = impl_->strategyMisses.load();
+  for (usize k = 0; k < 4; ++k) {
+    s.spfKernels[k] = impl_->spfKernels[k].load();
+    s.spfSubproblems[k] = impl_->spfSubproblems[k].load();
+  }
+  s.subtreeBlockHits = impl_->subtreeBlockHits.load();
   return s;
 }
 
@@ -352,12 +414,23 @@ void TedEngine::clear() {
     std::lock_guard lock(impl_->memoMutex);
     impl_->memo.clear();
   }
+  {
+    std::lock_guard lock(impl_->strategyMutex);
+    impl_->strategies.clear();
+  }
   impl_->viewHits = 0;
   impl_->viewMisses = 0;
   impl_->memoHits = 0;
   impl_->memoMisses = 0;
   impl_->wholeTreeShortcuts = 0;
   impl_->keyrootBlockHits = 0;
+  impl_->strategyHits = 0;
+  impl_->strategyMisses = 0;
+  for (usize k = 0; k < 4; ++k) {
+    impl_->spfKernels[k] = 0;
+    impl_->spfSubproblems[k] = 0;
+  }
+  impl_->subtreeBlockHits = 0;
 }
 
 u64 tedDispatch(const Tree &a, const Tree &b, const TedOptions &options) {

@@ -17,7 +17,13 @@
 //  * a symmetric pair memo keyed on (fingerprint, fingerprint, costs):
 //    ted(a, b, {del, ins, ren}) == ted(b, a, {ins, del, ren}), so
 //    diverge(a, b) and diverge(b, a) share the TED work and only the
-//    asymmetric dmax/unmatched accounting is recomputed.
+//    asymmetric dmax/unmatched accounting is recomputed;
+//  * for TedAlgo::Apted (the default): per-tree `apted::TreeIndex`es cached
+//    alongside the views, strategy matrices cached per ordered
+//    (fp1, n1, fp2, n2) pair — the strategy DP is cost-independent, so one
+//    matrix serves every TedCosts — and the keyroot TD-block reuse
+//    generalised to whole single-path subproblems (any repeated
+//    (fingerprint, fingerprint) subtree pair replays its TD rectangle).
 //
 // The engine is byte-identical to the uncached `tree::ted()` reference on
 // every input (tests/tree/tedengine_test.cpp and the corpus parity suite
@@ -48,6 +54,10 @@ struct TreeViews {
   u64 rootFp = 0;
   EngineView left;  ///< natural child order
   EngineView right; ///< mirrored child order (right-path decomposition)
+  /// Apted per-tree index (both orientations, canonical ids, keyroot sums),
+  /// labelled through the engine's global interner and shared like the
+  /// views. Null only for the empty tree.
+  std::shared_ptr<const apted::TreeIndex> aptedIndex;
 };
 
 /// Cache-effectiveness counters, exposed for tests and the ted bench.
@@ -58,6 +68,11 @@ struct EngineStats {
   u64 memoMisses = 0;          ///< ted() that ran a DP
   u64 wholeTreeShortcuts = 0;  ///< ted() == 0 via equal root fingerprints
   u64 keyrootBlockHits = 0;    ///< keyroot subproblems filled by TD-block copy
+  u64 strategyHits = 0;        ///< Apted strategy matrices served from the cache
+  u64 strategyMisses = 0;      ///< Apted strategy matrices computed
+  u64 spfKernels[4] = {0, 0, 0, 0};     ///< single-path kernels run, by apted::PathKind
+  u64 spfSubproblems[4] = {0, 0, 0, 0}; ///< forest-DP cells, by apted::PathKind
+  u64 subtreeBlockHits = 0;    ///< Apted subtree-pair TD rectangles replayed
 };
 
 /// Thread-safe cached TED evaluator. One global instance serves the whole

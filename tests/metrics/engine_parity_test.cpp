@@ -19,16 +19,36 @@ db::CodebaseDb indexed(const std::string &app, const std::string &model) {
 
 void expectIdenticalDivergence(const db::CodebaseDb &a, const db::CodebaseDb &b, Metric metric,
                                const std::string &what) {
-  tree::TedOptions cached;
-  tree::TedOptions uncached;
-  uncached.useCache = false;
-  const auto dc = diverge(a, b, metric, {}, cached);
-  const auto du = diverge(a, b, metric, {}, uncached);
-  EXPECT_EQ(dc.distance, du.distance) << what;
-  EXPECT_EQ(dc.dmaxEq7, du.dmaxEq7) << what;
-  EXPECT_EQ(dc.dmaxSym, du.dmaxSym) << what;
-  EXPECT_EQ(dc.matchedUnits, du.matchedUnits) << what;
-  EXPECT_EQ(dc.unmatchedUnits, du.unmatchedUnits) << what;
+  // Cached vs uncached, for every algorithm — and all algorithms must agree
+  // with each other (Apted is the default; the others are its oracles).
+  const auto algos = {tree::TedAlgo::Apted, tree::TedAlgo::ZhangShasha,
+                      tree::TedAlgo::PathStrategy};
+  bool first = true;
+  Divergence baseline;
+  for (const auto algo : algos) {
+    tree::TedOptions cached;
+    cached.algo = algo;
+    tree::TedOptions uncached;
+    uncached.algo = algo;
+    uncached.useCache = false;
+    const auto dc = diverge(a, b, metric, {}, cached);
+    const auto du = diverge(a, b, metric, {}, uncached);
+    EXPECT_EQ(dc.distance, du.distance) << what;
+    EXPECT_EQ(dc.dmaxEq7, du.dmaxEq7) << what;
+    EXPECT_EQ(dc.dmaxSym, du.dmaxSym) << what;
+    EXPECT_EQ(dc.matchedUnits, du.matchedUnits) << what;
+    EXPECT_EQ(dc.unmatchedUnits, du.unmatchedUnits) << what;
+    if (first) {
+      baseline = dc;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(dc.distance, baseline.distance) << what;
+    EXPECT_EQ(dc.dmaxEq7, baseline.dmaxEq7) << what;
+    EXPECT_EQ(dc.dmaxSym, baseline.dmaxSym) << what;
+    EXPECT_EQ(dc.matchedUnits, baseline.matchedUnits) << what;
+    EXPECT_EQ(dc.unmatchedUnits, baseline.unmatchedUnits) << what;
+  }
 }
 
 class EngineParity : public ::testing::TestWithParam<const char *> {};
@@ -61,8 +81,13 @@ TEST(EngineParity, EveryTealeafUnitPairMatchesReference) {
     for (const auto &u2 : cuda.units) {
       const std::pair<const tree::Tree &, const tree::Tree &> kinds[] = {
           {u1.tsrc, u2.tsrc}, {u1.tsem, u2.tsem}, {u1.tsemI, u2.tsemI}, {u1.tir, u2.tir}};
-      for (const auto &[t1, t2] : kinds)
-        EXPECT_EQ(engine.ted(t1, t2), tree::ted(t1, t2)) << u1.role << " vs " << u2.role;
+      for (const auto &[t1, t2] : kinds) {
+        // Default (Apted) engine path against every uncached oracle.
+        const u64 got = engine.ted(t1, t2);
+        EXPECT_EQ(got, tree::ted(t1, t2)) << u1.role << " vs " << u2.role;
+        EXPECT_EQ(got, tree::ted(t1, t2, {tree::TedAlgo::ZhangShasha, {}}))
+            << u1.role << " vs " << u2.role;
+      }
     }
   }
 }

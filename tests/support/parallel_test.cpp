@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 
 #include "support/parallel.hpp"
 
@@ -55,6 +58,76 @@ TEST(ParallelFor, PropagatesException) {
     if (i == 42) throw std::logic_error("bad index");
   }),
                std::logic_error);
+}
+
+TEST(ResolveThreadCount, PrecedenceAndParsing) {
+  // Explicit argument wins over everything.
+  EXPECT_EQ(resolveThreadCount(5, "3", 8), 5u);
+  // SV_THREADS value is honoured when positive.
+  EXPECT_EQ(resolveThreadCount(0, "3", 8), 3u);
+  // Absent, zero or unparsable env falls through to hardware.
+  EXPECT_EQ(resolveThreadCount(0, nullptr, 8), 8u);
+  EXPECT_EQ(resolveThreadCount(0, "0", 8), 8u);
+  EXPECT_EQ(resolveThreadCount(0, "garbage", 8), 8u);
+  EXPECT_EQ(resolveThreadCount(0, "3x", 8), 8u);
+  EXPECT_EQ(resolveThreadCount(0, "", 8), 8u);
+  // Unknown hardware concurrency floors at one worker.
+  EXPECT_EQ(resolveThreadCount(0, nullptr, 0), 1u);
+}
+
+TEST(ParallelFor, SharedPoolIsReusedAcrossCalls) {
+  ThreadPool &first = sharedPool();
+  const usize count = first.threadCount();
+  EXPECT_GE(count, 1u);
+  // Run work through parallelFor, then confirm the pool object and its
+  // workers are the same ones — no per-call spawn/join remains.
+  std::atomic<usize> sum{0};
+  parallelFor(1000, [&](usize i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), usize{1000} * 999 / 2);
+  EXPECT_EQ(&sharedPool(), &first);
+  EXPECT_EQ(sharedPool().threadCount(), count);
+}
+
+TEST(ParallelFor, ConfigureThreadsCapsParallelism) {
+  configureThreads(1);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  parallelFor(64, [&](usize) {
+    const std::lock_guard lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id()); // ran serially inline
+  configureThreads(0); // restore the SV_THREADS / hardware default
+}
+
+TEST(ParallelFor, NestedCallFallsBackToSerial) {
+  // A parallelFor issued from inside a pool worker must not wait on the
+  // pool (deadlock); it runs serially on the worker's own thread. The
+  // calling thread of the outer loop is not a pool worker — it drains
+  // alongside them — so only bodies running on pool threads are checked.
+  const auto mainThread = std::this_thread::get_id();
+  std::atomic<bool> violation{false};
+  std::atomic<int> inner{0};
+  parallelFor(8, [&](usize) {
+    const auto outerThread = std::this_thread::get_id();
+    parallelFor(8, [&](usize) {
+      inner.fetch_add(1);
+      if (outerThread != mainThread && std::this_thread::get_id() != outerThread)
+        violation.store(true);
+    });
+  });
+  EXPECT_EQ(inner.load(), 64);
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(ParallelFor, ExceptionLeavesSharedPoolUsable) {
+  EXPECT_THROW(
+      parallelFor(100, [](usize i) { if (i == 7) throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  parallelFor(100, [&](usize) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ParallelMap, ProducesOrderedResults) {

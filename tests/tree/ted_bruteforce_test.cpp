@@ -103,6 +103,7 @@ TEST_P(TedGroundTruth, AllAlgorithmsMatchBruteForce) {
         << "seed=" << GetParam() << " trial=" << trial << "\nA:\n"
         << a.pretty() << "B:\n" << b.pretty();
     EXPECT_EQ(ted(a, b, {TedAlgo::PathStrategy, {}}), truth);
+    EXPECT_EQ(ted(a, b, {TedAlgo::Apted, {}}), truth);
   }
 }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
+#include <unordered_map>
 
 #include "tree/ted.hpp"
 
@@ -26,6 +28,25 @@ u64 tedZS(const Tree &a, const Tree &b) {
 u64 tedPS(const Tree &a, const Tree &b) {
   return ted(a, b, TedOptions{TedAlgo::PathStrategy, {}});
 }
+u64 tedAP(const Tree &a, const Tree &b) {
+  return ted(a, b, TedOptions{TedAlgo::Apted, {}});
+}
+
+/// Same tree with every node's child order reversed. d(mir(a), mir(b)) ==
+/// d(a, b): the edit-mapping constraints are symmetric under simultaneous
+/// sibling reversal.
+Tree mirrored(const Tree &t) {
+  Tree out = Tree::leaf(t.node(0).label);
+  // BFS copy with reversed child order; ids differ but structure mirrors.
+  std::vector<std::pair<NodeId, NodeId>> queue{{0, 0}}; // (src, dst)
+  for (usize q = 0; q < queue.size(); ++q) {
+    const auto [src, dst] = queue[q];
+    const auto &ch = t.node(src).children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+      queue.emplace_back(*it, out.addChild(dst, t.node(*it).label));
+  }
+  return out;
+}
 
 } // namespace
 
@@ -33,6 +54,7 @@ TEST(Ted, IdenticalTreesHaveZeroDistance) {
   const auto t = randomTree(1, 50);
   EXPECT_EQ(tedZS(t, t), 0u);
   EXPECT_EQ(tedPS(t, t), 0u);
+  EXPECT_EQ(tedAP(t, t), 0u);
 }
 
 TEST(Ted, EmptyVersusTree) {
@@ -41,6 +63,15 @@ TEST(Ted, EmptyVersusTree) {
   EXPECT_EQ(tedZS(empty, t), t.size());
   EXPECT_EQ(tedZS(t, empty), t.size());
   EXPECT_EQ(tedZS(empty, empty), 0u);
+  EXPECT_EQ(tedAP(empty, t), t.size());
+  EXPECT_EQ(tedAP(t, empty), t.size());
+  EXPECT_EQ(tedAP(empty, empty), 0u);
+}
+
+TEST(Ted, AptedSingleNodes) {
+  EXPECT_EQ(tedAP(Tree::leaf("A"), Tree::leaf("A")), 0u);
+  EXPECT_EQ(tedAP(Tree::leaf("A"), Tree::leaf("B")), 1u);
+  EXPECT_EQ(tedAP(Tree::leaf("A"), toTree(build("A", {build("x")}))), 1u);
 }
 
 TEST(Ted, SingleRelabel) {
@@ -85,6 +116,7 @@ TEST(Ted, PaperFigure1DistanceIsFive) {
       {build("ParmVarDecl"), build("CompoundStmt", {build("CallExpr"), build("ReturnStmt")})}));
   EXPECT_EQ(tedZS(t1, t2), 5u);
   EXPECT_EQ(tedPS(t1, t2), 5u);
+  EXPECT_EQ(tedAP(t1, t2), 5u);
 }
 
 TEST(Ted, DistanceBoundedByNodeSum) {
@@ -138,15 +170,26 @@ TEST_P(TedPropertySweep, AlgorithmsAgreeAndAxiomsHold) {
 
   const u64 ab = tedZS(a, b);
   EXPECT_EQ(ab, tedPS(a, b)) << "seed=" << seed;
+  EXPECT_EQ(ab, tedAP(a, b)) << "seed=" << seed;
 
   // Identity of indiscernibles (one direction) and symmetry.
   EXPECT_EQ(tedZS(a, a), 0u);
   EXPECT_EQ(ab, tedZS(b, a));
+  EXPECT_EQ(ab, tedAP(b, a)) << "seed=" << seed;
 
   // Triangle inequality.
   const u64 bc = tedZS(b, c);
   const u64 ac = tedZS(a, c);
   EXPECT_LE(ac, ab + bc) << "seed=" << seed;
+
+  // Mirror invariance: reversing sibling order in both trees preserves the
+  // distance (the right-path kernels rely on exactly this symmetry).
+  EXPECT_EQ(ab, tedAP(mirrored(a), mirrored(b))) << "seed=" << seed;
+
+  // Injective relabel invariance: a bijection on the label alphabet leaves
+  // every equal/unequal comparison, hence the distance, unchanged.
+  const auto tag = [](const std::string &s) { return s + "#t"; };
+  EXPECT_EQ(ab, tedAP(a.relabel(tag), b.relabel(tag))) << "seed=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPairs, TedPropertySweep, ::testing::Range(0u, 24u));
@@ -159,6 +202,7 @@ TEST(Ted, LinearChainVsBushyTree) {
   const auto star = toTree(build("a", {build("b"), build("c")}));
   EXPECT_EQ(tedZS(chain, star), 2u);
   EXPECT_EQ(tedPS(chain, star), 2u);
+  EXPECT_EQ(tedAP(chain, star), 2u);
 }
 
 TEST(Ted, SubproblemEstimatorsPositive) {
@@ -183,4 +227,47 @@ TEST(Ted, SkewedTreeStrategiesAgree) {
     cur = rightComb.addChild(cur, "n");
   }
   EXPECT_EQ(tedZS(leftComb, rightComb), tedPS(leftComb, rightComb));
+  EXPECT_EQ(tedZS(leftComb, rightComb), tedAP(leftComb, rightComb));
+}
+
+TEST(Ted, StrategyCostNeverExceedsWholeTreeOrientations) {
+  // The per-subtree-pair plan can only improve on a whole-tree pick: an
+  // all-LeftA plan unrolls to exactly the Zhang–Shasha left decomposition
+  // cost, and likewise for the other uniform choices.
+  std::unordered_map<std::string, u32> ids;
+  const auto intern = [&ids](const std::string &s) {
+    return ids.emplace(s, static_cast<u32>(ids.size())).first->second;
+  };
+  for (u32 seed = 0; seed < 8; ++seed) {
+    std::mt19937 rng(seed);
+    const auto a = randomTree(seed * 2 + 101, 10 + rng() % 80);
+    const auto b = randomTree(seed * 2 + 102, 10 + rng() % 80);
+    const auto ia = apted::buildIndex(a, intern);
+    const auto ib = apted::buildIndex(b, intern);
+    const auto strat = apted::computeStrategy(ia, ib);
+    const u64 left = tedSubproblemsLeft(a) * tedSubproblemsLeft(b);
+    const u64 right = tedSubproblemsRight(a) * tedSubproblemsRight(b);
+    EXPECT_LE(strat.cost, std::min(left, right)) << "seed=" << seed;
+    EXPECT_GT(strat.cost, 0u);
+  }
+}
+
+TEST(Ted, RunCountersMatchStrategyCost) {
+  // Without block reuse, the executed forest-DP cell count equals the
+  // strategy DP's predicted subproblem total — the cost model is exact.
+  std::unordered_map<std::string, u32> ids;
+  const auto intern = [&ids](const std::string &s) {
+    return ids.emplace(s, static_cast<u32>(ids.size())).first->second;
+  };
+  const auto a = randomTree(41, 60);
+  const auto b = randomTree(42, 70);
+  const auto ia = apted::buildIndex(a, intern);
+  const auto ib = apted::buildIndex(b, intern);
+  const auto strat = apted::computeStrategy(ia, ib);
+  apted::RunCounters rc;
+  const u64 d = apted::run(ia, ib, strat, {}, /*reuseBlocks=*/false, &rc);
+  EXPECT_EQ(d, tedZS(a, b));
+  EXPECT_EQ(rc.subproblems[0] + rc.subproblems[1] + rc.subproblems[2] + rc.subproblems[3],
+            strat.cost);
+  EXPECT_EQ(rc.blockHits, 0u);
 }

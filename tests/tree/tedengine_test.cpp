@@ -71,7 +71,7 @@ TEST(TedEngine, CachedEqualsUncachedOnRandomTrees) {
     std::mt19937 rng(seed);
     const auto a = randomTree(seed * 2 + 1, 10 + rng() % 60);
     const auto b = randomTree(seed * 2 + 2, 10 + rng() % 60);
-    for (const auto algo : {TedAlgo::ZhangShasha, TedAlgo::PathStrategy}) {
+    for (const auto algo : {TedAlgo::ZhangShasha, TedAlgo::PathStrategy, TedAlgo::Apted}) {
       TedOptions opts;
       opts.algo = algo;
       EXPECT_EQ(engine.ted(a, b, opts), ted(a, b, opts)) << "seed=" << seed;
@@ -104,6 +104,57 @@ TEST(TedEngine, RepeatedSubtreesShareTheirKeyrootTdBlock) {
   zs.algo = TedAlgo::ZhangShasha;
   EXPECT_EQ(engine.ted(a, b, zs), ted(a, b, zs));
   EXPECT_GT(engine.stats().keyrootBlockHits, 0u);
+}
+
+TEST(TedEngine, StrategyMatrixIsSharedAcrossCostConfigurations) {
+  // The Apted strategy DP is structural: the same ordered tree pair under
+  // different costs must reuse the cached matrix (distinct memo entries,
+  // one strategy computation).
+  TedEngine engine;
+  const auto a = randomTree(21, 45);
+  const auto b = randomTree(22, 55);
+  TedOptions unit;
+  TedOptions heavy;
+  heavy.costs.del = 2;
+  heavy.costs.ins = 5;
+  EXPECT_EQ(engine.ted(a, b, unit), ted(a, b, unit));
+  const auto s1 = engine.stats();
+  EXPECT_EQ(s1.strategyMisses, 1u);
+  EXPECT_EQ(s1.strategyHits, 0u);
+  EXPECT_EQ(engine.ted(a, b, heavy), ted(a, b, heavy));
+  const auto s2 = engine.stats();
+  EXPECT_EQ(s2.strategyMisses, 1u);
+  EXPECT_EQ(s2.strategyHits, 1u);
+  // The kernel histogram is populated: every executed single-path kernel is
+  // attributed to exactly one PathKind.
+  u64 kernels = 0, cells = 0;
+  for (usize k = 0; k < 4; ++k) {
+    kernels += s2.spfKernels[k];
+    cells += s2.spfSubproblems[k];
+  }
+  EXPECT_GT(kernels, 0u);
+  EXPECT_GT(cells, 0u);
+}
+
+TEST(TedEngine, RepeatedSubtreePairsReplayTheirTdRectangle) {
+  // Both roots carry repeated copies of a stamp: whichever path the
+  // strategy picks at the root pair, at least two identical subtree pairs
+  // hang off it, so the second one replays the solved TD rectangle instead
+  // of recomputing (subtreeBlockHits > 0 under Apted).
+  const auto stampA = build("For", {build("Decl"), build("BinOp", {build("Ref"), build("Lit")})});
+  const auto stampB = build("If", {build("Call", {build("Ref")}), build("Ret")});
+  const auto a = toTree(build("Fn", {stampA, stampA, stampA, build("Ret")}));
+  const auto b = toTree(build("Kernel", {stampB, stampB, build("Decl")}));
+  TedEngine engine;
+  EXPECT_EQ(engine.ted(a, b), ted(a, b));
+  EXPECT_GT(engine.stats().subtreeBlockHits, 0u);
+
+  // Random duplicated-subtree pairs stay byte-identical to the reference.
+  for (u32 seed = 0; seed < 6; ++seed) {
+    const auto x = treeWithDuplicates(seed + 31, 14, 4);
+    const auto y = treeWithDuplicates(seed + 77, 14, 4);
+    EXPECT_EQ(engine.ted(x, y), ted(x, y)) << "seed=" << seed;
+  }
 }
 
 TEST(TedEngine, SymmetricCostsReuseThePairMemo) {

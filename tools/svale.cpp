@@ -27,6 +27,7 @@
 #include "metrics/coupling.hpp"
 #include "silvervale/silvervale.hpp"
 #include "support/cliargs.hpp"
+#include "support/parallel.hpp"
 
 using namespace sv;
 
@@ -40,8 +41,8 @@ int usage() {
       "  list                                 corpus apps and their models\n"
       "  run <app> <model>                    execute the port in the VM\n"
       "  index <app> <model> [-o file.svdb]   write a Codebase DB\n"
-      "  diverge <app> <A> <B> [--metric M] [--pp] [--cov]\n"
-      "  cluster <app> [--metric M]\n"
+      "  diverge <app> <A> <B> [--metric M] [--pp] [--cov] [--algo A]\n"
+      "  cluster <app> [--metric M] [--algo A]\n"
       "  heatmap <app> [--base MODEL]\n"
       "  cascade <app>\n"
       "  nav <app>\n"
@@ -55,8 +56,25 @@ int usage() {
       "                                       reduced reproducers land in DIR\n"
       "                                       (default tests/fuzz/corpus)\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
-      "oracles: round-trip vm ir ted lint\n");
+      "oracles: round-trip vm ir ted lint\n"
+      "TED algorithms (--algo): apted (default) | ps | zs — all return\n"
+      "identical distances; ps/zs are the cross-check oracles\n"
+      "--threads N caps the shared worker pool for every command\n"
+      "(equivalent to the SV_THREADS environment variable)\n");
   return 2;
+}
+
+/// TED options from --algo (engine stays on; all algorithms are
+/// byte-identical, the non-default ones exist as cross-check oracles).
+tree::TedOptions tedOptionsFrom(const Args &args) {
+  tree::TedOptions opts;
+  const auto it = args.flags.find("algo");
+  if (it == args.flags.end()) return opts;
+  if (it->second == "apted") opts.algo = tree::TedAlgo::Apted;
+  else if (it->second == "ps") opts.algo = tree::TedAlgo::PathStrategy;
+  else if (it->second == "zs") opts.algo = tree::TedAlgo::ZhangShasha;
+  else throw ParseError("unknown TED algorithm: " + it->second + " (want apted|ps|zs)");
+  return opts;
 }
 
 metrics::Metric parseMetric(const std::string &name) {
@@ -77,9 +95,9 @@ metrics::Metric parseMetric(const std::string &name) {
 /// positional or a bare switch. (--inject-bug is the fuzz harness
 /// self-test: plant a generator bug and check the oracles catch it.)
 const cli::FlagSpec kFlagSpec = {
-    /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle"},
+    /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads"},
     /*bareFlags=*/{"pp", "cov", "json", "ir", "inject-bug", "no-reduce"},
-    /*shortAliases=*/{{"-o", "out"}},
+    /*shortAliases=*/{{"-o", "out"}, {"-j", "threads"}},
 };
 
 int cmdList() {
@@ -145,7 +163,7 @@ int cmdDiverge(const Args &args) {
                 metrics::absolute(a, metric, variant), metrics::absolute(b, metric, variant));
     return 0;
   }
-  const auto d = metrics::diverge(a, b, metric, variant);
+  const auto d = metrics::diverge(a, b, metric, variant, tedOptionsFrom(args));
   std::printf("d=%llu dmax(Eq7)=%llu dmaxSym=%llu normalised=%.4f matched=%zu unmatched=%zu\n",
               static_cast<unsigned long long>(d.distance),
               static_cast<unsigned long long>(d.dmaxEq7),
@@ -160,7 +178,7 @@ int cmdCluster(const Args &args) {
   const auto app = silvervale::indexApp(args.positional[0]);
   const auto m = metrics::isAbsolute(metric)
                      ? silvervale::absoluteDifferenceMatrix(app, metric)
-                     : silvervale::divergenceMatrix(app, metric);
+                     : silvervale::divergenceMatrix(app, metric, {}, tedOptionsFrom(args));
   const auto merges = analysis::cluster(m);
   std::printf("%s", analysis::renderDendrogram(merges, m.labels).c_str());
   std::printf("newick: %s\n", analysis::toNewick(merges, m.labels).c_str());
@@ -308,6 +326,19 @@ int main(int argc, char **argv) {
   } catch (const cli::UsageError &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return usage();
+  }
+  // One pool cap for every command (indexApp, divergenceMatrix, lint-dir,
+  // fuzz all route through parallelFor): --threads N behaves exactly like
+  // SV_THREADS=N, with the flag taking precedence.
+  if (const auto it = args.flags.find("threads"); it != args.flags.end()) {
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || n == 0) {
+      std::fprintf(stderr, "svale: --threads wants a positive integer, got '%s'\n",
+                   it->second.c_str());
+      return usage();
+    }
+    configureThreads(static_cast<usize>(n));
   }
   try {
     if (cmd == "list") return cmdList();
