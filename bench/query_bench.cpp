@@ -1,0 +1,227 @@
+// Query-layer benchmark: the filter-and-refine acceptance gates of the
+// metric-space query layer, over the full embedded corpus (46 ports).
+//
+//   matrix   exact all-pairs portMatrix vs. the radius-capped
+//            filter-and-refine path (median of N >= 3 cold-cache runs
+//            each); the speedup and the filter counters go into
+//            BENCH_query.json, and the run FAILS below --min-speedup
+//            (default 3x, the acceptance criterion) or --min-filter-rate.
+//   topk     topKDivergence for every port against the other 45 must be
+//            byte-identical (index and distance) to brute-force exact
+//            ranking — correctness gate, not a timing.
+//   fuzz     treeDistanceMatrix over a generated T_sem corpus with a raw
+//            cutoff: filter effectiveness on trees far bigger in number
+//            than the embedded ports.
+//
+// Usage: query_bench [--runs N] [--out FILE] [--threads N] [--quick]
+//                    [--radius R] [--min-speedup X] [--min-filter-rate X]
+//   --quick shrinks the top-k sweep and the fuzz corpus (CI budget); the
+//   matrix gate always runs over all 46 ports.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "metrics/query.hpp"
+#include "silvervale/silvervale.hpp"
+#include "support/cliargs.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "tree/tedengine.hpp"
+
+using namespace sv;
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+json::Object statsJson(const metrics::QueryStats &s) {
+  json::Object o;
+  o.emplace("candidates", json::Value(s.candidates));
+  o.emplace("pruned_by_bound", json::Value(s.prunedByBound));
+  o.emplace("pruned_by_cutoff", json::Value(s.prunedByCutoff));
+  o.emplace("exact", json::Value(s.exact));
+  o.emplace("filter_rate", json::Value(s.filterRate()));
+  return o;
+}
+
+/// Median cold-cache time of one portMatrix configuration; `statsOut`
+/// keeps the counters of the last run (they are identical across runs).
+double timePortMatrixMs(const std::vector<silvervale::CorpusPort> &ports, double radius,
+                        usize runs, metrics::QueryStats *statsOut) {
+  std::vector<double> ms;
+  for (usize r = 0; r < runs; ++r) {
+    tree::TedEngine::global().clear();
+    metrics::QueryStats stats;
+    const double start = nowMs();
+    const auto m = silvervale::portMatrix(ports, metrics::Metric::Tsem, {}, {}, radius, &stats);
+    ms.push_back(nowMs() - start);
+    volatile double sink = 0;
+    for (const double v : m.values) sink = sink + v;
+    (void)sink;
+    if (statsOut && r + 1 == runs) *statsOut = stats;
+  }
+  return median(ms);
+}
+
+/// Brute-force exact reference ranking: every candidate evaluated with
+/// diverge(), sorted by (distance, index), truncated to k.
+std::vector<metrics::Neighbor> bruteForceTopK(const db::CodebaseDb &query,
+                                              const std::vector<const db::CodebaseDb *> &corpus,
+                                              usize k) {
+  std::vector<metrics::Neighbor> all;
+  for (usize i = 0; i < corpus.size(); ++i) {
+    const auto d = metrics::diverge(query, *corpus[i], metrics::Metric::Tsem);
+    all.push_back({i, d.distance, d.normalised()});
+  }
+  std::sort(all.begin(), all.end(), [](const metrics::Neighbor &a, const metrics::Neighbor &b) {
+    return std::tie(a.distance, a.index) < std::tie(b.distance, b.index);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 3;
+  std::string outFile = "BENCH_query.json";
+  bool quick = false;
+  double minSpeedup = 3.0;
+  double minFilterRate = 0.0;
+  double kRadius = 0.05; // tight: the clusters of interest are near-ports
+  try {
+    const cli::FlagSpec spec{
+        {"runs", "out", "threads", "radius", "min-speedup", "min-filter-rate"},
+        {"quick"},
+        {{"-o", "out"}}};
+    const auto args = cli::parseArgs(argc, argv, 1, spec);
+    if (args.flags.count("runs")) runs = std::stoul(args.flags.at("runs"));
+    if (args.flags.count("out")) outFile = args.flags.at("out");
+    if (args.flags.count("threads")) configureThreads(std::stoul(args.flags.at("threads")));
+    if (args.flags.count("radius")) kRadius = std::stod(args.flags.at("radius"));
+    if (args.flags.count("min-speedup")) minSpeedup = std::stod(args.flags.at("min-speedup"));
+    if (args.flags.count("min-filter-rate"))
+      minFilterRate = std::stod(args.flags.at("min-filter-rate"));
+    quick = args.flags.count("quick") != 0;
+  } catch (const std::exception &e) {
+    std::fprintf(stderr,
+                 "usage: query_bench [--runs N] [--out FILE] [--threads N] [--quick]\n"
+                 "                   [--radius R] [--min-speedup X] [--min-filter-rate X]\n%s\n",
+                 e.what());
+    return 2;
+  }
+  if (runs < 3) runs = 3;
+
+  std::printf("indexing all corpus ports...\n");
+  const auto ports = silvervale::indexAllPorts();
+
+  json::Object report;
+  report.emplace("runs", json::Value(runs));
+  report.emplace("ports", json::Value(ports.size()));
+  report.emplace("radius", json::Value(kRadius));
+  bool failed = false;
+
+  // ---- matrix: exact all-pairs vs filter-and-refine -------------------
+  const double exactMs = timePortMatrixMs(ports, /*radius=*/0, runs, nullptr);
+  metrics::QueryStats matrixStats;
+  const double filteredMs = timePortMatrixMs(ports, kRadius, runs, &matrixStats);
+  const double speedup = filteredMs > 0 ? exactMs / filteredMs : 0;
+  std::printf("matrix: exact %.1f ms, filtered %.1f ms, speedup %.2fx, filter rate %.2f\n",
+              exactMs, filteredMs, speedup, matrixStats.filterRate());
+  json::Object matrix;
+  matrix.emplace("exact_ms", json::Value(exactMs));
+  matrix.emplace("filtered_ms", json::Value(filteredMs));
+  matrix.emplace("speedup", json::Value(speedup));
+  matrix.emplace("filter", json::Value(statsJson(matrixStats)));
+  report.emplace("matrix", json::Value(std::move(matrix)));
+  if (speedup < minSpeedup) {
+    std::fprintf(stderr, "FAIL: matrix speedup %.2fx below the %.2fx floor\n", speedup,
+                 minSpeedup);
+    failed = true;
+  }
+  if (matrixStats.filterRate() < minFilterRate) {
+    std::fprintf(stderr, "FAIL: matrix filter rate %.2f below the %.2f floor\n",
+                 matrixStats.filterRate(), minFilterRate);
+    failed = true;
+  }
+
+  // ---- topk: byte-identical to brute force ----------------------------
+  const usize kTop = 5;
+  const usize queries = quick ? std::min<usize>(6, ports.size()) : ports.size();
+  metrics::QueryStats topkStats;
+  usize mismatches = 0;
+  for (usize q = 0; q < queries; ++q) {
+    std::vector<const db::CodebaseDb *> corpus;
+    for (usize i = 0; i < ports.size(); ++i)
+      if (i != q) corpus.push_back(&ports[i].db);
+    const auto fast = metrics::topKDivergence(ports[q].db, corpus, kTop, metrics::Metric::Tsem,
+                                              {}, {}, {}, &topkStats);
+    const auto slow = bruteForceTopK(ports[q].db, corpus, kTop);
+    bool same = fast.size() == slow.size();
+    for (usize i = 0; same && i < fast.size(); ++i)
+      same = fast[i].index == slow[i].index && fast[i].distance == slow[i].distance;
+    if (!same) {
+      std::fprintf(stderr, "FAIL: top-%zu mismatch for query %s\n", kTop,
+                   ports[q].label.c_str());
+      ++mismatches;
+    }
+  }
+  std::printf("topk: %zu queries, %zu mismatches, filter rate %.2f\n", queries, mismatches,
+              topkStats.filterRate());
+  json::Object topk;
+  topk.emplace("k", json::Value(kTop));
+  topk.emplace("queries", json::Value(queries));
+  topk.emplace("byte_identical", json::Value(mismatches == 0));
+  topk.emplace("filter", json::Value(statsJson(topkStats)));
+  report.emplace("topk", json::Value(std::move(topk)));
+  if (mismatches > 0) failed = true;
+
+  // ---- fuzz: tree-level matrix over a generated corpus ----------------
+  const usize fuzzCount = quick ? 100 : 400;
+  constexpr u64 kTreeCutoff = 60;
+  std::vector<tree::Tree> corpus(fuzzCount);
+  parallelFor(fuzzCount, [&](usize i) {
+    fuzz::GenOptions gen;
+    gen.lang = i % 2 == 0 ? fuzz::Lang::MiniC : fuzz::Lang::MiniF;
+    gen.seed = 1 + i / 2;
+    corpus[i] = fuzz::semTree(fuzz::generate(gen));
+  });
+  metrics::QueryStats fuzzStats;
+  tree::TedEngine::global().clear();
+  const double fuzzStart = nowMs();
+  const auto values = metrics::treeDistanceMatrix(corpus, {}, kTreeCutoff, &fuzzStats);
+  const double fuzzMs = nowMs() - fuzzStart;
+  volatile u64 sink = 0;
+  for (const u64 v : values) sink = sink + v;
+  (void)sink;
+  std::printf("fuzz: %zu trees, %.1f ms, filter rate %.2f\n", fuzzCount, fuzzMs,
+              fuzzStats.filterRate());
+  json::Object fz;
+  fz.emplace("trees", json::Value(fuzzCount));
+  fz.emplace("cutoff", json::Value(kTreeCutoff));
+  fz.emplace("matrix_ms", json::Value(fuzzMs));
+  fz.emplace("filter", json::Value(statsJson(fuzzStats)));
+  report.emplace("fuzz_corpus", json::Value(std::move(fz)));
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outFile.c_str());
+  return failed ? 1 : 0;
+}

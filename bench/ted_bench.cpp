@@ -10,7 +10,14 @@
 // strategy-choice histogram (single-path kernels and forest-DP cells per
 // PathKind) from the EngineStats counters.
 //
+// A filter_and_refine section (always included, --quick too: it is the CI
+// regression cell) compares the exact all-ports divergence matrix against
+// the radius-capped filter-and-refine path and records the filter
+// counters; --min-filter-rate F fails the run when the fraction of pairs
+// settled without a full DP drops below F.
+//
 // Usage: ted_bench [--runs N] [--out FILE] [--threads N] [--quick]
+//                  [--min-filter-rate F]
 //   --quick restricts to TeaLeaf/Tsem (the acceptance-criteria cell).
 #include <algorithm>
 #include <chrono>
@@ -93,15 +100,21 @@ int main(int argc, char **argv) {
   usize runs = 3;
   std::string outFile = "BENCH_ted.json";
   bool quick = false;
+  double minFilterRate = 0.0;
   try {
-    const cli::FlagSpec spec{{"runs", "out", "threads"}, {"quick"}, {{"-o", "out"}}};
+    const cli::FlagSpec spec{{"runs", "out", "threads", "min-filter-rate"}, {"quick"},
+                             {{"-o", "out"}}};
     const auto args = cli::parseArgs(argc, argv, 1, spec);
     if (args.flags.count("runs")) runs = std::stoul(args.flags.at("runs"));
     if (args.flags.count("out")) outFile = args.flags.at("out");
     if (args.flags.count("threads")) configureThreads(std::stoul(args.flags.at("threads")));
+    if (args.flags.count("min-filter-rate"))
+      minFilterRate = std::stod(args.flags.at("min-filter-rate"));
     quick = args.flags.count("quick") != 0;
   } catch (const std::exception &e) {
-    std::fprintf(stderr, "usage: ted_bench [--runs N] [--out FILE] [--threads N] [--quick]\n%s\n",
+    std::fprintf(stderr,
+                 "usage: ted_bench [--runs N] [--out FILE] [--threads N] [--quick]\n"
+                 "                 [--min-filter-rate F]\n%s\n",
                  e.what());
     return 2;
   }
@@ -144,6 +157,55 @@ int main(int argc, char **argv) {
   }
   report.emplace("apps", json::Value(std::move(apps)));
 
+  // ---- filter-and-refine regression cell ------------------------------
+  // Exact all-ports matrix vs the radius-capped filter path. The tight
+  // radius keeps only near-ports (serial vs omp and the like) exact;
+  // everything else is settled by the signature bounds or abandoned
+  // mid-DP — the filter rate this cell reports is what CI pins.
+  std::printf("indexing all ports for the filter-and-refine cell...\n");
+  const auto ports = silvervale::indexAllPorts();
+  constexpr double kRadius = 0.05;
+  metrics::QueryStats fStats;
+  std::vector<double> exactMs, filteredMs;
+  for (usize r = 0; r < runs; ++r) {
+    tree::TedEngine::global().clear();
+    auto start = std::chrono::steady_clock::now();
+    const auto me = silvervale::portMatrix(ports, metrics::Metric::Tsem);
+    exactMs.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count());
+    tree::TedEngine::global().clear();
+    metrics::QueryStats stats;
+    start = std::chrono::steady_clock::now();
+    const auto mf = silvervale::portMatrix(ports, metrics::Metric::Tsem, {}, {}, kRadius, &stats);
+    filteredMs.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count());
+    volatile double sink = 0;
+    for (const double v : me.values) sink = sink + v;
+    for (const double v : mf.values) sink = sink + v;
+    (void)sink;
+    fStats = stats;
+  }
+  const double exactMed = median(exactMs);
+  const double filteredMed = median(filteredMs);
+  std::printf("filter-and-refine: exact %.1f ms, filtered %.1f ms (radius %.2f), "
+              "speedup %.2fx, filter rate %.2f\n",
+              exactMed, filteredMed, kRadius, filteredMed > 0 ? exactMed / filteredMed : 0,
+              fStats.filterRate());
+  json::Object far;
+  far.emplace("ports", json::Value(ports.size()));
+  far.emplace("radius", json::Value(kRadius));
+  far.emplace("exact_ms", json::Value(exactMed));
+  far.emplace("filtered_ms", json::Value(filteredMed));
+  far.emplace("speedup", json::Value(filteredMed > 0 ? exactMed / filteredMed : 0));
+  far.emplace("candidates", json::Value(fStats.candidates));
+  far.emplace("pruned_by_bound", json::Value(fStats.prunedByBound));
+  far.emplace("pruned_by_cutoff", json::Value(fStats.prunedByCutoff));
+  far.emplace("exact", json::Value(fStats.exact));
+  far.emplace("filter_rate", json::Value(fStats.filterRate()));
+  report.emplace("filter_and_refine", json::Value(std::move(far)));
+
   const auto stats = tree::TedEngine::global().stats();
   json::Object engine;
   engine.emplace("view_hits", json::Value(stats.viewHits));
@@ -164,5 +226,10 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("wrote %s\n", outFile.c_str());
+  if (fStats.filterRate() < minFilterRate) {
+    std::fprintf(stderr, "FAIL: filter rate %.2f below the %.2f floor\n", fStats.filterRate(),
+                 minFilterRate);
+    return 1;
+  }
   return 0;
 }

@@ -126,6 +126,93 @@ std::vector<usize> cutClusters(const std::vector<Merge> &merges, usize leafCount
   return group;
 }
 
+KMedoidsResult kMedoids(const DistanceMatrix &m, usize k) {
+  KMedoidsResult out;
+  const usize n = m.size();
+  if (n == 0) return out;
+  k = std::min(std::max<usize>(k, 1), n);
+
+  // Per-member distance to its closest chosen medoid so far.
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> isMedoid(n, false);
+
+  // BUILD: greedily add the medoid with the largest total cost reduction;
+  // the first pick minimises total distance outright.
+  for (usize round = 0; round < k; ++round) {
+    double bestGain = -std::numeric_limits<double>::infinity();
+    usize best = 0;
+    for (usize c = 0; c < n; ++c) {
+      if (isMedoid[c]) continue;
+      double gain = 0;
+      for (usize x = 0; x < n; ++x) {
+        const double d = m.at(x, c);
+        if (d < nearest[x]) gain += nearest[x] == std::numeric_limits<double>::infinity()
+                                        ? -d // first round: minimise the plain sum
+                                        : nearest[x] - d;
+      }
+      if (round == 0) {
+        // With no medoids yet every nearest[] is infinite; compare sums.
+        gain = 0;
+        for (usize x = 0; x < n; ++x) gain -= m.at(x, c);
+      }
+      if (gain > bestGain) {
+        bestGain = gain;
+        best = c;
+      }
+    }
+    isMedoid[best] = true;
+    out.medoids.push_back(best);
+    for (usize x = 0; x < n; ++x) nearest[x] = std::min(nearest[x], m.at(x, best));
+  }
+
+  // SWAP: replace a medoid with a non-medoid while total cost improves.
+  const auto totalCost = [&](const std::vector<usize> &medoids) {
+    double cost = 0;
+    for (usize x = 0; x < n; ++x) {
+      double d = std::numeric_limits<double>::infinity();
+      for (const usize c : medoids) d = std::min(d, m.at(x, c));
+      cost += d;
+    }
+    return cost;
+  };
+  double cost = totalCost(out.medoids);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (usize mi = 0; mi < out.medoids.size() && !improved; ++mi) {
+      for (usize c = 0; c < n && !improved; ++c) {
+        if (isMedoid[c]) continue;
+        auto candidate = out.medoids;
+        candidate[mi] = c;
+        const double swapped = totalCost(candidate);
+        if (swapped + 1e-12 < cost) {
+          isMedoid[out.medoids[mi]] = false;
+          isMedoid[c] = true;
+          out.medoids = std::move(candidate);
+          cost = swapped;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  std::sort(out.medoids.begin(), out.medoids.end());
+  out.assignment.assign(n, 0);
+  out.cost = 0;
+  for (usize x = 0; x < n; ++x) {
+    double best = std::numeric_limits<double>::infinity();
+    for (usize mi = 0; mi < out.medoids.size(); ++mi) {
+      const double d = m.at(x, out.medoids[mi]);
+      if (d < best) {
+        best = d;
+        out.assignment[x] = mi;
+      }
+    }
+    out.cost += best;
+  }
+  return out;
+}
+
 namespace {
 
 struct DendroNode {

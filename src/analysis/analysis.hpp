@@ -51,6 +51,18 @@ struct Merge {
 [[nodiscard]] std::vector<usize> cutClusters(const std::vector<Merge> &merges, usize leafCount,
                                              usize k);
 
+/// Greedy k-medoids over the matrix entries as metric distances (PAM-style
+/// BUILD + swap refinement): medoids are actual corpus members, so the
+/// clustering works directly on the filter-and-refine divergence matrix —
+/// no coordinates needed, and radius-capped entries only ever separate
+/// points further. Deterministic: ties break on the lowest index.
+struct KMedoidsResult {
+  std::vector<usize> medoids;    ///< ascending member indices, one per cluster
+  std::vector<usize> assignment; ///< per member: position into `medoids`
+  double cost = 0;               ///< sum of member-to-medoid distances
+};
+[[nodiscard]] KMedoidsResult kMedoids(const DistanceMatrix &m, usize k);
+
 /// Render the dendrogram as ASCII art (leaves on the left).
 [[nodiscard]] std::string renderDendrogram(const std::vector<Merge> &merges,
                                            const std::vector<std::string> &labels);

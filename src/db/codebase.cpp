@@ -299,6 +299,7 @@ IndexResult index(const Codebase &codebase, const IndexOptions &options) {
   for (const auto &cmd : codebase.commands) {
     out.units.push_back(isFortranFile(cmd.file) ? indexFortranUnit(codebase, cmd, options)
                                                 : indexCxxUnit(codebase, cmd, options));
+    out.units.back().computeSignatures();
   }
 
   if (options.runCoverage) {
@@ -364,6 +365,10 @@ msgpack::Value unitToMsg(const UnitEntry &u) {
   m.emplace("tsem", treeToMsg(u.tsem));
   m.emplace("tsemI", treeToMsg(u.tsemI));
   m.emplace("tir", treeToMsg(u.tir));
+  msgpack::Array sigs;
+  for (const auto *s : {&u.sigTsrc, &u.sigTsrcPp, &u.sigTsem, &u.sigTsemI, &u.sigTir})
+    sigs.push_back(s->toMsgpack());
+  m.emplace("sigs", std::move(sigs));
   msgpack::Array lintArr;
   for (const auto &d : u.lint) lintArr.push_back(diagToMsg(d));
   m.emplace("lint", std::move(lintArr));
@@ -387,11 +392,30 @@ UnitEntry unitFromMsg(const msgpack::Value &v) {
   u.tsem = tree::Tree::fromMsgpack(v.at("tsem"));
   u.tsemI = tree::Tree::fromMsgpack(v.at("tsemI"));
   u.tir = tree::Tree::fromMsgpack(v.at("tir"));
+  const auto &m = v.asMap();
+  if (const auto it = m.find("sigs"); it != m.end()) {
+    const auto &sigs = it->second.asArray();
+    tree::BoundSignature *fields[] = {&u.sigTsrc, &u.sigTsrcPp, &u.sigTsem, &u.sigTsemI,
+                                      &u.sigTir};
+    for (usize i = 0; i < 5 && i < sigs.size(); ++i)
+      *fields[i] = tree::BoundSignature::fromMsgpack(sigs[i]);
+  } else {
+    // DB written before signatures existed: self-heal from the trees.
+    u.computeSignatures();
+  }
   for (const auto &d : v.at("lint").asArray()) u.lint.push_back(diagFromMsg(d));
   return u;
 }
 
 } // namespace
+
+void UnitEntry::computeSignatures() {
+  sigTsrc = tree::boundSignature(tsrc);
+  sigTsrcPp = tree::boundSignature(tsrcPp);
+  sigTsem = tree::boundSignature(tsem);
+  sigTsemI = tree::boundSignature(tsemI);
+  sigTir = tree::boundSignature(tir);
+}
 
 std::vector<u8> CodebaseDb::serialise() const {
   msgpack::Map m;

@@ -13,6 +13,7 @@
 #include "db/compiledb.hpp"
 #include "lang/source.hpp"
 #include "lint/lint.hpp"
+#include "tree/tedbounds.hpp"
 #include "tree/tree.hpp"
 #include "vm/vm.hpp"
 
@@ -53,6 +54,17 @@ struct UnitEntry {
   tree::Tree tsem;    ///< frontend semantic tree
   tree::Tree tsemI;   ///< T_sem with same-codebase calls inlined
   tree::Tree tir;     ///< backend IR tree
+
+  // TED lower-bound signatures of the five trees (tree/tedbounds.hpp),
+  // computed once at index time and persisted: the metric-space query
+  // layer (metrics/query.hpp) filters candidate pairs on these without
+  // deserialising a single DP input. Label hashes, not interner ids, so
+  // they survive the round trip.
+  tree::BoundSignature sigTsrc, sigTsrcPp, sigTsem, sigTsemI, sigTir;
+
+  /// (Re)derive the five signatures from the trees — called by the indexer
+  /// and by deserialise() for DBs written before signatures existed.
+  void computeSignatures();
 
   /// Parallel-semantics diagnostics over the sema'd AST (populated when
   /// IndexOptions.runLint is set; serialised with the DB).

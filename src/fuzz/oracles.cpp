@@ -24,6 +24,7 @@
 #include "minif/fparser.hpp"
 #include "minif/ftrees.hpp"
 #include "support/strings.hpp"
+#include "tree/tedbounds.hpp"
 #include "tree/tedengine.hpp"
 #include "vm/vm.hpp"
 
@@ -272,6 +273,67 @@ struct Parsed {
   return std::nullopt;
 }
 
+[[nodiscard]] std::optional<std::string> checkLb(const GeneratedProgram &p,
+                                                 OracleContext *context) {
+  auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/p.lang == Lang::MiniC);
+  const tree::Tree t = semTreeOf(parsed.tu, p.lang);
+  const auto sigT = tree::boundSignature(t);
+  const tree::TedCosts costs; // unit costs, the query layer's default
+  tree::TedOptions engineOff;
+  engineOff.useCache = false;
+  const tree::TedOptions engineOn;
+
+  // Identical trees: the exact distance is 0, so every admissible bound is.
+  if (tree::tedLowerBound(sigT, sigT, costs) != 0) return "lb(T,T) != 0";
+
+  if (context) {
+    for (const auto &q : context->lbPool) {
+      const auto sigQ = tree::boundSignature(q);
+      const u64 exact = tree::ted(t, q, engineOff);
+
+      const std::pair<const char *, u64> bounds[] = {
+          {"size", tree::sizeLowerBound(sigT.n, sigQ.n, costs)},
+          {"histogram", tree::histogramLowerBound(sigT, sigQ, costs)},
+          {"branch-profile", tree::profileLowerBound(sigT, sigQ, costs)},
+          {"max", tree::tedLowerBound(sigT, sigQ, costs)},
+      };
+      for (const auto &[name, lb] : bounds)
+        if (lb > exact)
+          return std::string(name) + " bound not admissible: lb=" + std::to_string(lb) +
+                 " > exact=" + std::to_string(exact);
+
+      // Cutoff contract: every entry point returns min(exact, cutoff), for a
+      // cutoff below, at, and above the exact distance — in particular the
+      // result agrees with the exact distance whenever exact < cutoff.
+      for (const u64 cutoff : {exact / 2 + 1, exact + 1, exact + 7}) {
+        const u64 want = std::min(exact, cutoff);
+        for (const auto algo :
+             {tree::TedAlgo::Apted, tree::TedAlgo::PathStrategy, tree::TedAlgo::ZhangShasha}) {
+          tree::TedOptions opts = engineOff;
+          opts.algo = algo;
+          opts.cutoff = cutoff;
+          const u64 got = tree::ted(t, q, opts);
+          if (got != want)
+            return "cutoff contract broken (engine off, algo " +
+                   std::to_string(static_cast<int>(algo)) + "): cutoff=" +
+                   std::to_string(cutoff) + " exact=" + std::to_string(exact) +
+                   " got=" + std::to_string(got);
+        }
+        tree::TedOptions onCut = engineOn;
+        onCut.cutoff = cutoff;
+        const u64 got = tree::tedDispatch(t, q, onCut);
+        if (got != want)
+          return "cutoff contract broken (engine on): cutoff=" + std::to_string(cutoff) +
+                 " exact=" + std::to_string(exact) + " got=" + std::to_string(got);
+      }
+    }
+    context->lbPool.push_back(t);
+    if (context->lbPool.size() > OracleContext::kPoolCap)
+      context->lbPool.erase(context->lbPool.begin());
+  }
+  return std::nullopt;
+}
+
 /// Location-insensitive diagnostic keys, sorted — mutation shifts lines.
 [[nodiscard]] std::vector<std::string> diagKeys(const std::vector<lint::Diagnostic> &diags) {
   std::vector<std::string> keys;
@@ -326,15 +388,22 @@ const char *oracleName(Oracle o) {
   case Oracle::Ir: return "ir";
   case Oracle::Ted: return "ted";
   case Oracle::Lint: return "lint";
+  case Oracle::Lb: return "lb";
   }
   return "?";
 }
 
 std::optional<Oracle> oracleFromName(std::string_view name) {
   for (const Oracle o :
-       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint})
+       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint, Oracle::Lb})
     if (name == oracleName(o)) return o;
   return std::nullopt;
+}
+
+tree::Tree semTree(const GeneratedProgram &program) {
+  auto parsed = parseSource(program.source, program.lang, program.fileName,
+                            /*sema=*/program.lang == Lang::MiniC);
+  return semTreeOf(parsed.tu, program.lang);
 }
 
 bool parses(const std::string &source, Lang lang) {
@@ -382,6 +451,7 @@ std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
   runOne(Oracle::Ir, [&] { return checkIr(program); });
   runOne(Oracle::Ted, [&] { return checkTed(program, context); });
   runOne(Oracle::Lint, [&] { return checkLint(program); });
+  runOne(Oracle::Lb, [&] { return checkLb(program, context); });
   return failures;
 }
 

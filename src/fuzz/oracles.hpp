@@ -17,6 +17,11 @@
 //   lint        lint::run and lint::runIr are deterministic across fresh
 //               parses, and comment/whitespace mutation preserves both the
 //               diagnostic set (modulo locations) and the T_sem fingerprint
+//   lb          every signature lower bound (size, histogram, binary
+//               branch, and their max) underestimates the exact TED, and
+//               cutoff mode returns min(exact, cutoff) for all three
+//               algorithms, engine on and off — including agreement with
+//               the exact distance whenever exact < cutoff
 #pragma once
 
 #include <optional>
@@ -28,25 +33,32 @@
 
 namespace sv::fuzz {
 
-enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4 };
+enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4, Lb = 5 };
 
 [[nodiscard]] const char *oracleName(Oracle o);
 [[nodiscard]] std::optional<Oracle> oracleFromName(std::string_view name);
 
 [[nodiscard]] constexpr u32 oracleBit(Oracle o) { return 1u << static_cast<u32>(o); }
-constexpr u32 kAllOracles = 0b11111;
+constexpr u32 kAllOracles = 0b111111;
 
 struct OracleFailure {
   Oracle oracle{};
   std::string message;
 };
 
-/// Cross-program state: a rolling pool of recent T_sem trees the TED
-/// metamorphic checks test new trees against.
+/// Cross-program state: rolling pools of recent T_sem trees the TED and
+/// lower-bound metamorphic checks test new trees against. The pools are
+/// separate so each oracle's behaviour is independent of which others are
+/// enabled in the mask.
 struct OracleContext {
   std::vector<tree::Tree> tedPool;
+  std::vector<tree::Tree> lbPool;
   static constexpr usize kPoolCap = 8;
 };
+
+/// The T_sem tree of one generated program (parse + sema + tree build) —
+/// how `svale cluster fuzz` turns generator output into a query corpus.
+[[nodiscard]] tree::Tree semTree(const GeneratedProgram &program);
 
 /// Run the enabled oracles over one generated program. Empty result = pass.
 [[nodiscard]] std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,

@@ -23,16 +23,6 @@ std::unordered_map<std::string, const db::UnitEntry *> unitsByRole(const db::Cod
   return index;
 }
 
-const tree::Tree &selectTree(const db::UnitEntry &u, Metric metric, const Variant &variant) {
-  switch (metric) {
-  case Metric::Tsrc: return variant.preprocessed ? u.tsrcPp : u.tsrc;
-  case Metric::Tsem: return u.tsem;
-  case Metric::TsemInline: return u.tsemI;
-  case Metric::Tir: return u.tir;
-  default: internalError("selectTree: not a tree metric");
-  }
-}
-
 const std::string &selectText(const db::UnitEntry &u, const Variant &variant) {
   return variant.preprocessed ? u.normTextPp : u.normText;
 }
@@ -60,6 +50,48 @@ bool isTreeMetric(Metric m) {
 }
 
 bool isAbsolute(Metric m) { return m == Metric::SLOC || m == Metric::LLOC; }
+
+const tree::Tree &metricTree(const db::UnitEntry &u, Metric metric, Variant variant) {
+  switch (metric) {
+  case Metric::Tsrc: return variant.preprocessed ? u.tsrcPp : u.tsrc;
+  case Metric::Tsem: return u.tsem;
+  case Metric::TsemInline: return u.tsemI;
+  case Metric::Tir: return u.tir;
+  default: internalError("metricTree: not a tree metric");
+  }
+}
+
+const tree::BoundSignature &metricSignature(const db::UnitEntry &u, Metric metric,
+                                            Variant variant) {
+  switch (metric) {
+  case Metric::Tsrc: return variant.preprocessed ? u.sigTsrcPp : u.sigTsrc;
+  case Metric::Tsem: return u.sigTsem;
+  case Metric::TsemInline: return u.sigTsemI;
+  case Metric::Tir: return u.sigTir;
+  default: internalError("metricSignature: not a tree metric");
+  }
+}
+
+std::vector<UnitPair> matchUnits(const db::CodebaseDb &c1, const db::CodebaseDb &c2,
+                                 const MatchOptions &match) {
+  std::vector<UnitPair> pairs;
+  pairs.reserve(c1.units.size() + c2.units.size());
+  const auto c2ByRole = unitsByRole(c2, match);
+  std::map<std::string, bool> seenRoles;
+  for (const auto &u1 : c1.units) {
+    const std::string role = match.roleOf ? match.roleOf(u1) : u1.role;
+    seenRoles[role] = true;
+    const auto it2 = c2ByRole.find(role);
+    pairs.push_back({&u1, it2 == c2ByRole.end() ? nullptr : it2->second});
+  }
+  // Units present only in c2 must be introduced wholesale.
+  for (const auto &u2 : c2.units) {
+    const std::string role = match.roleOf ? match.roleOf(u2) : u2.role;
+    if (seenRoles.count(role)) continue;
+    pairs.push_back({nullptr, &u2});
+  }
+  return pairs;
+}
 
 usize absolute(const db::CodebaseDb &c, Metric metric, Variant variant) {
   if (!isAbsolute(metric)) internalError("absolute() requires SLOC or LLOC");
@@ -89,7 +121,7 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
   // must outlive the use of the returned reference).
   const auto maskedTree = [&](const db::CodebaseDb &c, const db::UnitEntry &u,
                               tree::Tree &storage) -> const tree::Tree & {
-    const tree::Tree &base = selectTree(u, metric, variant);
+    const tree::Tree &base = metricTree(u, metric, variant);
     if (variant.coverage && c.hasCoverage) {
       storage = applyCoverage(base, c.coverage);
       return storage;
@@ -97,15 +129,17 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
     return base;
   };
 
-  const auto c2ByRole = unitsByRole(c2, match);
-  std::map<std::string, bool> seenRoles;
-  for (const auto &u1 : c1.units) {
-    const std::string role = match.roleOf ? match.roleOf(u1) : u1.role;
-    seenRoles[role] = true;
-    const auto it2 = c2ByRole.find(role);
-    const auto *u2 = it2 == c2ByRole.end() ? nullptr : it2->second;
+  for (const auto &[u1, u2] : matchUnits(c1, c2, match)) {
     if (metric == Metric::Source) {
-      const auto lines1 = str::splitLines(selectText(u1, variant));
+      if (!u1) {
+        const auto lines2 = str::splitLines(selectText(*u2, variant));
+        out.distance += lines2.size();
+        out.dmaxEq7 += lines2.size();
+        out.dmaxSym += lines2.size();
+        ++out.unmatchedUnits;
+        continue;
+      }
+      const auto lines1 = str::splitLines(selectText(*u1, variant));
       if (!u2) {
         out.distance += lines1.size();
         out.dmaxSym += lines1.size();
@@ -120,7 +154,15 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
       continue;
     }
     tree::Tree masked1, masked2;
-    const tree::Tree &t1 = maskedTree(c1, u1, masked1);
+    if (!u1) {
+      const tree::Tree &t2 = maskedTree(c2, *u2, masked2);
+      out.distance += t2.size();
+      out.dmaxEq7 += t2.size();
+      out.dmaxSym += t2.size();
+      ++out.unmatchedUnits;
+      continue;
+    }
+    const tree::Tree &t1 = maskedTree(c1, *u1, masked1);
     if (!u2) {
       out.distance += t1.size();
       out.dmaxSym += t1.size();
@@ -132,24 +174,6 @@ Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2, Metric me
     out.dmaxEq7 += t2.size();
     out.dmaxSym += t1.size() + t2.size();
     ++out.matchedUnits;
-  }
-  // Units present only in c2 must be introduced wholesale.
-  for (const auto &u2 : c2.units) {
-    const std::string role = match.roleOf ? match.roleOf(u2) : u2.role;
-    if (seenRoles.count(role)) continue;
-    if (metric == Metric::Source) {
-      const auto lines2 = str::splitLines(selectText(u2, variant));
-      out.distance += lines2.size();
-      out.dmaxEq7 += lines2.size();
-      out.dmaxSym += lines2.size();
-    } else {
-      tree::Tree masked2;
-      const tree::Tree &t2 = maskedTree(c2, u2, masked2);
-      out.distance += t2.size();
-      out.dmaxEq7 += t2.size();
-      out.dmaxSym += t2.size();
-    }
-    ++out.unmatchedUnits;
   }
   return out;
 }

@@ -55,6 +55,31 @@ struct MatchOptions {
   std::function<std::string(const db::UnitEntry &)> roleOf;
 };
 
+/// One Eq. 4/6 pairing produced by matchUnits: a unit of C1 and its role
+/// partner in C2; either side is null for an unmatched role.
+struct UnitPair {
+  const db::UnitEntry *u1 = nullptr;
+  const db::UnitEntry *u2 = nullptr;
+};
+
+/// The `match` function materialised: every C1 unit (in codebase order)
+/// paired with the first C2 unit of the same role or null, followed by the
+/// C2 units whose role never appeared in C1. diverge() and the query layer
+/// (metrics/query.hpp) walk the same list, so filter-and-refine results
+/// refine to exactly what diverge() computes.
+[[nodiscard]] std::vector<UnitPair> matchUnits(const db::CodebaseDb &c1,
+                                               const db::CodebaseDb &c2,
+                                               const MatchOptions &match = {});
+
+/// The tree a tree metric measures for one unit (variant-aware; ignores
+/// +coverage, which masks per call). Throws for non-tree metrics.
+[[nodiscard]] const tree::Tree &metricTree(const db::UnitEntry &u, Metric metric,
+                                           Variant variant = {});
+
+/// The persisted lower-bound signature of `metricTree(u, metric, variant)`.
+[[nodiscard]] const tree::BoundSignature &metricSignature(const db::UnitEntry &u, Metric metric,
+                                                          Variant variant = {});
+
 /// Relative divergence between two codebases under `metric` (Eq. 6).
 /// Throws InternalError for absolute metrics.
 [[nodiscard]] Divergence diverge(const db::CodebaseDb &c1, const db::CodebaseDb &c2,

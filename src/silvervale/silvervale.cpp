@@ -1,6 +1,8 @@
 #include "silvervale/silvervale.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 
 #include "ir/cost.hpp"
 #include "lint/irlint.hpp"
@@ -54,16 +56,133 @@ IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {
   return out;
 }
 
+std::vector<CorpusPort> indexAllPorts(const IndexAppOptions &options) {
+  std::vector<std::pair<std::string, std::string>> jobs;
+  for (const auto &app : corpus::appNames())
+    for (const auto &model : corpus::modelsOf(app)) jobs.emplace_back(app, model);
+
+  std::vector<CorpusPort> out(jobs.size());
+  parallelFor(jobs.size(), [&](usize i) {
+    const auto cb = corpus::make(jobs[i].first, jobs[i].second);
+    db::IndexOptions idx;
+    idx.runCoverage = options.coverage;
+    out[i].label = jobs[i].first + "/" + jobs[i].second;
+    out[i].db = db::index(cb, idx).db;
+  });
+  return out;
+}
+
+namespace {
+
+/// dmaxSym of diverge(a, b, ...) computed from the persisted signatures
+/// alone (matched pairs contribute |T1| + |T2|, unmatched their size) — the
+/// normaliser is needed *before* the bounded evaluation to turn a
+/// normalised radius into a raw-distance cutoff. Tree metrics only.
+u64 symBoundRaw(const db::CodebaseDb &a, const db::CodebaseDb &b, metrics::Metric metric,
+                metrics::Variant variant) {
+  u64 s = 0;
+  for (const auto &[u1, u2] : metrics::matchUnits(a, b)) {
+    if (u1) s += metrics::metricSignature(*u1, metric, variant).n;
+    if (u2) s += metrics::metricSignature(*u2, metric, variant).n;
+  }
+  return s;
+}
+
+/// The shared matrix builder behind divergenceMatrix (radius = 0, exact)
+/// and portMatrix (radius-capped filter-and-refine). Entries are
+/// max(d(a,b), d(b,a)) normalised; with radius > 0, a direction whose
+/// normalised divergence provably reaches the radius caps the whole entry
+/// at exactly `radius` (skipping the reverse direction — the max is
+/// already determined).
+analysis::DistanceMatrix boundedMatrix(std::vector<std::string> labels,
+                                       const std::vector<const db::CodebaseDb *> &dbs,
+                                       metrics::Metric metric, metrics::Variant variant,
+                                       const tree::TedOptions &ted, double radius,
+                                       metrics::QueryStats *stats) {
+  analysis::DistanceMatrix m;
+  m.labels = std::move(labels);
+  const usize n = dbs.size();
+  m.values.assign(n * n, 0.0);
+
+  const bool filter =
+      radius > 0 && metrics::isTreeMetric(metric) && !variant.coverage;
+
+  std::vector<std::pair<usize, usize>> pairs;
+  for (usize i = 0; i < n; ++i)
+    for (usize j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  std::vector<double> results(pairs.size());
+  std::atomic<usize> prunedByBound{0}, prunedByCutoff{0}, exact{0}, candidates{0};
+
+  // A directed evaluation: exact when not filtering, else bounded with the
+  // radius converted to a raw cutoff via this direction's dmaxSym. Returns
+  // the normalised divergence, or `radius` exactly when pruned.
+  const auto directed = [&](usize from, usize to) {
+    if (!filter) {
+      const auto d = metrics::diverge(*dbs[from], *dbs[to], metric, variant, ted);
+      const double norm = d.normalised();
+      return radius > 0 ? std::min(norm, radius) : norm;
+    }
+    candidates.fetch_add(1, std::memory_order_relaxed);
+    const u64 dmax = symBoundRaw(*dbs[from], *dbs[to], metric, variant);
+    // Integer distances: d >= radius*dmax  <=>  d >= ceil(radius*dmax), so
+    // pruning at this cutoff is exactly "normalised >= radius".
+    const u64 cut = static_cast<u64>(std::ceil(radius * static_cast<double>(dmax)));
+    const auto bd = metrics::divergeBounded(*dbs[from], *dbs[to], metric, variant, ted, {}, cut);
+    switch (bd.outcome) {
+    case metrics::FilterOutcome::Exact: exact.fetch_add(1, std::memory_order_relaxed); break;
+    case metrics::FilterOutcome::PrunedByBound:
+      prunedByBound.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case metrics::FilterOutcome::PrunedByCutoff:
+      prunedByCutoff.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    return bd.outcome == metrics::FilterOutcome::Exact ? bd.divergence.normalised() : radius;
+  };
+
+  parallelFor(pairs.size(), [&](usize p) {
+    const auto [i, j] = pairs[p];
+    // With the engine on, dij computes the unit-pair TEDs and dji replays
+    // them from the symmetric pair memo; only the accounting differs.
+    const double dij = directed(i, j);
+    if (filter && dij >= radius) {
+      results[p] = radius; // the max over directions is already decided
+      return;
+    }
+    results[p] = std::max(dij, directed(j, i));
+  });
+  for (usize p = 0; p < pairs.size(); ++p)
+    m.set(pairs[p].first, pairs[p].second, results[p]);
+
+  if (stats) {
+    stats->candidates += candidates.load();
+    stats->prunedByBound += prunedByBound.load();
+    stats->prunedByCutoff += prunedByCutoff.load();
+    stats->exact += exact.load();
+  }
+  return m;
+}
+
+} // namespace
+
 analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app, metrics::Metric metric,
                                           metrics::Variant variant,
                                           const tree::TedOptions &ted) {
-  return analysis::buildMatrix(app.modelNames(), [&](usize i, usize j) {
-    // With the engine on, dij computes the unit-pair TEDs and dji replays
-    // them from the symmetric pair memo; only the accounting differs.
-    const auto dij = metrics::diverge(app.models[i], app.models[j], metric, variant, ted);
-    const auto dji = metrics::diverge(app.models[j], app.models[i], metric, variant, ted);
-    return std::max(dij.normalised(), dji.normalised());
-  });
+  std::vector<const db::CodebaseDb *> dbs;
+  for (const auto &m : app.models) dbs.push_back(&m);
+  return boundedMatrix(app.modelNames(), dbs, metric, variant, ted, /*radius=*/0, nullptr);
+}
+
+analysis::DistanceMatrix portMatrix(const std::vector<CorpusPort> &ports, metrics::Metric metric,
+                                    metrics::Variant variant, const tree::TedOptions &ted,
+                                    double radius, metrics::QueryStats *stats) {
+  std::vector<std::string> labels;
+  std::vector<const db::CodebaseDb *> dbs;
+  for (const auto &p : ports) {
+    labels.push_back(p.label);
+    dbs.push_back(&p.db);
+  }
+  return boundedMatrix(std::move(labels), dbs, metric, variant, ted, radius, stats);
 }
 
 analysis::DistanceMatrix absoluteDifferenceMatrix(const IndexedApp &app, metrics::Metric metric,

@@ -13,6 +13,7 @@
 #include "db/codebase.hpp"
 #include "lint/lint.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/query.hpp"
 #include "perf/perf.hpp"
 
 namespace sv::silvervale {
@@ -49,6 +50,34 @@ struct IndexAppOptions {
                                                         metrics::Metric metric,
                                                         metrics::Variant variant = {},
                                                         const tree::TedOptions &ted = {});
+
+/// One indexed port of the cross-app corpus, labelled "app/model".
+struct CorpusPort {
+  std::string label;
+  db::CodebaseDb db;
+};
+
+/// Index every registered port of every corpus app (the 46 embedded ports),
+/// in parallel. The flat list backs `svale cluster all` and the query-layer
+/// benches, where candidates span apps rather than one app's models.
+[[nodiscard]] std::vector<CorpusPort> indexAllPorts(const IndexAppOptions &options = {});
+
+/// Symmetrised normalised divergence matrix over arbitrary ports, through
+/// the filter-and-refine query layer. With `radius` == 0 every pair is
+/// exact (the same values divergenceMatrix produces). With `radius` > 0
+/// each direction runs metrics::divergeBounded with cutoff
+/// ceil(radius * dmaxSym): pairs whose normalised divergence provably
+/// reaches `radius` are capped at exactly `radius` (signature bounds prune
+/// many without any DP), while every entry below it stays exact — which is
+/// all k-medoids / complete-linkage need when clusters live below the
+/// radius. `stats` (optional) accumulates filter effectiveness per
+/// direction evaluated.
+[[nodiscard]] analysis::DistanceMatrix portMatrix(const std::vector<CorpusPort> &ports,
+                                                  metrics::Metric metric,
+                                                  metrics::Variant variant = {},
+                                                  const tree::TedOptions &ted = {},
+                                                  double radius = 0,
+                                                  metrics::QueryStats *stats = nullptr);
 
 /// For the SLOC/LLOC pseudo-clustering of Fig 5/6: absolute values per
 /// model turned into |a - b| distances.

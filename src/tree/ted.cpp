@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "tree/tedbounds.hpp"
+
 namespace sv::tree {
 
 namespace {
@@ -84,10 +86,15 @@ PostView makeView(const Tree &t, bool mirrored, PairInterner &interner) {
   return v;
 }
 
-/// Full Zhang–Shasha on two post-order views.
-u64 zhangShasha(const PostView &a, const PostView &b, const TedCosts &costs) {
-  if (a.n == 0) return static_cast<u64>(b.n) * costs.ins;
-  if (b.n == 0) return static_cast<u64>(a.n) * costs.del;
+/// Full Zhang–Shasha on two post-order views. With `cutoff > 0`, returns
+/// min(exact, cutoff): the final keyroot pair — the only one whose forest
+/// prefixes are whole-tree post-order prefixes — abandons once
+/// min_y(FD(x, y) + sizeLB(remaining)) reaches the cutoff (see the
+/// admissibility argument in tedapted.cpp's runKernelPairs).
+u64 zhangShasha(const PostView &a, const PostView &b, const TedCosts &costs, u64 cutoff = 0) {
+  const u64 noCut = ~u64{0};
+  if (a.n == 0) return std::min(static_cast<u64>(b.n) * costs.ins, cutoff ? cutoff : noCut);
+  if (b.n == 0) return std::min(static_cast<u64>(a.n) * costs.del, cutoff ? cutoff : noCut);
 
   // treedist[i][j], 1-based.
   std::vector<u64> td((a.n + 1) * (b.n + 1), 0);
@@ -103,6 +110,7 @@ u64 zhangShasha(const PostView &a, const PostView &b, const TedCosts &costs) {
       const usize lj = b.lml[j];
       const usize cols = j - lj + 2;
       const auto FD = [&](usize x, usize y) -> u64 & { return fd[x * cols + y]; };
+      const bool wholeSpan = cutoff > 0 && rows - 1 == a.n && cols - 1 == b.n;
 
       FD(0, 0) = 0;
       for (usize x = 1; x < rows; ++x) FD(x, 0) = FD(x - 1, 0) + costs.del;
@@ -128,10 +136,21 @@ u64 zhangShasha(const PostView &a, const PostView &b, const TedCosts &costs) {
             FD(x, y) = std::min({delCost, insCost, sub});
           }
         }
+        if (wholeSpan) {
+          u64 best = noCut;
+          for (usize y = 0; y < cols; ++y) {
+            const u64 remA = a.n - x;
+            const u64 remB = b.n - y;
+            const u64 rem = remA >= remB ? (remA - remB) * costs.del : (remB - remA) * costs.ins;
+            best = std::min(best, FD(x, y) + rem);
+          }
+          if (best >= cutoff) return cutoff;
+        }
       }
     }
   }
-  return TD(a.n, b.n);
+  const u64 exact = TD(a.n, b.n);
+  return cutoff ? std::min(exact, cutoff) : exact;
 }
 
 u64 subproblems(const PostView &v) {
@@ -145,6 +164,14 @@ u64 subproblems(const PostView &v) {
 } // namespace
 
 u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options) {
+  // Filter before the DP: in cutoff mode a signature lower bound already at
+  // the cutoff settles the answer (min(exact, cutoff) == cutoff) without
+  // building any view. Same check the engine runs, so both paths stay
+  // byte-identical.
+  if (options.cutoff > 0 &&
+      tedLowerBound(boundSignature(t1), boundSignature(t2), options.costs) >= options.cutoff)
+    return options.cutoff;
+
   PairInterner interner;
   if (options.algo == TedAlgo::Apted) {
     // Self-contained entry: index both trees against a per-call pair
@@ -154,12 +181,13 @@ u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options) {
     const apted::TreeIndex a = apted::buildIndex(t1, intern);
     const apted::TreeIndex b = apted::buildIndex(t2, intern);
     const apted::Strategy strategy = apted::computeStrategy(a, b);
-    return apted::run(a, b, strategy, options.costs, /*reuseBlocks=*/false, nullptr);
+    return apted::run(a, b, strategy, options.costs, /*reuseBlocks=*/false, nullptr,
+                      options.cutoff);
   }
   if (options.algo == TedAlgo::ZhangShasha) {
     const PostView a = makeView(t1, false, interner);
     const PostView b = makeView(t2, false, interner);
-    return zhangShasha(a, b, options.costs);
+    return zhangShasha(a, b, options.costs, options.cutoff);
   }
   // PathStrategy: estimate both decompositions, then run the cheaper one.
   // Mirroring both trees preserves the edit distance because the edit
@@ -171,8 +199,8 @@ u64 ted(const Tree &t1, const Tree &t2, const TedOptions &options) {
   const PostView bR = makeView(t2, true, interner);
   const u64 costLeft = subproblems(aL) * subproblems(bL);
   const u64 costRight = subproblems(aR) * subproblems(bR);
-  if (costRight < costLeft) return zhangShasha(aR, bR, options.costs);
-  return zhangShasha(aL, bL, options.costs);
+  if (costRight < costLeft) return zhangShasha(aR, bR, options.costs, options.cutoff);
+  return zhangShasha(aL, bL, options.costs, options.cutoff);
 }
 
 u64 tedSubproblemsLeft(const Tree &t) {

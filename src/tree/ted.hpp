@@ -49,6 +49,15 @@ struct TedOptions {
   /// shared-view engine (true) or the uncached reference below (false).
   /// `ted()` itself always runs uncached and ignores this flag.
   bool useCache = true;
+  /// Early-abandon threshold. 0 (the default) computes the exact distance.
+  /// With cutoff > 0 every TED entry point returns exactly
+  /// `min(exact, cutoff)`: pairs whose admissible lower bound (see
+  /// tree/tedbounds.hpp) already reaches the cutoff skip the DP entirely,
+  /// and the whole-tree forest DP abandons once every completion of the
+  /// current post-order prefix is provably >= cutoff. Deterministic and
+  /// identical between the engine and the uncached reference, because a
+  /// pair with exact < cutoff can never trip an admissible bound.
+  u64 cutoff = 0;
 };
 
 /// d_TED(t1, t2): minimal total cost of node deletions, insertions and
@@ -140,8 +149,12 @@ struct RunCounters {
 /// With `reuseBlocks`, repeated (fingerprint, fingerprint) subtree pairs
 /// replay their TD rectangle instead of recomputing (the engine's keyroot
 /// TD-block reuse generalised to whole single-path subproblems).
+/// With `cutoff > 0` the whole-tree kernel early-abandons per the
+/// TedOptions::cutoff contract and `run` returns exactly cutoff; pairs
+/// that complete return the exact distance (callers clamp).
 [[nodiscard]] u64 run(const TreeIndex &a, const TreeIndex &b, const Strategy &strategy,
-                      const TedCosts &costs, bool reuseBlocks, RunCounters *counters);
+                      const TedCosts &costs, bool reuseBlocks, RunCounters *counters,
+                      u64 cutoff = 0);
 
 } // namespace apted
 

@@ -97,9 +97,22 @@ std::vector<u32> localKeyroots(const OrientIndex &v, u32 root) {
 /// given lists, in one orientation. Byte-identical recurrence to ted.cpp's
 /// reference; TD reads/writes go through the canonical maps so left- and
 /// right-orientation kernels share one table. Returns the DP cell count.
+///
+/// With `cutoff > 0`, the iteration spanning both *whole* trees (only ever
+/// the root pair's final kernel) early-abandons: after filling prefix row
+/// x, any complete edit mapping splits into a mapping between the
+/// post-order prefixes A[1..x] / B[1..y] (costing >= FD(x, y), the true
+/// prefix forest distance in that iteration) and a mapping between the
+/// remainders (costing >= the size bound on them) — so
+///   d(T1, T2) >= min_y ( FD(x, y) + sizeLB(fullA - x, fullB - y) ),
+/// and once that reaches the cutoff no completion can beat it. Admissible:
+/// never fires when the exact distance is below the cutoff. Only the
+/// whole-tree span qualifies because inner iterations' FD rows are forest
+/// distances of partial keyroot forests, not tree prefixes.
 u64 runKernelPairs(const OrientIndex &A, const OrientIndex &B, const std::vector<u32> &aKrs,
                    const std::vector<u32> &bKrs, const TedCosts &costs, std::vector<u64> &td,
-                   usize tdStride, std::vector<u64> &fd) {
+                   usize tdStride, std::vector<u64> &fd, usize fullA, usize fullB, u64 cutoff,
+                   bool *abandoned) {
   u64 cells = 0;
   const auto TD = [&](u32 ci, u32 cj) -> u64 & {
     return td[static_cast<usize>(ci) * tdStride + cj];
@@ -111,6 +124,7 @@ u64 runKernelPairs(const OrientIndex &A, const OrientIndex &B, const std::vector
       const u32 lj = B.lml[j];
       const usize cols = j - lj + 2;
       const auto FD = [&](usize x, usize y) -> u64 & { return fd[x * cols + y]; };
+      const bool wholeSpan = cutoff > 0 && rows - 1 == fullA && cols - 1 == fullB;
 
       FD(0, 0) = 0;
       for (usize x = 1; x < rows; ++x) FD(x, 0) = FD(x - 1, 0) + costs.del;
@@ -133,6 +147,20 @@ u64 runKernelPairs(const OrientIndex &A, const OrientIndex &B, const std::vector
             const usize py = B.lml[dj] - lj;
             const u64 sub = FD(px, py) + TD(A.toCanon[di], B.toCanon[dj]);
             FD(x, y) = std::min({delCost, insCost, sub});
+          }
+        }
+        if (wholeSpan) {
+          const u64 remA = static_cast<u64>(fullA - x);
+          u64 best = ~u64{0};
+          for (usize y = 0; y < cols; ++y) {
+            const u64 remB = static_cast<u64>(fullB - y);
+            const u64 rem = remA >= remB ? (remA - remB) * costs.del : (remB - remA) * costs.ins;
+            best = std::min(best, FD(x, y) + rem);
+          }
+          if (best >= cutoff) {
+            cells += x * (cols - 1);
+            *abandoned = true;
+            return cells;
           }
         }
       }
@@ -325,9 +353,11 @@ Strategy computeStrategy(const TreeIndex &a, const TreeIndex &b) {
 }
 
 u64 run(const TreeIndex &a, const TreeIndex &b, const Strategy &strategy, const TedCosts &costs,
-        bool reuseBlocks, RunCounters *counters) {
-  if (a.n == 0) return static_cast<u64>(b.n) * costs.ins;
-  if (b.n == 0) return static_cast<u64>(a.n) * costs.del;
+        bool reuseBlocks, RunCounters *counters, u64 cutoff) {
+  if (a.n == 0) return std::min(static_cast<u64>(b.n) * costs.ins,
+                                cutoff ? cutoff : ~u64{0});
+  if (b.n == 0) return std::min(static_cast<u64>(a.n) * costs.del,
+                                cutoff ? cutoff : ~u64{0});
 
   const usize tdStride = b.n + 1;
   std::vector<u64> td((a.n + 1) * (b.n + 1), 0);
@@ -399,29 +429,38 @@ u64 run(const TreeIndex &a, const TreeIndex &b, const Strategy &strategy, const 
 
     stack.pop_back();
     u64 cells = 0;
+    bool abandoned = false;
     switch (kind) {
     case PathKind::LeftA:
-      cells = runKernelPairs(a.left, b.left, {v}, localKeyroots(b.left, w), costs, td, tdStride, fd);
+      cells = runKernelPairs(a.left, b.left, {v}, localKeyroots(b.left, w), costs, td, tdStride,
+                             fd, a.n, b.n, cutoff, &abandoned);
       break;
     case PathKind::RightA:
       cells = runKernelPairs(a.right, b.right, {a.canonToRight[v]},
-                             localKeyroots(b.right, b.canonToRight[w]), costs, td, tdStride, fd);
+                             localKeyroots(b.right, b.canonToRight[w]), costs, td, tdStride, fd,
+                             a.n, b.n, cutoff, &abandoned);
       break;
     case PathKind::LeftB:
-      cells = runKernelPairs(a.left, b.left, localKeyroots(a.left, v), {w}, costs, td, tdStride, fd);
+      cells = runKernelPairs(a.left, b.left, localKeyroots(a.left, v), {w}, costs, td, tdStride,
+                             fd, a.n, b.n, cutoff, &abandoned);
       break;
     case PathKind::RightB:
       cells = runKernelPairs(a.right, b.right, localKeyroots(a.right, a.canonToRight[v]),
-                             {b.canonToRight[w]}, costs, td, tdStride, fd);
+                             {b.canonToRight[w]}, costs, td, tdStride, fd, a.n, b.n, cutoff,
+                             &abandoned);
       break;
     }
     if (counters) {
       ++counters->kernels[static_cast<usize>(kind)];
       counters->subproblems[static_cast<usize>(kind)] += cells;
     }
+    // The whole-tree span only exists in the root pair's own kernel, so an
+    // abandon here is the last kernel of the run anyway.
+    if (abandoned) return cutoff;
     if (reuseBlocks) blocks.emplace(blockKeyOf(v, w), std::make_pair(v, w));
   }
-  return td[static_cast<usize>(a.n) * tdStride + b.n];
+  const u64 exact = td[static_cast<usize>(a.n) * tdStride + b.n];
+  return cutoff ? std::min(exact, cutoff) : exact;
 }
 
 } // namespace sv::tree::apted

@@ -114,9 +114,14 @@ struct TdBlock {
 /// reference DP. Fingerprints add two reuse levels: keyroot subproblems
 /// whose subtrees are identical share their TD block (first occurrence runs
 /// the DP and records it; repeats copy), and the caller short-circuits
-/// whole-tree equality before ever reaching this function.
+/// whole-tree equality before ever reaching this function. With
+/// `cutoff > 0` returns min(exact, cutoff): the final keyroot pair — the
+/// only one spanning both whole trees, never block-replayed because equal
+/// trees short-circuit earlier — abandons once every completion of the
+/// current post-order prefix row is provably >= cutoff (the admissibility
+/// argument lives in tedapted.cpp's runKernelPairs).
 u64 zhangShashaEngine(const EngineView &a, const EngineView &b, const TedCosts &costs,
-                      std::atomic<u64> &blockHits) {
+                      std::atomic<u64> &blockHits, u64 cutoff = 0) {
   if (a.n == 0) return static_cast<u64>(b.n) * costs.ins;
   if (b.n == 0) return static_cast<u64>(a.n) * costs.del;
 
@@ -153,6 +158,7 @@ u64 zhangShashaEngine(const EngineView &a, const EngineView &b, const TedCosts &
       }
 
       const auto FD = [&](usize x, usize y) -> u64 & { return fd[x * cols + y]; };
+      const bool wholeSpan = cutoff > 0 && rows - 1 == a.n && cols - 1 == b.n;
 
       FD(0, 0) = 0;
       for (usize x = 1; x < rows; ++x) FD(x, 0) = FD(x - 1, 0) + costs.del;
@@ -178,6 +184,16 @@ u64 zhangShashaEngine(const EngineView &a, const EngineView &b, const TedCosts &
             FD(x, y) = std::min({delCost, insCost, sub});
           }
         }
+        if (wholeSpan) {
+          u64 best = ~u64{0};
+          for (usize y = 0; y < cols; ++y) {
+            const u64 remA = a.n - x;
+            const u64 remB = b.n - y;
+            const u64 rem = remA >= remB ? (remA - remB) * costs.del : (remB - remA) * costs.ins;
+            best = std::min(best, FD(x, y) + rem);
+          }
+          if (best >= cutoff) return cutoff;
+        }
       }
 
       if (same) {
@@ -196,7 +212,8 @@ u64 zhangShashaEngine(const EngineView &a, const EngineView &b, const TedCosts &
       }
     }
   }
-  return TD(a.n, b.n);
+  const u64 exact = TD(a.n, b.n);
+  return cutoff ? std::min(exact, cutoff) : exact;
 }
 
 /// Memo key for one unordered tree pair under fixed costs. ted(a, b,
@@ -234,9 +251,12 @@ struct ViewKeyHash {
   }
 };
 
-/// Strategy-cache key: *ordered* (unlike PairKey) because the plan is
-/// orientation-specific — strategy(a, b) decomposes different trees than
-/// strategy(b, a). No costs: the strategy DP is structural only.
+/// Strategy-cache key: the *canonical* pair orientation (same ordering as
+/// PairKey). The plan itself is orientation-specific — strategy(a, b)
+/// decomposes different trees than strategy(b, a) — so the engine always
+/// executes the DP in canonical orientation (with del/ins swapped to
+/// compensate), making one matrix serve both query directions. No costs:
+/// the strategy DP is structural only.
 struct StratKey {
   u64 fp1 = 0, fp2 = 0;
   usize n1 = 0, n2 = 0;
@@ -273,6 +293,7 @@ struct TedEngine::Impl {
   std::atomic<u64> spfKernels[4]{0, 0, 0, 0};
   std::atomic<u64> spfSubproblems[4]{0, 0, 0, 0};
   std::atomic<u64> subtreeBlockHits{0};
+  std::atomic<u64> prunedByBound{0}, prunedByCutoff{0}, cutoffExact{0};
 };
 
 TedEngine::TedEngine() : impl_(std::make_unique<Impl>()) {}
@@ -300,6 +321,7 @@ std::shared_ptr<const TreeViews> TedEngine::views(const Tree &t) {
   built->rootFp = key.fp;
   built->left = makeEngineView(t, false, impl_->interner);
   built->right = makeEngineView(t, true, impl_->interner);
+  built->sig = std::make_shared<const BoundSignature>(boundSignature(t));
   if (!t.empty()) {
     built->aptedIndex = std::make_shared<const apted::TreeIndex>(apted::buildIndex(
         t, [this](const std::string &s) { return impl_->interner.intern(s); }));
@@ -311,8 +333,10 @@ std::shared_ptr<const TreeViews> TedEngine::views(const Tree &t) {
 
 u64 TedEngine::ted(const Tree &a, const Tree &b, const TedOptions &options) {
   const TedCosts &costs = options.costs;
-  if (a.empty()) return static_cast<u64>(b.size()) * costs.ins;
-  if (b.empty()) return static_cast<u64>(a.size()) * costs.del;
+  const u64 cutoff = options.cutoff;
+  const auto clamp = [cutoff](u64 d) { return cutoff ? std::min(d, cutoff) : d; };
+  if (a.empty()) return clamp(static_cast<u64>(b.size()) * costs.ins);
+  if (b.empty()) return clamp(static_cast<u64>(a.size()) * costs.del);
 
   const auto va = views(a);
   const auto vb = views(b);
@@ -332,20 +356,37 @@ u64 TedEngine::ted(const Tree &a, const Tree &b, const TedOptions &options) {
     std::swap(key.del, key.ins);
   }
   {
+    // The memo holds exact distances only, so a hit serves cutoff mode too.
     std::lock_guard lock(impl_->memoMutex);
     const auto it = impl_->memo.find(key);
     if (it != impl_->memo.end()) {
       impl_->memoHits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return clamp(it->second);
     }
+  }
+
+  // Filter: the cached signature bound settles the pair without any DP
+  // when it reaches the cutoff (min(exact, cutoff) == cutoff).
+  if (cutoff > 0 && tedLowerBound(*va->sig, *vb->sig, costs) >= cutoff) {
+    impl_->prunedByBound.fetch_add(1, std::memory_order_relaxed);
+    return cutoff;
   }
   impl_->memoMisses.fetch_add(1, std::memory_order_relaxed);
 
+  // Refine. The DP always executes in the memo's canonical orientation:
+  // ted(a, b, {del, ins, ren}) == ted(b, a, {ins, del, ren}), and key.del /
+  // key.ins were swapped alongside the trees above — so strategy matrices,
+  // TD blocks and cutoff behaviour are shared by both query directions.
+  const TreeViews &A = swapped ? *vb : *va;
+  const TreeViews &B = swapped ? *va : *vb;
+  const TedCosts dpCosts{key.del, key.ins, key.rename};
+
   u64 result = 0;
   if (options.algo == TedAlgo::Apted) {
-    // Strategy matrices are structural (cost-independent) and cheap to key,
-    // so one DP serves every cost configuration of an ordered tree pair.
-    const StratKey skey{va->rootFp, vb->rootFp, va->size, vb->size};
+    // Strategy matrices are structural (cost-independent) and keyed by the
+    // canonical pair, so one DP serves every cost configuration and both
+    // directions of a tree pair.
+    const StratKey skey{key.fp1, key.fp2, key.n1, key.n2};
     std::shared_ptr<const apted::Strategy> strat;
     {
       std::lock_guard lock(impl_->strategyMutex);
@@ -357,31 +398,40 @@ u64 TedEngine::ted(const Tree &a, const Tree &b, const TedOptions &options) {
     } else {
       impl_->strategyMisses.fetch_add(1, std::memory_order_relaxed);
       strat = std::make_shared<const apted::Strategy>(
-          apted::computeStrategy(*va->aptedIndex, *vb->aptedIndex));
+          apted::computeStrategy(*A.aptedIndex, *B.aptedIndex));
       std::lock_guard lock(impl_->strategyMutex);
       strat = impl_->strategies.emplace(skey, std::move(strat)).first->second;
     }
     apted::RunCounters rc;
-    result = apted::run(*va->aptedIndex, *vb->aptedIndex, *strat, costs,
-                        /*reuseBlocks=*/true, &rc);
+    result = apted::run(*A.aptedIndex, *B.aptedIndex, *strat, dpCosts,
+                        /*reuseBlocks=*/true, &rc, cutoff);
     for (usize k = 0; k < 4; ++k) {
       impl_->spfKernels[k].fetch_add(rc.kernels[k], std::memory_order_relaxed);
       impl_->spfSubproblems[k].fetch_add(rc.subproblems[k], std::memory_order_relaxed);
     }
     impl_->subtreeBlockHits.fetch_add(rc.blockHits, std::memory_order_relaxed);
   } else if (options.algo == TedAlgo::ZhangShasha) {
-    result = zhangShashaEngine(va->left, vb->left, costs, impl_->keyrootBlockHits);
+    result = zhangShashaEngine(A.left, B.left, dpCosts, impl_->keyrootBlockHits, cutoff);
   } else {
     // PathStrategy: the subproblem estimates are precomputed per view, so
     // strategy selection is O(1) instead of four view rebuilds per pair.
-    const u64 costLeft = va->left.subproblems * vb->left.subproblems;
-    const u64 costRight = va->right.subproblems * vb->right.subproblems;
+    const u64 costLeft = A.left.subproblems * B.left.subproblems;
+    const u64 costRight = A.right.subproblems * B.right.subproblems;
     if (costRight < costLeft)
-      result = zhangShashaEngine(va->right, vb->right, costs, impl_->keyrootBlockHits);
+      result = zhangShashaEngine(A.right, B.right, dpCosts, impl_->keyrootBlockHits, cutoff);
     else
-      result = zhangShashaEngine(va->left, vb->left, costs, impl_->keyrootBlockHits);
+      result = zhangShashaEngine(A.left, B.left, dpCosts, impl_->keyrootBlockHits, cutoff);
   }
 
+  if (cutoff > 0) {
+    // result == cutoff may be an abandoned run (a lower bound, not the
+    // distance) — never memoise it. Anything below the cutoff is exact.
+    if (result >= cutoff) {
+      impl_->prunedByCutoff.fetch_add(1, std::memory_order_relaxed);
+      return cutoff;
+    }
+    impl_->cutoffExact.fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard lock(impl_->memoMutex);
   impl_->memo.emplace(key, result);
   return result;
@@ -402,6 +452,9 @@ EngineStats TedEngine::stats() const {
     s.spfSubproblems[k] = impl_->spfSubproblems[k].load();
   }
   s.subtreeBlockHits = impl_->subtreeBlockHits.load();
+  s.prunedByBound = impl_->prunedByBound.load();
+  s.prunedByCutoff = impl_->prunedByCutoff.load();
+  s.cutoffExact = impl_->cutoffExact.load();
   return s;
 }
 
@@ -431,6 +484,9 @@ void TedEngine::clear() {
     impl_->spfSubproblems[k] = 0;
   }
   impl_->subtreeBlockHits = 0;
+  impl_->prunedByBound = 0;
+  impl_->prunedByCutoff = 0;
+  impl_->cutoffExact = 0;
 }
 
 u64 tedDispatch(const Tree &a, const Tree &b, const TedOptions &options) {

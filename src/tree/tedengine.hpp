@@ -19,11 +19,21 @@
 //    diverge(a, b) and diverge(b, a) share the TED work and only the
 //    asymmetric dmax/unmatched accounting is recomputed;
 //  * for TedAlgo::Apted (the default): per-tree `apted::TreeIndex`es cached
-//    alongside the views, strategy matrices cached per ordered
-//    (fp1, n1, fp2, n2) pair — the strategy DP is cost-independent, so one
-//    matrix serves every TedCosts — and the keyroot TD-block reuse
-//    generalised to whole single-path subproblems (any repeated
-//    (fingerprint, fingerprint) subtree pair replays its TD rectangle).
+//    alongside the views, strategy matrices cached per *canonical*
+//    (fp1, n1, fp2, n2) pair — the DP always executes in the memo's
+//    canonical orientation (swapping trees and del/ins together preserves
+//    the distance), so one strategy matrix serves both query directions
+//    and, being cost-independent, every TedCosts — and the keyroot
+//    TD-block reuse generalised to whole single-path subproblems (any
+//    repeated (fingerprint, fingerprint) subtree pair replays its TD
+//    rectangle). Note the pair memo still answers same-cost repeats first:
+//    within a single cost configuration strategy hits stay at zero by
+//    design, and only distinct TedCosts (or cutoff-abandoned pairs that
+//    are re-queried) reach the strategy cache.
+//  * cutoff mode (TedOptions::cutoff > 0): the cached signature lower
+//    bound (tree/tedbounds.hpp) answers `cutoff` outright when it reaches
+//    the threshold; otherwise the DP runs with in-kernel early abandon.
+//    Only exact results (below the cutoff) enter the pair memo.
 //
 // The engine is byte-identical to the uncached `tree::ted()` reference on
 // every input (tests/tree/tedengine_test.cpp and the corpus parity suite
@@ -33,6 +43,7 @@
 #include <memory>
 
 #include "tree/ted.hpp"
+#include "tree/tedbounds.hpp"
 
 namespace sv::tree {
 
@@ -58,6 +69,9 @@ struct TreeViews {
   /// labelled through the engine's global interner and shared like the
   /// views. Null only for the empty tree.
   std::shared_ptr<const apted::TreeIndex> aptedIndex;
+  /// Lower-bound signature (tree/tedbounds.hpp), cached with the views so
+  /// cutoff-mode prechecks are O(|sig|) merges on re-query, no tree walk.
+  std::shared_ptr<const BoundSignature> sig;
 };
 
 /// Cache-effectiveness counters, exposed for tests and the ted bench.
@@ -73,6 +87,11 @@ struct EngineStats {
   u64 spfKernels[4] = {0, 0, 0, 0};     ///< single-path kernels run, by apted::PathKind
   u64 spfSubproblems[4] = {0, 0, 0, 0}; ///< forest-DP cells, by apted::PathKind
   u64 subtreeBlockHits = 0;    ///< Apted subtree-pair TD rectangles replayed
+  // Cutoff-mode (TedOptions::cutoff > 0) outcome split. Every cutoff query
+  // that is not a view shortcut or memo hit lands in exactly one bucket.
+  u64 prunedByBound = 0;  ///< signature lower bound reached the cutoff: no DP at all
+  u64 prunedByCutoff = 0; ///< DP resolved at the cutoff ceiling (abandoned, or exact == cutoff)
+  u64 cutoffExact = 0;    ///< DP completed with an exact distance below the cutoff
 };
 
 /// Thread-safe cached TED evaluator. One global instance serves the whole

@@ -216,7 +216,7 @@ TEST(IrText, RejectsMalformedText) {
 
 TEST(Oracles, NamesRoundTrip) {
   for (const Oracle o :
-       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint}) {
+       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint, Oracle::Lb}) {
     const auto back = oracleFromName(oracleName(o));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, o);

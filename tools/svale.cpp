@@ -42,7 +42,18 @@ int usage() {
       "  run <app> <model>                    execute the port in the VM\n"
       "  index <app> <model> [-o file.svdb]   write a Codebase DB\n"
       "  diverge <app> <A> <B> [--metric M] [--pp] [--cov] [--algo A]\n"
-      "  cluster <app> [--metric M] [--algo A]\n"
+      "  cluster <app>|all|fuzz [--metric M] [--algo A] [--k N] [--cutoff R]\n"
+      "          [--count K] [--seed N]\n"
+      "          <app>: dendrogram over the app's ports (--k adds k-medoids)\n"
+      "          all:   k-medoids over every corpus port; --cutoff is a\n"
+      "                 normalised radius in [0,1] capping the matrix via\n"
+      "                 the filter-and-refine query layer\n"
+      "          fuzz:  k-medoids over --count generated T_sem trees;\n"
+      "                 --cutoff is a raw TED distance cap\n"
+      "  query <app> <model> [--top-k K] [--range D] [--metric M]\n"
+      "                                       rank every other corpus port by\n"
+      "                                       divergence from the query port\n"
+      "                                       (--range D: raw distance <= D)\n"
       "  heatmap <app> [--base MODEL]\n"
       "  cascade <app>\n"
       "  nav <app>\n"
@@ -56,7 +67,7 @@ int usage() {
       "                                       reduced reproducers land in DIR\n"
       "                                       (default tests/fuzz/corpus)\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
-      "oracles: round-trip vm ir ted lint\n"
+      "oracles: round-trip vm ir ted lint lb\n"
       "TED algorithms (--algo): apted (default) | ps | zs — all return\n"
       "identical distances; ps/zs are the cross-check oracles\n"
       "--threads N caps the shared worker pool for every command\n"
@@ -95,7 +106,8 @@ metrics::Metric parseMetric(const std::string &name) {
 /// positional or a bare switch. (--inject-bug is the fuzz harness
 /// self-test: plant a generator bug and check the oracles catch it.)
 const cli::FlagSpec kFlagSpec = {
-    /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads"},
+    /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads",
+                    "k", "cutoff", "top-k", "range"},
     /*bareFlags=*/{"pp", "cov", "json", "ir", "inject-bug", "no-reduce"},
     /*shortAliases=*/{{"-o", "out"}, {"-j", "threads"}},
 };
@@ -172,16 +184,139 @@ int cmdDiverge(const Args &args) {
   return 0;
 }
 
+u64 parseU64(const std::string &value, const char *flag);
+
+double parseDouble(const std::string &value, const char *flag) {
+  char *end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || v < 0)
+    throw cli::UsageError(std::string(flag) + " expects a non-negative number, got '" + value +
+                          "'");
+  return v;
+}
+
+void printMedoids(const analysis::DistanceMatrix &m, const analysis::KMedoidsResult &km) {
+  std::printf("k-medoids: k=%zu cost=%.4f\n", km.medoids.size(), km.cost);
+  for (usize c = 0; c < km.medoids.size(); ++c) {
+    std::printf("cluster %zu (medoid %s):\n", c, m.labels[km.medoids[c]].c_str());
+    for (usize i = 0; i < km.assignment.size(); ++i)
+      if (km.assignment[i] == c)
+        std::printf("  %-28s d=%.4f\n", m.labels[i].c_str(), m.at(i, km.medoids[c]));
+  }
+}
+
+void printFilterStats(const metrics::QueryStats &stats) {
+  std::printf("filter: candidates=%zu bound-pruned=%zu cutoff-pruned=%zu exact=%zu rate=%.2f\n",
+              stats.candidates, stats.prunedByBound, stats.prunedByCutoff, stats.exact,
+              stats.filterRate());
+}
+
+/// `cluster fuzz`: k-medoids over generated T_sem trees through the
+/// tree-level filter-and-refine matrix (raw TED distances, --cutoff cap).
+int cmdClusterFuzz(const Args &args) {
+  const u64 seed = parseU64(args.get("seed", "1"), "--seed");
+  const usize count = parseU64(args.get("count", "100"), "--count");
+  const u64 cutoff = parseU64(args.get("cutoff", "0"), "--cutoff");
+  const usize k = parseU64(args.get("k", "8"), "--k");
+
+  std::vector<tree::Tree> corpus(count);
+  std::vector<std::string> labels(count);
+  parallelFor(count, [&](usize i) {
+    fuzz::GenOptions gen;
+    gen.lang = i % 2 == 0 ? fuzz::Lang::MiniC : fuzz::Lang::MiniF;
+    gen.seed = seed + i / 2;
+    const auto program = fuzz::generate(gen);
+    corpus[i] = fuzz::semTree(program);
+    labels[i] = std::string(fuzz::langName(program.lang)) + "-" + std::to_string(program.seed);
+  });
+
+  metrics::QueryStats stats;
+  const auto values = metrics::treeDistanceMatrix(corpus, tedOptionsFrom(args), cutoff, &stats);
+  analysis::DistanceMatrix m;
+  m.labels = std::move(labels);
+  m.values.assign(values.size(), 0.0);
+  for (usize i = 0; i < values.size(); ++i) m.values[i] = static_cast<double>(values[i]);
+
+  printMedoids(m, analysis::kMedoids(m, k));
+  if (cutoff > 0) printFilterStats(stats);
+  return 0;
+}
+
+/// `cluster all`: k-medoids over every corpus port, through portMatrix's
+/// radius-capped filter-and-refine path (--cutoff = normalised radius).
+int cmdClusterAll(const Args &args) {
+  const auto metric = parseMetric(args.get("metric", "Tsem"));
+  const double radius = parseDouble(args.get("cutoff", "0"), "--cutoff");
+  const usize k = parseU64(args.get("k", "5"), "--k");
+  if (metrics::isAbsolute(metric))
+    throw cli::UsageError("cluster all needs a divergence metric, not SLOC/LLOC");
+
+  const auto ports = silvervale::indexAllPorts();
+  metrics::QueryStats stats;
+  const auto m =
+      silvervale::portMatrix(ports, metric, {}, tedOptionsFrom(args), radius, &stats);
+  printMedoids(m, analysis::kMedoids(m, k));
+  if (radius > 0) printFilterStats(stats);
+  return 0;
+}
+
 int cmdCluster(const Args &args) {
   if (args.positional.empty()) return usage();
+  if (args.positional[0] == "all") return cmdClusterAll(args);
+  if (args.positional[0] == "fuzz") return cmdClusterFuzz(args);
   const auto metric = parseMetric(args.flags.count("metric") ? args.flags.at("metric") : "Tsem");
   const auto app = silvervale::indexApp(args.positional[0]);
   const auto m = metrics::isAbsolute(metric)
                      ? silvervale::absoluteDifferenceMatrix(app, metric)
                      : silvervale::divergenceMatrix(app, metric, {}, tedOptionsFrom(args));
+  if (args.has("k")) {
+    printMedoids(m, analysis::kMedoids(m, parseU64(args.get("k", "3"), "--k")));
+    return 0;
+  }
   const auto merges = analysis::cluster(m);
   std::printf("%s", analysis::renderDendrogram(merges, m.labels).c_str());
   std::printf("newick: %s\n", analysis::toNewick(merges, m.labels).c_str());
+  return 0;
+}
+
+int cmdQuery(const Args &args) {
+  if (args.positional.size() < 2) return usage();
+  const auto metric = parseMetric(args.get("metric", "Tsem"));
+  if (metrics::isAbsolute(metric))
+    throw cli::UsageError("query needs a divergence metric, not SLOC/LLOC");
+  const std::string label = args.positional[0] + "/" + args.positional[1];
+
+  const auto ports = silvervale::indexAllPorts();
+  const db::CodebaseDb *query = nullptr;
+  std::vector<const db::CodebaseDb *> corpus;
+  std::vector<usize> portOf; // corpus index -> ports index
+  for (usize i = 0; i < ports.size(); ++i) {
+    if (ports[i].label == label) {
+      query = &ports[i].db;
+      continue;
+    }
+    corpus.push_back(&ports[i].db);
+    portOf.push_back(i);
+  }
+  if (!query) throw cli::UsageError("unknown port: " + label);
+
+  metrics::QueryStats stats;
+  std::vector<metrics::Neighbor> hits;
+  const auto ted = tedOptionsFrom(args);
+  if (args.has("range")) {
+    const u64 radius = parseU64(args.get("range", "0"), "--range");
+    hits = metrics::rangeDivergence(*query, corpus, radius, metric, {}, ted, {}, &stats);
+    std::printf("within d<=%llu of %s:\n", static_cast<unsigned long long>(radius),
+                label.c_str());
+  } else {
+    const usize k = parseU64(args.get("top-k", "5"), "--top-k");
+    hits = metrics::topKDivergence(*query, corpus, k, metric, {}, ted, {}, &stats);
+    std::printf("top-%zu nearest to %s:\n", k, label.c_str());
+  }
+  for (const auto &nb : hits)
+    std::printf("  %-28s d=%-8llu normalised=%.4f\n", ports[portOf[nb.index]].label.c_str(),
+                static_cast<unsigned long long>(nb.distance), nb.normalised);
+  printFilterStats(stats);
   return 0;
 }
 
@@ -346,6 +481,7 @@ int main(int argc, char **argv) {
     if (cmd == "index") return cmdIndex(args);
     if (cmd == "diverge") return cmdDiverge(args);
     if (cmd == "cluster") return cmdCluster(args);
+    if (cmd == "query") return cmdQuery(args);
     if (cmd == "heatmap") return cmdHeatmap(args);
     if (cmd == "cascade") return cmdCascade(args);
     if (cmd == "nav") return cmdNav(args);
