@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ir/irtree.hpp"
+#include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
 #include "minic/inliner.hpp"
 #include "minic/lexer.hpp"
@@ -153,6 +154,8 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
   if (options.runLint) {
     auto irDiags = lint::runIr(module);
     unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
+    auto depDiags = lint::runDeps(module, {.unit = &tu});
+    unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
   }
   auto irTree = ir::buildIrTree(module);
   // Mask functions/globals defined in system headers out of T_ir.
@@ -198,6 +201,8 @@ UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd,
   if (options.runLint) {
     auto irDiags = lint::runIr(module);
     unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
+    auto depDiags = lint::runDeps(module, {.unit = &tu});
+    unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
   }
   unit.tir = ir::buildIrTree(module);
   return unit;

@@ -89,11 +89,12 @@ struct IndexOptions {
   /// Execute the program in the VM and record line coverage. The entry
   /// point is "main" (or the Fortran program unit); all TUs are linked.
   bool runCoverage = false;
-  /// Run both lint tiers per unit — the parallel-semantics checks over the
-  /// sema'd AST (lint::run) and the CFG/dataflow checks over the lowered IR
-  /// (lint::runIr) — and store the diagnostics in UnitEntry::lint. Off by
-  /// default so the divergence hot path does not pay for it
-  /// (bench/lint_bench.cpp and bench/irlint_bench.cpp track the cost).
+  /// Run all three lint tiers per unit — the parallel-semantics checks over
+  /// the sema'd AST (lint::run), the CFG/dataflow checks over the lowered IR
+  /// (lint::runIr), and the loop dependence verdicts (lint::runDeps) — and
+  /// store the diagnostics in UnitEntry::lint. Off by default so the
+  /// divergence hot path does not pay for it (bench/lint_bench.cpp,
+  /// bench/irlint_bench.cpp and bench/deps_bench.cpp track the cost).
   bool runLint = false;
   vm::RunOptions vmOptions;
 };

@@ -155,6 +155,7 @@ FuzzReport runFuzz(const FuzzOptions &options) {
       gen.lang = lang;
       gen.seed = iterSeed;
       gen.injectUndeclaredUse = options.injectUndeclaredUse;
+      gen.injectDep = options.injectDep;
       runProgram(i, generate(gen));
     }
   }

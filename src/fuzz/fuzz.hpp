@@ -27,6 +27,11 @@ struct FuzzOptions {
   /// Self-test hook: plant an undeclared-variable use in every generated
   /// program so the harness must catch, shrink and report it.
   bool injectUndeclaredUse = false;
+  /// Emit the dependence payload (loop-carried array dep + unclaused scalar
+  /// reduction) in every generated program, so the `deps` oracle's
+  /// metamorphic checks run against non-trivial verdicts. The programs stay
+  /// well-formed; a failure means the dependence tier itself is unstable.
+  bool injectDep = false;
   bool reduce = true;
 };
 

@@ -393,6 +393,39 @@ struct CGen : Gen {
     }
   }
 
+  /// The --inject-dep payload: a parallel loop carrying a proven flow
+  /// dependence (the syntactic lint tier cannot see it — the write is
+  /// element-indexed by the loop variable) plus an unclaused scalar
+  /// accumulation, so the dependence tier has a LoopCarriedRace and a
+  /// MissedReduction to find in every generated program.
+  void depRegion() {
+    const std::string i = fresh("i");
+    emit("#pragma omp parallel for");
+    emit("for (int " + i + " = 1; " + i + " < " + arrayLen + "; ++" + i + ") {");
+    ++indent;
+    push();
+    declare(i, 'i', /*mut=*/false, /*arrayIdx=*/true);
+    emit(arrayName + "[" + i + "] = " + arrayName + "[" + i + " - 1] + " + doubleExpr(1).text +
+         ";");
+    pop();
+    --indent;
+    emit("}");
+    const std::string r = fresh("r");
+    const std::string j = fresh("i");
+    emit("double " + r + " = 0.0;");
+    emit("#pragma omp parallel for");
+    emit("for (int " + j + " = 0; " + j + " < " + arrayLen + "; ++" + j + ") {");
+    ++indent;
+    push();
+    declare(j, 'i', /*mut=*/false, /*arrayIdx=*/true);
+    emit(r + " += " + arrayName + "[" + j + "];");
+    pop();
+    --indent;
+    emit("}");
+    declare(r, 'd');
+    emit("printf(" + r + ");");
+  }
+
   void block(usize depth, usize count) {
     for (usize k = 0; k < count && stmtBudget > 0; ++k) {
       --stmtBudget;
@@ -456,7 +489,7 @@ struct CGen : Gen {
       emit("double z_bug = u_missing + 1.5;");
       emit("printf(z_bug);");
     }
-    if (rng.chance(65)) {
+    if (rng.chance(65) || o.injectDep) { // the dep payload needs the array
       arrayLen = fresh("n");
       arrayName = fresh("a");
       emit("int " + arrayLen + " = " + std::to_string(rng.range(4, 12)) + ";");
@@ -475,6 +508,7 @@ struct CGen : Gen {
     stmtBudget = 8 + rng.below(8);
     block(2, stmtBudget);
     if (omp) ompRegion();
+    if (o.injectDep) depRegion();
     printStmt();
     emit("return 0;");
     pop();
@@ -621,6 +655,37 @@ struct FGen : Gen {
     }
   }
 
+  /// Fortran spelling of the --inject-dep payload (see CGen::depRegion).
+  void depRegion() {
+    const std::string i = newLoopVar();
+    emit("!$omp parallel do");
+    emit("do " + i + " = 2, " + arrayLen);
+    ++indent;
+    push();
+    declare(i, 'i', /*mut=*/false, /*arrayIdx=*/true);
+    emit(arrayName + "(" + i + ") = " + arrayName + "(" + i + " - 1) + " + doubleExpr(1).text);
+    pop();
+    --indent;
+    emit("end do");
+    emit("!$omp end parallel do");
+    const std::string r = fresh("r");
+    declVar('d', r);
+    emit(r + " = 0.0");
+    const std::string j = newLoopVar();
+    emit("!$omp parallel do");
+    emit("do " + j + " = 1, " + arrayLen);
+    ++indent;
+    push();
+    declare(j, 'i', /*mut=*/false, /*arrayIdx=*/true);
+    emit(r + " = " + r + " + " + arrayName + "(" + j + ")");
+    pop();
+    --indent;
+    emit("end do");
+    emit("!$omp end parallel do");
+    declare(r, 'd');
+    emit("print *, " + r);
+  }
+
   void block(usize depth, usize count) {
     for (usize k = 0; k < count && stmtBudget > 0; ++k) {
       --stmtBudget;
@@ -692,7 +757,7 @@ struct FGen : Gen {
       emit(z + " = u_missing + 1.5");
       emit("print *, " + z);
     }
-    if (rng.chance(65)) {
+    if (rng.chance(65) || o.injectDep) { // the dep payload needs the array
       arrayLen = fresh("n");
       arrayName = fresh("a");
       declLines.push_back("integer :: " + arrayLen);
@@ -714,6 +779,7 @@ struct FGen : Gen {
     stmtBudget = 8 + rng.below(8);
     block(2, stmtBudget);
     if (omp) ompRegion();
+    if (o.injectDep) depRegion();
     printStmt();
     pop();
     --indent;
@@ -733,15 +799,17 @@ GeneratedProgram generate(const GenOptions &options) {
   GeneratedProgram p;
   p.lang = options.lang;
   p.seed = options.seed;
+  // The dep payload is an OpenMP region — it must lower under the OpenMP
+  // model for the dependence tier to see a parallel loop.
   if (options.lang == Lang::MiniC) {
     CGen g(options);
     p.source = g.run(options);
-    p.model = g.omp ? "omp" : "serial";
+    p.model = g.omp || options.injectDep ? "omp" : "serial";
     p.fileName = "fuzz.cpp";
   } else {
     FGen g(options);
     p.source = g.run(options);
-    p.model = g.omp ? "omp" : "serial";
+    p.model = g.omp || options.injectDep ? "omp" : "serial";
     p.fileName = "fuzz.f90";
   }
   return p;

@@ -35,6 +35,12 @@ struct GenOptions {
   /// (the VM evaluates unknown identifiers as name strings, so arithmetic
   /// on one throws), shrink it, and write it to the crash corpus.
   bool injectUndeclaredUse = false;
+  /// Emit an on-demand dependence payload in the entry unit: a parallel
+  /// loop with a proven loop-carried flow dependence (a[i] = a[i-1] + e)
+  /// and an unclaused scalar accumulation loop. Unlike injectUndeclaredUse
+  /// the program stays well-formed — the payload exists to exercise the
+  /// dependence lint tier (lint::runDeps) and its metamorphic oracle.
+  bool injectDep = false;
 };
 
 struct GeneratedProgram {

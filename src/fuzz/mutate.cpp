@@ -1,5 +1,7 @@
 #include "fuzz/mutate.hpp"
 
+#include <string_view>
+
 #include "support/strings.hpp"
 
 namespace sv::fuzz {
@@ -32,6 +34,31 @@ namespace {
 }
 
 } // namespace
+
+std::string mutateRenameIdentifiers(const std::string &source) {
+  const auto isIdent = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+  };
+  std::string out;
+  out.reserve(source.size() + source.size() / 8);
+  usize i = 0;
+  while (i < source.size()) {
+    if (!isIdent(source[i])) {
+      out += source[i++];
+      continue;
+    }
+    usize j = i;
+    while (j < source.size() && isIdent(source[j])) ++j;
+    const std::string_view tok(source.data() + i, j - i);
+    bool matches = tok.size() >= 2 && tok[0] >= 'a' && tok[0] <= 'z';
+    for (usize k = 1; matches && k < tok.size(); ++k)
+      matches = tok[k] >= '0' && tok[k] <= '9';
+    out.append(tok);
+    if (matches) out += "_r";
+    i = j;
+  }
+  return out;
+}
 
 std::string mutateCommentsWhitespace(const std::string &source, Lang lang, Rng &rng) {
   const auto lines = str::splitLines(source);

@@ -22,4 +22,13 @@ namespace sv::fuzz {
 ///   * C insertions use `//` line comments only (never `/* */`).
 [[nodiscard]] std::string mutateCommentsWhitespace(const std::string &source, Lang lang, Rng &rng);
 
+/// Statement-order-preserving identifier rename: every token of the
+/// generator's naming scheme (one lowercase letter + digits, e.g. `v3`,
+/// `i0`, `a1`, `f2`) gets `_r` appended. The map is injective (generator
+/// names never contain '_'), applies at token boundaries only, and keeps
+/// every statement on its original line — so dependence verdicts must be
+/// invariant modulo symbol names (the `deps` metamorphic oracle). Keywords,
+/// literals and builtins never match the pattern.
+[[nodiscard]] std::string mutateRenameIdentifiers(const std::string &source);
+
 } // namespace sv::fuzz

@@ -12,6 +12,7 @@
 #include "ir/dataflow.hpp"
 #include "ir/lower.hpp"
 #include "ir/verify.hpp"
+#include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
 #include "lint/lint.hpp"
 #include "minic/inliner.hpp"
@@ -379,6 +380,76 @@ struct Parsed {
   return std::nullopt;
 }
 
+/// Frontend + lowering + the dependence lint tier over one source text.
+[[nodiscard]] std::vector<lint::Diagnostic> depsVerdicts(const std::string &source, Lang lang,
+                                                         const std::string &fileName,
+                                                         ir::Model model) {
+  auto parsed = parseSource(source, lang, fileName, /*sema=*/lang == Lang::MiniC);
+  const auto mod = ir::lower(parsed.tu, {model});
+  return lint::runDeps(mod, {.unit = &parsed.tu});
+}
+
+/// Symbol-insensitive verdict keys: check, severity and line survive an
+/// identifier rename; symbol and message (which quotes names) do not.
+[[nodiscard]] std::vector<std::string> depsLineKeys(const std::vector<lint::Diagnostic> &diags) {
+  std::vector<std::string> keys;
+  keys.reserve(diags.size());
+  for (const auto &d : diags)
+    keys.push_back(std::string(lint::name(d.check)) + "|" + lint::name(d.severity) + "|" +
+                   std::to_string(d.loc.line));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+[[nodiscard]] std::optional<std::string> checkDeps(const GeneratedProgram &p) {
+  const auto base = depsVerdicts(p.source, p.lang, p.fileName, modelOf(p));
+  const auto again = depsVerdicts(p.source, p.lang, p.fileName, modelOf(p));
+  if (base != again) return "lint::runDeps not deterministic across fresh parses";
+
+  // Soundness invariant: a provably-parallel note and a fired loop-carried
+  // race on the same loop would contradict each other.
+  std::vector<std::string> parallel, raced;
+  for (const auto &d : base) {
+    const std::string where = d.directive + ":" + std::to_string(d.loc.line);
+    if (d.check == lint::Check::ProvablyParallel) parallel.push_back(where);
+    if (d.check == lint::Check::LoopCarriedRace) raced.push_back(where);
+  }
+  std::sort(parallel.begin(), parallel.end());
+  std::sort(raced.begin(), raced.end());
+  std::vector<std::string> both;
+  std::set_intersection(parallel.begin(), parallel.end(), raced.begin(), raced.end(),
+                        std::back_inserter(both));
+  if (!both.empty())
+    return "loop is both provably parallel and racing: " + str::join(both, ", ");
+
+  // Comment/whitespace mutation preserves the verdicts modulo locations.
+  Rng mrng(p.seed ^ 0x44657073ULL); // "Deps"
+  const std::string wsMutant = mutateCommentsWhitespace(p.source, p.lang, mrng);
+  std::vector<lint::Diagnostic> wsDiags;
+  try {
+    wsDiags = depsVerdicts(wsMutant, p.lang, p.fileName, modelOf(p));
+  } catch (const ParseError &e) {
+    return std::string("comment/whitespace mutant does not parse: ") + e.what();
+  }
+  if (diagKeys(base) != diagKeys(wsDiags))
+    return "deps verdicts changed under comment/whitespace mutation\n--- base ---\n" +
+           renderKeys(diagKeys(base)) + "--- mutant ---\n" + renderKeys(diagKeys(wsDiags));
+
+  // A statement-order-preserving rename preserves them modulo symbols.
+  const std::string renamed = mutateRenameIdentifiers(p.source);
+  std::vector<lint::Diagnostic> rnDiags;
+  try {
+    rnDiags = depsVerdicts(renamed, p.lang, p.fileName, modelOf(p));
+  } catch (const ParseError &e) {
+    return std::string("renamed mutant does not parse: ") + e.what() + "\n--- renamed ---\n" +
+           renamed;
+  }
+  if (depsLineKeys(base) != depsLineKeys(rnDiags))
+    return "deps verdicts changed under identifier rename\n--- base ---\n" +
+           renderKeys(depsLineKeys(base)) + "--- renamed ---\n" + renderKeys(depsLineKeys(rnDiags));
+  return std::nullopt;
+}
+
 } // namespace
 
 const char *oracleName(Oracle o) {
@@ -389,13 +460,14 @@ const char *oracleName(Oracle o) {
   case Oracle::Ted: return "ted";
   case Oracle::Lint: return "lint";
   case Oracle::Lb: return "lb";
+  case Oracle::Deps: return "deps";
   }
   return "?";
 }
 
 std::optional<Oracle> oracleFromName(std::string_view name) {
-  for (const Oracle o :
-       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint, Oracle::Lb})
+  for (const Oracle o : {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint,
+                         Oracle::Lb, Oracle::Deps})
     if (name == oracleName(o)) return o;
   return std::nullopt;
 }
@@ -452,6 +524,7 @@ std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
   runOne(Oracle::Ted, [&] { return checkTed(program, context); });
   runOne(Oracle::Lint, [&] { return checkLint(program); });
   runOne(Oracle::Lb, [&] { return checkLb(program, context); });
+  runOne(Oracle::Deps, [&] { return checkDeps(program); });
   return failures;
 }
 

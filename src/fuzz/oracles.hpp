@@ -22,6 +22,12 @@
 //               cutoff mode returns min(exact, cutoff) for all three
 //               algorithms, engine on and off — including agreement with
 //               the exact distance whenever exact < cutoff
+//   deps        lint::runDeps is deterministic across fresh parses, its
+//               verdicts are invariant under comment/whitespace mutation
+//               (modulo locations) and under statement-order-preserving
+//               identifier renames (modulo symbol names), and no loop ever
+//               carries both a provably-parallel note and a fired
+//               loop-carried race
 #pragma once
 
 #include <optional>
@@ -33,13 +39,13 @@
 
 namespace sv::fuzz {
 
-enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4, Lb = 5 };
+enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4, Lb = 5, Deps = 6 };
 
 [[nodiscard]] const char *oracleName(Oracle o);
 [[nodiscard]] std::optional<Oracle> oracleFromName(std::string_view name);
 
 [[nodiscard]] constexpr u32 oracleBit(Oracle o) { return 1u << static_cast<u32>(o); }
-constexpr u32 kAllOracles = 0b111111;
+constexpr u32 kAllOracles = 0b1111111;
 
 struct OracleFailure {
   Oracle oracle{};

@@ -1,0 +1,126 @@
+// Loop dependence analysis — the third static-analysis tier, over the
+// lowered IR's CFG (tier one checks directive semantics on the AST, tier
+// two runs bit-vector dataflow per function; this tier reasons about
+// *iterations*). It recovers natural loop nests from dominator-based back
+// edges, recognises affine induction variables from the lowering's
+// slot-load / icmp / add / store idiom, and runs the classic subscript
+// dependence tests on every same-array access pair:
+//
+//   ZIV          both subscripts loop-invariant: equal -> loop-independent
+//                dependence, unequal -> independent
+//   strong SIV   equal induction coefficients: exact integer distance (or
+//                proven independence on non-divisibility / trip overflow)
+//   weak-zero SIV  one side invariant: single colliding iteration, proven
+//                only when constant bounds place it inside the loop
+//   GCD          coupled/MIV subscripts: gcd of coefficients must divide
+//                the constant difference, else independent
+//   Banerjee     constant-bound range check as the last word before
+//                "assumed dependent"
+//
+// Scalars written inside a loop are classified as induction / privatizable
+// (every read preceded by a same-iteration write) / reduction (`x op= e`
+// update chains, including min/max-call forms) / loop-carried (upward-
+// exposed read). Call sites consult the bottom-up mod/ref summaries from
+// ir/callgraph.hpp, so loops that call summarised helpers stay analyzable
+// instead of degrading to "unknown" at every call.
+//
+// Every conclusion is three-valued: *proven* dependences (the race
+// ammunition), proven independence, and "assumed" dependences where a test
+// was inconclusive — assumed edges block a provably-parallel verdict but
+// never justify a race diagnostic. See DESIGN.md "Dependence analysis" for
+// the soundness caveats.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/callgraph.hpp"
+#include "ir/cfg.hpp"
+
+namespace sv::ir {
+
+enum class DepKind : u8 { Flow, Anti, Output };
+enum class DepDirection : u8 { Lt, Eq, Gt, Any };
+
+[[nodiscard]] const char *name(DepKind k);
+[[nodiscard]] const char *name(DepDirection d);
+
+struct ArrayDependence {
+  std::string array;   ///< root id: "@a", "arg:0", or a local slot "%N"
+  DepKind kind{};
+  bool carried = false;  ///< crosses iterations of the reported loop
+  bool proven = false;   ///< test concluded; false = assumed (inconclusive)
+  std::optional<i64> distance; ///< iterations, when an exact test found one
+  DepDirection direction = DepDirection::Any;
+  i32 line = -1;
+};
+
+enum class ScalarClass : u8 {
+  Induction,     ///< a recognised loop counter (its own or an inner loop's)
+  Privatizable,  ///< written before any read on every in-iteration path
+  Reduction,     ///< all updates are `x op= e` chains with a single op
+  Carried,       ///< upward-exposed read of a value written in the loop
+  WriteOnly,     ///< stored every iteration, never read inside the loop
+  Unknown,       ///< touched by a call or otherwise unanalyzable
+};
+
+[[nodiscard]] const char *name(ScalarClass c);
+
+struct ScalarUse {
+  std::string slot;     ///< root id of the scalar's storage
+  std::string display;  ///< source-ish name ("s" for "@s", else the slot id)
+  ScalarClass cls{};
+  std::string op;       ///< reduction operator: "+", "*", "min", "max"
+  bool shared = false;  ///< rooted at a global (shared in outlined regions)
+  bool declaredInLoop = false; ///< alloca'd inside the loop body (iteration-local)
+  i32 line = -1;
+};
+
+struct LoopInfo {
+  u32 header = 0;
+  std::vector<u32> blocks;  ///< natural-loop body block indices, sorted
+  u32 depth = 0;            ///< 0 = outermost in this function
+  i32 line = -1;            ///< source line of the loop condition
+  i32 file = -1;            ///< source file id of the loop condition
+
+  std::string inductionSlot;  ///< root id, empty when not recognised
+  std::string inductionName;  ///< display name for reports
+  bool affine = false;        ///< induction with a constant step
+  i64 step = 0;
+  std::optional<i64> lowerBound;  ///< initial induction value when constant
+  std::optional<i64> tripCount;   ///< iteration count when bounds constant
+
+  bool analyzable = false;       ///< every access affine, every call summarised
+  bool provablyParallel = false; ///< no carried dependence, scalars all benign
+  std::vector<ArrayDependence> deps;
+  std::vector<ScalarUse> scalars;
+
+  [[nodiscard]] bool contains(u32 block) const;
+};
+
+struct FunctionDeps {
+  std::string function;
+  FunctionRole role{};
+  std::vector<LoopInfo> loops; ///< outer-first (by header block index)
+};
+
+struct ModuleDeps {
+  CallGraph callgraph;
+  std::vector<FunctionDeps> functions;
+};
+
+/// Loop recovery alone: dominator-based back-edge detection over the CFG.
+/// Irreducible cycles (no dominating header) produce no loops; multi-exit
+/// (`break`-heavy) bodies are recovered intact. Structural fields plus
+/// induction recognition are filled; dependence fields are left empty.
+[[nodiscard]] std::vector<LoopInfo> findLoops(const Function &fn, const Cfg &cfg);
+
+/// Full per-loop dependence analysis for one function, consulting `cg` at
+/// call sites.
+[[nodiscard]] FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg);
+
+/// Build the call graph, then analyze every non-Runtime function.
+[[nodiscard]] ModuleDeps analyzeModule(const Module &m);
+
+} // namespace sv::ir

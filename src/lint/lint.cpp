@@ -4,6 +4,7 @@
 #include <set>
 
 #include "lang/directive.hpp"
+#include "lint/depslint.hpp"
 #include "support/strings.hpp"
 
 namespace sv::lint {
@@ -44,9 +45,11 @@ bool isSerializing(const Directive &d) {
 }
 
 /// Regions whose body runs once per iteration/thread: the data-race and
-/// reduction checks apply. `acc kernels` is excluded — the compiler only
-/// parallelises what it can prove independent, so sequential semantics are
-/// preserved and flagging its body would be noise.
+/// reduction checks apply. `acc kernels` is excluded from the *syntactic*
+/// checks — the compiler only parallelises what it can prove independent —
+/// but whole-array assignments inside kernels regions are no longer blanket-
+/// exempt: handleArrayAssign consults the dependence classifier
+/// (lint::classifyArrayAssign) and fires on proven overlapping sections.
 bool isRaceChecked(const Directive &d) {
   if (isStandaloneData(d) || isBarrierLike(d)) return false;
   if (d.family == "omp") {
@@ -339,8 +342,23 @@ private:
       if (child) visitStmt(*child);
   }
 
+  /// The innermost enclosing `acc kernels` region, if any. Kernels bodies
+  /// keep sequential semantics for anything the compiler cannot prove
+  /// independent, so they are exempt from the syntactic race checks — but
+  /// not from *proven* dependence verdicts.
+  [[nodiscard]] Region *innermostKernelsRegion() {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it)
+      if (it->dir && hasKind(*it->dir, "kernels")) return &*it;
+    return nullptr;
+  }
+
   /// Fortran whole-array assignment `a(:) = expr`: a write to every element
-  /// from a single statement.
+  /// from a single statement. Inside a worksharing-free parallel region the
+  /// assignment is repeated by every thread (a race regardless of the rhs);
+  /// inside `acc kernels` the dependence classifier decides — a proven
+  /// overlapping shifted section (`a(2:n) = a(1:n-1)`) races under the
+  /// parallelization the directive requests, while aligned elementwise
+  /// assignments stay exempt as before.
   void handleArrayAssign(const Stmt &s) {
     if (s.cond) {
       const Expr &lhs = *s.cond;
@@ -354,6 +372,14 @@ private:
             emitOnce(*r, Check::DataRace, Severity::Error, base->loc, base->text,
                      "whole-array assignment to shared '" + base->text +
                          "' is repeated by every iteration of the parallel region");
+        } else if (Region *k = innermostKernelsRegion()) {
+          if (!declaredInRegion(base->text) &&
+              classifyArrayAssign(s) == AssignDep::Carried)
+            emitOnce(*k, Check::DataRace, Severity::Error, base->loc, base->text,
+                     "whole-array assignment to '" + base->text +
+                         "' reads an overlapping section of '" + base->text +
+                         "' shifted against the write: parallelizing this kernels "
+                         "region reorders the proven loop-carried dependence");
         }
       }
       for (const auto &a : lhs.args)
@@ -741,6 +767,10 @@ const char *name(Check c) {
   case Check::DeadStore: return "dead-store";
   case Check::UnreachableBlock: return "unreachable-block";
   case Check::DeviceTransfer: return "device-transfer";
+  case Check::LoopCarriedRace: return "loop-carried-race";
+  case Check::MissedReduction: return "missed-reduction";
+  case Check::MissedPrivatization: return "missed-privatization";
+  case Check::ProvablyParallel: return "provably-parallel";
   }
   return "?";
 }

@@ -50,6 +50,11 @@ enum class Check : u8 {
   DeadStore = 6,
   UnreachableBlock = 7,
   DeviceTransfer = 8,
+  // Dependence tier (lint::runDeps, see lint/depslint.hpp).
+  LoopCarriedRace = 9,      ///< proven cross-iteration dependence in a parallel loop
+  MissedReduction = 10,     ///< `x op= e` pattern proven, no reduction clause
+  MissedPrivatization = 11, ///< scalar proven privatizable, no private clause
+  ProvablyParallel = 12,    ///< serial loop with no carried dependence (note)
 };
 
 [[nodiscard]] const char *name(Severity s);

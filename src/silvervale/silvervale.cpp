@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ir/cost.hpp"
+#include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
 #include "support/parallel.hpp"
 
@@ -30,15 +31,160 @@ lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &optio
     lint::UnitReport unit;
     unit.file = parsed.file;
     unit.diags = lint::run(parsed.tu);
-    if (options.ir) {
+    if (options.ir || options.deps) {
       ir::LowerOptions lowOpts;
       lowOpts.model = parsed.model;
-      const auto irDiags = lint::runIr(ir::lower(parsed.tu, lowOpts));
-      unit.diags.insert(unit.diags.end(), irDiags.begin(), irDiags.end());
+      const auto module = ir::lower(parsed.tu, lowOpts);
+      if (options.ir) {
+        const auto irDiags = lint::runIr(module);
+        unit.diags.insert(unit.diags.end(), irDiags.begin(), irDiags.end());
+      }
+      if (options.deps) {
+        const auto depDiags = lint::runDeps(module, {.unit = &parsed.tu});
+        unit.diags.insert(unit.diags.end(), depDiags.begin(), depDiags.end());
+      }
     }
     report.units.push_back(std::move(unit));
   }
   return report;
+}
+
+DepsReport depsCodebase(const db::Codebase &codebase) {
+  DepsReport report;
+  report.app = codebase.app;
+  report.model = codebase.model;
+  for (auto &lowered : db::lowerUnits(codebase)) {
+    DepsUnit unit;
+    unit.file = lowered.file;
+    unit.deps = ir::analyzeModule(lowered.module);
+    report.units.push_back(std::move(unit));
+  }
+  return report;
+}
+
+usize DepsReport::loopCount() const {
+  usize n = 0;
+  for (const auto &u : units)
+    for (const auto &fd : u.deps.functions) n += fd.loops.size();
+  return n;
+}
+
+usize DepsReport::provablyParallelCount() const {
+  usize n = 0;
+  for (const auto &u : units)
+    for (const auto &fd : u.deps.functions)
+      for (const auto &L : fd.loops)
+        if (L.provablyParallel) ++n;
+  return n;
+}
+
+std::string DepsReport::renderText() const {
+  std::string out = app + "/" + model + ": " + std::to_string(loopCount()) +
+                    " loop(s), " + std::to_string(provablyParallelCount()) +
+                    " provably parallel\n";
+  for (const auto &u : units) {
+    bool any = false;
+    for (const auto &fd : u.deps.functions) any = any || !fd.loops.empty();
+    if (!any) continue;
+    out += u.file + "\n";
+    for (const auto &fd : u.deps.functions) {
+      if (fd.loops.empty()) continue;
+      out += "  " + fd.function + "\n";
+      for (const auto &L : fd.loops) {
+        out += "    ";
+        for (u32 d = 0; d < L.depth; ++d) out += "  ";
+        out += "line " + std::to_string(L.line);
+        if (!L.inductionName.empty()) {
+          out += ": " + L.inductionName + " (step " + std::to_string(L.step);
+          if (L.tripCount) out += ", trip " + std::to_string(*L.tripCount);
+          out += ")";
+        } else {
+          out += ": no affine induction";
+        }
+        if (L.provablyParallel) out += " [provably parallel]";
+        else if (!L.analyzable) out += " [not analyzable]";
+        out += "\n";
+        for (const auto &dep : L.deps) {
+          out += "      ";
+          for (u32 d = 0; d < L.depth; ++d) out += "  ";
+          out += std::string(dep.proven ? "" : "assumed ") + ir::name(dep.kind) +
+                 " dep on '" + dep.array + "'" + (dep.carried ? " carried" : "");
+          if (dep.distance) out += " distance " + std::to_string(*dep.distance);
+          out += std::string(" direction ") + ir::name(dep.direction) + "\n";
+        }
+        for (const auto &s : L.scalars) {
+          if (s.cls == ir::ScalarClass::Induction) continue;
+          out += "      ";
+          for (u32 d = 0; d < L.depth; ++d) out += "  ";
+          out += "scalar '" + s.display + "' " + ir::name(s.cls);
+          if (!s.op.empty()) out += "(" + s.op + ")";
+          if (s.shared) out += " shared";
+          out += "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+json::Value DepsReport::toJson() const {
+  json::Object root;
+  root.emplace("app", app);
+  root.emplace("model", model);
+  root.emplace("loops", loopCount());
+  root.emplace("provablyParallel", provablyParallelCount());
+  json::Array unitArr;
+  for (const auto &u : units) {
+    json::Object uo;
+    uo.emplace("file", u.file);
+    json::Array fnArr;
+    for (const auto &fd : u.deps.functions) {
+      if (fd.loops.empty()) continue;
+      json::Object fo;
+      fo.emplace("function", fd.function);
+      json::Array loopArr;
+      for (const auto &L : fd.loops) {
+        json::Object lo;
+        lo.emplace("line", static_cast<i64>(L.line));
+        lo.emplace("depth", static_cast<i64>(L.depth));
+        lo.emplace("induction", L.inductionName);
+        lo.emplace("affine", L.affine);
+        lo.emplace("step", L.step);
+        if (L.tripCount) lo.emplace("trip", *L.tripCount);
+        lo.emplace("analyzable", L.analyzable);
+        lo.emplace("provablyParallel", L.provablyParallel);
+        json::Array depArr;
+        for (const auto &dep : L.deps) {
+          json::Object dobj;
+          dobj.emplace("array", dep.array);
+          dobj.emplace("kind", ir::name(dep.kind));
+          dobj.emplace("carried", dep.carried);
+          dobj.emplace("proven", dep.proven);
+          if (dep.distance) dobj.emplace("distance", *dep.distance);
+          dobj.emplace("direction", ir::name(dep.direction));
+          depArr.emplace_back(std::move(dobj));
+        }
+        lo.emplace("dependences", std::move(depArr));
+        json::Array scArr;
+        for (const auto &s : L.scalars) {
+          json::Object sobj;
+          sobj.emplace("name", s.display);
+          sobj.emplace("class", ir::name(s.cls));
+          if (!s.op.empty()) sobj.emplace("op", s.op);
+          sobj.emplace("shared", s.shared);
+          scArr.emplace_back(std::move(sobj));
+        }
+        lo.emplace("scalars", std::move(scArr));
+        loopArr.emplace_back(std::move(lo));
+      }
+      fo.emplace("loops", std::move(loopArr));
+      fnArr.emplace_back(std::move(fo));
+    }
+    uo.emplace("functions", std::move(fnArr));
+    unitArr.emplace_back(std::move(uo));
+  }
+  root.emplace("units", std::move(unitArr));
+  return json::Value(std::move(root));
 }
 
 IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {

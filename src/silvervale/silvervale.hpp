@@ -11,6 +11,7 @@
 #include "analysis/analysis.hpp"
 #include "corpus/corpus.hpp"
 #include "db/codebase.hpp"
+#include "ir/deps.hpp"
 #include "lint/lint.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/query.hpp"
@@ -105,6 +106,10 @@ struct LintOptions {
   /// unreachable blocks, redundant/stale device transfers. Off by default:
   /// the AST tier alone needs no lowering.
   bool ir = false;
+  /// Also run the dependence tier (lint::runDeps): loop-carried-race /
+  /// missed-reduction / missed-privatization / provably-parallel verdicts
+  /// from the subscript dependence tests over the lowered IR.
+  bool deps = false;
 };
 
 /// Run the linter over every translation unit of a codebase (frontend only
@@ -113,5 +118,27 @@ struct LintOptions {
 /// `svale lint-dir` and the corpus-wide lint-clean regression tests.
 [[nodiscard]] lint::Report lintCodebase(const db::Codebase &codebase,
                                         const LintOptions &options = {});
+
+/// Per-loop dependence analysis of one port, for `svale deps <app> [model]`:
+/// every unit lowered, every function's loop nests recovered, subscript
+/// tests and scalar classification run (ir/deps.hpp). renderText shows one
+/// indented line per loop with its verdict, dependences, and scalars.
+struct DepsUnit {
+  std::string file;
+  ir::ModuleDeps deps;
+};
+
+struct DepsReport {
+  std::string app;
+  std::string model;
+  std::vector<DepsUnit> units;
+
+  [[nodiscard]] usize loopCount() const;
+  [[nodiscard]] usize provablyParallelCount() const;
+  [[nodiscard]] std::string renderText() const;
+  [[nodiscard]] json::Value toJson() const;
+};
+
+[[nodiscard]] DepsReport depsCodebase(const db::Codebase &codebase);
 
 } // namespace sv::silvervale

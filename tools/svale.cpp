@@ -11,9 +11,13 @@
 //   svale cascade <app>                     Φ cascade over the Table III platforms
 //   svale nav <app>                         Φ × TBMD navigation chart
 //   svale coupling <app> <model>            module-coupling report
-//   svale lint <app> <model> [--ir] [--json] parallel-semantics lint of a port
-//   svale lint-dir <dir> [--ir] [--json]    lint a real on-disk codebase
-//                                           (--ir adds the CFG/dataflow tier)
+//   svale lint <app> <model> [--ir] [--deps] [--json]
+//                                           parallel-semantics lint of a port
+//   svale lint-dir <dir> [--ir] [--deps] [--json]
+//                                           lint a real on-disk codebase
+//                                           (--ir adds the CFG/dataflow tier,
+//                                           --deps the dependence verdicts)
+//   svale deps <app> [model] [--json]       per-loop dependence report
 //   svale index-dir <dir> [-o out.svdb]     index a real on-disk codebase
 //                                           (needs <dir>/compile_commands.json)
 #include <cstdio>
@@ -43,14 +47,14 @@ int usage() {
       "  index <app> <model> [-o file.svdb]   write a Codebase DB\n"
       "  diverge <app> <A> <B> [--metric M] [--pp] [--cov] [--algo A]\n"
       "  cluster <app>|all|fuzz [--metric M] [--algo A] [--k N] [--cutoff R]\n"
-      "          [--count K] [--seed N]\n"
+      "          [--count K] [--seed N] [--json]\n"
       "          <app>: dendrogram over the app's ports (--k adds k-medoids)\n"
       "          all:   k-medoids over every corpus port; --cutoff is a\n"
       "                 normalised radius in [0,1] capping the matrix via\n"
       "                 the filter-and-refine query layer\n"
       "          fuzz:  k-medoids over --count generated T_sem trees;\n"
       "                 --cutoff is a raw TED distance cap\n"
-      "  query <app> <model> [--top-k K] [--range D] [--metric M]\n"
+      "  query <app> <model> [--top-k K] [--range D] [--metric M] [--json]\n"
       "                                       rank every other corpus port by\n"
       "                                       divergence from the query port\n"
       "                                       (--range D: raw distance <= D)\n"
@@ -58,16 +62,23 @@ int usage() {
       "  cascade <app>\n"
       "  nav <app>\n"
       "  coupling <app> <model>\n"
-      "  lint <app> <model> [--ir] [--json]   parallel-semantics diagnostics\n"
-      "  lint-dir <dir> [--ir] [--json]       lint an on-disk codebase\n"
-      "                                       (--ir adds the IR-tier checks)\n"
+      "  lint <app> <model> [--ir] [--deps] [--json]\n"
+      "                                       parallel-semantics diagnostics\n"
+      "  lint-dir <dir> [--ir] [--deps] [--json]\n"
+      "                                       lint an on-disk codebase\n"
+      "                                       (--ir adds the IR-tier checks,\n"
+      "                                       --deps the dependence verdicts)\n"
+      "  deps <app> [model] [--json]          per-loop dependence report:\n"
+      "                                       recovered nests, distance and\n"
+      "                                       direction vectors, scalar classes,\n"
+      "                                       provably-parallel verdicts\n"
       "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
       "  fuzz [--seed N] [--count K] [--lang c|f|both] [--oracle NAME|all]\n"
-      "       [--out DIR]                     differential fuzzing of the pipeline;\n"
+      "       [--inject-dep] [--out DIR]      differential fuzzing of the pipeline;\n"
       "                                       reduced reproducers land in DIR\n"
       "                                       (default tests/fuzz/corpus)\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
-      "oracles: round-trip vm ir ted lint lb\n"
+      "oracles: round-trip vm ir ted lint lb deps\n"
       "TED algorithms (--algo): apted (default) | ps | zs — all return\n"
       "identical distances; ps/zs are the cross-check oracles\n"
       "--threads N caps the shared worker pool for every command\n"
@@ -108,7 +119,7 @@ metrics::Metric parseMetric(const std::string &name) {
 const cli::FlagSpec kFlagSpec = {
     /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads",
                     "k", "cutoff", "top-k", "range"},
-    /*bareFlags=*/{"pp", "cov", "json", "ir", "inject-bug", "no-reduce"},
+    /*bareFlags=*/{"pp", "cov", "json", "ir", "deps", "inject-bug", "inject-dep", "no-reduce"},
     /*shortAliases=*/{{"-o", "out"}, {"-j", "threads"}},
 };
 
@@ -205,11 +216,37 @@ void printMedoids(const analysis::DistanceMatrix &m, const analysis::KMedoidsRes
   }
 }
 
+/// k-medoids result as JSON (`cluster ... --json`): one object per cluster
+/// with its medoid label and the members' distances to it.
+json::Value medoidsJson(const analysis::DistanceMatrix &m, const analysis::KMedoidsResult &km) {
+  json::Array clusters;
+  for (usize c = 0; c < km.medoids.size(); ++c) {
+    json::Array members;
+    for (usize i = 0; i < km.assignment.size(); ++i)
+      if (km.assignment[i] == c)
+        members.push_back(json::Object{{"label", m.labels[i]}, {"d", m.at(i, km.medoids[c])}});
+    clusters.push_back(json::Object{{"medoid", m.labels[km.medoids[c]]},
+                                    {"members", std::move(members)}});
+  }
+  return json::Object{
+      {"k", km.medoids.size()}, {"cost", km.cost}, {"clusters", std::move(clusters)}};
+}
+
 void printFilterStats(const metrics::QueryStats &stats) {
   std::printf("filter: candidates=%zu bound-pruned=%zu cutoff-pruned=%zu exact=%zu rate=%.2f\n",
               stats.candidates, stats.prunedByBound, stats.prunedByCutoff, stats.exact,
               stats.filterRate());
 }
+
+json::Value filterStatsJson(const metrics::QueryStats &stats) {
+  return json::Object{{"candidates", stats.candidates},
+                      {"boundPruned", stats.prunedByBound},
+                      {"cutoffPruned", stats.prunedByCutoff},
+                      {"exact", stats.exact},
+                      {"rate", stats.filterRate()}};
+}
+
+void printJson(const json::Value &v) { std::printf("%s\n", json::write(v, 2).c_str()); }
 
 /// `cluster fuzz`: k-medoids over generated T_sem trees through the
 /// tree-level filter-and-refine matrix (raw TED distances, --cutoff cap).
@@ -237,7 +274,14 @@ int cmdClusterFuzz(const Args &args) {
   m.values.assign(values.size(), 0.0);
   for (usize i = 0; i < values.size(); ++i) m.values[i] = static_cast<double>(values[i]);
 
-  printMedoids(m, analysis::kMedoids(m, k));
+  const auto km = analysis::kMedoids(m, k);
+  if (args.has("json")) {
+    json::Object out = medoidsJson(m, km).asObject();
+    if (cutoff > 0) out["filter"] = filterStatsJson(stats);
+    printJson(std::move(out));
+    return 0;
+  }
+  printMedoids(m, km);
   if (cutoff > 0) printFilterStats(stats);
   return 0;
 }
@@ -255,7 +299,14 @@ int cmdClusterAll(const Args &args) {
   metrics::QueryStats stats;
   const auto m =
       silvervale::portMatrix(ports, metric, {}, tedOptionsFrom(args), radius, &stats);
-  printMedoids(m, analysis::kMedoids(m, k));
+  const auto km = analysis::kMedoids(m, k);
+  if (args.has("json")) {
+    json::Object out = medoidsJson(m, km).asObject();
+    if (radius > 0) out["filter"] = filterStatsJson(stats);
+    printJson(std::move(out));
+    return 0;
+  }
+  printMedoids(m, km);
   if (radius > 0) printFilterStats(stats);
   return 0;
 }
@@ -270,10 +321,23 @@ int cmdCluster(const Args &args) {
                      ? silvervale::absoluteDifferenceMatrix(app, metric)
                      : silvervale::divergenceMatrix(app, metric, {}, tedOptionsFrom(args));
   if (args.has("k")) {
-    printMedoids(m, analysis::kMedoids(m, parseU64(args.get("k", "3"), "--k")));
+    const auto km = analysis::kMedoids(m, parseU64(args.get("k", "3"), "--k"));
+    if (args.has("json")) printJson(medoidsJson(m, km));
+    else printMedoids(m, km);
     return 0;
   }
   const auto merges = analysis::cluster(m);
+  if (args.has("json")) {
+    json::Array mergeList;
+    for (const auto &mg : merges)
+      mergeList.push_back(json::Object{
+          {"left", mg.left}, {"right", mg.right}, {"height", mg.height}});
+    json::Array labels(m.labels.begin(), m.labels.end());
+    printJson(json::Object{{"labels", std::move(labels)},
+                           {"merges", std::move(mergeList)},
+                           {"newick", analysis::toNewick(merges, m.labels)}});
+    return 0;
+  }
   std::printf("%s", analysis::renderDendrogram(merges, m.labels).c_str());
   std::printf("newick: %s\n", analysis::toNewick(merges, m.labels).c_str());
   return 0;
@@ -303,15 +367,32 @@ int cmdQuery(const Args &args) {
   metrics::QueryStats stats;
   std::vector<metrics::Neighbor> hits;
   const auto ted = tedOptionsFrom(args);
+  const bool asJson = args.has("json");
+  std::string mode;
   if (args.has("range")) {
     const u64 radius = parseU64(args.get("range", "0"), "--range");
     hits = metrics::rangeDivergence(*query, corpus, radius, metric, {}, ted, {}, &stats);
-    std::printf("within d<=%llu of %s:\n", static_cast<unsigned long long>(radius),
-                label.c_str());
+    mode = "range";
+    if (!asJson)
+      std::printf("within d<=%llu of %s:\n", static_cast<unsigned long long>(radius),
+                  label.c_str());
   } else {
     const usize k = parseU64(args.get("top-k", "5"), "--top-k");
     hits = metrics::topKDivergence(*query, corpus, k, metric, {}, ted, {}, &stats);
-    std::printf("top-%zu nearest to %s:\n", k, label.c_str());
+    mode = "top-k";
+    if (!asJson) std::printf("top-%zu nearest to %s:\n", k, label.c_str());
+  }
+  if (asJson) {
+    json::Array hitList;
+    for (const auto &nb : hits)
+      hitList.push_back(json::Object{{"label", ports[portOf[nb.index]].label},
+                                     {"distance", nb.distance},
+                                     {"normalised", nb.normalised}});
+    printJson(json::Object{{"query", label},
+                           {"mode", mode},
+                           {"hits", std::move(hitList)},
+                           {"filter", filterStatsJson(stats)}});
+    return 0;
   }
   for (const auto &nb : hits)
     std::printf("  %-28s d=%-8llu normalised=%.4f\n", ports[portOf[nb.index]].label.c_str(),
@@ -381,15 +462,39 @@ int reportLint(const lint::Report &report, bool asJson) {
 int cmdLint(const Args &args) {
   if (args.positional.size() < 2) return usage();
   const auto cb = corpus::make(args.positional[0], args.positional[1]);
-  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0};
+  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0,
+                                     .deps = args.flags.count("deps") != 0};
   return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
 }
 
 int cmdLintDir(const Args &args) {
   if (args.positional.empty()) return usage();
   const auto cb = db::loadFromDisk(args.positional[0]);
-  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0};
+  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0,
+                                     .deps = args.flags.count("deps") != 0};
   return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
+}
+
+/// `svale deps <app> [model]`: the per-loop dependence report. Without a
+/// model every port of the app is analysed (JSON output becomes an array).
+int cmdDeps(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto &app = args.positional[0];
+  std::vector<std::string> models;
+  if (args.positional.size() > 1) models.push_back(args.positional[1]);
+  else models = corpus::modelsOf(app);
+
+  if (args.has("json")) {
+    json::Array reports;
+    for (const auto &model : models)
+      reports.push_back(silvervale::depsCodebase(corpus::make(app, model)).toJson());
+    if (reports.size() == 1) printJson(reports.front());
+    else printJson(std::move(reports));
+    return 0;
+  }
+  for (const auto &model : models)
+    std::printf("%s", silvervale::depsCodebase(corpus::make(app, model)).renderText().c_str());
+  return 0;
 }
 
 int cmdCoupling(const Args &args) {
@@ -436,6 +541,7 @@ int cmdFuzz(const Args &args) {
   }
   opts.outDir = args.get("out", "tests/fuzz/corpus");
   opts.injectUndeclaredUse = args.has("inject-bug");
+  opts.injectDep = args.has("inject-dep");
   opts.reduce = !args.has("no-reduce");
 
   const auto report = fuzz::runFuzz(opts);
@@ -488,6 +594,7 @@ int main(int argc, char **argv) {
     if (cmd == "coupling") return cmdCoupling(args);
     if (cmd == "lint") return cmdLint(args);
     if (cmd == "lint-dir") return cmdLintDir(args);
+    if (cmd == "deps") return cmdDeps(args);
     if (cmd == "index-dir") return cmdIndexDir(args);
     if (cmd == "fuzz") return cmdFuzz(args);
   } catch (const cli::UsageError &e) {
