@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "ir/deps.hpp"
+#include "ir/lower.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+using namespace sv;
+using namespace sv::ir;
+
+namespace {
+lang::SourceManager gSm2;
+Module lowerSrc2(const std::string &src) {
+  auto tu = minic::parseTranslationUnit(minic::lex(src, 0), "t.cpp", gSm2);
+  minic::analyse(tu);
+  LowerOptions opts;
+  opts.model = Model::Serial;
+  return lower(tu, opts);
+}
+} // namespace
+
+TEST(ZivProbe, FixedElementAccumulation) {
+  const auto m = lowerSrc2("void f(double* a, double* b, int n) {\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    a[0] = a[0] + b[i];\n"
+                           "  }\n"
+                           "}\n");
+  const auto deps = analyzeModule(m);
+  ASSERT_EQ(deps.functions.size(), 1u);
+  const auto &L = deps.functions[0].loops.at(0);
+  bool anyCarried = false;
+  for (const auto &d : L.deps) anyCarried |= d.carried;
+  fprintf(stderr, "provablyParallel=%d analyzable=%d anyCarried=%d ndeps=%zu\n",
+          (int)L.provablyParallel, (int)L.analyzable, (int)anyCarried,
+          L.deps.size());
+  for (const auto &d : L.deps)
+    fprintf(stderr, "dep array=%s kind=%s carried=%d proven=%d dist=%lld\n",
+            d.array.c_str(), name(d.kind), (int)d.carried, (int)d.proven,
+            d.distance ? (long long)*d.distance : -999);
+  // Expectation of a sound analysis: this loop is NOT provably parallel.
+  EXPECT_FALSE(L.provablyParallel);
+}
+
+TEST(ZivProbe, OuterLoopOverInnerIndexedWrite) {
+  const auto m = lowerSrc2("void f(double* a) {\n"
+                           "  for (int i = 0; i < 8; ++i) {\n"
+                           "    for (int j = 0; j < 4; ++j) {\n"
+                           "      a[j] = a[j] + 1.0;\n"
+                           "    }\n"
+                           "  }\n"
+                           "}\n");
+  const auto deps = analyzeModule(m);
+  ASSERT_EQ(deps.functions.size(), 1u);
+  for (const auto &L : deps.functions[0].loops)
+    fprintf(stderr, "loop line=%d depth=%u provablyParallel=%d\n", L.line,
+            L.depth, (int)L.provablyParallel);
+  const auto outer = std::find_if(
+      deps.functions[0].loops.begin(), deps.functions[0].loops.end(),
+      [](const LoopInfo &L) { return L.depth == 0; });
+  ASSERT_NE(outer, deps.functions[0].loops.end());
+  EXPECT_FALSE(outer->provablyParallel);
+}
