@@ -5,6 +5,7 @@
 #include "ir/irtree.hpp"
 #include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
+#include "lint/rangelint.hpp"
 #include "minic/inliner.hpp"
 #include "minic/lexer.hpp"
 #include "minic/parser.hpp"
@@ -156,6 +157,8 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
     unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
     auto depDiags = lint::runDeps(module, {.unit = &tu});
     unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
+    auto rangeDiags = lint::runRange(module);
+    unit.lint.insert(unit.lint.end(), rangeDiags.begin(), rangeDiags.end());
   }
   auto irTree = ir::buildIrTree(module);
   // Mask functions/globals defined in system headers out of T_ir.
@@ -203,6 +206,8 @@ UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd,
     unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
     auto depDiags = lint::runDeps(module, {.unit = &tu});
     unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
+    auto rangeDiags = lint::runRange(module);
+    unit.lint.insert(unit.lint.end(), rangeDiags.begin(), rangeDiags.end());
   }
   unit.tir = ir::buildIrTree(module);
   return unit;

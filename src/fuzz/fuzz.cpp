@@ -156,6 +156,7 @@ FuzzReport runFuzz(const FuzzOptions &options) {
       gen.seed = iterSeed;
       gen.injectUndeclaredUse = options.injectUndeclaredUse;
       gen.injectDep = options.injectDep;
+      gen.injectRange = options.injectRange;
       runProgram(i, generate(gen));
     }
   }

@@ -32,6 +32,10 @@ struct FuzzOptions {
   /// metamorphic checks run against non-trivial verdicts. The programs stay
   /// well-formed; a failure means the dependence tier itself is unstable.
   bool injectDep = false;
+  /// Emit the value-range payload (seeded OOB index + zero divisor behind a
+  /// runtime-false guard) in every generated program; the `range` oracle
+  /// asserts both defects are reported. Programs still execute cleanly.
+  bool injectRange = false;
   bool reduce = true;
 };
 

@@ -426,6 +426,32 @@ struct CGen : Gen {
     emit("printf(" + r + ");");
   }
 
+  /// The --inject-range payload: a seeded out-of-bounds store and a zero
+  /// divisor behind a guard over array *contents*, which the interval
+  /// analysis does not track — statically the branch is reachable and the
+  /// range tier must flag both defects, while at runtime the guard is
+  /// always false so every executing oracle stays clean.
+  void rangeRegion() {
+    const std::string b = fresh("rb");
+    const std::string z = fresh("rz");
+    const std::string q = fresh("rq");
+    const std::string i = fresh("i");
+    emit("double " + b + "[8];");
+    emit("int " + z + " = 0;");
+    emit("for (int " + i + " = 0; " + i + " < 8; ++" + i + ") {");
+    ++indent;
+    emit(b + "[" + i + "] = 0.5;");
+    --indent;
+    emit("}");
+    emit("if (" + b + "[0] > 9.5) {");
+    ++indent;
+    emit(b + "[11] = 1.0;");
+    emit("int " + q + " = 7 / " + z + ";");
+    emit("printf(" + q + ");");
+    --indent;
+    emit("}");
+  }
+
   void block(usize depth, usize count) {
     for (usize k = 0; k < count && stmtBudget > 0; ++k) {
       --stmtBudget;
@@ -509,6 +535,7 @@ struct CGen : Gen {
     block(2, stmtBudget);
     if (omp) ompRegion();
     if (o.injectDep) depRegion();
+    if (o.injectRange) rangeRegion();
     printStmt();
     emit("return 0;");
     pop();
@@ -686,6 +713,30 @@ struct FGen : Gen {
     emit("print *, " + r);
   }
 
+  /// Fortran spelling of the --inject-range payload (see CGen::rangeRegion).
+  void rangeRegion() {
+    const std::string b = fresh("rb");
+    const std::string z = fresh("rz");
+    const std::string q = fresh("rq");
+    declLines.push_back("real(8) :: " + b + "(8)");
+    declLines.push_back("integer :: " + z);
+    declLines.push_back("integer :: " + q);
+    const std::string i = newLoopVar();
+    emit(z + " = 0");
+    emit("do " + i + " = 1, 8");
+    ++indent;
+    emit(b + "(" + i + ") = 0.5");
+    --indent;
+    emit("end do");
+    emit("if (" + b + "(1) > 9.5) then");
+    ++indent;
+    emit(b + "(12) = 1.0");
+    emit(q + " = 7 / " + z);
+    emit("print *, " + q);
+    --indent;
+    emit("end if");
+  }
+
   void block(usize depth, usize count) {
     for (usize k = 0; k < count && stmtBudget > 0; ++k) {
       --stmtBudget;
@@ -780,6 +831,7 @@ struct FGen : Gen {
     block(2, stmtBudget);
     if (omp) ompRegion();
     if (o.injectDep) depRegion();
+    if (o.injectRange) rangeRegion();
     printStmt();
     pop();
     --indent;
@@ -799,6 +851,7 @@ GeneratedProgram generate(const GenOptions &options) {
   GeneratedProgram p;
   p.lang = options.lang;
   p.seed = options.seed;
+  p.injectRange = options.injectRange;
   // The dep payload is an OpenMP region — it must lower under the OpenMP
   // model for the dependence tier to see a parallel loop.
   if (options.lang == Lang::MiniC) {

@@ -41,6 +41,12 @@ struct GenOptions {
   /// the program stays well-formed — the payload exists to exercise the
   /// dependence lint tier (lint::runDeps) and its metamorphic oracle.
   bool injectDep = false;
+  /// Emit the value-range payload in the entry unit: a stack array store
+  /// with a provably out-of-bounds index and an integer division by a
+  /// variable proven zero, both behind a runtime-false guard over array
+  /// contents the interval analysis cannot see through. The program still
+  /// executes cleanly; the range oracle asserts lint::runRange catches both.
+  bool injectRange = false;
 };
 
 struct GeneratedProgram {
@@ -49,6 +55,7 @@ struct GeneratedProgram {
   std::string fileName; ///< "fuzz.cpp" or "fuzz.f90"
   std::string model;    ///< "serial" or "omp" — drives compile flags / ir::Model
   std::string source;
+  bool injectRange = false; ///< the range payload is present (oracle must fire)
 };
 
 /// Generate one deterministic program from the seed.

@@ -12,9 +12,11 @@
 #include "ir/dataflow.hpp"
 #include "ir/lower.hpp"
 #include "ir/verify.hpp"
+#include "ir/range.hpp"
 #include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
 #include "lint/lint.hpp"
+#include "lint/rangelint.hpp"
 #include "minic/inliner.hpp"
 #include "minic/lexer.hpp"
 #include "minic/parser.hpp"
@@ -450,6 +452,88 @@ struct Parsed {
   return std::nullopt;
 }
 
+/// Frontend + lowering + the value-range lint tier over one source text.
+[[nodiscard]] std::vector<lint::Diagnostic> rangeVerdicts(const std::string &source, Lang lang,
+                                                          const std::string &fileName,
+                                                          ir::Model model) {
+  auto parsed = parseSource(source, lang, fileName, /*sema=*/lang == Lang::MiniC);
+  return lint::runRange(ir::lower(parsed.tu, {model}));
+}
+
+[[nodiscard]] std::optional<std::string> checkRange(const GeneratedProgram &p) {
+  const auto base = rangeVerdicts(p.source, p.lang, p.fileName, modelOf(p));
+  const auto again = rangeVerdicts(p.source, p.lang, p.fileName, modelOf(p));
+  if (base != again) return "lint::runRange not deterministic across fresh parses";
+
+  // Comment/whitespace mutation preserves the verdicts modulo locations.
+  Rng mrng(p.seed ^ 0x52616e6765ULL); // "Range"
+  const std::string mutant = mutateCommentsWhitespace(p.source, p.lang, mrng);
+  std::vector<lint::Diagnostic> mutDiags;
+  try {
+    mutDiags = rangeVerdicts(mutant, p.lang, p.fileName, modelOf(p));
+  } catch (const ParseError &e) {
+    return std::string("comment/whitespace mutant does not parse: ") + e.what();
+  }
+  if (diagKeys(base) != diagKeys(mutDiags))
+    return "range verdicts changed under comment/whitespace mutation\n--- base ---\n" +
+           renderKeys(diagKeys(base)) + "--- mutant ---\n" + renderKeys(diagKeys(mutDiags));
+
+  // Soundness: every integer the VM observes being stored at a source line
+  // lies inside the join of the static intervals of that line's IR stores.
+  // The VM is the ground truth — an escaping observation is an unsound
+  // interval, the worst bug this analysis can have.
+  auto parsed = parseSource(p.source, p.lang, p.fileName, /*sema=*/p.lang == Lang::MiniC);
+  const auto mod = ir::lower(parsed.tu, {modelOf(p)});
+  const auto ranges = ir::analyzeModuleRanges(mod);
+  std::map<std::pair<i32, i32>, ir::Interval> staticAt;
+  for (const auto &fn : mod.functions) {
+    const auto *fr = ranges.rangesOf(fn.name);
+    for (u32 b = 0; b < fn.blocks.size(); ++b) {
+      for (const auto &in : fn.blocks[b].instrs) {
+        if (in.op != "store" || in.operands.empty()) continue;
+        if (in.type != "i32" && in.type != "i64") continue;
+        if (in.file < 0 || in.line < 1) continue;
+        const ir::Interval r = fr ? fr->valueAt(in.operands[0], b) : ir::Interval::top();
+        const auto [it, fresh] = staticAt.try_emplace({in.file, in.line}, r);
+        if (!fresh) it->second = it->second.join(r);
+      }
+    }
+  }
+  vm::RunOptions vopts;
+  vopts.fortran = p.lang == Lang::MiniF;
+  vopts.maxSteps = kVmMaxSteps;
+  vopts.recordIntWrites = true;
+  vm::RunResult run;
+  try {
+    run = vm::run(parsed.tu, vopts);
+  } catch (const std::exception &) {
+    // A program the VM rejects (e.g. another payload's seeded defect) has
+    // no observations to check; the vm oracle owns reporting the crash.
+    return std::nullopt;
+  }
+  for (const auto &[at, mm] : run.intWrites) {
+    const auto it = staticAt.find(at);
+    if (it == staticAt.end()) continue; // no integer store lowered at this line
+    if (!it->second.contains(mm.first) || !it->second.contains(mm.second))
+      return "VM observed [" + std::to_string(mm.first) + ", " + std::to_string(mm.second) +
+             "] stored at line " + std::to_string(at.second) +
+             " outside the static interval " + it->second.str();
+  }
+
+  // The seeded payload must fire both checks.
+  if (p.injectRange) {
+    bool oob = false, div = false;
+    for (const auto &d : base) {
+      oob = oob || d.check == lint::Check::OutOfBounds;
+      div = div || d.check == lint::Check::DivisionByZero;
+    }
+    if (!oob || !div)
+      return std::string("--inject-range payload not caught:") +
+             (oob ? "" : " out-of-bounds missing") + (div ? "" : " division-by-zero missing");
+  }
+  return std::nullopt;
+}
+
 } // namespace
 
 const char *oracleName(Oracle o) {
@@ -461,13 +545,14 @@ const char *oracleName(Oracle o) {
   case Oracle::Lint: return "lint";
   case Oracle::Lb: return "lb";
   case Oracle::Deps: return "deps";
+  case Oracle::Range: return "range";
   }
   return "?";
 }
 
 std::optional<Oracle> oracleFromName(std::string_view name) {
   for (const Oracle o : {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint,
-                         Oracle::Lb, Oracle::Deps})
+                         Oracle::Lb, Oracle::Deps, Oracle::Range})
     if (name == oracleName(o)) return o;
   return std::nullopt;
 }
@@ -525,6 +610,7 @@ std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
   runOne(Oracle::Lint, [&] { return checkLint(program); });
   runOne(Oracle::Lb, [&] { return checkLb(program, context); });
   runOne(Oracle::Deps, [&] { return checkDeps(program); });
+  runOne(Oracle::Range, [&] { return checkRange(program); });
   return failures;
 }
 

@@ -28,6 +28,13 @@
 //               identifier renames (modulo symbol names), and no loop ever
 //               carries both a provably-parallel note and a fired
 //               loop-carried race
+//   range       lint::runRange is deterministic across fresh parses and
+//               invariant under comment/whitespace mutation (modulo
+//               locations); every integer value the VM observes being
+//               stored at a source line lies inside the static interval the
+//               value-range analysis computed for the stores at that line
+//               (soundness); with --inject-range the seeded out-of-bounds
+//               and division-by-zero defects must both be reported
 #pragma once
 
 #include <optional>
@@ -39,13 +46,22 @@
 
 namespace sv::fuzz {
 
-enum class Oracle : u8 { RoundTrip = 0, Vm = 1, Ir = 2, Ted = 3, Lint = 4, Lb = 5, Deps = 6 };
+enum class Oracle : u8 {
+  RoundTrip = 0,
+  Vm = 1,
+  Ir = 2,
+  Ted = 3,
+  Lint = 4,
+  Lb = 5,
+  Deps = 6,
+  Range = 7,
+};
 
 [[nodiscard]] const char *oracleName(Oracle o);
 [[nodiscard]] std::optional<Oracle> oracleFromName(std::string_view name);
 
 [[nodiscard]] constexpr u32 oracleBit(Oracle o) { return 1u << static_cast<u32>(o); }
-constexpr u32 kAllOracles = 0b1111111;
+constexpr u32 kAllOracles = 0b11111111;
 
 struct OracleFailure {
   Oracle oracle{};

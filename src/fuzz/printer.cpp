@@ -76,8 +76,11 @@ struct CPrinter {
   [[nodiscard]] static std::string declText(const Stmt &s) {
     SV_CHECK(s.decls.size() == 1, "fuzz printer: multi-declarator DeclStmt");
     const VarDecl &d = s.decls[0];
-    SV_CHECK(d.arrayDims.empty(), "fuzz printer: C array declarator");
     std::string t = d.type.str() + " " + d.name;
+    for (const auto &dim : d.arrayDims) {
+      SV_CHECK(dim != nullptr, "fuzz printer: C array declarator without a size");
+      t += "[" + expr(*dim) + "]";
+    }
     if (d.init) t += " = " + expr(*d.init);
     return t + ";";
   }
@@ -254,10 +257,16 @@ struct FPrinter {
       SV_CHECK(!d.init, "fuzz printer: initialised Fortran declaration");
       if (d.arrayDims.empty()) {
         line(typeName(d.type) + " :: " + d.name);
-      } else {
-        SV_CHECK(d.arrayDims.size() == 1 && !d.arrayDims[0],
-                 "fuzz printer: non-deferred Fortran array shape");
+      } else if (d.arrayDims.size() == 1 && !d.arrayDims[0]) {
         line(typeName(d.type) + ", allocatable :: " + d.name + "(:)");
+      } else {
+        std::string dims;
+        for (const auto &dim : d.arrayDims) {
+          SV_CHECK(dim != nullptr, "fuzz printer: mixed deferred/explicit Fortran shape");
+          if (!dims.empty()) dims += ", ";
+          dims += expr(*dim);
+        }
+        line(typeName(d.type) + " :: " + d.name + "(" + dims + ")");
       }
     }
   }

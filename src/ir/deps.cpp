@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "ir/ssa.hpp"
 #include "support/strings.hpp"
 
 namespace sv::ir {
@@ -79,37 +80,6 @@ bool LoopInfo::contains(u32 block) const {
 // ---------------------------------------------------------- loop recovery --
 
 namespace {
-
-/// Iterative bit-vector dominators over the reverse post-order.
-[[nodiscard]] std::vector<std::vector<bool>>
-computeDominators(const Cfg &cfg) {
-  const usize n = cfg.size();
-  std::vector<std::vector<bool>> dom(n, std::vector<bool>(n, true));
-  if (n == 0) return dom;
-  dom[0].assign(n, false);
-  dom[0][0] = true;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const u32 b : cfg.rpo) {
-      if (b == 0 || !cfg.reachable[b]) continue;
-      std::vector<bool> next(n, true);
-      bool havePred = false;
-      for (const u32 p : cfg.preds[b]) {
-        if (!cfg.reachable[p]) continue;
-        havePred = true;
-        for (usize i = 0; i < n; ++i) next[i] = next[i] && dom[p][i];
-      }
-      if (!havePred) next.assign(n, false);
-      next[b] = true;
-      if (next != dom[b]) {
-        dom[b] = std::move(next);
-        changed = true;
-      }
-    }
-  }
-  return dom;
-}
 
 /// Natural loop of the back edges latches->header: header plus everything
 /// that reaches a latch without passing through the header.
@@ -240,12 +210,13 @@ void recogniseInduction(LoopInfo &L, const Function &fn, const ValueChaser &chas
 } // namespace
 
 std::vector<LoopInfo> findLoops(const Function &fn, const Cfg &cfg) {
-  const auto dom = computeDominators(cfg);
+  // Shared dominator machinery from the SSA pass (ir/ssa.hpp).
+  const Dominators doms = computeDominators(cfg);
   std::map<u32, std::set<u32>> latches; // header -> back-edge sources
   for (usize u = 0; u < cfg.size(); ++u) {
     if (!cfg.reachable[u]) continue;
     for (const u32 h : cfg.succs[u])
-      if (dom[u][h]) latches[h].insert(static_cast<u32>(u));
+      if (doms.dominates(h, static_cast<u32>(u))) latches[h].insert(static_cast<u32>(u));
   }
   std::vector<LoopInfo> loops;
   loops.reserve(latches.size());
@@ -289,6 +260,20 @@ struct Affine {
 struct AffineBuilder {
   const ValueChaser &chase;
   const std::set<std::string> &ivRoots;
+  /// Value-range slice of the enclosing function (nullable): scalars whose
+  /// range is a singleton fold to constants, which turns linearised
+  /// subscripts like `i*ny + j` (symbolic × symbolic without it) into
+  /// testable affine forms.
+  const FunctionRanges *ranges = nullptr;
+  u32 block = 0; ///< block of the consuming access, for range refinement
+  const LoopInfo *loop = nullptr; ///< loop under test, for store expansion
+
+  [[nodiscard]] std::optional<i64> constFromRange(const std::string &v) const {
+    if (!ranges) return std::nullopt;
+    const Interval iv = ranges->valueAt(v, block);
+    if (iv.isConst()) return iv.lo;
+    return std::nullopt;
+  }
 
   [[nodiscard]] Affine build(const std::string &v, int depth = 0) const {
     Affine a;
@@ -299,6 +284,11 @@ struct AffineBuilder {
       return a;
     }
     if (isArg(v)) {
+      if (const auto c = constFromRange(v)) {
+        a.ok = true;
+        a.c = *c;
+        return a;
+      }
       a.ok = true;
       a.sym[v] = 1;
       return a;
@@ -311,9 +301,34 @@ struct AffineBuilder {
       const Instr *addrDef = chase.def(d->operands[0]);
       if (addrDef && addrDef->op == "getelementptr") return a; // array element
       const std::string r = chase.root(d->operands[0]);
+      if (ivRoots.count(r)) {
+        a.ok = true;
+        a.iv[r] += 1;
+        return a;
+      }
+      if (const auto c = constFromRange(v)) {
+        a.ok = true;
+        a.c = *c;
+        return a;
+      }
+      // Subscript spill (`idx = j*nx + i` stored once, reused for several
+      // accesses): when the SSA overlay shows this load's reaching def is a
+      // store executing in the same iteration of the loop under test,
+      // expand the stored expression — the inductions it reads hold their
+      // current-iteration values there too.
+      if (ranges && loop) {
+        const auto it = ranges->ssa.loadDef.find(v);
+        if (it != ranges->ssa.loadDef.end()) {
+          const SsaDef &sd = ranges->ssa.defs[it->second];
+          if (sd.kind == SsaDef::Kind::Store && loop->contains(sd.block) &&
+              !sd.stored.empty()) {
+            Affine e = build(sd.stored, depth + 1);
+            if (e.ok) return e;
+          }
+        }
+      }
       a.ok = true;
-      if (ivRoots.count(r)) a.iv[r] += 1;
-      else a.sym[r] += 1;
+      a.sym[r] += 1;
       return a;
     }
     if (d->op == "sext" || d->op == "trunc" || d->op == "zext") {
@@ -382,11 +397,13 @@ struct CallEffects {
 struct FunctionAnalyzer {
   const Function &fn;
   const CallGraph &cg;
+  const FunctionRanges *ranges = nullptr; ///< nullable interprocedural slice
   const ValueChaser chase;
   std::set<std::string> ivRoots; // every recognised induction in this fn
 
-  explicit FunctionAnalyzer(const Function &f, const CallGraph &g)
-      : fn(f), cg(g), chase(f) {}
+  explicit FunctionAnalyzer(const Function &f, const CallGraph &g,
+                            const FunctionRanges *r)
+      : fn(f), cg(g), ranges(r), chase(f) {}
 
   [[nodiscard]] bool memoryRoot(const std::string &r) const {
     if (isGlobal(r) || isArg(r)) return true;
@@ -532,10 +549,19 @@ struct PairResult {
       return r;
     }
     r.kind = PairResult::Kind::Dependent;
-    r.carried = false;
     r.proven = true;
-    r.distance = 0;
-    r.direction = DepDirection::Eq;
+    // The element is touched in *every* iteration, so besides the
+    // loop-independent edge the write in one iteration reaches all later
+    // ones — carried, unless the loop provably runs a single iteration.
+    const bool single = (L.tripCount && *L.tripCount <= 1) ||
+                        (L.ivMin && L.ivMax && *L.ivMin == *L.ivMax);
+    r.carried = !single;
+    if (single) {
+      r.distance = 0;
+      r.direction = DepDirection::Eq;
+    } else {
+      r.direction = DepDirection::Any;
+    }
     return r;
   }
   if (a1 == a2) {
@@ -553,10 +579,17 @@ struct PairResult {
       return r;
     }
     const i64 d = dv / L.step; // iterations, sink minus source
-    if (L.tripCount && (d >= *L.tripCount || d <= -*L.tripCount)) {
-      r.kind = PairResult::Kind::Independent;
-      r.proven = true;
-      return r;
+    if (L.ivMin && L.ivMax) {
+      // Iteration-count ceiling from the induction's value bounds (exact
+      // with constant bounds, over-approximate from ranges — either way a
+      // distance outside it cannot be realised).
+      const i64 stepAbs = L.step < 0 ? -L.step : L.step;
+      const i64 maxTrip = stepAbs > 0 ? (*L.ivMax - *L.ivMin) / stepAbs + 1 : 1;
+      if (d >= maxTrip || d <= -maxTrip) {
+        r.kind = PairResult::Kind::Independent;
+        r.proven = true;
+        return r;
+      }
     }
     r.kind = PairResult::Kind::Dependent;
     r.proven = true;
@@ -576,35 +609,38 @@ struct PairResult {
       return r;
     }
     const i64 v = num / a;
-    if (L.lowerBound && L.tripCount) {
-      const i64 lo = *L.lowerBound;
-      const i64 last = lo + L.step * (*L.tripCount - 1);
-      const i64 vmin = std::min(lo, last), vmax = std::max(lo, last);
-      if (v < vmin || v > vmax || *L.tripCount < 2) {
-        if (v < vmin || v > vmax) {
-          r.kind = PairResult::Kind::Independent;
-          r.proven = true;
-          return r;
-        }
-        // single-iteration loop: no cross-iteration pairing
+    if (L.ivMin && L.ivMax) {
+      if (v < *L.ivMin || v > *L.ivMax) {
+        // Colliding induction value outside the reachable bounds — sound
+        // even when the bounds are a range-derived over-approximation.
         r.kind = PairResult::Kind::Independent;
         r.proven = true;
         return r;
       }
-      r.kind = PairResult::Kind::Dependent;
-      r.proven = true;
-      r.carried = true;
-      r.direction = DepDirection::Any;
-      return r;
+      if (*L.ivMin == *L.ivMax) {
+        // Single reachable induction value: no cross-iteration pairing.
+        r.kind = PairResult::Kind::Independent;
+        r.proven = true;
+        return r;
+      }
+      if (L.ivExact) {
+        // Constant bounds place the collision inside the loop: proven.
+        r.kind = PairResult::Kind::Dependent;
+        r.proven = true;
+        r.carried = true;
+        r.direction = DepDirection::Any;
+        return r;
+      }
+      // In range under approximate bounds: the collision may or may not
+      // be reachable — stays assumed.
     }
     return r; // bounds unknown: assumed
   }
-  // General SIV (a1 != a2, both nonzero): Banerjee with constant bounds,
-  // else GCD.
-  if (L.lowerBound && L.tripCount) {
-    const i64 lo = *L.lowerBound;
-    const i64 last = lo + L.step * (*L.tripCount - 1);
-    const i64 vmin = std::min(lo, last), vmax = std::max(lo, last);
+  // General SIV (a1 != a2, both nonzero): Banerjee with the induction's
+  // value bounds (constant or range-derived — the test only ever proves
+  // independence, so over-approximate bounds stay sound), else GCD.
+  if (L.ivMin && L.ivMax) {
+    const i64 vmin = *L.ivMin, vmax = *L.ivMax;
     const i64 e1 = a1 * vmin, e2 = a1 * vmax, e3 = a2 * vmin, e4 = a2 * vmax;
     const i64 lhsMin = std::min(e1, e2) - std::max(e3, e4);
     const i64 lhsMax = std::max(e1, e2) - std::min(e3, e4);
@@ -656,7 +692,7 @@ struct LoopAnalyzer {
           const auto addr = fa.classifyAddr(in.operands[0]);
           if (addr.isArray) {
             Access a{addr.root, false, true, {}, b, pos, in.line};
-            a.aff = AffineBuilder{fa.chase, fa.ivRoots}.build(addr.index);
+            a.aff = AffineBuilder{fa.chase, fa.ivRoots, fa.ranges, b, &L}.build(addr.index);
             accesses.push_back(std::move(a));
           } else {
             scalarLoads[addr.root].push_back(&in);
@@ -666,7 +702,7 @@ struct LoopAnalyzer {
           const auto addr = fa.classifyAddr(in.operands[1]);
           if (addr.isArray) {
             Access a{addr.root, true, true, {}, b, pos, in.line};
-            a.aff = AffineBuilder{fa.chase, fa.ivRoots}.build(addr.index);
+            a.aff = AffineBuilder{fa.chase, fa.ivRoots, fa.ranges, b, &L}.build(addr.index);
             accesses.push_back(std::move(a));
           } else {
             scalarStores[addr.root].push_back(&in);
@@ -927,7 +963,8 @@ struct LoopAnalyzer {
 
 } // namespace
 
-FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg) {
+FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg,
+                             const FunctionRanges *ranges) {
   FunctionDeps out;
   out.function = fn.name;
   out.role = fn.role;
@@ -936,7 +973,35 @@ FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg) {
   out.loops = findLoops(fn, cfg);
   if (out.loops.empty()) return out;
 
-  FunctionAnalyzer fa(fn, cg);
+  // Induction-value bounds for the subscript tests: exact from constant
+  // bounds, else a sound over-approximation from the range analysis.
+  for (auto &L : out.loops) {
+    if (!L.affine) continue;
+    if (L.lowerBound && L.tripCount && *L.tripCount >= 1) {
+      const i64 lo = *L.lowerBound;
+      const i64 last = lo + L.step * (*L.tripCount - 1);
+      L.ivMin = std::min(lo, last);
+      L.ivMax = std::max(lo, last);
+      L.ivExact = true;
+    } else if (ranges && !L.inductionSlot.empty()) {
+      // Query the induction slot in a body block, where the header's
+      // branch condition refines the widened phi back to the loop bounds.
+      u32 body = L.header;
+      for (const u32 s : cfg.succs[L.header])
+        if (s != L.header && L.contains(s)) {
+          body = s;
+          break;
+        }
+      const Interval iv = ranges->slotAt(L.inductionSlot, body);
+      if (iv.bounded()) {
+        L.ivMin = iv.lo;
+        L.ivMax = iv.hi;
+        L.ivExact = false;
+      }
+    }
+  }
+
+  FunctionAnalyzer fa(fn, cg, ranges);
   for (const auto &L : out.loops)
     if (!L.inductionSlot.empty()) fa.ivRoots.insert(L.inductionSlot);
   for (auto &L : out.loops) {
@@ -946,13 +1011,14 @@ FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg) {
   return out;
 }
 
-ModuleDeps analyzeModule(const Module &m) {
+ModuleDeps analyzeModule(const Module &m, const ModuleRanges *ranges) {
   ModuleDeps out;
   out.callgraph = buildCallGraph(m);
   out.functions.reserve(m.functions.size());
   for (const auto &fn : m.functions) {
     if (fn.role == FunctionRole::Runtime) continue;
-    auto fd = analyzeFunction(fn, out.callgraph);
+    auto fd = analyzeFunction(fn, out.callgraph,
+                              ranges ? ranges->rangesOf(fn.name) : nullptr);
     if (!fd.loops.empty()) out.functions.push_back(std::move(fd));
   }
   return out;

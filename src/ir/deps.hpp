@@ -37,6 +37,7 @@
 
 #include "ir/callgraph.hpp"
 #include "ir/cfg.hpp"
+#include "ir/range.hpp"
 
 namespace sv::ir {
 
@@ -91,6 +92,16 @@ struct LoopInfo {
   std::optional<i64> lowerBound;  ///< initial induction value when constant
   std::optional<i64> tripCount;   ///< iteration count when bounds constant
 
+  /// Induction-value bounds the subscript tests consult. With constant
+  /// bounds these restate lowerBound/tripCount exactly (`ivExact`); with
+  /// the value-range analysis (ir/range.hpp) they are a sound
+  /// over-approximation of the induction's reachable values — good for
+  /// proving *independence* (Banerjee, weak-zero SIV, strong-SIV trip
+  /// overflow) but never for upgrading an in-range collision to a proven
+  /// dependence.
+  std::optional<i64> ivMin, ivMax;
+  bool ivExact = false;
+
   bool analyzable = false;       ///< every access affine, every call summarised
   bool provablyParallel = false; ///< no carried dependence, scalars all benign
   std::vector<ArrayDependence> deps;
@@ -117,10 +128,20 @@ struct ModuleDeps {
 [[nodiscard]] std::vector<LoopInfo> findLoops(const Function &fn, const Cfg &cfg);
 
 /// Full per-loop dependence analysis for one function, consulting `cg` at
-/// call sites.
-[[nodiscard]] FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg);
+/// call sites. When `ranges` is given (the function's slice of an
+/// interprocedural ir::ModuleRanges), loop-invariant scalars whose range
+/// is a compile-time singleton fold to constants in the affine subscript
+/// view (making linearised `i*ny + j` subscripts testable), and loops
+/// without constant bounds get range-derived induction bounds for the
+/// independence tests.
+[[nodiscard]] FunctionDeps analyzeFunction(const Function &fn, const CallGraph &cg,
+                                           const FunctionRanges *ranges = nullptr);
 
-/// Build the call graph, then analyze every non-Runtime function.
-[[nodiscard]] ModuleDeps analyzeModule(const Module &m);
+/// Build the call graph, then analyze every non-Runtime function. With
+/// `ranges` each function is analyzed under its interprocedural slice;
+/// without (the default — same cost as before the range tier existed) the
+/// tests see only compile-time constant bounds.
+[[nodiscard]] ModuleDeps analyzeModule(const Module &m,
+                                       const ModuleRanges *ranges = nullptr);
 
 } // namespace sv::ir

@@ -1,0 +1,260 @@
+#include "ir/ssa.hpp"
+
+#include <algorithm>
+
+#include "ir/dataflow.hpp"
+
+namespace sv::ir {
+
+Dominators computeDominators(const Cfg &cfg) {
+  Dominators d;
+  const usize n = cfg.size();
+  d.dom.assign(n, std::vector<bool>(n, true));
+  d.idom.assign(n, Dominators::npos);
+  d.frontier.assign(n, {});
+  if (n == 0) return d;
+
+  d.dom[0].assign(n, false);
+  d.dom[0][0] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const u32 b : cfg.rpo) {
+      if (b == 0 || !cfg.reachable[b]) continue;
+      std::vector<bool> next(n, true);
+      bool havePred = false;
+      for (const u32 p : cfg.preds[b]) {
+        if (!cfg.reachable[p]) continue;
+        havePred = true;
+        for (usize i = 0; i < n; ++i) next[i] = next[i] && d.dom[p][i];
+      }
+      if (!havePred) next.assign(n, false);
+      next[b] = true;
+      if (next != d.dom[b]) {
+        d.dom[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // Immediate dominators: the strict dominator dominated by every other
+  // strict dominator. Quadratic over the (small) block counts the lowering
+  // produces.
+  for (usize b = 1; b < n; ++b) {
+    if (!cfg.reachable[b]) continue;
+    for (usize c = 0; c < n; ++c) {
+      if (c == b || !d.dom[b][c]) continue;
+      bool best = true;
+      for (usize e = 0; e < n && best; ++e)
+        if (e != b && e != c && d.dom[b][e] && !d.dom[c][e]) best = false;
+      if (best) {
+        d.idom[b] = static_cast<u32>(c);
+        break;
+      }
+    }
+  }
+
+  // Cooper–Harvey–Kennedy dominance frontier.
+  for (usize b = 0; b < n; ++b) {
+    if (!cfg.reachable[b]) continue;
+    usize preds = 0;
+    for (const u32 p : cfg.preds[b])
+      if (cfg.reachable[p]) ++preds;
+    if (preds < 2) continue;
+    for (const u32 p : cfg.preds[b]) {
+      if (!cfg.reachable[p]) continue;
+      u32 runner = p;
+      while (runner != Dominators::npos && runner != d.idom[b]) {
+        d.frontier[runner].push_back(static_cast<u32>(b));
+        runner = d.idom[runner];
+      }
+    }
+  }
+  for (auto &f : d.frontier) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+  return d;
+}
+
+namespace {
+
+struct Builder {
+  const Function &fn;
+  const Cfg &cfg;
+  const Dominators &doms;
+  SsaFunction out;
+
+  /// (block, slot) -> def id of the phi placed there.
+  std::map<std::pair<u32, std::string>, u32> phiAt;
+  std::vector<std::vector<u32>> children; ///< dominator-tree children
+  std::map<std::string, std::vector<u32>> stacks;
+
+  explicit Builder(const Function &f, const Cfg &c, const Dominators &d)
+      : fn(f), cfg(c), doms(d) {}
+
+  [[nodiscard]] u32 addDef(SsaDef def) {
+    out.defs.push_back(std::move(def));
+    return static_cast<u32>(out.defs.size() - 1);
+  }
+
+  void placePhis() {
+    // Store blocks per promoted slot, plus the alloca block (home of the
+    // uninitialised pseudo def).
+    std::map<std::string, std::set<u32>> defBlocks;
+    for (usize b = 0; b < fn.blocks.size(); ++b) {
+      if (!cfg.reachable[b]) continue;
+      for (const auto &in : fn.blocks[b].instrs)
+        if (in.op == "store" && in.operands.size() >= 2 &&
+            out.promoted.count(in.operands[1]))
+          defBlocks[in.operands[1]].insert(static_cast<u32>(b));
+    }
+    for (const auto &[slot, blocks] : defBlocks) {
+      std::vector<u32> work(blocks.begin(), blocks.end());
+      std::set<u32> hasPhi;
+      while (!work.empty()) {
+        const u32 b = work.back();
+        work.pop_back();
+        for (const u32 f : doms.frontier[b]) {
+          if (!cfg.reachable[f] || !hasPhi.insert(f).second) continue;
+          SsaDef phi;
+          phi.kind = SsaDef::Kind::Phi;
+          phi.slot = slot;
+          phi.block = f;
+          phiAt.emplace(std::make_pair(f, slot), addDef(std::move(phi)));
+          if (!blocks.count(f)) work.push_back(f);
+        }
+      }
+    }
+  }
+
+  void rename(u32 b) {
+    std::vector<std::string> pushed;
+    // The block's own phis define first.
+    for (const auto &[key, id] : phiAt)
+      if (key.first == b) {
+        stacks[key.second].push_back(id);
+        pushed.push_back(key.second);
+      }
+    for (const auto &slot : out.promoted) {
+      const auto &st = stacks[slot];
+      if (!st.empty())
+        out.entryDef.emplace(std::make_pair(b, slot), st.back());
+    }
+    for (const auto &in : fn.blocks[b].instrs) {
+      if (in.op == "load" && !in.operands.empty() &&
+                 out.promoted.count(in.operands[0]) && !in.result.empty()) {
+        const auto &st = stacks[in.operands[0]];
+        if (!st.empty()) out.loadDef.emplace(in.result, st.back());
+      } else if (in.op == "store" && in.operands.size() >= 2 &&
+                 out.promoted.count(in.operands[1])) {
+        SsaDef def;
+        def.kind = SsaDef::Kind::Store;
+        def.slot = in.operands[1];
+        def.block = b;
+        def.line = in.line;
+        def.stored = in.operands[0];
+        const u32 id = addDef(std::move(def));
+        out.storeDef.emplace(&in, id);
+        stacks[in.operands[1]].push_back(id);
+        pushed.push_back(in.operands[1]);
+      }
+    }
+    for (const u32 s : cfg.succs[b])
+      for (const auto &[key, id] : phiAt)
+        if (key.first == s) {
+          const auto &st = stacks[key.second];
+          if (!st.empty()) out.defs[id].incoming.emplace_back(b, st.back());
+        }
+    for (const u32 c : children[b]) rename(c);
+    for (auto it = pushed.rbegin(); it != pushed.rend(); ++it)
+      stacks[*it].pop_back();
+  }
+
+  [[nodiscard]] SsaFunction run() {
+    out.function = &fn;
+    out.promoted = trackedSlots(fn);
+    if (fn.blocks.empty()) return std::move(out);
+    // Every promoted slot gets its "uninitialised" pseudo def rooted at the
+    // entry — the stack frame exists from function entry, so the def
+    // dominates every use and every phi is total over its reachable preds.
+    for (const auto &slot : out.promoted) {
+      SsaDef un;
+      un.kind = SsaDef::Kind::Uninit;
+      un.slot = slot;
+      un.block = 0;
+      for (const auto &bl : fn.blocks)
+        for (const auto &in : bl.instrs)
+          if (in.op == "alloca" && in.result == slot) un.line = in.line;
+      stacks[slot].push_back(addDef(std::move(un)));
+    }
+    placePhis();
+    children.assign(cfg.size(), {});
+    for (usize b = 1; b < cfg.size(); ++b)
+      if (doms.idom[b] != Dominators::npos) children[doms.idom[b]].push_back(static_cast<u32>(b));
+    rename(0);
+    return std::move(out);
+  }
+};
+
+} // namespace
+
+SsaFunction buildSsa(const Function &fn, const Cfg &cfg, const Dominators &doms) {
+  return Builder(fn, cfg, doms).run();
+}
+
+std::vector<std::string> verifySsa(const SsaFunction &ssa, const Cfg &cfg) {
+  std::vector<std::string> errs;
+  const auto bad = [&](std::string msg) { errs.push_back(std::move(msg)); };
+
+  for (usize i = 0; i < ssa.defs.size(); ++i) {
+    const auto &d = ssa.defs[i];
+    if (!ssa.promoted.count(d.slot))
+      bad("def " + std::to_string(i) + " names unpromoted slot " + d.slot);
+    if (d.block >= cfg.size())
+      bad("def " + std::to_string(i) + " in out-of-range block");
+    if (d.kind != SsaDef::Kind::Phi) continue;
+    // One incoming per reachable predecessor, each from a real pred.
+    std::set<u32> preds;
+    for (const u32 p : cfg.preds[d.block])
+      if (cfg.reachable[p]) preds.insert(p);
+    std::set<u32> seen;
+    for (const auto &[p, id] : d.incoming) {
+      if (!preds.count(p))
+        bad("phi for " + d.slot + " has incoming from non-pred block " +
+            std::to_string(p));
+      if (!seen.insert(p).second)
+        bad("phi for " + d.slot + " has duplicate incoming for block " +
+            std::to_string(p));
+      if (id >= ssa.defs.size())
+        bad("phi for " + d.slot + " references out-of-range def");
+      else if (ssa.defs[id].slot != d.slot)
+        bad("phi for " + d.slot + " merges a def of " + ssa.defs[id].slot);
+    }
+  }
+  for (const auto &[load, id] : ssa.loadDef) {
+    if (id >= ssa.defs.size()) {
+      bad("load " + load + " maps to out-of-range def");
+      continue;
+    }
+    if (!ssa.promoted.count(ssa.defs[id].slot))
+      bad("load " + load + " maps to a def of unpromoted slot " +
+          ssa.defs[id].slot);
+  }
+  if (ssa.function) {
+    for (const auto &bl : ssa.function->blocks)
+      for (const auto &in : bl.instrs) {
+        if (in.op != "load" || in.operands.empty() || in.result.empty() ||
+            !ssa.promoted.count(in.operands[0]))
+          continue;
+        const auto it = ssa.loadDef.find(in.result);
+        if (it == ssa.loadDef.end()) continue; // unreachable block: unmapped
+        if (ssa.defs[it->second].slot != in.operands[0])
+          bad("load " + in.result + " of " + in.operands[0] +
+              " maps to a def of " + ssa.defs[it->second].slot);
+      }
+  }
+  return errs;
+}
+
+} // namespace sv::ir

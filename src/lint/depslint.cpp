@@ -119,7 +119,7 @@ public:
     collectReduceMarkers();
     const ir::ModuleDeps md = ir::analyzeModule(module_);
     for (const auto &fd : md.functions) visitFunction(fd);
-    return std::move(diags_);
+    return em_.take();
   }
 
 private:
@@ -127,7 +127,7 @@ private:
   const DepsOptions &options_;
   UnitEvidence evidence_;
   std::set<std::string> reduceMarked_; ///< outlined fns named by __kmpc_reduce
-  std::vector<Diagnostic> diags_;
+  Emitter em_;
 
   void collectReduceMarkers() {
     for (const auto &fn : module_.functions)
@@ -140,9 +140,8 @@ private:
 
   void emit(Check check, Severity sev, const ir::FunctionDeps &fd, const LoopInfo &L,
             i32 line, std::string symbol, std::string message) {
-    diags_.push_back(Diagnostic{check, sev,
-                                lang::Location{L.file, line >= 0 ? line : L.line, 1},
-                                std::move(symbol), fd.function, std::move(message)});
+    em_.emit(check, sev, lang::Location{L.file, line >= 0 ? line : L.line, 1},
+             std::move(symbol), fd.function, std::move(message));
   }
 
   void visitFunction(const ir::FunctionDeps &fd) {

@@ -30,8 +30,8 @@ const Instr *firstLocated(const ir::Block &b) {
 class FunctionLinter {
 public:
   FunctionLinter(const ir::Function &fn, const std::set<std::string> &stubs,
-                 std::vector<Diagnostic> &diags)
-      : fn_(fn), stubs_(stubs), diags_(diags), cfg_(ir::buildCfg(fn)) {}
+                 Emitter &em)
+      : fn_(fn), stubs_(stubs), em_(em), cfg_(ir::buildCfg(fn)) {}
 
   void run() {
     checkUnreachable();
@@ -45,8 +45,7 @@ public:
 private:
   void add(Check check, Severity sev, lang::Location loc, std::string symbol,
            std::string message) {
-    diags_.push_back(Diagnostic{check, sev, loc, std::move(symbol), fn_.name,
-                                std::move(message)});
+    em_.emit(check, sev, loc, std::move(symbol), fn_.name, std::move(message));
   }
 
   // --------------------------------------------------- unreachable-block --
@@ -287,7 +286,7 @@ private:
 
   const ir::Function &fn_;
   const std::set<std::string> &stubs_;
-  std::vector<Diagnostic> &diags_;
+  Emitter &em_;
   Cfg cfg_;
   mutable std::map<std::string, const Instr *> defs_; ///< lazy result -> instr
 };
@@ -299,9 +298,9 @@ std::vector<Diagnostic> runIr(const ir::Module &module) {
   for (const auto &fn : module.functions)
     if (fn.role == FunctionRole::DeviceStub) stubs.insert(fn.name); // names carry '@'
 
-  std::vector<Diagnostic> diags;
-  for (const auto &fn : module.functions) FunctionLinter(fn, stubs, diags).run();
-  return diags;
+  Emitter em;
+  for (const auto &fn : module.functions) FunctionLinter(fn, stubs, em).run();
+  return em.take();
 }
 
 } // namespace sv::lint

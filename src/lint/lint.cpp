@@ -1,5 +1,6 @@
 #include "lint/lint.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -189,12 +190,12 @@ public:
       }
       visitStmt(*fn.body);
     }
-    return std::move(diags_);
+    return em_.take();
   }
 
 private:
   const TranslationUnit &unit_;
-  std::vector<Diagnostic> diags_;
+  Emitter em_;
   std::set<std::string> resident_;  ///< TU-wide enter/exit/update data names
   std::set<std::string> arrays_;    ///< current function's array-like names
   std::vector<Region> stack_;
@@ -205,8 +206,8 @@ private:
 
   void emit(Check check, Severity sev, lang::Location loc, std::string symbol,
             std::string directive, std::string message) {
-    diags_.push_back(Diagnostic{check, sev, loc, std::move(symbol), std::move(directive),
-                                std::move(message)});
+    em_.emit(check, sev, loc, std::move(symbol), std::move(directive),
+             std::move(message));
   }
 
   /// Deduplicated per enclosing region: one report per (check, symbol).
@@ -756,6 +757,13 @@ const char *name(Severity s) {
   return "?";
 }
 
+std::optional<Severity> severityFromName(std::string_view name) {
+  if (name == "note") return Severity::Note;
+  if (name == "warning") return Severity::Warning;
+  if (name == "error") return Severity::Error;
+  return std::nullopt;
+}
+
 const char *name(Check c) {
   switch (c) {
   case Check::DataRace: return "data-race";
@@ -771,6 +779,10 @@ const char *name(Check c) {
   case Check::MissedReduction: return "missed-reduction";
   case Check::MissedPrivatization: return "missed-privatization";
   case Check::ProvablyParallel: return "provably-parallel";
+  case Check::OutOfBounds: return "out-of-bounds";
+  case Check::DivisionByZero: return "division-by-zero";
+  case Check::DeadBranch: return "dead-branch";
+  case Check::ZeroTripLoop: return "zero-trip-loop";
   }
   return "?";
 }
@@ -779,11 +791,44 @@ std::vector<Diagnostic> run(const lang::ast::TranslationUnit &unit) {
   return Checker(unit).run();
 }
 
+void Emitter::emit(Check check, Severity sev, lang::Location loc, std::string symbol,
+                   std::string scope, std::string message) {
+  diags_.push_back(Diagnostic{check, sev, loc, std::move(symbol), std::move(scope),
+                              std::move(message)});
+}
+
+void Emitter::emitOnce(const std::string &key, Check check, Severity sev,
+                       lang::Location loc, std::string symbol, std::string scope,
+                       std::string message) {
+  if (!seen_.insert(key).second) return;
+  emit(check, sev, loc, std::move(symbol), std::move(scope), std::move(message));
+}
+
+std::vector<Diagnostic> Emitter::take() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic &a, const Diagnostic &b) {
+                     if (a.loc.file != b.loc.file) return a.loc.file < b.loc.file;
+                     if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                     if (a.loc.col != b.loc.col) return a.loc.col < b.loc.col;
+                     return static_cast<u8>(a.check) < static_cast<u8>(b.check);
+                   });
+  seen_.clear();
+  return std::move(diags_);
+}
+
 usize Report::count(Severity s) const {
   usize n = 0;
   for (const auto &u : units)
     for (const auto &d : u.diags)
       if (d.severity == s) ++n;
+  return n;
+}
+
+usize Report::countAtOrAbove(Severity threshold) const {
+  usize n = 0;
+  for (const auto &u : units)
+    for (const auto &d : u.diags)
+      if (d.severity >= threshold) ++n;
   return n;
 }
 

@@ -29,7 +29,10 @@
 //                      never referenced inside the region
 #pragma once
 
+#include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lang/ast.hpp"
@@ -55,10 +58,19 @@ enum class Check : u8 {
   MissedReduction = 10,     ///< `x op= e` pattern proven, no reduction clause
   MissedPrivatization = 11, ///< scalar proven privatizable, no private clause
   ProvablyParallel = 12,    ///< serial loop with no carried dependence (note)
+  // Value-range tier (lint::runRange, see lint/rangelint.hpp).
+  OutOfBounds = 13,         ///< stack-array subscript provably / possibly outside
+  DivisionByZero = 14,      ///< integer divisor proven [0, 0]
+  DeadBranch = 15,          ///< branch condition proven always-false
+  ZeroTripLoop = 16,        ///< loop-header condition proven false on entry (note)
 };
 
 [[nodiscard]] const char *name(Severity s);
 [[nodiscard]] const char *name(Check c);
+
+/// Inverse of name(Severity) — "note" / "warning" / "error"; nullopt for
+/// anything else. Backs the CLI's --max-severity flag.
+[[nodiscard]] std::optional<Severity> severityFromName(std::string_view name);
 
 struct Diagnostic {
   Check check{};
@@ -78,6 +90,30 @@ struct Diagnostic {
 /// from declarations instead).
 [[nodiscard]] std::vector<Diagnostic> run(const lang::ast::TranslationUnit &unit);
 
+// ------------------------------------------------------------ emission --
+
+/// Shared diagnostic collector for every lint tier: uniform construction,
+/// optional key-based deduplication, and a stable source-order sort when
+/// the batch is taken. Tiers use this instead of hand-rolled push_back /
+/// sort / dedup code (the AST, IR, dependence, and range tiers all emit
+/// through it).
+class Emitter {
+public:
+  void emit(Check check, Severity sev, lang::Location loc, std::string symbol,
+            std::string scope, std::string message);
+  /// Deduplicated form: drops the diagnostic when `key` has been seen.
+  void emitOnce(const std::string &key, Check check, Severity sev,
+                lang::Location loc, std::string symbol, std::string scope,
+                std::string message);
+  /// Diagnostics in stable (file, line, col, check) order; resets the
+  /// collector.
+  [[nodiscard]] std::vector<Diagnostic> take();
+
+private:
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> seen_;
+};
+
 // -------------------------------------------------------------- report --
 
 struct UnitReport {
@@ -93,6 +129,9 @@ struct Report {
   std::vector<UnitReport> units;
 
   [[nodiscard]] usize count(Severity s) const;
+  /// Diagnostics at or above `threshold` — the --max-severity exit-code
+  /// policy: non-zero exit iff this is > 0 for the chosen threshold.
+  [[nodiscard]] usize countAtOrAbove(Severity threshold) const;
   [[nodiscard]] bool hasErrors() const { return count(Severity::Error) > 0; }
 
   /// clang-style one-line-per-diagnostic text. When `sm` is given,

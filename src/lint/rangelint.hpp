@@ -1,0 +1,35 @@
+// svale lint --range — the fourth check tier, fed by the interprocedural
+// value-range analysis (ir/range.hpp) over the SSA overlay. Where the IR
+// tier reasons about *reachability* of values and the dependence tier about
+// *iterations*, this tier reasons about the values themselves: every
+// integer SSA value carries an interval, and the checks compare those
+// intervals against the hard limits the program text implies.
+//
+// Check catalogue (see DESIGN.md "Value-range analysis"):
+//   out-of-bounds     a stack-array subscript whose interval is provably
+//                     disjoint from [0, len-1] (Error), or whose interval
+//                     has a *bounded* bound outside it (Warning — an
+//                     unbounded side stays silent: ⊤ subscripts are the
+//                     analysis giving up, not the program misbehaving)
+//   division-by-zero  an sdiv/srem whose divisor interval is exactly
+//                     [0, 0] (Error)
+//   dead-branch       a conditional branch whose condition interval is
+//                     [0, 0] outside any loop header — the true arm can
+//                     never execute (Warning)
+//   zero-trip-loop    a loop-header condition proven [0, 0]: the loop body
+//                     never runs (Note — dead setup code is suspicious but
+//                     often deliberate in ported benchmarks)
+#pragma once
+
+#include "ir/ir.hpp"
+#include "lint/lint.hpp"
+
+namespace sv::lint {
+
+/// Run the value-range checks over one lowered module. The interprocedural
+/// range analysis runs inside (bounded rounds over the call graph); the
+/// diagnostics carry the instruction's source location and the enclosing
+/// function name in `directive`.
+[[nodiscard]] std::vector<Diagnostic> runRange(const ir::Module &module);
+
+} // namespace sv::lint

@@ -5,8 +5,10 @@
 #include <cmath>
 
 #include "ir/cost.hpp"
+#include "ir/range.hpp"
 #include "lint/depslint.hpp"
 #include "lint/irlint.hpp"
+#include "lint/rangelint.hpp"
 #include "support/parallel.hpp"
 
 namespace sv::silvervale {
@@ -31,7 +33,7 @@ lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &optio
     lint::UnitReport unit;
     unit.file = parsed.file;
     unit.diags = lint::run(parsed.tu);
-    if (options.ir || options.deps) {
+    if (options.ir || options.deps || options.range) {
       ir::LowerOptions lowOpts;
       lowOpts.model = parsed.model;
       const auto module = ir::lower(parsed.tu, lowOpts);
@@ -42,6 +44,10 @@ lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &optio
       if (options.deps) {
         const auto depDiags = lint::runDeps(module, {.unit = &parsed.tu});
         unit.diags.insert(unit.diags.end(), depDiags.begin(), depDiags.end());
+      }
+      if (options.range) {
+        const auto rangeDiags = lint::runRange(module);
+        unit.diags.insert(unit.diags.end(), rangeDiags.begin(), rangeDiags.end());
       }
     }
     report.units.push_back(std::move(unit));
@@ -56,7 +62,10 @@ DepsReport depsCodebase(const db::Codebase &codebase) {
   for (auto &lowered : db::lowerUnits(codebase)) {
     DepsUnit unit;
     unit.file = lowered.file;
-    unit.deps = ir::analyzeModule(lowered.module);
+    // The whole-codebase report is the expensive path anyway, so it runs
+    // under the interprocedural value ranges for the sharper verdicts.
+    const auto ranges = ir::analyzeModuleRanges(lowered.module);
+    unit.deps = ir::analyzeModule(lowered.module, &ranges);
     report.units.push_back(std::move(unit));
   }
   return report;
@@ -181,6 +190,99 @@ json::Value DepsReport::toJson() const {
       fnArr.emplace_back(std::move(fo));
     }
     uo.emplace("functions", std::move(fnArr));
+    unitArr.emplace_back(std::move(uo));
+  }
+  root.emplace("units", std::move(unitArr));
+  return json::Value(std::move(root));
+}
+
+RangeReport rangeCodebase(const db::Codebase &codebase) {
+  RangeReport report;
+  report.app = codebase.app;
+  report.model = codebase.model;
+  for (auto &lowered : db::lowerUnits(codebase)) {
+    RangeUnit unit;
+    unit.file = lowered.file;
+    const auto mr = ir::analyzeModuleRanges(lowered.module);
+    for (const auto &fn : lowered.module.functions) {
+      if (fn.role == ir::FunctionRole::Runtime) continue;
+      const auto *fr = mr.rangesOf(fn.name);
+      if (!fr) continue;
+      RangeFunction rf;
+      rf.function = fn.name;
+      for (const auto &a : fr->argRanges) rf.argRanges.push_back(a.str());
+      rf.returnRange = fr->returnRange.str();
+      rf.rounds = fr->rounds;
+      unit.functions.push_back(std::move(rf));
+    }
+    unit.diags = lint::runRange(lowered.module);
+    report.units.push_back(std::move(unit));
+  }
+  return report;
+}
+
+usize RangeReport::diagCount() const {
+  usize n = 0;
+  for (const auto &u : units) n += u.diags.size();
+  return n;
+}
+
+std::string RangeReport::renderText() const {
+  std::string out = app + "/" + model + ": " + std::to_string(diagCount()) +
+                    " range finding(s)\n";
+  for (const auto &u : units) {
+    if (u.functions.empty() && u.diags.empty()) continue;
+    out += u.file + "\n";
+    for (const auto &f : u.functions) {
+      out += "  " + f.function + "(";
+      for (usize i = 0; i < f.argRanges.size(); ++i) {
+        if (i) out += ", ";
+        out += f.argRanges[i];
+      }
+      out += ") -> " + f.returnRange + " (rounds " + std::to_string(f.rounds) + ")\n";
+    }
+    for (const auto &d : u.diags) {
+      out += "  line " + std::to_string(d.loc.line) + ": " +
+             std::string(lint::name(d.severity)) + " [" +
+             std::string(lint::name(d.check)) + "] " + d.message + "\n";
+    }
+  }
+  return out;
+}
+
+json::Value RangeReport::toJson() const {
+  json::Object root;
+  root.emplace("app", app);
+  root.emplace("model", model);
+  root.emplace("findings", diagCount());
+  json::Array unitArr;
+  for (const auto &u : units) {
+    json::Object uo;
+    uo.emplace("file", u.file);
+    json::Array fnArr;
+    for (const auto &f : u.functions) {
+      json::Object fo;
+      fo.emplace("function", f.function);
+      json::Array args;
+      for (const auto &a : f.argRanges) args.emplace_back(a);
+      fo.emplace("args", std::move(args));
+      fo.emplace("return", f.returnRange);
+      fo.emplace("rounds", f.rounds);
+      fnArr.emplace_back(std::move(fo));
+    }
+    uo.emplace("functions", std::move(fnArr));
+    json::Array diagArr;
+    for (const auto &d : u.diags) {
+      json::Object dobj;
+      dobj.emplace("check", lint::name(d.check));
+      dobj.emplace("severity", lint::name(d.severity));
+      dobj.emplace("line", static_cast<i64>(d.loc.line));
+      dobj.emplace("symbol", d.symbol);
+      dobj.emplace("function", d.directive);
+      dobj.emplace("message", d.message);
+      diagArr.emplace_back(std::move(dobj));
+    }
+    uo.emplace("diagnostics", std::move(diagArr));
     unitArr.emplace_back(std::move(uo));
   }
   root.emplace("units", std::move(unitArr));

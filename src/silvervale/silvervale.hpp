@@ -110,6 +110,10 @@ struct LintOptions {
   /// missed-reduction / missed-privatization / provably-parallel verdicts
   /// from the subscript dependence tests over the lowered IR.
   bool deps = false;
+  /// Also run the value-range tier (lint::runRange): out-of-bounds /
+  /// division-by-zero / dead-branch / zero-trip-loop verdicts from the
+  /// interprocedural interval analysis over the SSA overlay.
+  bool range = false;
 };
 
 /// Run the linter over every translation unit of a codebase (frontend only
@@ -140,5 +144,34 @@ struct DepsReport {
 };
 
 [[nodiscard]] DepsReport depsCodebase(const db::Codebase &codebase);
+
+/// Per-function value-range summary of one port, for `svale range <app>
+/// [model]`: each unit lowered, the interprocedural analysis run, and every
+/// non-runtime function reported with its argument ranges, return range,
+/// and fixpoint round count (plus the tier's diagnostics for the unit).
+struct RangeFunction {
+  std::string function;
+  std::vector<std::string> argRanges; ///< rendered intervals, by position
+  std::string returnRange;            ///< rendered interval, "none" for void
+  usize rounds = 0;                   ///< fixpoint rounds until convergence
+};
+
+struct RangeUnit {
+  std::string file;
+  std::vector<RangeFunction> functions;
+  std::vector<lint::Diagnostic> diags; ///< lint::runRange findings
+};
+
+struct RangeReport {
+  std::string app;
+  std::string model;
+  std::vector<RangeUnit> units;
+
+  [[nodiscard]] usize diagCount() const;
+  [[nodiscard]] std::string renderText() const;
+  [[nodiscard]] json::Value toJson() const;
+};
+
+[[nodiscard]] RangeReport rangeCodebase(const db::Codebase &codebase);
 
 } // namespace sv::silvervale

@@ -93,6 +93,7 @@ public:
     result.output = std::move(out_);
     result.coverage = std::move(cov_);
     result.steps = steps_;
+    result.intWrites = std::move(intWrites_);
     return result;
   }
 
@@ -109,10 +110,23 @@ private:
   Coverage cov_;
   std::string out_;
   u64 steps_ = 0;
+  std::map<std::pair<i32, i32>, std::pair<i64, i64>> intWrites_;
 
   void hit(const lang::Location &loc) {
     if (loc.file >= 0 && loc.line >= 1) ++cov_.lineHits[{loc.file, loc.line}];
     if (++steps_ > options_.maxSteps) fail("step limit exceeded");
+  }
+
+  /// Fold one observed integer scalar write into the per-line min/max.
+  void observeInt(const lang::Location &loc, const Value &v) {
+    if (!options_.recordIntWrites || loc.file < 0 || loc.line < 1) return;
+    const auto *x = std::get_if<i64>(&v.v);
+    if (!x) return;
+    const auto [it, fresh] = intWrites_.try_emplace({loc.file, loc.line}, *x, *x);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, *x);
+      it->second.second = std::max(it->second.second, *x);
+    }
   }
 
   // -------------------------------------------------------- environment --
@@ -209,6 +223,7 @@ private:
         else if (d.type.name == "double" || d.type.name == "float") v = Value(0.0);
         else if (d.type.name == "bool") v = Value(false);
         else v = Value(i64{0});
+        observeInt(s.loc, v);
         declare(d.name, std::move(v));
       }
       return {};
@@ -568,6 +583,7 @@ private:
                std::holds_alternative<i64>(rhs.v)) {
       rhs = Value(rhs.asDouble()); // keep declared floating type
     }
+    observeInt(e.loc, rhs);
     assignThrough(slot, rhs);
     return rhs;
   }

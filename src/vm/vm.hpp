@@ -83,6 +83,11 @@ struct RunOptions {
   std::vector<Value> args;
   /// Entry point; empty selects "main" or the Fortran program unit.
   std::string entry;
+  /// Record the observed min/max of every integer scalar written at each
+  /// source line (declarations and assignments). Off by default — the map
+  /// update per store is pure overhead outside the fuzz range oracle, which
+  /// compares these observations against the static value-range intervals.
+  bool recordIntWrites = false;
 };
 
 struct RunResult {
@@ -90,6 +95,9 @@ struct RunResult {
   std::string output;  ///< everything print/printf produced
   Coverage coverage;
   u64 steps = 0;
+  /// Observed [min, max] per (file, line) of integer scalar writes; empty
+  /// unless RunOptions::recordIntWrites was set.
+  std::map<std::pair<i32, i32>, std::pair<i64, i64>> intWrites;
 };
 
 class VmError : public std::runtime_error {

@@ -152,6 +152,39 @@ TEST(Fuzz, ReplayHonoursHeader) {
   EXPECT_TRUE(replayCrashFile("mislabeled.cpp", content).ok);
 }
 
+TEST(Oracles, RangeOracleCleanOverGeneratedPrograms) {
+  // The soundness half: every VM-observed integer write must sit inside
+  // the static interval at that line, deterministically, modulo
+  // comment/whitespace mutation. Clean over a spread of seeds.
+  FuzzOptions o;
+  o.seed = 29;
+  o.count = 6;
+  o.outDir.clear();
+  o.oracleMask = oracleBit(Oracle::Range);
+  const auto report = runFuzz(o);
+  EXPECT_GT(report.programs, 0u);
+  for (const auto &f : report.failures)
+    ADD_FAILURE() << oracleName(f.oracle) << " lang=" << langName(f.lang)
+                  << " seed=" << f.seed << ": " << f.message;
+}
+
+TEST(Oracles, InjectedRangeDefectsAreCaught) {
+  // --inject-range seeds a proven OOB store and a proven zero divisor
+  // behind a runtime-false guard. The range oracle *fails* when the static
+  // checks miss either one, so a clean run means both were caught — and
+  // the guard keeps every other oracle (VM included) clean.
+  FuzzOptions o;
+  o.seed = 31;
+  o.count = 3;
+  o.outDir.clear();
+  o.injectRange = true;
+  const auto report = runFuzz(o);
+  EXPECT_GT(report.programs, 0u);
+  for (const auto &f : report.failures)
+    ADD_FAILURE() << oracleName(f.oracle) << " lang=" << langName(f.lang)
+                  << " seed=" << f.seed << ": " << f.message;
+}
+
 TEST(Reducer, IsolatesTheFailingLine) {
   const std::string source = "alpha\nbeta\nNEEDLE\ngamma\ndelta\n";
   const auto reduced = reduceLines(
@@ -215,8 +248,8 @@ TEST(IrText, RejectsMalformedText) {
 }
 
 TEST(Oracles, NamesRoundTrip) {
-  for (const Oracle o :
-       {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint, Oracle::Lb}) {
+  for (const Oracle o : {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted,
+                         Oracle::Lint, Oracle::Lb, Oracle::Deps, Oracle::Range}) {
     const auto back = oracleFromName(oracleName(o));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, o);

@@ -69,6 +69,18 @@ TEST(CliArgs, RejectsMalformedInput) {
   EXPECT_THROW((void)parse({"--json", "--out"}), cli::UsageError);
 }
 
+TEST(CliArgs, PerCommandFlagReclassification) {
+  // The spec is chosen per invocation, so one flag name can be a value
+  // flag for one command and a bare switch for another — the pattern
+  // behind `query --range D` versus `lint --range` in tools/svale.cpp.
+  const cli::FlagSpec valueSpec = {/*valueFlags=*/{"range"}, {}, {}};
+  const cli::FlagSpec bareSpec = {{}, /*bareFlags=*/{"range"}, {}};
+  EXPECT_EQ(cli::parseArgs({"--range", "3"}, valueSpec).get("range", ""), "3");
+  EXPECT_TRUE(cli::parseArgs({"--range"}, bareSpec).has("range"));
+  EXPECT_THROW((void)cli::parseArgs({"--range"}, valueSpec), cli::UsageError);
+  EXPECT_THROW((void)cli::parseArgs({"--range=3"}, bareSpec), cli::UsageError);
+}
+
 TEST(CliArgs, GetFallback) {
   const auto a = parse({});
   EXPECT_EQ(a.get("metric", "Tsem"), "Tsem");

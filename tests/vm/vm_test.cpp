@@ -384,3 +384,44 @@ end program p
 )");
   EXPECT_NE(r.output.find("24"), std::string::npos);
 }
+
+TEST(Vm, RecordsIntegerWriteExtremesPerLine) {
+  // The fuzz range oracle's observation channel: with recordIntWrites the
+  // VM tracks min/max of every integer scalar write keyed by (file, line).
+  RunOptions opts;
+  opts.recordIntWrites = true;
+  const auto r = runC("int main() {\n"
+                      "  int t = 0;\n"
+                      "  for (int i = 0; i < 5; ++i) {\n"
+                      "    t = i * 2;\n"
+                      "  }\n"
+                      "  return t;\n"
+                      "}\n",
+                      opts);
+  EXPECT_EQ(r.returnValue.asInt(), 8);
+  const auto it = r.intWrites.find({0, 4}); // t = i * 2
+  ASSERT_NE(it, r.intWrites.end());
+  EXPECT_EQ(it->second.first, 0);
+  EXPECT_EQ(it->second.second, 8);
+  const auto decl = r.intWrites.find({0, 2}); // int t = 0
+  ASSERT_NE(decl, r.intWrites.end());
+  EXPECT_EQ(decl->second, (std::pair<i64, i64>{0, 0}));
+}
+
+TEST(Vm, IntWriteRecordingIsOffByDefault) {
+  const auto r = runC("int main() { int t = 7; return t; }");
+  EXPECT_TRUE(r.intWrites.empty());
+}
+
+TEST(Vm, IntWriteRecordingSkipsDoubles) {
+  RunOptions opts;
+  opts.recordIntWrites = true;
+  const auto r = runC("int main() {\n"
+                      "  double x = 1.5;\n"
+                      "  x = 2.5;\n"
+                      "  return 0;\n"
+                      "}\n",
+                      opts);
+  EXPECT_FALSE(r.intWrites.count({0, 2}));
+  EXPECT_FALSE(r.intWrites.count({0, 3}));
+}

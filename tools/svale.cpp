@@ -62,23 +62,33 @@ int usage() {
       "  cascade <app>\n"
       "  nav <app>\n"
       "  coupling <app> <model>\n"
-      "  lint <app> <model> [--ir] [--deps] [--json]\n"
+      "  lint <app> <model> [--ir] [--deps] [--range] [--json]\n"
+      "       [--max-severity=note|warning|error]\n"
       "                                       parallel-semantics diagnostics\n"
-      "  lint-dir <dir> [--ir] [--deps] [--json]\n"
+      "  lint-dir <dir> [--ir] [--deps] [--range] [--json]\n"
       "                                       lint an on-disk codebase\n"
       "                                       (--ir adds the IR-tier checks,\n"
-      "                                       --deps the dependence verdicts)\n"
+      "                                       --deps the dependence verdicts,\n"
+      "                                       --range the value-range checks;\n"
+      "                                       --max-severity=S exits non-zero on\n"
+      "                                       any diagnostic at severity >= S,\n"
+      "                                       default error)\n"
       "  deps <app> [model] [--json]          per-loop dependence report:\n"
       "                                       recovered nests, distance and\n"
       "                                       direction vectors, scalar classes,\n"
       "                                       provably-parallel verdicts\n"
+      "  range <app> [model] [--json]         per-function value-range report:\n"
+      "                                       argument/return intervals from the\n"
+      "                                       interprocedural fixpoint, plus the\n"
+      "                                       range-tier diagnostics\n"
       "  index-dir <dir> [-o file.svdb]       index an on-disk codebase\n"
       "  fuzz [--seed N] [--count K] [--lang c|f|both] [--oracle NAME|all]\n"
-      "       [--inject-dep] [--out DIR]      differential fuzzing of the pipeline;\n"
+      "       [--inject-dep] [--inject-range] [--out DIR]\n"
+      "                                       differential fuzzing of the pipeline;\n"
       "                                       reduced reproducers land in DIR\n"
       "                                       (default tests/fuzz/corpus)\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
-      "oracles: round-trip vm ir ted lint lb deps\n"
+      "oracles: round-trip vm ir ted lint lb deps range\n"
       "TED algorithms (--algo): apted (default) | ps | zs — all return\n"
       "identical distances; ps/zs are the cross-check oracles\n"
       "--threads N caps the shared worker pool for every command\n"
@@ -118,10 +128,23 @@ metrics::Metric parseMetric(const std::string &name) {
 /// self-test: plant a generator bug and check the oracles catch it.)
 const cli::FlagSpec kFlagSpec = {
     /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads",
-                    "k", "cutoff", "top-k", "range"},
-    /*bareFlags=*/{"pp", "cov", "json", "ir", "deps", "inject-bug", "inject-dep", "no-reduce"},
+                    "k", "cutoff", "top-k", "range", "max-severity"},
+    /*bareFlags=*/{"pp", "cov", "json", "ir", "deps", "inject-bug", "inject-dep",
+                   "inject-range", "no-reduce"},
     /*shortAliases=*/{{"-o", "out"}, {"-j", "threads"}},
 };
+
+/// The flag grammar is almost global, but "--range" is overloaded: `query`
+/// takes a raw-distance value (`--range D`) while the lint commands use it
+/// as a bare tier switch (`lint --range`). Resolve per command.
+cli::FlagSpec specFor(const std::string &cmd) {
+  cli::FlagSpec spec = kFlagSpec;
+  if (cmd == "lint" || cmd == "lint-dir") {
+    spec.valueFlags.erase("range");
+    spec.bareFlags.insert("range");
+  }
+  return spec;
+}
 
 int cmdList() {
   for (const auto &app : corpus::appNames()) {
@@ -451,28 +474,39 @@ int cmdIndexDir(const Args &args) {
   return 0;
 }
 
+/// `--max-severity=note|warning|error`: the lowest severity that makes the
+/// lint exit code non-zero. Default "error" preserves the original contract.
+lint::Severity parseMaxSeverity(const Args &args) {
+  const std::string s = args.get("max-severity", "error");
+  if (const auto sev = lint::severityFromName(s)) return *sev;
+  throw cli::UsageError("--max-severity expects note, warning or error, got '" + s + "'");
+}
+
 /// Print a lint report and map it to the exit code contract: non-zero iff
-/// at least one error-severity diagnostic was emitted.
-int reportLint(const lint::Report &report, bool asJson) {
+/// at least one diagnostic at or above `threshold` was emitted (every tier
+/// counts — the threshold is applied report-wide, not per check).
+int reportLint(const lint::Report &report, bool asJson, lint::Severity threshold) {
   if (asJson) std::printf("%s\n", json::write(report.toJson(), 2).c_str());
   else std::printf("%s", report.renderText().c_str());
-  return report.hasErrors() ? 1 : 0;
+  return report.countAtOrAbove(threshold) > 0 ? 1 : 0;
+}
+
+silvervale::LintOptions lintOptionsFrom(const Args &args) {
+  return {.ir = args.has("ir"), .deps = args.has("deps"), .range = args.has("range")};
 }
 
 int cmdLint(const Args &args) {
   if (args.positional.size() < 2) return usage();
   const auto cb = corpus::make(args.positional[0], args.positional[1]);
-  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0,
-                                     .deps = args.flags.count("deps") != 0};
-  return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
+  return reportLint(silvervale::lintCodebase(cb, lintOptionsFrom(args)), args.has("json"),
+                    parseMaxSeverity(args));
 }
 
 int cmdLintDir(const Args &args) {
   if (args.positional.empty()) return usage();
   const auto cb = db::loadFromDisk(args.positional[0]);
-  const silvervale::LintOptions opts{.ir = args.flags.count("ir") != 0,
-                                     .deps = args.flags.count("deps") != 0};
-  return reportLint(silvervale::lintCodebase(cb, opts), args.flags.count("json") != 0);
+  return reportLint(silvervale::lintCodebase(cb, lintOptionsFrom(args)), args.has("json"),
+                    parseMaxSeverity(args));
 }
 
 /// `svale deps <app> [model]`: the per-loop dependence report. Without a
@@ -494,6 +528,29 @@ int cmdDeps(const Args &args) {
   }
   for (const auto &model : models)
     std::printf("%s", silvervale::depsCodebase(corpus::make(app, model)).renderText().c_str());
+  return 0;
+}
+
+/// `svale range <app> [model]`: the per-function value-range report.
+/// Without a model every port of the app is analysed (JSON becomes an
+/// array), mirroring `svale deps`.
+int cmdRange(const Args &args) {
+  if (args.positional.empty()) return usage();
+  const auto &app = args.positional[0];
+  std::vector<std::string> models;
+  if (args.positional.size() > 1) models.push_back(args.positional[1]);
+  else models = corpus::modelsOf(app);
+
+  if (args.has("json")) {
+    json::Array reports;
+    for (const auto &model : models)
+      reports.push_back(silvervale::rangeCodebase(corpus::make(app, model)).toJson());
+    if (reports.size() == 1) printJson(reports.front());
+    else printJson(std::move(reports));
+    return 0;
+  }
+  for (const auto &model : models)
+    std::printf("%s", silvervale::rangeCodebase(corpus::make(app, model)).renderText().c_str());
   return 0;
 }
 
@@ -542,6 +599,7 @@ int cmdFuzz(const Args &args) {
   opts.outDir = args.get("out", "tests/fuzz/corpus");
   opts.injectUndeclaredUse = args.has("inject-bug");
   opts.injectDep = args.has("inject-dep");
+  opts.injectRange = args.has("inject-range");
   opts.reduce = !args.has("no-reduce");
 
   const auto report = fuzz::runFuzz(opts);
@@ -563,7 +621,7 @@ int main(int argc, char **argv) {
   const std::string cmd = argv[1];
   Args args;
   try {
-    args = cli::parseArgs(argc, argv, 2, kFlagSpec);
+    args = cli::parseArgs(argc, argv, 2, specFor(cmd));
   } catch (const cli::UsageError &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return usage();
@@ -595,6 +653,7 @@ int main(int argc, char **argv) {
     if (cmd == "lint") return cmdLint(args);
     if (cmd == "lint-dir") return cmdLintDir(args);
     if (cmd == "deps") return cmdDeps(args);
+    if (cmd == "range") return cmdRange(args);
     if (cmd == "index-dir") return cmdIndexDir(args);
     if (cmd == "fuzz") return cmdFuzz(args);
   } catch (const cli::UsageError &e) {
