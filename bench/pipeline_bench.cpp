@@ -1,0 +1,236 @@
+// Streaming-vs-barrier pipeline benchmark: the acceptance gates of the
+// streaming task-graph runtime, over the hot drivers it rewired.
+//
+//   index    indexAllPorts barrier vs streaming wall time per thread
+//            count (median of N >= 3 runs). Barrier replays the classic
+//            pre-streaming schedule (port-granularity parallelFor, serial
+//            stages inside each port); streaming flattens every port's
+//            units into one frontend→trees→lower→sign work-stealing
+//            stream. The gate FAILS when streaming is below --min-speedup
+//            (default 1.2x) at any measured count >= 4 threads — enforced
+//            only for counts the hardware can actually run (t <= hardware
+//            threads): on fewer cores both arms degenerate to the same
+//            serial execution and the ratio measures scheduler constant
+//            overhead, not the schedule.
+//   matrix   the 46-port Tsem portMatrix, barrier vs streaming (unit-pair
+//            TED tasks + memo-replay finalisation), cold engine each run.
+//   stats    the streaming arm's NodeStats (occupancy, steals, queue
+//            depths) from the largest thread count go into the report —
+//            the self-reported numbers the --pipeline-stats flag surfaces.
+//
+// Usage: pipeline_bench [--runs N] [--out FILE] [--quick]
+//                       [--min-speedup X] [--threads-list a,b,c]
+//   --quick lowers runs to 3 (CI budget). Thread counts default to
+//   1,2,4,<hardware> (deduplicated, sorted).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "silvervale/silvervale.hpp"
+#include "support/cliargs.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/pipeline.hpp"
+#include "tree/tedengine.hpp"
+
+using namespace sv;
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+usize totalSteals(const std::vector<NodeStats> &nodes) {
+  usize s = 0;
+  for (const auto &n : nodes) {
+    s += n.steals;
+    for (const auto &c : n.children) s += c.steals;
+  }
+  return s;
+}
+
+/// Median wall time of indexAllPorts under one schedule; keeps the drained
+/// stats tree of the run with the most steals when `statsOut` is given
+/// (steal counts vary run to run — record a run where stealing showed up).
+double timeIndexMs(ExecMode mode, usize threads, usize runs, std::vector<NodeStats> *statsOut) {
+  std::vector<double> ms;
+  for (usize r = 0; r < runs; ++r) {
+    (void)drainPipelineStats();
+    silvervale::IndexAppOptions options;
+    options.mode = mode;
+    options.threads = threads;
+    const double start = nowMs();
+    const auto ports = silvervale::indexAllPorts(options);
+    ms.push_back(nowMs() - start);
+    volatile usize sink = 0;
+    for (const auto &p : ports) sink = sink + p.db.units.size();
+    (void)sink;
+    if (statsOut) {
+      auto drained = drainPipelineStats();
+      if (r == 0 || totalSteals(drained) > totalSteals(*statsOut)) *statsOut = std::move(drained);
+    }
+  }
+  return median(ms);
+}
+
+/// Median cold-engine wall time of the Tsem portMatrix under one schedule.
+double timeMatrixMs(const std::vector<silvervale::CorpusPort> &ports, ExecMode mode, usize runs,
+                    std::vector<NodeStats> *statsOut) {
+  std::vector<double> ms;
+  for (usize r = 0; r < runs; ++r) {
+    (void)drainPipelineStats();
+    tree::TedEngine::global().clear();
+    const double start = nowMs();
+    const auto m =
+        silvervale::portMatrix(ports, metrics::Metric::Tsem, {}, {}, 0, nullptr, mode);
+    ms.push_back(nowMs() - start);
+    volatile double sink = 0;
+    for (const double v : m.values) sink = sink + v;
+    (void)sink;
+    if (statsOut) {
+      auto drained = drainPipelineStats();
+      if (r == 0 || totalSteals(drained) > totalSteals(*statsOut)) *statsOut = std::move(drained);
+    }
+  }
+  return median(ms);
+}
+
+json::Array statsToJson(const std::vector<NodeStats> &nodes) {
+  json::Array arr;
+  for (const auto &n : nodes) arr.emplace_back(n.toJson());
+  return arr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  usize runs = 5;
+  std::string outFile = "BENCH_pipeline.json";
+  bool quick = false;
+  double minSpeedup = 1.2;
+  std::vector<usize> threadCounts;
+  try {
+    const cli::FlagSpec spec{{"runs", "out", "min-speedup", "threads-list"}, {"quick"},
+                             {{"-o", "out"}}};
+    const auto args = cli::parseArgs(argc, argv, 1, spec);
+    if (args.flags.count("runs")) runs = std::stoul(args.flags.at("runs"));
+    if (args.flags.count("out")) outFile = args.flags.at("out");
+    if (args.flags.count("min-speedup")) minSpeedup = std::stod(args.flags.at("min-speedup"));
+    if (args.flags.count("threads-list")) {
+      std::stringstream ss(args.flags.at("threads-list"));
+      std::string item;
+      while (std::getline(ss, item, ',')) threadCounts.push_back(std::stoul(item));
+    }
+    quick = args.flags.count("quick") != 0;
+  } catch (const std::exception &e) {
+    std::fprintf(stderr,
+                 "usage: pipeline_bench [--runs N] [--out FILE] [--quick]\n"
+                 "                      [--min-speedup X] [--threads-list a,b,c]\n%s\n",
+                 e.what());
+    return 2;
+  }
+  if (quick) runs = std::min<usize>(runs, 3);
+  if (runs < 3) runs = 3;
+  if (threadCounts.empty()) {
+    const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+    threadCounts = {1, 2, 4, hw};
+  }
+  std::sort(threadCounts.begin(), threadCounts.end());
+  threadCounts.erase(std::unique(threadCounts.begin(), threadCounts.end()), threadCounts.end());
+
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  json::Object report;
+  report.emplace("runs", json::Value(runs));
+  report.emplace("hardware_threads", json::Value(hw));
+  report.emplace("min_speedup", json::Value(minSpeedup));
+  bool failed = false;
+  bool anyGated = false;
+
+  // ---- indexAllPorts: barrier vs streaming per thread count -------------
+  json::Array indexRows;
+  std::vector<NodeStats> indexStats;
+  for (const usize t : threadCounts) {
+    // The pool cap bounds both arms identically (parallelFor and the
+    // stream runtime clamp to the shared pool +1), so the comparison is
+    // schedule-vs-schedule, not worker-count-vs-worker-count.
+    configureThreads(t);
+    const double barrierMs = timeIndexMs(ExecMode::Barrier, t, runs, nullptr);
+    const bool keepStats = t == threadCounts.back();
+    const double streamingMs =
+        timeIndexMs(ExecMode::Streaming, t, runs, keepStats ? &indexStats : nullptr);
+    const double speedup = streamingMs > 0 ? barrierMs / streamingMs : 0;
+    const bool gated = t >= 4 && t <= hw;
+    anyGated = anyGated || gated;
+    std::printf("index: threads=%zu barrier %.1f ms, streaming %.1f ms, speedup %.2fx%s\n", t,
+                barrierMs, streamingMs, speedup, gated ? " [gated]" : "");
+    json::Object row;
+    row.emplace("threads", json::Value(t));
+    row.emplace("barrier_ms", json::Value(barrierMs));
+    row.emplace("streaming_ms", json::Value(streamingMs));
+    row.emplace("speedup", json::Value(speedup));
+    row.emplace("gated", json::Value(gated));
+    indexRows.emplace_back(std::move(row));
+    if (gated && speedup < minSpeedup) {
+      std::fprintf(stderr, "FAIL: index speedup %.2fx below the %.2fx floor at %zu threads\n",
+                   speedup, minSpeedup, t);
+      failed = true;
+    }
+  }
+  if (!anyGated)
+    std::printf("gate: skipped — no measured count >= 4 threads fits the %zu hardware "
+                "thread(s); run on a multicore host to enforce the %.2fx floor\n",
+                hw, minSpeedup);
+  report.emplace("gate",
+                 json::Value(std::string(failed      ? "failed"
+                                         : anyGated ? "passed"
+                                                    : "skipped: fewer than 4 hardware threads")));
+  report.emplace("index", json::Value(std::move(indexRows)));
+  report.emplace("index_streaming_stats", json::Value(statsToJson(indexStats)));
+
+  // ---- portMatrix: barrier vs streaming at the largest count ------------
+  const usize tMax = threadCounts.back();
+  configureThreads(tMax);
+  silvervale::IndexAppOptions idxOpts;
+  idxOpts.threads = tMax;
+  const auto ports = silvervale::indexAllPorts(idxOpts);
+  (void)drainPipelineStats();
+  std::vector<NodeStats> matrixStats;
+  const double matrixBarrierMs = timeMatrixMs(ports, ExecMode::Barrier, runs, nullptr);
+  const double matrixStreamingMs = timeMatrixMs(ports, ExecMode::Streaming, runs, &matrixStats);
+  const double matrixSpeedup = matrixStreamingMs > 0 ? matrixBarrierMs / matrixStreamingMs : 0;
+  std::printf("matrix: threads=%zu barrier %.1f ms, streaming %.1f ms, speedup %.2fx\n", tMax,
+              matrixBarrierMs, matrixStreamingMs, matrixSpeedup);
+  json::Object matrix;
+  matrix.emplace("threads", json::Value(tMax));
+  matrix.emplace("ports", json::Value(ports.size()));
+  matrix.emplace("barrier_ms", json::Value(matrixBarrierMs));
+  matrix.emplace("streaming_ms", json::Value(matrixStreamingMs));
+  matrix.emplace("speedup", json::Value(matrixSpeedup));
+  matrix.emplace("streaming_stats", json::Value(statsToJson(matrixStats)));
+  report.emplace("matrix", json::Value(std::move(matrix)));
+
+  std::printf("stats: %zu streaming node(s) reported, %zu steal(s) at %zu threads\n",
+              indexStats.size(), totalSteals(indexStats), tMax);
+
+  std::ofstream out(outFile);
+  out << json::write(json::Value(std::move(report)), 2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outFile.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outFile.c_str());
+  return failed ? 1 : 0;
+}

@@ -55,21 +55,78 @@ std::vector<i32> unitFiles(const Codebase &cb, i32 mainFile,
   return out;
 }
 
-UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
-                       const IndexOptions &options) {
+// ---- the per-unit stage pipeline -----------------------------------------
+//
+// The old monolithic indexCxxUnit/indexFortranUnit bodies, cut at their
+// natural seams into four stages so units stream through a task graph
+// (support/pipeline.hpp): frontend (preprocess + parse + sema + AST-tier
+// lint) → trees (perceived-metric inputs + the four frontend trees) →
+// lower (backend IR + the IR/deps/range lint tiers + T_ir) → sign (bound
+// signatures). Every stage is a pure function of the carried state, so the
+// stage cut lines cannot change any output byte.
+
+/// The state of one translation unit in flight between stages.
+struct UnitWork {
+  const Codebase *cb = nullptr;
+  const CompileCommand *cmd = nullptr;
+  bool runLint = false;
+  bool fortran = false;
+  i32 fileId = -1;
+  minic::PreprocessResult pp; ///< C++ units only
+  lang::ast::TranslationUnit tu;
+  UnitEntry unit;
+};
+
+UnitWork unitFrontend(UnitWork w) {
+  const Codebase &cb = *w.cb;
+  const CompileCommand &cmd = *w.cmd;
   const auto fileId = cb.sources.idOf(cmd.file);
   SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
+  w.fileId = *fileId;
+  w.unit.file = cmd.file;
+  w.unit.role = fileStem(cmd.file);
+  if (w.fortran) {
+    w.unit.fortran = true;
+    const auto toks = minif::lexFortran(cb.sources.file(w.fileId).text, w.fileId);
+    w.tu = minif::parseFortran(toks, cmd.file, cb.sources);
+    if (w.runLint) w.unit.lint = lint::run(w.tu);
+  } else {
+    minic::PreprocessOptions ppOpts;
+    ppOpts.defines = definesFromCommand(cmd);
+    w.pp = minic::preprocess(cb.sources, w.fileId, ppOpts);
+    const auto ppToks = minic::lex(w.pp.text, w.fileId, &w.pp.lineOrigins);
+    w.tu = minic::parseTranslationUnit(ppToks, cmd.file, cb.sources);
+    w.tu.includes = w.pp.includes;
+    minic::analyse(w.tu);
+    if (w.runLint) w.unit.lint = lint::run(w.tu);
+  }
+  return w;
+}
 
-  minic::PreprocessOptions ppOpts;
-  ppOpts.defines = definesFromCommand(cmd);
-  const auto pp = minic::preprocess(cb.sources, *fileId, ppOpts);
+UnitWork unitTrees(UnitWork w) {
+  const Codebase &cb = *w.cb;
+  auto &unit = w.unit;
+  if (w.fortran) {
+    const auto &text = cb.sources.file(w.fileId).text;
+    unit.normText = text::normalise(text, minif::fortranCommentRanges(text));
+    unit.sloc = text::sloc(unit.normText);
+    unit.lloc = text::lloc(unit.normText, /*fortran=*/true);
+    // Fortran has no preprocessing phase here; +pp variants alias the base.
+    unit.normTextPp = unit.normText;
+    unit.slocPp = unit.sloc;
+    unit.llocPp = unit.lloc;
 
-  UnitEntry unit;
-  unit.file = cmd.file;
-  unit.role = fileStem(cmd.file);
+    const auto toks = minif::lexFortran(text, w.fileId);
+    unit.tsrc = minif::buildFortranSrcTree(toks);
+    unit.tsrcPp = unit.tsrc;
+    unit.tsem = minif::buildFortranSemTree(w.tu);
+    unit.tsemI = unit.tsem; // inlining is not implemented for GFortran (IV-B)
+    return w;
+  }
 
+  const auto &pp = w.pp;
   // ---- perceived metric inputs -----------------------------------------
-  const auto files = unitFiles(cb, *fileId, pp);
+  const auto files = unitFiles(cb, w.fileId, pp);
   for (usize i = 1; i < files.size(); ++i)
     unit.deps.push_back(cb.sources.file(files[i]).name);
   for (const i32 f : files) {
@@ -103,7 +160,7 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
       const auto toks = minic::lex(cb.sources.file(f).text, f, nullptr, /*allowDirectives=*/true);
       unit.tsrc.graft(0, minic::buildSrcTree(toks));
     }
-    const auto ppToks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+    const auto ppToks = minic::lex(pp.text, w.fileId, &pp.lineOrigins);
     // Preprocessed tree keeps system tokens out via pruning on file origin.
     auto full = minic::buildSrcTree(ppToks);
     unit.tsrcPp = full.pruneWhere([&](const tree::Node &n) {
@@ -111,19 +168,13 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
     });
   }
 
-  // ---- frontend + backend ------------------------------------------------
-  const auto ppToks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
-  auto tu = minic::parseTranslationUnit(ppToks, cmd.file, cb.sources);
-  tu.includes = pp.includes;
-  minic::analyse(tu);
-  if (options.runLint) unit.lint = lint::run(tu);
-
   minic::SemTreeOptions semOpts;
   for (const i32 f : pp.systemFiles) semOpts.maskedFiles.insert(f);
-  unit.tsem = minic::buildSemTree(tu, semOpts);
+  unit.tsem = minic::buildSemTree(w.tu, semOpts);
 
   {
     // TranslationUnit holds unique_ptrs; clone explicitly for the inliner.
+    const auto &tu = w.tu;
     lang::ast::TranslationUnit clone;
     clone.fileName = tu.fileName;
     clone.includes = tu.includes;
@@ -148,69 +199,39 @@ UnitEntry indexCxxUnit(const Codebase &cb, const CompileCommand &cmd,
     minic::inlineUnit(clone, inlOpts);
     unit.tsemI = minic::buildSemTree(clone, semOpts);
   }
-
-  ir::LowerOptions lowOpts;
-  lowOpts.model = modelFromCommand(cmd);
-  const auto module = ir::lower(tu, lowOpts);
-  if (options.runLint) {
-    auto irDiags = lint::runIr(module);
-    unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
-    auto depDiags = lint::runDeps(module, {.unit = &tu});
-    unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
-    auto rangeDiags = lint::runRange(module);
-    unit.lint.insert(unit.lint.end(), rangeDiags.begin(), rangeDiags.end());
-  }
-  auto irTree = ir::buildIrTree(module);
-  // Mask functions/globals defined in system headers out of T_ir.
-  unit.tir = irTree.pruneWhere([&](const tree::Node &n) {
-    const bool isTopLevel = str::startsWith(n.label, "Function:");
-    if (!isTopLevel) return true;
-    return n.file < 0 || pp.systemFiles.count(n.file) == 0;
-  });
-  return unit;
+  return w;
 }
 
-UnitEntry indexFortranUnit(const Codebase &cb, const CompileCommand &cmd,
-                           const IndexOptions &options) {
-  const auto fileId = cb.sources.idOf(cmd.file);
-  SV_CHECK(fileId.has_value(), "compile command references unknown file " + cmd.file);
-  const auto &text = cb.sources.file(*fileId).text;
-
-  UnitEntry unit;
-  unit.file = cmd.file;
-  unit.role = fileStem(cmd.file);
-  unit.fortran = true;
-
-  unit.normText = text::normalise(text, minif::fortranCommentRanges(text));
-  unit.sloc = text::sloc(unit.normText);
-  unit.lloc = text::lloc(unit.normText, /*fortran=*/true);
-  // Fortran has no preprocessing phase here; +pp variants alias the base.
-  unit.normTextPp = unit.normText;
-  unit.slocPp = unit.sloc;
-  unit.llocPp = unit.lloc;
-
-  const auto toks = minif::lexFortran(text, *fileId);
-  unit.tsrc = minif::buildFortranSrcTree(toks);
-  unit.tsrcPp = unit.tsrc;
-
-  auto tu = minif::parseFortran(toks, cmd.file, cb.sources);
-  if (options.runLint) unit.lint = lint::run(tu);
-  unit.tsem = minif::buildFortranSemTree(tu);
-  unit.tsemI = unit.tsem; // inlining is not implemented for GFortran (IV-B)
-
+UnitWork unitLower(UnitWork w) {
+  auto &unit = w.unit;
   ir::LowerOptions lowOpts;
-  lowOpts.model = modelFromCommand(cmd);
-  const auto module = ir::lower(tu, lowOpts);
-  if (options.runLint) {
+  lowOpts.model = modelFromCommand(*w.cmd);
+  const auto module = ir::lower(w.tu, lowOpts);
+  if (w.runLint) {
     auto irDiags = lint::runIr(module);
     unit.lint.insert(unit.lint.end(), irDiags.begin(), irDiags.end());
-    auto depDiags = lint::runDeps(module, {.unit = &tu});
+    auto depDiags = lint::runDeps(module, {.unit = &w.tu});
     unit.lint.insert(unit.lint.end(), depDiags.begin(), depDiags.end());
     auto rangeDiags = lint::runRange(module);
     unit.lint.insert(unit.lint.end(), rangeDiags.begin(), rangeDiags.end());
   }
-  unit.tir = ir::buildIrTree(module);
-  return unit;
+  if (w.fortran) {
+    unit.tir = ir::buildIrTree(module);
+  } else {
+    auto irTree = ir::buildIrTree(module);
+    // Mask functions/globals defined in system headers out of T_ir.
+    unit.tir = irTree.pruneWhere([&](const tree::Node &n) {
+      const bool isTopLevel = str::startsWith(n.label, "Function:");
+      if (!isTopLevel) return true;
+      return n.file < 0 || w.pp.systemFiles.count(n.file) == 0;
+    });
+  }
+  return w;
+}
+
+UnitEntry unitSign(UnitWork w) {
+  w.unit.computeSignatures();
+  return std::move(w.unit);
 }
 
 } // namespace
@@ -255,73 +276,120 @@ lang::ast::TranslationUnit linkForExecution(const Codebase &codebase) {
   return merged;
 }
 
+ParsedUnit parseUnit(const Codebase &codebase, const CompileCommand &cmd) {
+  const auto fileId = codebase.sources.idOf(cmd.file);
+  SV_CHECK(fileId.has_value(), "parseUnit: unknown file " + cmd.file);
+  ParsedUnit u;
+  u.file = cmd.file;
+  u.model = modelFromCommand(cmd);
+  if (isFortranFile(cmd.file)) {
+    u.fortran = true;
+    u.tu = minif::parseFortran(
+        minif::lexFortran(codebase.sources.file(*fileId).text, *fileId), cmd.file,
+        codebase.sources);
+  } else {
+    minic::PreprocessOptions ppOpts;
+    ppOpts.defines = definesFromCommand(cmd);
+    const auto pp = minic::preprocess(codebase.sources, *fileId, ppOpts);
+    const auto toks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
+    u.tu = minic::parseTranslationUnit(toks, cmd.file, codebase.sources);
+    u.tu.includes = pp.includes;
+    minic::analyse(u.tu);
+  }
+  return u;
+}
+
 std::vector<ParsedUnit> parseUnits(const Codebase &codebase) {
   std::vector<ParsedUnit> out;
-  for (const auto &cmd : codebase.commands) {
-    const auto fileId = codebase.sources.idOf(cmd.file);
-    SV_CHECK(fileId.has_value(), "parseUnits: unknown file " + cmd.file);
-    ParsedUnit u;
-    u.file = cmd.file;
-    u.model = modelFromCommand(cmd);
-    if (isFortranFile(cmd.file)) {
-      u.fortran = true;
-      u.tu = minif::parseFortran(
-          minif::lexFortran(codebase.sources.file(*fileId).text, *fileId), cmd.file,
-          codebase.sources);
-    } else {
-      minic::PreprocessOptions ppOpts;
-      ppOpts.defines = definesFromCommand(cmd);
-      const auto pp = minic::preprocess(codebase.sources, *fileId, ppOpts);
-      const auto toks = minic::lex(pp.text, *fileId, &pp.lineOrigins);
-      u.tu = minic::parseTranslationUnit(toks, cmd.file, codebase.sources);
-      u.tu.includes = pp.includes;
-      minic::analyse(u.tu);
-    }
-    out.push_back(std::move(u));
-  }
+  for (const auto &cmd : codebase.commands) out.push_back(parseUnit(codebase, cmd));
   return out;
+}
+
+LoweredUnit lowerParsed(ParsedUnit parsed) {
+  LoweredUnit u;
+  u.file = std::move(parsed.file);
+  u.model = parsed.model;
+  ir::LowerOptions lowOpts;
+  lowOpts.model = parsed.model;
+  u.module = ir::lower(parsed.tu, lowOpts);
+  return u;
 }
 
 std::vector<LoweredUnit> lowerUnits(const Codebase &codebase) {
   std::vector<LoweredUnit> out;
-  for (auto &parsed : parseUnits(codebase)) {
-    LoweredUnit u;
-    u.file = parsed.file;
-    u.model = parsed.model;
-    ir::LowerOptions lowOpts;
-    lowOpts.model = parsed.model;
-    u.module = ir::lower(parsed.tu, lowOpts);
-    out.push_back(std::move(u));
-  }
+  for (auto &parsed : parseUnits(codebase)) out.push_back(lowerParsed(std::move(parsed)));
   return out;
 }
 
-IndexResult index(const Codebase &codebase, const IndexOptions &options) {
-  IndexResult result;
-  auto &out = result.db;
-  out.app = codebase.app;
-  out.model = codebase.model;
-  out.fortran = !codebase.commands.empty() && isFortranFile(codebase.commands[0].file);
-  out.modelKind =
-      codebase.commands.empty() ? ir::Model::Serial : modelFromCommand(codebase.commands[0]);
-  for (const auto &f : codebase.sources.files()) out.fileNames.push_back(f.name);
+std::vector<IndexResult> indexBatch(const std::vector<const Codebase *> &codebases,
+                                    const IndexOptions &options) {
+  std::vector<IndexResult> results(codebases.size());
 
-  for (const auto &cmd : codebase.commands) {
-    out.units.push_back(isFortranFile(cmd.file) ? indexFortranUnit(codebase, cmd, options)
-                                                : indexCxxUnit(codebase, cmd, options));
-    out.units.back().computeSignatures();
+  // Per-codebase DB headers and unit-slot offsets (serial: cheap metadata).
+  std::vector<usize> unitBase(codebases.size(), 0);
+  std::vector<UnitWork> work;
+  for (usize c = 0; c < codebases.size(); ++c) {
+    const Codebase &cb = *codebases[c];
+    auto &out = results[c].db;
+    out.app = cb.app;
+    out.model = cb.model;
+    out.fortran = !cb.commands.empty() && isFortranFile(cb.commands[0].file);
+    out.modelKind = cb.commands.empty() ? ir::Model::Serial : modelFromCommand(cb.commands[0]);
+    for (const auto &f : cb.sources.files()) out.fileNames.push_back(f.name);
+    unitBase[c] = work.size();
+    for (const auto &cmd : cb.commands) {
+      UnitWork w;
+      w.cb = &cb;
+      w.cmd = &cmd;
+      w.runLint = options.runLint;
+      w.fortran = isFortranFile(cmd.file);
+      work.push_back(std::move(w));
+    }
+  }
+
+  // One shared stage pipeline over the flattened unit stream: unit A can be
+  // lowering while unit B is still in sema, across codebase boundaries.
+  // Results land in indexed slots, so completion order never shows in the DB.
+  Pipeline<UnitWork, UnitWork, UnitWork, UnitWork, UnitEntry> pipe("db-index");
+  pipe.stage<0>("frontend", [](UnitWork &&w, usize) { return unitFrontend(std::move(w)); });
+  pipe.stage<1>("trees", [](UnitWork &&w, usize) { return unitTrees(std::move(w)); });
+  pipe.stage<2>("lower", [](UnitWork &&w, usize) { return unitLower(std::move(w)); });
+  pipe.stage<3>("sign", [](UnitWork &&w, usize) { return unitSign(std::move(w)); });
+  PipeOptions pipeOptions;
+  pipeOptions.mode = options.mode;
+  pipeOptions.threads = options.threads;
+  auto units = pipe.run(std::move(work), pipeOptions);
+
+  for (usize c = 0; c < codebases.size(); ++c) {
+    auto &out = results[c].db;
+    const usize n = codebases[c]->commands.size();
+    out.units.reserve(n);
+    for (usize k = 0; k < n; ++k) out.units.push_back(std::move(units[unitBase[c] + k]));
   }
 
   if (options.runCoverage) {
-    const auto merged = linkForExecution(codebase);
-    auto vmOpts = options.vmOptions;
-    vmOpts.fortran = out.fortran;
-    auto runResult = vm::run(merged, vmOpts);
-    out.coverage = runResult.coverage;
-    out.hasCoverage = true;
-    result.coverageRun = std::move(runResult);
+    // Coverage executes the linked program per codebase — its own pool node,
+    // downstream of indexing (the VM needs every TU of a codebase at once).
+    TaskPool pool("db-coverage");
+    pool.run(
+        codebases.size(),
+        [&](usize c) {
+          auto &result = results[c];
+          const auto merged = linkForExecution(*codebases[c]);
+          auto vmOpts = options.vmOptions;
+          vmOpts.fortran = result.db.fortran;
+          auto runResult = vm::run(merged, vmOpts);
+          result.db.coverage = runResult.coverage;
+          result.db.hasCoverage = true;
+          result.coverageRun = std::move(runResult);
+        },
+        pipeOptions);
   }
-  return result;
+  return results;
+}
+
+IndexResult index(const Codebase &codebase, const IndexOptions &options) {
+  return std::move(indexBatch({&codebase}, options).front());
 }
 
 // ------------------------------------------------------------ serialise --

@@ -13,6 +13,7 @@
 #include "db/compiledb.hpp"
 #include "lang/source.hpp"
 #include "lint/lint.hpp"
+#include "support/pipeline.hpp"
 #include "tree/tedbounds.hpp"
 #include "tree/tree.hpp"
 #include "vm/vm.hpp"
@@ -97,6 +98,15 @@ struct IndexOptions {
   /// bench/irlint_bench.cpp and bench/deps_bench.cpp track the cost).
   bool runLint = false;
   vm::RunOptions vmOptions;
+  /// How the per-unit stage pipeline executes (support/pipeline.hpp):
+  /// Streaming runs frontend → trees → lower → sign as a work-stealing task
+  /// graph (unit A can be in lowering while unit B is still in sema),
+  /// Barrier replays the classic full-width phase-barrier schedule. Both
+  /// produce byte-identical DBs — results land in per-unit slots.
+  ExecMode mode = defaultExecMode();
+  /// Worker count for the stage pipeline (0 = configureThreads /
+  /// SV_THREADS / hardware default).
+  usize threads = 0;
 };
 
 struct IndexResult {
@@ -107,6 +117,14 @@ struct IndexResult {
 /// Run the full indexing pipeline over every compile command.
 /// Throws FrontendError / VmError on malformed corpus input.
 [[nodiscard]] IndexResult index(const Codebase &codebase, const IndexOptions &options = {});
+
+/// Index several codebases through ONE shared stage pipeline: the units of
+/// every codebase are flattened into a single item stream, so a slow unit
+/// of one port never stalls the others (indexApp/indexAllPorts route their
+/// whole port set through here). Results are per-codebase, in input order,
+/// byte-identical to indexing each codebase alone.
+[[nodiscard]] std::vector<IndexResult> indexBatch(const std::vector<const Codebase *> &codebases,
+                                                  const IndexOptions &options = {});
 
 /// Link all TUs of a codebase into one unit for execution (the VM's view of
 /// the final binary).
@@ -123,6 +141,10 @@ struct ParsedUnit {
   lang::ast::TranslationUnit tu;
 };
 
+/// One compile command through the frontend (the per-unit step behind
+/// parseUnits, exposed so pipeline stages can stream units independently).
+[[nodiscard]] ParsedUnit parseUnit(const Codebase &codebase, const CompileCommand &cmd);
+
 /// Run the frontend over every compile command of `codebase`.
 [[nodiscard]] std::vector<ParsedUnit> parseUnits(const Codebase &codebase);
 
@@ -133,6 +155,9 @@ struct LoweredUnit {
   ir::Model model = ir::Model::Serial;
   ir::Module module;
 };
+
+/// Lower one parsed unit (the per-unit step behind lowerUnits).
+[[nodiscard]] LoweredUnit lowerParsed(ParsedUnit parsed);
 
 /// Parse and lower every compile command of `codebase`.
 [[nodiscard]] std::vector<LoweredUnit> lowerUnits(const Codebase &codebase);

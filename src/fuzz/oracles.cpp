@@ -1,7 +1,9 @@
 #include "fuzz/oracles.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "corpus/corpus.hpp"
 #include "db/codebase.hpp"
@@ -26,6 +28,7 @@
 #include "minif/flexer.hpp"
 #include "minif/fparser.hpp"
 #include "minif/ftrees.hpp"
+#include "support/pipeline.hpp"
 #include "support/strings.hpp"
 #include "tree/tedbounds.hpp"
 #include "tree/tedengine.hpp"
@@ -534,6 +537,57 @@ struct Parsed {
   return std::nullopt;
 }
 
+/// Streaming-vs-barrier equivalence of the whole indexing pipeline over the
+/// generated program: the serialised DB (all lint tiers on, so frontend,
+/// trees, lowering and every diagnostic list are covered) must be
+/// byte-identical under seeded worker counts and seeded per-stage jitter.
+[[nodiscard]] std::optional<std::string> checkPipeline(const GeneratedProgram &p) {
+  db::Codebase cb;
+  cb.app = "fuzz";
+  cb.model = p.model;
+  cb.addFile(p.fileName, p.source);
+  db::CompileCommand cmd;
+  cmd.file = p.fileName;
+  cmd.args = {"cc", p.fileName};
+  if (p.model == "omp") cmd.args.push_back("-fopenmp");
+  cb.commands.push_back(std::move(cmd));
+
+  db::IndexOptions barrier;
+  barrier.runLint = true;
+  barrier.mode = ExecMode::Barrier;
+  barrier.threads = 1;
+  const auto baseline = db::index(cb, barrier).db.serialise();
+
+  // Three streaming configs: seeded worker counts, and seeded stage jitter
+  // on the last one to shake the completion order harder than scheduling
+  // noise alone would.
+  const u64 mix = p.seed ^ 0x506970656cULL; // "Pipel"
+  for (int round = 0; round < 3; ++round) {
+    db::IndexOptions streaming;
+    streaming.runLint = true;
+    streaming.mode = ExecMode::Streaming;
+    streaming.threads = 1 + (mix >> (4 * round)) % 4;
+    const bool jitter = round == 2;
+    if (jitter)
+      setPipelineStageJitter([mix](usize stage, usize item) {
+        const u64 us = (mix + stage * 31 + item * 17) % 200;
+        if (us % 3 == 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+      });
+    std::vector<u8> bytes;
+    try {
+      bytes = db::index(cb, streaming).db.serialise();
+    } catch (...) {
+      setPipelineStageJitter({});
+      throw;
+    }
+    if (jitter) setPipelineStageJitter({});
+    if (bytes != baseline)
+      return "streaming DB differs from barrier baseline (threads=" +
+             std::to_string(streaming.threads) + (jitter ? ", jitter on" : "") + ")";
+  }
+  return std::nullopt;
+}
+
 } // namespace
 
 const char *oracleName(Oracle o) {
@@ -546,13 +600,14 @@ const char *oracleName(Oracle o) {
   case Oracle::Lb: return "lb";
   case Oracle::Deps: return "deps";
   case Oracle::Range: return "range";
+  case Oracle::Pipeline: return "pipeline";
   }
   return "?";
 }
 
 std::optional<Oracle> oracleFromName(std::string_view name) {
   for (const Oracle o : {Oracle::RoundTrip, Oracle::Vm, Oracle::Ir, Oracle::Ted, Oracle::Lint,
-                         Oracle::Lb, Oracle::Deps, Oracle::Range})
+                         Oracle::Lb, Oracle::Deps, Oracle::Range, Oracle::Pipeline})
     if (name == oracleName(o)) return o;
   return std::nullopt;
 }
@@ -611,6 +666,7 @@ std::vector<OracleFailure> runOracles(const GeneratedProgram &program, u32 mask,
   runOne(Oracle::Lb, [&] { return checkLb(program, context); });
   runOne(Oracle::Deps, [&] { return checkDeps(program); });
   runOne(Oracle::Range, [&] { return checkRange(program); });
+  runOne(Oracle::Pipeline, [&] { return checkPipeline(program); });
   return failures;
 }
 

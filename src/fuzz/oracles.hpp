@@ -35,6 +35,11 @@
 //               value-range analysis computed for the stores at that line
 //               (soundness); with --inject-range the seeded out-of-bounds
 //               and division-by-zero defects must both be reported
+//   pipeline    indexing the program (all lint tiers on) through the
+//               streaming task-graph schedule yields a byte-identical
+//               serialised DB to the barrier baseline, under seeded worker
+//               counts and seeded per-stage jitter — completion order must
+//               never leak into an output
 #pragma once
 
 #include <optional>
@@ -55,13 +60,14 @@ enum class Oracle : u8 {
   Lb = 5,
   Deps = 6,
   Range = 7,
+  Pipeline = 8,
 };
 
 [[nodiscard]] const char *oracleName(Oracle o);
 [[nodiscard]] std::optional<Oracle> oracleFromName(std::string_view name);
 
 [[nodiscard]] constexpr u32 oracleBit(Oracle o) { return 1u << static_cast<u32>(o); }
-constexpr u32 kAllOracles = 0b11111111;
+constexpr u32 kAllOracles = 0b111111111;
 
 struct OracleFailure {
   Oracle oracle{};

@@ -10,6 +10,8 @@
 #include "lint/irlint.hpp"
 #include "lint/rangelint.hpp"
 #include "support/parallel.hpp"
+#include "support/pipeline.hpp"
+#include "tree/tedengine.hpp"
 
 namespace sv::silvervale {
 
@@ -29,7 +31,16 @@ lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &optio
   lint::Report report;
   report.app = codebase.app;
   report.model = codebase.model;
-  for (auto &parsed : db::parseUnits(codebase)) {
+
+  // parse → lint as pipeline stages: unit B parses while unit A is still in
+  // the (much heavier) lower+lint stage. Report order is input order.
+  std::vector<const db::CompileCommand *> cmds;
+  for (const auto &cmd : codebase.commands) cmds.push_back(&cmd);
+  Pipeline<const db::CompileCommand *, db::ParsedUnit, lint::UnitReport> pipe("lint-units");
+  pipe.stage<0>("parse", [&codebase](const db::CompileCommand *&&cmd, usize) {
+    return db::parseUnit(codebase, *cmd);
+  });
+  pipe.stage<1>("lint", [&options](db::ParsedUnit &&parsed, usize) {
     lint::UnitReport unit;
     unit.file = parsed.file;
     unit.diags = lint::run(parsed.tu);
@@ -50,24 +61,37 @@ lint::Report lintCodebase(const db::Codebase &codebase, const LintOptions &optio
         unit.diags.insert(unit.diags.end(), rangeDiags.begin(), rangeDiags.end());
       }
     }
-    report.units.push_back(std::move(unit));
-  }
+    return unit;
+  });
+  PipeOptions pipeOptions;
+  pipeOptions.mode = options.mode;
+  pipeOptions.threads = options.threads;
+  report.units = pipe.run(std::move(cmds), pipeOptions);
   return report;
 }
 
-DepsReport depsCodebase(const db::Codebase &codebase) {
+DepsReport depsCodebase(const db::Codebase &codebase, ExecMode mode) {
   DepsReport report;
   report.app = codebase.app;
   report.model = codebase.model;
-  for (auto &lowered : db::lowerUnits(codebase)) {
+  std::vector<const db::CompileCommand *> cmds;
+  for (const auto &cmd : codebase.commands) cmds.push_back(&cmd);
+  Pipeline<const db::CompileCommand *, db::LoweredUnit, DepsUnit> pipe("deps-units");
+  pipe.stage<0>("lower", [&codebase](const db::CompileCommand *&&cmd, usize) {
+    return db::lowerParsed(db::parseUnit(codebase, *cmd));
+  });
+  pipe.stage<1>("analyze", [](db::LoweredUnit &&lowered, usize) {
     DepsUnit unit;
     unit.file = lowered.file;
     // The whole-codebase report is the expensive path anyway, so it runs
     // under the interprocedural value ranges for the sharper verdicts.
     const auto ranges = ir::analyzeModuleRanges(lowered.module);
     unit.deps = ir::analyzeModule(lowered.module, &ranges);
-    report.units.push_back(std::move(unit));
-  }
+    return unit;
+  });
+  PipeOptions pipeOptions;
+  pipeOptions.mode = mode;
+  report.units = pipe.run(std::move(cmds), pipeOptions);
   return report;
 }
 
@@ -196,11 +220,17 @@ json::Value DepsReport::toJson() const {
   return json::Value(std::move(root));
 }
 
-RangeReport rangeCodebase(const db::Codebase &codebase) {
+RangeReport rangeCodebase(const db::Codebase &codebase, ExecMode mode) {
   RangeReport report;
   report.app = codebase.app;
   report.model = codebase.model;
-  for (auto &lowered : db::lowerUnits(codebase)) {
+  std::vector<const db::CompileCommand *> cmds;
+  for (const auto &cmd : codebase.commands) cmds.push_back(&cmd);
+  Pipeline<const db::CompileCommand *, db::LoweredUnit, RangeUnit> pipe("range-units");
+  pipe.stage<0>("lower", [&codebase](const db::CompileCommand *&&cmd, usize) {
+    return db::lowerParsed(db::parseUnit(codebase, *cmd));
+  });
+  pipe.stage<1>("analyze", [](db::LoweredUnit &&lowered, usize) {
     RangeUnit unit;
     unit.file = lowered.file;
     const auto mr = ir::analyzeModuleRanges(lowered.module);
@@ -216,8 +246,11 @@ RangeReport rangeCodebase(const db::Codebase &codebase) {
       unit.functions.push_back(std::move(rf));
     }
     unit.diags = lint::runRange(lowered.module);
-    report.units.push_back(std::move(unit));
-  }
+    return unit;
+  });
+  PipeOptions pipeOptions;
+  pipeOptions.mode = mode;
+  report.units = pipe.run(std::move(cmds), pipeOptions);
   return report;
 }
 
@@ -289,18 +322,54 @@ json::Value RangeReport::toJson() const {
   return json::Value(std::move(root));
 }
 
+namespace {
+
+/// Materialise the ports and index them. Streaming routes every port
+/// through ONE db::indexBatch call: the units of every port become a
+/// single item stream through the shared frontend→trees→lower→sign
+/// pipeline, so no port-level barrier remains and a slow port's tail unit
+/// never idles the workers. Barrier replays the classic schedule this
+/// replaced — parallelFor at PORT granularity, each port's units and
+/// stages strictly serial inside — which is also the regression baseline
+/// bench/pipeline_bench.cpp gates against. Outputs are byte-identical.
+std::vector<db::CodebaseDb> indexPorts(const std::vector<std::pair<std::string, std::string>> &jobs,
+                                       const IndexAppOptions &options) {
+  std::vector<db::Codebase> codebases;
+  codebases.reserve(jobs.size());
+  for (const auto &[app, model] : jobs) codebases.push_back(corpus::make(app, model));
+  db::IndexOptions idx;
+  idx.runCoverage = options.coverage;
+  idx.mode = options.mode;
+  idx.threads = options.threads;
+
+  std::vector<db::CodebaseDb> out;
+  if (options.mode == ExecMode::Barrier) {
+    idx.threads = 1; // the classic schedule: all parallelism at port level
+    out.resize(codebases.size());
+    parallelFor(
+        codebases.size(),
+        [&](usize i) { out[i] = db::indexBatch({&codebases[i]}, idx).front().db; },
+        options.threads);
+    return out;
+  }
+
+  std::vector<const db::Codebase *> ptrs;
+  for (const auto &cb : codebases) ptrs.push_back(&cb);
+  auto results = db::indexBatch(ptrs, idx);
+  out.reserve(results.size());
+  for (auto &r : results) out.push_back(std::move(r.db));
+  return out;
+}
+
+} // namespace
+
 IndexedApp indexApp(const std::string &app, const IndexAppOptions &options) {
   IndexedApp out;
   out.app = app;
   const auto names = options.models.empty() ? corpus::modelsOf(app) : options.models;
-  out.models.resize(names.size());
-  // Indexing a port is independent of every other port.
-  parallelFor(names.size(), [&](usize i) {
-    const auto cb = corpus::make(app, names[i]);
-    db::IndexOptions idx;
-    idx.runCoverage = options.coverage;
-    out.models[i] = db::index(cb, idx).db;
-  });
+  std::vector<std::pair<std::string, std::string>> jobs;
+  for (const auto &name : names) jobs.emplace_back(app, name);
+  out.models = indexPorts(jobs, options);
   return out;
 }
 
@@ -309,14 +378,12 @@ std::vector<CorpusPort> indexAllPorts(const IndexAppOptions &options) {
   for (const auto &app : corpus::appNames())
     for (const auto &model : corpus::modelsOf(app)) jobs.emplace_back(app, model);
 
+  auto dbs = indexPorts(jobs, options);
   std::vector<CorpusPort> out(jobs.size());
-  parallelFor(jobs.size(), [&](usize i) {
-    const auto cb = corpus::make(jobs[i].first, jobs[i].second);
-    db::IndexOptions idx;
-    idx.runCoverage = options.coverage;
+  for (usize i = 0; i < jobs.size(); ++i) {
     out[i].label = jobs[i].first + "/" + jobs[i].second;
-    out[i].db = db::index(cb, idx).db;
-  });
+    out[i].db = std::move(dbs[i]);
+  }
   return out;
 }
 
@@ -346,7 +413,7 @@ analysis::DistanceMatrix boundedMatrix(std::vector<std::string> labels,
                                        const std::vector<const db::CodebaseDb *> &dbs,
                                        metrics::Metric metric, metrics::Variant variant,
                                        const tree::TedOptions &ted, double radius,
-                                       metrics::QueryStats *stats) {
+                                       metrics::QueryStats *stats, ExecMode mode) {
   analysis::DistanceMatrix m;
   m.labels = std::move(labels);
   const usize n = dbs.size();
@@ -388,17 +455,70 @@ analysis::DistanceMatrix boundedMatrix(std::vector<std::string> labels,
     return bd.outcome == metrics::FilterOutcome::Exact ? bd.divergence.normalised() : radius;
   };
 
-  parallelFor(pairs.size(), [&](usize p) {
+  // One full entry: both directions, max, radius-capping. With the engine
+  // on, dij computes the unit-pair TEDs and dji replays them from the
+  // symmetric pair memo; only the accounting differs.
+  const auto pairBody = [&](usize p) {
     const auto [i, j] = pairs[p];
-    // With the engine on, dij computes the unit-pair TEDs and dji replays
-    // them from the symmetric pair memo; only the accounting differs.
     const double dij = directed(i, j);
     if (filter && dij >= radius) {
       results[p] = radius; // the max over directions is already decided
       return;
     }
     results[p] = std::max(dij, directed(j, i));
-  });
+  };
+
+  // The exact tree-metric path through the engine can stream at unit-pair
+  // granularity: every matched unit-pair TED becomes its own task warming
+  // the symmetric pair memo, and a pair finalises (cheap memo replay) the
+  // moment its last TED lands — no pair ever waits behind an unrelated
+  // slow pair's whole entry. Arithmetic is unchanged, so the matrix is
+  // byte-identical to the barrier arm.
+  const bool streamUnits = mode == ExecMode::Streaming && !filter &&
+                           metrics::isTreeMetric(metric) && !variant.coverage && ted.useCache;
+  if (mode == ExecMode::Barrier) {
+    parallelFor(pairs.size(), pairBody);
+  } else if (!streamUnits) {
+    PipeOptions poolOptions;
+    poolOptions.mode = ExecMode::Streaming;
+    TaskPool pool("matrix-pairs");
+    pool.run(pairs.size(), pairBody, poolOptions);
+  } else {
+    struct TedItem {
+      usize pair = 0;
+      const tree::Tree *t1 = nullptr;
+      const tree::Tree *t2 = nullptr;
+    };
+    std::vector<TedItem> items;
+    std::vector<usize> matchedTrees(pairs.size(), 0);
+    for (usize p = 0; p < pairs.size(); ++p) {
+      const auto [i, j] = pairs[p];
+      for (const auto &[u1, u2] : metrics::matchUnits(*dbs[i], *dbs[j])) {
+        if (!u1 || !u2) continue;
+        items.push_back({p, &metrics::metricTree(*u1, metric, variant),
+                         &metrics::metricTree(*u2, metric, variant)});
+        ++matchedTrees[p];
+      }
+    }
+    std::vector<usize> unmatched; // pairs with no tree pair still need an entry
+    for (usize p = 0; p < pairs.size(); ++p)
+      if (matchedTrees[p] == 0) unmatched.push_back(p);
+    std::vector<std::atomic<usize>> remaining(pairs.size());
+    for (usize p = 0; p < pairs.size(); ++p) remaining[p].store(matchedTrees[p]);
+
+    PipeOptions poolOptions;
+    poolOptions.mode = ExecMode::Streaming;
+    TaskPool pool("matrix-pairs");
+    pool.run(items.size() + unmatched.size(), [&](usize k) {
+      if (k < items.size()) {
+        const auto &item = items[k];
+        (void)tree::tedDispatch(*item.t1, *item.t2, ted); // warm the pair memo
+        if (remaining[item.pair].fetch_sub(1) == 1) pairBody(item.pair);
+      } else {
+        pairBody(unmatched[k - items.size()]);
+      }
+    }, poolOptions);
+  }
   for (usize p = 0; p < pairs.size(); ++p)
     m.set(pairs[p].first, pairs[p].second, results[p]);
 
@@ -415,22 +535,22 @@ analysis::DistanceMatrix boundedMatrix(std::vector<std::string> labels,
 
 analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app, metrics::Metric metric,
                                           metrics::Variant variant,
-                                          const tree::TedOptions &ted) {
+                                          const tree::TedOptions &ted, ExecMode mode) {
   std::vector<const db::CodebaseDb *> dbs;
   for (const auto &m : app.models) dbs.push_back(&m);
-  return boundedMatrix(app.modelNames(), dbs, metric, variant, ted, /*radius=*/0, nullptr);
+  return boundedMatrix(app.modelNames(), dbs, metric, variant, ted, /*radius=*/0, nullptr, mode);
 }
 
 analysis::DistanceMatrix portMatrix(const std::vector<CorpusPort> &ports, metrics::Metric metric,
                                     metrics::Variant variant, const tree::TedOptions &ted,
-                                    double radius, metrics::QueryStats *stats) {
+                                    double radius, metrics::QueryStats *stats, ExecMode mode) {
   std::vector<std::string> labels;
   std::vector<const db::CodebaseDb *> dbs;
   for (const auto &p : ports) {
     labels.push_back(p.label);
     dbs.push_back(&p.db);
   }
-  return boundedMatrix(std::move(labels), dbs, metric, variant, ted, radius, stats);
+  return boundedMatrix(std::move(labels), dbs, metric, variant, ted, radius, stats, mode);
 }
 
 analysis::DistanceMatrix absoluteDifferenceMatrix(const IndexedApp &app, metrics::Metric metric,

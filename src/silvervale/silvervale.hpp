@@ -33,6 +33,11 @@ struct IndexAppOptions {
   bool coverage = false;
   /// Restrict to these models (empty = all registered ports).
   std::vector<std::string> models;
+  /// Stage-pipeline schedule for the underlying db::indexBatch (streaming
+  /// task graph vs classic phase barriers; byte-identical outputs).
+  ExecMode mode = defaultExecMode();
+  /// Worker count for the pipeline (0 = configured/SV_THREADS/hardware).
+  usize threads = 0;
 };
 
 /// Index one corpus app across its ports. Throws on corpus errors (which
@@ -50,7 +55,8 @@ struct IndexAppOptions {
 [[nodiscard]] analysis::DistanceMatrix divergenceMatrix(const IndexedApp &app,
                                                         metrics::Metric metric,
                                                         metrics::Variant variant = {},
-                                                        const tree::TedOptions &ted = {});
+                                                        const tree::TedOptions &ted = {},
+                                                        ExecMode mode = defaultExecMode());
 
 /// One indexed port of the cross-app corpus, labelled "app/model".
 struct CorpusPort {
@@ -78,7 +84,8 @@ struct CorpusPort {
                                                   metrics::Variant variant = {},
                                                   const tree::TedOptions &ted = {},
                                                   double radius = 0,
-                                                  metrics::QueryStats *stats = nullptr);
+                                                  metrics::QueryStats *stats = nullptr,
+                                                  ExecMode mode = defaultExecMode());
 
 /// For the SLOC/LLOC pseudo-clustering of Fig 5/6: absolute values per
 /// model turned into |a - b| distances.
@@ -114,6 +121,11 @@ struct LintOptions {
   /// division-by-zero / dead-branch / zero-trip-loop verdicts from the
   /// interprocedural interval analysis over the SSA overlay.
   bool range = false;
+  /// parse→lint stage-pipeline schedule (streaming vs barrier; identical
+  /// reports either way — unit order in the report is input order).
+  ExecMode mode = defaultExecMode();
+  /// Worker count for the pipeline (0 = configured default).
+  usize threads = 0;
 };
 
 /// Run the linter over every translation unit of a codebase (frontend only
@@ -143,7 +155,8 @@ struct DepsReport {
   [[nodiscard]] json::Value toJson() const;
 };
 
-[[nodiscard]] DepsReport depsCodebase(const db::Codebase &codebase);
+[[nodiscard]] DepsReport depsCodebase(const db::Codebase &codebase,
+                                      ExecMode mode = defaultExecMode());
 
 /// Per-function value-range summary of one port, for `svale range <app>
 /// [model]`: each unit lowered, the interprocedural analysis run, and every
@@ -172,6 +185,7 @@ struct RangeReport {
   [[nodiscard]] json::Value toJson() const;
 };
 
-[[nodiscard]] RangeReport rangeCodebase(const db::Codebase &codebase);
+[[nodiscard]] RangeReport rangeCodebase(const db::Codebase &codebase,
+                                        ExecMode mode = defaultExecMode());
 
 } // namespace sv::silvervale

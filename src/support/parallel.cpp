@@ -7,13 +7,16 @@ namespace sv {
 
 namespace {
 
-/// Set inside pool workers; a parallelFor issued from one must run serially
-/// (its ancestors already hold pool slots — waiting on the pool deadlocks).
-thread_local bool tlInPoolWorker = false;
-
 std::atomic<usize> gConfiguredThreads{0};
+std::atomic<usize> gSuppressedErrors{0};
 
 } // namespace
+
+usize suppressedErrorCount() { return gSuppressedErrors.load(std::memory_order_relaxed); }
+
+void noteSuppressedErrors(usize n) {
+  if (n != 0) gSuppressedErrors.fetch_add(n, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(usize threads) {
   usize n = threads != 0 ? threads : std::thread::hardware_concurrency();
@@ -43,15 +46,15 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return pending_ == 0; });
-  if (firstError_) {
-    const auto err = firstError_;
-    firstError_ = nullptr;
-    std::rethrow_exception(err);
+  if (!errors_.empty()) {
+    const auto first = errors_.front();
+    noteSuppressedErrors(errors_.size() - 1);
+    errors_.clear();
+    std::rethrow_exception(first);
   }
 }
 
 void ThreadPool::workerLoop() {
-  tlInPoolWorker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -65,7 +68,7 @@ void ThreadPool::workerLoop() {
       task();
     } catch (...) {
       const std::lock_guard lock(mutex_);
-      if (!firstError_) firstError_ = std::current_exception();
+      errors_.push_back(std::current_exception());
     }
     {
       const std::lock_guard lock(mutex_);
@@ -74,6 +77,73 @@ void ThreadPool::workerLoop() {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable finished;
+  usize pending = 0;
+  std::vector<std::exception_ptr> errors;
+  usize errorTotal = 0;
+};
+
+TaskGroup::TaskGroup(ThreadPool &pool) : state_(std::make_shared<State>()), pool_(pool) {}
+
+TaskGroup::~TaskGroup() {
+  // Wait without throwing: anything unconsumed is counted, not lost.
+  std::unique_lock lock(state_->mutex);
+  state_->finished.wait(lock, [this] { return state_->pending == 0; });
+  noteSuppressedErrors(state_->errors.size());
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(state_->mutex);
+    ++state_->pending;
+  }
+  // The wrapper owns the group state, so a task outliving the TaskGroup
+  // object is impossible to observe (the destructor waits) and exceptions
+  // never reach the pool's own collector.
+  pool_.submit([state = state_, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard lock(state->mutex);
+      state->errors.push_back(std::current_exception());
+      ++state->errorTotal;
+    }
+    bool done = false;
+    {
+      const std::lock_guard lock(state->mutex);
+      done = --state->pending == 0;
+    }
+    if (done) state->finished.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::exception_ptr first;
+  {
+    std::unique_lock lock(state_->mutex);
+    state_->finished.wait(lock, [this] { return state_->pending == 0; });
+    if (!state_->errors.empty()) {
+      first = state_->errors.front();
+      noteSuppressedErrors(state_->errors.size() - 1);
+      state_->errors.clear();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+usize TaskGroup::errorCount() const {
+  const std::lock_guard lock(state_->mutex);
+  return state_->errorTotal;
+}
+
+// ---------------------------------------------------------------------------
+// parallelFor
 
 usize resolveThreadCount(usize explicitThreads, const char *envValue, usize hardware) {
   if (explicitThreads != 0) return explicitThreads;
@@ -89,29 +159,64 @@ void configureThreads(usize threads) {
   gConfiguredThreads.store(threads, std::memory_order_relaxed);
 }
 
+usize effectiveThreadCount(usize threads) {
+  return resolveThreadCount(threads != 0 ? threads
+                                         : gConfiguredThreads.load(std::memory_order_relaxed),
+                            std::getenv("SV_THREADS"), std::thread::hardware_concurrency());
+}
+
 ThreadPool &sharedPool() {
-  static ThreadPool pool(resolveThreadCount(gConfiguredThreads.load(std::memory_order_relaxed),
-                                            std::getenv("SV_THREADS"),
-                                            std::thread::hardware_concurrency()));
+  static ThreadPool pool(effectiveThreadCount(0));
   return pool;
 }
 
+namespace {
+
+/// Heap state shared between the caller and its helper tasks. Helpers keep
+/// it alive via shared_ptr, so a helper that the pool only gets around to
+/// running after the loop already drained finds next >= n and returns
+/// without touching anything else — which is what makes nested calls safe:
+/// nobody ever waits for a *queued* task, only for claimed indices, and
+/// every claimed index is finished by the thread that claimed it.
+struct ForState {
+  std::function<void(usize)> body; // owned copy: helpers may outlive the call site
+  usize n = 0;
+  std::atomic<usize> next{0};
+  std::atomic<usize> done{0};
+  std::mutex mutex; // guards errors and the finished wait
+  std::condition_variable finished;
+  std::vector<std::exception_ptr> errors;
+};
+
+void drainForState(const std::shared_ptr<ForState> &st) {
+  while (true) {
+    const usize i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->n) return;
+    try {
+      st->body(i);
+    } catch (...) {
+      const std::lock_guard lock(st->mutex);
+      st->errors.push_back(std::current_exception());
+    }
+    if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+      const std::lock_guard lock(st->mutex);
+      st->finished.notify_all();
+    }
+  }
+}
+
+} // namespace
+
 void parallelFor(usize n, const std::function<void(usize)> &body, usize threads) {
   if (n == 0) return;
-  const usize want =
-      tlInPoolWorker ? 1
-                     : resolveThreadCount(threads != 0
-                                              ? threads
-                                              : gConfiguredThreads.load(std::memory_order_relaxed),
-                                          std::getenv("SV_THREADS"),
-                                          std::thread::hardware_concurrency());
+  const usize want = effectiveThreadCount(threads);
   if (want == 1 || n < 2) {
     for (usize i = 0; i < n; ++i) body(i);
     return;
   }
 
   // The caller drains alongside pool workers, so `want` workers means
-  // want - 1 submitted tasks (capped by the pool size and by n).
+  // want - 1 submitted helper tasks (capped by the pool size and by n).
   ThreadPool &pool = sharedPool();
   const usize workerCount = std::min({want, pool.threadCount() + 1, n});
   if (workerCount == 1) {
@@ -119,40 +224,24 @@ void parallelFor(usize n, const std::function<void(usize)> &body, usize threads)
     return;
   }
 
-  std::atomic<usize> nextIndex{0};
-  std::mutex doneMutex; // guards remaining and firstError
-  std::condition_variable done;
-  usize remaining = workerCount - 1;
-  std::exception_ptr firstError;
-
-  const auto drain = [&] {
-    while (true) {
-      const usize i = nextIndex.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        const std::lock_guard lock(doneMutex);
-        if (!firstError) firstError = std::current_exception();
-      }
-    }
-  };
-
+  auto st = std::make_shared<ForState>();
+  st->body = body;
+  st->n = n;
   for (usize w = 0; w + 1 < workerCount; ++w) {
-    pool.submit([&] {
-      drain();
-      // Notify under the lock: the moment remaining hits zero with the
-      // mutex released, the caller may return and destroy these locals.
-      const std::lock_guard lock(doneMutex);
-      --remaining;
-      if (remaining == 0) done.notify_all();
-    });
+    pool.submit([st] { drainForState(st); });
   }
-  drain();
+  drainForState(st);
 
-  std::unique_lock lock(doneMutex);
-  done.wait(lock, [&] { return remaining == 0; });
-  if (firstError) std::rethrow_exception(firstError);
+  {
+    std::unique_lock lock(st->mutex);
+    st->finished.wait(lock,
+                      [&] { return st->done.load(std::memory_order_acquire) == st->n; });
+  }
+  // done == n means every body() call has returned, so errors is quiescent.
+  if (!st->errors.empty()) {
+    noteSuppressedErrors(st->errors.size() - 1);
+    std::rethrow_exception(st->errors.front());
+  }
 }
 
 } // namespace sv

@@ -1,8 +1,8 @@
-// A work-stealing-free but cache-friendly thread pool plus parallel_for /
-// parallel_map helpers. The pairwise TED computations over the cartesian
-// product of models (Section V-A) are embarrassingly parallel and dominated
-// by a few large pairs, so we use dynamic chunking (atomic fetch-add over
-// blocks) rather than static partitioning.
+// A cache-friendly thread pool plus parallel_for / parallel_map helpers.
+// The pairwise TED computations over the cartesian product of models
+// (Section V-A) are embarrassingly parallel and dominated by a few large
+// pairs, so we use dynamic chunking (atomic fetch-add over blocks) rather
+// than static partitioning.
 //
 // `parallelFor` routes through one process-wide, lazily-constructed pool —
 // spawning and joining fresh threads on every `buildMatrix`/`indexApp` call
@@ -10,11 +10,19 @@
 // precedence: the per-call `threads` argument, `configureThreads` (the
 // `svale --threads` flag), the `SV_THREADS` environment variable, and
 // hardware_concurrency.
+//
+// Nested parallelFor calls are fully supported: each call owns a shared
+// heap state that its helper tasks drain cooperatively, the caller always
+// participates, and every claimed index is finished by the thread that
+// claimed it — so a nested call can only ever wait on threads that are
+// actively executing, never on a queue slot held by its own ancestors.
+// (The old implementation degraded nested calls to a serial loop.)
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -24,8 +32,15 @@
 
 namespace sv {
 
-/// Fixed-size thread pool. Tasks are void() closures; exceptions thrown by a
-/// task are captured and rethrown from wait().
+/// Exceptions a parallel construct could not rethrow (everything after the
+/// first): counted process-wide and surfaced by `svale --pipeline-stats`.
+[[nodiscard]] usize suppressedErrorCount();
+void noteSuppressedErrors(usize n);
+
+/// Fixed-size thread pool. Tasks are void() closures; exceptions thrown by
+/// a task are captured — wait() rethrows the first and counts the rest via
+/// noteSuppressedErrors(). Prefer TaskGroup for waiting: pool-level wait()
+/// covers *all* tasks, not just the caller's.
 class ThreadPool {
 public:
   /// `threads` == 0 selects hardware_concurrency (at least 1).
@@ -38,9 +53,10 @@ public:
   /// Enqueue a task; safe from any thread.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished; rethrows the first task
-  /// exception, if any. Don't mix with concurrent `parallelFor` callers on
-  /// the shared pool — it waits for *all* tasks, not just yours.
+  /// Block until the pool is fully idle (zero queued or running tasks from
+  /// *any* submitter), then rethrow the first captured task exception.
+  /// Concurrent submitters should use TaskGroup, which waits on its own
+  /// tasks only.
   void wait();
 
   [[nodiscard]] usize threadCount() const { return workers_.size(); }
@@ -55,7 +71,40 @@ private:
   std::condition_variable idle_;
   usize pending_ = 0; // queued + running
   bool stopping_ = false;
-  std::exception_ptr firstError_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// The process-wide pool behind `parallelFor`, built on first use. Exposed
+/// for tests and for callers that want to submit long-lived work directly.
+[[nodiscard]] ThreadPool &sharedPool();
+
+/// Per-caller completion handle over a ThreadPool: submit() enqueues onto
+/// the pool, wait() blocks until *this group's* tasks are done — concurrent
+/// groups on the shared pool wait independently. All task exceptions are
+/// collected; wait() rethrows the first and counts the rest via
+/// noteSuppressedErrors() (total observable through errorCount()). The
+/// destructor waits without throwing.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &pool = sharedPool());
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted through this group has finished;
+  /// rethrows the first collected exception, if any.
+  void wait();
+
+  /// Task exceptions collected over the group's lifetime.
+  [[nodiscard]] usize errorCount() const;
+
+private:
+  struct State;
+  std::shared_ptr<State> state_;
+  ThreadPool &pool_;
 };
 
 /// Worker-count resolution used by the shared pool, exposed pure for tests:
@@ -69,17 +118,19 @@ private:
 /// pool is already built, a value above its size is capped to it.
 void configureThreads(usize threads);
 
-/// The process-wide pool behind `parallelFor`, built on first use. Exposed
-/// for tests and for callers that want to submit long-lived work directly.
-[[nodiscard]] ThreadPool &sharedPool();
+/// The worker count a `parallelFor(…, threads)` call would resolve to,
+/// before capping by the pool size: per-call argument, then
+/// configureThreads, then SV_THREADS, then hardware_concurrency.
+[[nodiscard]] usize effectiveThreadCount(usize threads = 0);
 
 /// Run `body(i)` for i in [0, n) on the shared pool with dynamic chunking.
-/// The calling thread participates as one of the workers, and each call has
-/// its own completion latch, so concurrent calls from different threads are
-/// safe. Falls back to a serial loop when n < 2, when one worker is
-/// resolved, or when already running inside a pool worker (a nested call
-/// would deadlock waiting for the slots its own ancestors occupy). The
-/// first exception thrown by `body` is rethrown after the loop completes.
+/// The calling thread participates as one of the workers and each call has
+/// its own completion state, so concurrent and *nested* calls are safe:
+/// helper tasks are cancellable (a helper that arrives after the loop
+/// drained just returns), so the caller never depends on pool capacity for
+/// progress. Runs serially when n < 2 or one worker is resolved. The first
+/// exception thrown by `body` is rethrown after the loop completes; the
+/// rest are counted via noteSuppressedErrors().
 void parallelFor(usize n, const std::function<void(usize)> &body, usize threads = 0);
 
 /// Parallel map over an index range producing a vector of results. `f` must

@@ -1,0 +1,314 @@
+#include "support/pipeline.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/taskqueue.hpp"
+
+namespace sv {
+
+namespace {
+
+std::atomic<u8> gDefaultMode{static_cast<u8>(ExecMode::Streaming)};
+
+std::mutex gStatsMutex;
+std::vector<NodeStats> gStatsRegistry;
+
+std::mutex gJitterMutex;
+std::shared_ptr<const std::function<void(usize, usize)>> gJitter;
+
+} // namespace
+
+const char *execModeName(ExecMode mode) {
+  return mode == ExecMode::Barrier ? "barrier" : "streaming";
+}
+
+std::optional<ExecMode> execModeFromName(std::string_view name) {
+  if (name == "barrier") return ExecMode::Barrier;
+  if (name == "streaming") return ExecMode::Streaming;
+  return std::nullopt;
+}
+
+ExecMode defaultExecMode() {
+  return static_cast<ExecMode>(gDefaultMode.load(std::memory_order_relaxed));
+}
+
+void setDefaultExecMode(ExecMode mode) {
+  gDefaultMode.store(static_cast<u8>(mode), std::memory_order_relaxed);
+}
+
+double NodeStats::throughput() const {
+  return wallMs > 0 ? static_cast<double>(items) / (wallMs / 1000.0) : 0;
+}
+
+double NodeStats::occupancy() const {
+  if (wallMs <= 0 || workers == 0) return 0;
+  return busyMs / (wallMs * static_cast<double>(workers));
+}
+
+json::Value NodeStats::toJson() const {
+  json::Object o;
+  o.emplace("name", json::Value(name));
+  o.emplace("mode", json::Value(mode));
+  o.emplace("workers", json::Value(workers));
+  o.emplace("items", json::Value(items));
+  o.emplace("steals", json::Value(steals));
+  o.emplace("max_queue_depth", json::Value(maxQueueDepth));
+  o.emplace("busy_ms", json::Value(busyMs));
+  o.emplace("wall_ms", json::Value(wallMs));
+  o.emplace("throughput_per_s", json::Value(throughput()));
+  o.emplace("occupancy", json::Value(occupancy()));
+  if (!children.empty()) {
+    json::Array kids;
+    kids.reserve(children.size());
+    for (const auto &c : children) kids.push_back(c.toJson());
+    o.emplace("stages", json::Value(std::move(kids)));
+  }
+  return json::Value(std::move(o));
+}
+
+std::string NodeStats::renderText(usize indent) const {
+  std::ostringstream out;
+  out << std::string(indent * 2, ' ') << name;
+  if (!mode.empty()) out << " [" << mode << "]";
+  out << std::fixed << std::setprecision(1);
+  out << "  items=" << items << " workers=" << workers << " occ=" << occupancy() * 100 << "%"
+      << " steals=" << steals << " maxq=" << maxQueueDepth << " busy=" << busyMs
+      << "ms wall=" << wallMs << "ms thr=" << throughput() << "/s\n";
+  for (const auto &c : children) out << c.renderText(indent + 1);
+  return out.str();
+}
+
+void registerPipelineStats(NodeStats stats) {
+  const std::lock_guard lock(gStatsMutex);
+  gStatsRegistry.push_back(std::move(stats));
+}
+
+std::vector<NodeStats> drainPipelineStats() {
+  const std::lock_guard lock(gStatsMutex);
+  return std::exchange(gStatsRegistry, {});
+}
+
+void setPipelineStageJitter(std::function<void(usize, usize)> hook) {
+  auto ptr = hook ? std::make_shared<const std::function<void(usize, usize)>>(std::move(hook))
+                  : std::shared_ptr<const std::function<void(usize, usize)>>{};
+  const std::lock_guard lock(gJitterMutex);
+  gJitter = std::move(ptr);
+}
+
+void applyStageJitter(usize stage, usize item) {
+  std::shared_ptr<const std::function<void(usize, usize)>> hook;
+  {
+    const std::lock_guard lock(gJitterMutex);
+    hook = gJitter;
+  }
+  if (hook) (*hook)(stage, item);
+}
+
+// ---------------------------------------------------------------------------
+// StreamRuntime
+
+using Task = std::function<void()>;
+
+struct StreamRuntime::Impl {
+  std::string name;
+  usize workers = 1;
+  std::vector<std::unique_ptr<WorkStealingDeque<Task>>> deques;
+  TaskQueue<Task> inject;
+
+  std::mutex mutex; // guards pending, errors, and the flushed counters
+  std::condition_variable wake;
+  usize pending = 0;
+  std::vector<std::exception_ptr> errors;
+  usize errorTotal = 0;
+  u64 busyNs = 0;
+  usize items = 0;
+  u64 wallNs = 0;
+};
+
+namespace {
+
+/// Which runtime (and worker slot) the current thread is draining, so that
+/// spawn() from inside a task lands on the worker's own deque. A stack
+/// discipline (save/restore) keeps nested runtimes correct.
+struct WorkerContext {
+  StreamRuntime::Impl *impl = nullptr;
+  usize index = 0;
+};
+thread_local WorkerContext tlWorker;
+
+void workerLoop(const std::shared_ptr<StreamRuntime::Impl> &impl, usize index) {
+  const WorkerContext saved = tlWorker;
+  tlWorker = {impl.get(), index};
+
+  auto &own = *impl->deques[index];
+  u64 localBusyNs = 0;
+  usize localItems = 0;
+
+  while (true) {
+    std::optional<Task> task = own.popBottom();
+    if (!task) {
+      for (usize k = 1; k < impl->workers && !task; ++k)
+        task = impl->deques[(index + k) % impl->workers]->stealTop();
+    }
+    if (!task) task = impl->inject.tryPop();
+
+    if (task) {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        (*task)();
+      } catch (...) {
+        const std::lock_guard lock(impl->mutex);
+        impl->errors.push_back(std::current_exception());
+        ++impl->errorTotal;
+      }
+      localBusyNs += static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+      ++localItems;
+      bool finished = false;
+      {
+        const std::lock_guard lock(impl->mutex);
+        impl->busyNs += std::exchange(localBusyNs, 0);
+        impl->items += std::exchange(localItems, 0);
+        finished = --impl->pending == 0;
+      }
+      if (finished) impl->wake.notify_all();
+    } else {
+      std::unique_lock lock(impl->mutex);
+      if (impl->pending == 0) break;
+      // Timed wait instead of a precise wakeup protocol: spawns notify one
+      // sleeper, but a steal-then-spawn interleaving could miss it, and a
+      // 200us poll on an otherwise-idle worker is noise next to the task
+      // granularity (whole compiler phases).
+      impl->wake.wait_for(lock, std::chrono::microseconds(200));
+    }
+  }
+
+  tlWorker = saved;
+}
+
+} // namespace
+
+StreamRuntime::StreamRuntime(std::string name, usize threads) : impl_(std::make_shared<Impl>()) {
+  impl_->name = std::move(name);
+  impl_->workers = std::min(effectiveThreadCount(threads), sharedPool().threadCount() + 1);
+  if (impl_->workers == 0) impl_->workers = 1;
+  impl_->deques.reserve(impl_->workers);
+  for (usize i = 0; i < impl_->workers; ++i)
+    impl_->deques.push_back(std::make_unique<WorkStealingDeque<Task>>());
+}
+
+StreamRuntime::~StreamRuntime() = default;
+
+void StreamRuntime::spawn(Task task) {
+  {
+    const std::lock_guard lock(impl_->mutex);
+    ++impl_->pending;
+  }
+  if (tlWorker.impl == impl_.get()) {
+    impl_->deques[tlWorker.index]->pushBottom(std::move(task));
+  } else {
+    impl_->inject.push(std::move(task));
+  }
+  impl_->wake.notify_one();
+}
+
+void StreamRuntime::run() {
+  const auto wallStart = std::chrono::steady_clock::now();
+  // Helpers are borrowed, not owned: they capture the shared Impl, drain
+  // until the graph is empty, and return to the pool. run() never joins a
+  // specific thread, so a saturated pool degrades to the caller draining
+  // everything alone — never to a deadlock.
+  for (usize w = 1; w < impl_->workers; ++w) {
+    sharedPool().submit([impl = impl_, w] { workerLoop(impl, w); });
+  }
+  workerLoop(impl_, 0);
+  impl_->wallNs = static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       std::chrono::steady_clock::now() - wallStart)
+                                       .count());
+
+  std::exception_ptr first;
+  {
+    const std::lock_guard lock(impl_->mutex);
+    if (!impl_->errors.empty()) {
+      first = impl_->errors.front();
+      noteSuppressedErrors(impl_->errors.size() - 1);
+      impl_->errors.clear();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+usize StreamRuntime::workerCount() const { return impl_->workers; }
+
+usize StreamRuntime::errorCount() const {
+  const std::lock_guard lock(impl_->mutex);
+  return impl_->errorTotal;
+}
+
+NodeStats StreamRuntime::stats() const {
+  NodeStats s;
+  s.name = impl_->name;
+  s.mode = execModeName(ExecMode::Streaming);
+  s.workers = impl_->workers;
+  {
+    const std::lock_guard lock(impl_->mutex);
+    s.items = impl_->items;
+    s.busyMs = static_cast<double>(impl_->busyNs) / 1e6;
+    s.wallMs = static_cast<double>(impl_->wallNs) / 1e6;
+  }
+  for (const auto &d : impl_->deques) {
+    s.steals += d->stolenCount();
+    if (d->maxDepth() > s.maxQueueDepth) s.maxQueueDepth = d->maxDepth();
+  }
+  if (impl_->inject.maxDepth() > s.maxQueueDepth) s.maxQueueDepth = impl_->inject.maxDepth();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool
+
+NodeStats TaskPool::run(usize n, const std::function<void(usize)> &body,
+                        const PipeOptions &options) {
+  const auto wallStart = std::chrono::steady_clock::now();
+  NodeStats node;
+  if (options.mode == ExecMode::Barrier) {
+    std::atomic<u64> busyNs{0};
+    parallelFor(
+        n,
+        [&](usize i) {
+          applyStageJitter(0, i);
+          const auto t0 = std::chrono::steady_clock::now();
+          body(i);
+          busyNs.fetch_add(static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                std::chrono::steady_clock::now() - t0)
+                                                .count()),
+                           std::memory_order_relaxed);
+        },
+        options.threads);
+    node.workers = effectiveThreadCount(options.threads);
+    node.items = n;
+    node.busyMs = static_cast<double>(busyNs.load(std::memory_order_relaxed)) / 1e6;
+  } else {
+    StreamRuntime rt(name_, options.threads);
+    for (usize i = 0; i < n; ++i) {
+      rt.spawn([&body, i] {
+        applyStageJitter(0, i);
+        body(i);
+      });
+    }
+    rt.run();
+    node = rt.stats();
+  }
+  node.name = name_;
+  node.mode = execModeName(options.mode);
+  node.wallMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wallStart)
+          .count();
+  lastStats_ = node;
+  if (options.registerStats) registerPipelineStats(node);
+  return lastStats_;
+}
+
+} // namespace sv

@@ -1,0 +1,311 @@
+// Streaming task-graph runtime: the alternative to full-width phase
+// barriers. A corpus-wide operation used to run as `parallelFor` per phase
+// — parse *everything*, barrier, lower *everything*, barrier, ... — so the
+// slowest translation unit in each phase stalled all 46 ports. Here the
+// unit-level flow is expressed as composable pattern nodes instead:
+//
+//   Pipeline<Ts...>  typed stage chain; finishing stage k of item i
+//                    immediately spawns stage k+1 of item i (LIFO on the
+//                    owner's deque, so one item runs depth-first and stays
+//                    cache-hot while other items stream behind it)
+//   TaskPool         flat work-stealing for-each over n indices
+//   mapReduce        TaskPool map into slots + deterministic left fold
+//
+// All nodes run on a StreamRuntime: the caller drains as worker 0, helper
+// workers are borrowed from sharedPool() (cancellable — a saturated pool
+// just means the caller does all the work itself; nothing joins on a
+// specific thread), each worker owns a WorkStealingDeque and steals from
+// its peers when dry, and spawns from outside the worker set land on an
+// MPMC injection TaskQueue (taskqueue.hpp).
+//
+// Determinism contract: results land in slots indexed by item, never in
+// completion order, so Barrier and Streaming modes produce byte-identical
+// serialised output. Every node self-reports throughput, occupancy, queue
+// depth and steal counts into a NodeStats tree (`svale --pipeline-stats`),
+// following the self-instrumented pattern-node design of the Extra-P
+// compositional performance analyzer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+
+namespace sv {
+
+/// How a pattern node executes: `Barrier` is the classic full-width
+/// phase-barrier schedule (parallelFor per stage, every intermediate
+/// materialised across all items — kept as the measurable baseline and the
+/// parity reference), `Streaming` is the work-stealing task graph.
+enum class ExecMode : u8 { Barrier, Streaming };
+
+[[nodiscard]] const char *execModeName(ExecMode mode);
+/// "barrier" / "streaming" → mode; anything else → nullopt.
+[[nodiscard]] std::optional<ExecMode> execModeFromName(std::string_view name);
+
+/// Process-wide default mode (Streaming unless overridden). `svale
+/// --pipeline barrier` flips it so every driver can be A/B'd from the CLI.
+[[nodiscard]] ExecMode defaultExecMode();
+void setDefaultExecMode(ExecMode mode);
+
+/// Self-reported measurements of one pattern node (plus one child entry per
+/// pipeline stage). Rendered by `svale --pipeline-stats` and serialised
+/// into BENCH_pipeline.json.
+struct NodeStats {
+  std::string name;
+  std::string mode;        ///< "barrier" or "streaming"
+  usize workers = 0;       ///< workers the node ran with (incl. the caller)
+  usize items = 0;         ///< tasks executed
+  usize steals = 0;        ///< tasks taken from another worker's deque
+  usize maxQueueDepth = 0; ///< high-water mark across deques + injection
+  double busyMs = 0;       ///< summed task execution time across workers
+  double wallMs = 0;       ///< wall time of the node's run()
+  std::vector<NodeStats> children;
+
+  /// Items completed per wall-clock second.
+  [[nodiscard]] double throughput() const;
+  /// busy / (wall * workers): 1.0 = every worker busy the whole run.
+  [[nodiscard]] double occupancy() const;
+  [[nodiscard]] json::Value toJson() const;
+  [[nodiscard]] std::string renderText(usize indent = 0) const;
+};
+
+/// Process-wide stats registry. Nodes append their NodeStats after each
+/// run (unless PipeOptions.registerStats is off); `svale --pipeline-stats`
+/// drains and renders the tree after the command body finishes.
+void registerPipelineStats(NodeStats stats);
+[[nodiscard]] std::vector<NodeStats> drainPipelineStats();
+
+/// Test hook (fuzz `pipeline` oracle): called as hook(stage, item) before
+/// every stage execution of every node, letting the oracle inject random
+/// sleeps that perturb the completion order. Pass an empty function to
+/// clear. Never used outside tests/fuzzing.
+void setPipelineStageJitter(std::function<void(usize, usize)> hook);
+/// Invoke the installed jitter hook, if any (internal, used by node
+/// templates; out-of-line so the hot path stays a single call).
+void applyStageJitter(usize stage, usize item);
+
+struct PipeOptions {
+  ExecMode mode = defaultExecMode();
+  /// 0 = resolve like parallelFor (configureThreads / SV_THREADS / cores).
+  usize threads = 0;
+  /// Append this run's NodeStats to the process-wide registry.
+  bool registerStats = true;
+};
+
+/// The execution substrate of the streaming nodes. Usage: construct, spawn
+/// seed tasks, call run() once; run() returns when every task — including
+/// tasks spawned transitively from inside tasks — has finished, and
+/// rethrows the first task exception (the rest are counted, reported via
+/// suppressedErrorCount()). A task running on a worker spawns onto its own
+/// deque (LIFO continuation); any other thread spawns onto the injection
+/// queue. Helper workers are borrowed from sharedPool() and give
+/// themselves back the moment the graph drains.
+class StreamRuntime {
+public:
+  explicit StreamRuntime(std::string name, usize threads = 0);
+  ~StreamRuntime();
+
+  StreamRuntime(const StreamRuntime &) = delete;
+  StreamRuntime &operator=(const StreamRuntime &) = delete;
+
+  /// Enqueue a task; safe from any thread, including from inside a task.
+  void spawn(std::function<void()> task);
+
+  /// Drain the graph with the calling thread participating as worker 0.
+  void run();
+
+  [[nodiscard]] usize workerCount() const;
+  /// Task exceptions seen during the last run() (1 rethrown, rest counted).
+  [[nodiscard]] usize errorCount() const;
+  /// Aggregated measurements; valid after run().
+  [[nodiscard]] NodeStats stats() const;
+
+  struct Impl; // opaque; public so the worker loop in pipeline.cpp can see it
+
+private:
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Flat work-stealing for-each: run body(i) for i in [0, n) under `mode`,
+/// returning (and optionally registering) the node's measurements.
+class TaskPool {
+public:
+  explicit TaskPool(std::string name) : name_(std::move(name)) {}
+
+  NodeStats run(usize n, const std::function<void(usize)> &body, const PipeOptions &options = {});
+
+  [[nodiscard]] const NodeStats &lastStats() const { return lastStats_; }
+
+private:
+  std::string name_;
+  NodeStats lastStats_;
+};
+
+/// Typed stage chain over item types Ts... (N+1 types = N stages). Stage K
+/// maps Ts[K]&& → Ts[K+1] for one item. In Streaming mode, finishing stage
+/// K of item i spawns stage K+1 of item i onto the worker's own deque;
+/// in Barrier mode every stage runs as a full-width parallelFor with all
+/// intermediates materialised (the baseline being replaced). Outputs land
+/// in slots indexed by item, so both modes are byte-identical.
+/// Intermediate and output types must be default-constructible and
+/// movable (they sit in pre-sized slot vectors).
+template <typename... Ts> class Pipeline {
+  static_assert(sizeof...(Ts) >= 2, "Pipeline needs an input and an output type");
+
+public:
+  static constexpr usize kStageCount = sizeof...(Ts) - 1;
+  template <usize K> using StageIn = std::tuple_element_t<K, std::tuple<Ts...>>;
+  template <usize K> using StageOut = std::tuple_element_t<K + 1, std::tuple<Ts...>>;
+  using In = StageIn<0>;
+  using Out = std::tuple_element_t<kStageCount, std::tuple<Ts...>>;
+  template <usize K> using StageFn = std::function<StageOut<K>(StageIn<K> &&, usize)>;
+
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  /// Install stage K. Every stage must be set before run().
+  template <usize K> Pipeline &stage(std::string stageName, StageFn<K> fn) {
+    static_assert(K < kStageCount);
+    meta_[K].name = std::move(stageName);
+    std::get<K>(fns_) = std::move(fn);
+    return *this;
+  }
+
+  [[nodiscard]] std::vector<Out> run(std::vector<In> items, const PipeOptions &options = {}) {
+    for (auto &m : meta_) {
+      m.busyNs.store(0, std::memory_order_relaxed);
+      m.items.store(0, std::memory_order_relaxed);
+    }
+    const usize n = items.size();
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<Out> out;
+    NodeStats node;
+    if (options.mode == ExecMode::Barrier) {
+      out = barrierFrom<0>(std::move(items), options);
+      node.workers = effectiveThreadCount(options.threads);
+      node.items = n * kStageCount;
+      for (const auto &m : meta_)
+        node.busyMs += static_cast<double>(m.busyNs.load(std::memory_order_relaxed)) / 1e6;
+    } else {
+      out.resize(n);
+      StreamRuntime rt(name_, options.threads);
+      for (usize i = 0; i < n; ++i) {
+        rt.spawn([this, &rt, &out, i, v = std::make_shared<In>(std::move(items[i]))]() mutable {
+          execStage<0>(rt, std::move(*v), i, out);
+        });
+      }
+      items.clear();
+      rt.run();
+      node = rt.stats();
+    }
+    node.name = name_;
+    node.mode = execModeName(options.mode);
+    node.wallMs = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                           wallStart)
+                      .count();
+    for (const auto &m : meta_) {
+      NodeStats child;
+      child.name = m.name;
+      child.mode = node.mode;
+      child.workers = node.workers;
+      child.items = m.items.load(std::memory_order_relaxed);
+      child.busyMs = static_cast<double>(m.busyNs.load(std::memory_order_relaxed)) / 1e6;
+      child.wallMs = node.wallMs;
+      node.children.push_back(std::move(child));
+    }
+    lastStats_ = node;
+    if (options.registerStats) registerPipelineStats(std::move(node));
+    return out;
+  }
+
+  [[nodiscard]] const NodeStats &lastStats() const { return lastStats_; }
+
+private:
+  struct StageMeta {
+    std::string name;
+    std::atomic<u64> busyNs{0};
+    std::atomic<usize> items{0};
+  };
+
+  template <usize... Is>
+  static auto fnTupleHelper(std::index_sequence<Is...>)
+      -> std::tuple<std::function<std::tuple_element_t<Is + 1, std::tuple<Ts...>>(
+          std::tuple_element_t<Is, std::tuple<Ts...>> &&, usize)>...>;
+  using FnTuple = decltype(fnTupleHelper(std::make_index_sequence<kStageCount>{}));
+
+  template <usize K> StageOut<K> timedStage(StageIn<K> &&v, usize i) {
+    applyStageJitter(K, i);
+    const auto t0 = std::chrono::steady_clock::now();
+    StageOut<K> next = std::get<K>(fns_)(std::move(v), i);
+    meta_[K].busyNs.fetch_add(
+        static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count()),
+        std::memory_order_relaxed);
+    meta_[K].items.fetch_add(1, std::memory_order_relaxed);
+    return next;
+  }
+
+  /// Barrier schedule: full-width parallelFor per stage, previous stage's
+  /// storage only released once the whole next stage is materialised —
+  /// exactly the peak-footprint behaviour the streaming mode eliminates.
+  template <usize K, typename Cur>
+  auto barrierFrom(std::vector<Cur> cur, const PipeOptions &options) {
+    if constexpr (K == kStageCount) {
+      return cur;
+    } else {
+      std::vector<StageOut<K>> next(cur.size());
+      parallelFor(
+          cur.size(), [&](usize i) { next[i] = timedStage<K>(std::move(cur[i]), i); },
+          options.threads);
+      { auto dead = std::move(cur); }
+      return barrierFrom<K + 1>(std::move(next), options);
+    }
+  }
+
+  template <usize K>
+  void execStage(StreamRuntime &rt, StageIn<K> &&v, usize i, std::vector<Out> &out) {
+    StageOut<K> next = timedStage<K>(std::move(v), i);
+    if constexpr (K + 1 == kStageCount) {
+      out[i] = std::move(next);
+    } else {
+      rt.spawn([this, &rt, &out, i, v2 = std::make_shared<StageOut<K>>(std::move(next))]() mutable {
+        execStage<K + 1>(rt, std::move(*v2), i, out);
+      });
+    }
+  }
+
+  std::string name_;
+  FnTuple fns_;
+  std::array<StageMeta, kStageCount> meta_;
+  NodeStats lastStats_;
+};
+
+/// TaskPool map into per-index slots followed by a deterministic left fold
+/// in index order — completion order never reaches the reduction.
+template <typename R>
+[[nodiscard]] R mapReduce(const std::string &name, usize n, R init,
+                          const std::function<R(usize)> &map,
+                          const std::function<R(R &&, R &&)> &reduce,
+                          const PipeOptions &options = {}) {
+  std::vector<R> slots(n);
+  TaskPool pool(name);
+  pool.run(
+      n, [&](usize i) { slots[i] = map(i); }, options);
+  R acc = std::move(init);
+  for (auto &slot : slots) acc = reduce(std::move(acc), std::move(slot));
+  return acc;
+}
+
+} // namespace sv

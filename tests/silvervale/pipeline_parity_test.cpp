@@ -1,0 +1,93 @@
+// Determinism contract of the streaming pipeline runtime: for every
+// rewired driver (db::indexBatch behind indexApp/indexAllPorts, the
+// lint/deps/range pipelines, the matrix pair stream) the streaming
+// schedule must be BYTE-identical to the barrier schedule — results land
+// in indexed slots, so completion order never leaks into an output.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "silvervale/silvervale.hpp"
+#include "tree/tedengine.hpp"
+
+using namespace sv;
+
+namespace {
+
+/// Serialised bytes of every model DB of an app under one schedule.
+std::vector<std::vector<u8>> indexBytes(const std::string &app,
+                                        const std::vector<std::string> &models, ExecMode mode,
+                                        usize threads) {
+  silvervale::IndexAppOptions options;
+  options.models = models;
+  options.mode = mode;
+  options.threads = threads;
+  const auto indexed = silvervale::indexApp(app, options);
+  std::vector<std::vector<u8>> out;
+  for (const auto &db : indexed.models) out.push_back(db.serialise());
+  return out;
+}
+
+} // namespace
+
+TEST(PipelineParity, IndexAppBytesMatchAcrossModesThreadsAndRuns) {
+  const std::vector<std::string> models = {"serial", "omp", "cuda"};
+  const auto barrier = indexBytes("babelstream", models, ExecMode::Barrier, 1);
+  ASSERT_EQ(barrier.size(), models.size());
+  for (const usize threads : {usize{1}, usize{2}, usize{4}}) {
+    for (int run = 0; run < 3; ++run) {
+      const auto streaming = indexBytes("babelstream", models, ExecMode::Streaming, threads);
+      ASSERT_EQ(streaming.size(), barrier.size());
+      for (usize m = 0; m < barrier.size(); ++m)
+        EXPECT_EQ(streaming[m], barrier[m])
+            << models[m] << " bytes differ at threads=" << threads << " run=" << run;
+    }
+  }
+}
+
+TEST(PipelineParity, AllPortsAndMatrixMatchBarrier) {
+  silvervale::IndexAppOptions barrierOpts;
+  barrierOpts.mode = ExecMode::Barrier;
+  const auto barrierPorts = silvervale::indexAllPorts(barrierOpts);
+  silvervale::IndexAppOptions streamOpts;
+  streamOpts.mode = ExecMode::Streaming;
+  const auto streamPorts = silvervale::indexAllPorts(streamOpts);
+
+  ASSERT_EQ(streamPorts.size(), barrierPorts.size());
+  for (usize i = 0; i < barrierPorts.size(); ++i) {
+    EXPECT_EQ(streamPorts[i].label, barrierPorts[i].label);
+    EXPECT_EQ(streamPorts[i].db.serialise(), barrierPorts[i].db.serialise())
+        << "port " << barrierPorts[i].label;
+  }
+
+  // The matrix pair stream (unit-pair TED tasks + memo-replay finalisation)
+  // must reproduce the barrier matrix exactly — same arithmetic, different
+  // schedule. Fresh engine state per arm so neither warms the other.
+  tree::TedEngine::global().clear();
+  const auto mb = silvervale::portMatrix(barrierPorts, metrics::Metric::Tsem, {}, {}, 0, nullptr,
+                                         ExecMode::Barrier);
+  tree::TedEngine::global().clear();
+  const auto ms = silvervale::portMatrix(streamPorts, metrics::Metric::Tsem, {}, {}, 0, nullptr,
+                                         ExecMode::Streaming);
+  ASSERT_EQ(ms.labels, mb.labels);
+  ASSERT_EQ(ms.values.size(), mb.values.size());
+  for (usize v = 0; v < mb.values.size(); ++v) EXPECT_EQ(ms.values[v], mb.values[v]) << v;
+}
+
+TEST(PipelineParity, LintDepsRangeReportsMatchBarrier) {
+  const auto cb = corpus::make("tealeaf", "omp");
+
+  silvervale::LintOptions lintBarrier;
+  lintBarrier.ir = lintBarrier.deps = lintBarrier.range = true;
+  lintBarrier.mode = ExecMode::Barrier;
+  auto lintStreaming = lintBarrier;
+  lintStreaming.mode = ExecMode::Streaming;
+  lintStreaming.threads = 4;
+  EXPECT_EQ(silvervale::lintCodebase(cb, lintStreaming).renderText(),
+            silvervale::lintCodebase(cb, lintBarrier).renderText());
+
+  EXPECT_EQ(silvervale::depsCodebase(cb, ExecMode::Streaming).renderText(),
+            silvervale::depsCodebase(cb, ExecMode::Barrier).renderText());
+  EXPECT_EQ(silvervale::rangeCodebase(cb, ExecMode::Streaming).renderText(),
+            silvervale::rangeCodebase(cb, ExecMode::Barrier).renderText());
+}

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -101,24 +102,79 @@ TEST(ParallelFor, ConfigureThreadsCapsParallelism) {
   configureThreads(0); // restore the SV_THREADS / hardware default
 }
 
-TEST(ParallelFor, NestedCallFallsBackToSerial) {
-  // A parallelFor issued from inside a pool worker must not wait on the
-  // pool (deadlock); it runs serially on the worker's own thread. The
-  // calling thread of the outer loop is not a pool worker — it drains
-  // alongside them — so only bodies running on pool threads are checked.
-  const auto mainThread = std::this_thread::get_id();
-  std::atomic<bool> violation{false};
-  std::atomic<int> inner{0};
-  parallelFor(8, [&](usize) {
-    const auto outerThread = std::this_thread::get_id();
-    parallelFor(8, [&](usize) {
-      inner.fetch_add(1);
-      if (outerThread != mainThread && std::this_thread::get_id() != outerThread)
-        violation.store(true);
-    });
-  });
-  EXPECT_EQ(inner.load(), 64);
-  EXPECT_FALSE(violation.load());
+TEST(ParallelFor, NestedCallsExecuteWithoutDeadlockOrLoss) {
+  // Nested parallelFor no longer degrades to a serial loop: each call owns
+  // a shared drain state whose helper tasks are cancellable, so the caller
+  // never depends on pool capacity for progress. Three levels deep with
+  // parallelism forced at every level — a regression to any scheme where a
+  // nested call waits on queue slots held by its ancestors hangs here (and
+  // is caught by the ctest timeout).
+  std::atomic<int> leaves{0};
+  parallelFor(
+      4,
+      [&](usize) {
+        parallelFor(
+            4,
+            [&](usize) {
+              parallelFor(
+                  4, [&](usize) { leaves.fetch_add(1); }, 2);
+            },
+            2);
+      },
+      4);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ParallelFor, NestedCallCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(32 * 32);
+  parallelFor(
+      32,
+      [&](usize i) {
+        parallelFor(
+            32, [&](usize j) { hits[i * 32 + j].fetch_add(1); }, 3);
+      },
+      3);
+  for (usize k = 0; k < hits.size(); ++k) EXPECT_EQ(hits[k].load(), 1) << k;
+}
+
+TEST(TaskGroup, WaitsForOwnTasksOnly) {
+  ThreadPool pool(2);
+  std::promise<void> gate;
+  auto opened = gate.get_future().share();
+  TaskGroup slow(pool);
+  slow.submit([opened] { opened.wait(); });
+  TaskGroup fast(pool);
+  std::atomic<bool> ran{false};
+  fast.submit([&] { ran.store(true); });
+  // Must return while `slow`'s task is still blocked on the gate — the
+  // pool-level wait() footgun this type exists to fix.
+  fast.wait();
+  EXPECT_TRUE(ran.load());
+  gate.set_value();
+  slow.wait();
+}
+
+TEST(TaskGroup, CollectsEveryTaskException) {
+  const usize before = suppressedErrorCount();
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) group.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(group.errorCount(), 5u);
+  // One rethrown, four suppressed-but-counted.
+  EXPECT_EQ(suppressedErrorCount(), before + 4);
+}
+
+TEST(TaskGroup, ReusableAfterError) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.submit([] { throw std::runtime_error("x"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  std::atomic<int> count{0};
+  group.submit([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(group.errorCount(), 1u);
 }
 
 TEST(ParallelFor, ExceptionLeavesSharedPoolUsable) {

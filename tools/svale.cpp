@@ -32,6 +32,7 @@
 #include "silvervale/silvervale.hpp"
 #include "support/cliargs.hpp"
 #include "support/parallel.hpp"
+#include "support/pipeline.hpp"
 
 using namespace sv;
 
@@ -88,11 +89,15 @@ int usage() {
       "                                       reduced reproducers land in DIR\n"
       "                                       (default tests/fuzz/corpus)\n"
       "metrics: SLOC LLOC Source Tsrc Tsem Tsem+i Tir (default Tsem)\n"
-      "oracles: round-trip vm ir ted lint lb deps range\n"
+      "oracles: round-trip vm ir ted lint lb deps range pipeline\n"
       "TED algorithms (--algo): apted (default) | ps | zs — all return\n"
       "identical distances; ps/zs are the cross-check oracles\n"
       "--threads N caps the shared worker pool for every command\n"
-      "(equivalent to the SV_THREADS environment variable)\n");
+      "(equivalent to the SV_THREADS environment variable)\n"
+      "--pipeline streaming|barrier selects the stage-pipeline schedule\n"
+      "(default streaming; outputs are byte-identical either way)\n"
+      "--pipeline-stats prints the per-node throughput/occupancy/steal\n"
+      "tree of every pipeline the command ran\n");
   return 2;
 }
 
@@ -128,9 +133,9 @@ metrics::Metric parseMetric(const std::string &name) {
 /// self-test: plant a generator bug and check the oracles catch it.)
 const cli::FlagSpec kFlagSpec = {
     /*valueFlags=*/{"metric", "base", "out", "seed", "count", "lang", "oracle", "algo", "threads",
-                    "k", "cutoff", "top-k", "range", "max-severity"},
+                    "k", "cutoff", "top-k", "range", "max-severity", "pipeline"},
     /*bareFlags=*/{"pp", "cov", "json", "ir", "deps", "inject-bug", "inject-dep",
-                   "inject-range", "no-reduce"},
+                   "inject-range", "no-reduce", "pipeline-stats"},
     /*shortAliases=*/{{"-o", "out"}, {"-j", "threads"}},
 };
 
@@ -614,6 +619,26 @@ int cmdFuzz(const Args &args) {
   return report.ok() ? 0 : 1;
 }
 
+int dispatch(const std::string &cmd, const Args &args) {
+  if (cmd == "list") return cmdList();
+  if (cmd == "run") return cmdRun(args);
+  if (cmd == "index") return cmdIndex(args);
+  if (cmd == "diverge") return cmdDiverge(args);
+  if (cmd == "cluster") return cmdCluster(args);
+  if (cmd == "query") return cmdQuery(args);
+  if (cmd == "heatmap") return cmdHeatmap(args);
+  if (cmd == "cascade") return cmdCascade(args);
+  if (cmd == "nav") return cmdNav(args);
+  if (cmd == "coupling") return cmdCoupling(args);
+  if (cmd == "lint") return cmdLint(args);
+  if (cmd == "lint-dir") return cmdLintDir(args);
+  if (cmd == "deps") return cmdDeps(args);
+  if (cmd == "range") return cmdRange(args);
+  if (cmd == "index-dir") return cmdIndexDir(args);
+  if (cmd == "fuzz") return cmdFuzz(args);
+  return usage();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -639,23 +664,20 @@ int main(int argc, char **argv) {
     }
     configureThreads(static_cast<usize>(n));
   }
+  // --pipeline streaming|barrier: the process-wide default schedule of
+  // every stage pipeline (db::indexBatch, lint/deps/range, the matrices).
+  if (const auto it = args.flags.find("pipeline"); it != args.flags.end()) {
+    const auto mode = execModeFromName(it->second);
+    if (!mode) {
+      std::fprintf(stderr, "svale: --pipeline wants streaming or barrier, got '%s'\n",
+                   it->second.c_str());
+      return usage();
+    }
+    setDefaultExecMode(*mode);
+  }
+  int rc;
   try {
-    if (cmd == "list") return cmdList();
-    if (cmd == "run") return cmdRun(args);
-    if (cmd == "index") return cmdIndex(args);
-    if (cmd == "diverge") return cmdDiverge(args);
-    if (cmd == "cluster") return cmdCluster(args);
-    if (cmd == "query") return cmdQuery(args);
-    if (cmd == "heatmap") return cmdHeatmap(args);
-    if (cmd == "cascade") return cmdCascade(args);
-    if (cmd == "nav") return cmdNav(args);
-    if (cmd == "coupling") return cmdCoupling(args);
-    if (cmd == "lint") return cmdLint(args);
-    if (cmd == "lint-dir") return cmdLintDir(args);
-    if (cmd == "deps") return cmdDeps(args);
-    if (cmd == "range") return cmdRange(args);
-    if (cmd == "index-dir") return cmdIndexDir(args);
-    if (cmd == "fuzz") return cmdFuzz(args);
+    rc = dispatch(cmd, args);
   } catch (const cli::UsageError &e) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return usage();
@@ -663,5 +685,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "svale: %s\n", e.what());
     return 1;
   }
-  return usage();
+  if (args.has("pipeline-stats")) {
+    const auto nodes = drainPipelineStats();
+    if (nodes.empty()) {
+      std::printf("pipeline-stats: no pipeline nodes ran\n");
+    } else {
+      std::printf("pipeline-stats:\n");
+      for (const auto &node : nodes) std::printf("%s", node.renderText(1).c_str());
+    }
+  }
+  return rc;
 }
